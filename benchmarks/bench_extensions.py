@@ -1,0 +1,157 @@
+"""Benches for the §7 extensions (adaptive tuning, solution floods,
+memory-bound fairness)."""
+
+import pytest
+
+from benchmarks.conftest import bench_scenario_config, emit
+from repro.experiments.extensions import (
+    adaptive_difficulty_experiment,
+    pow_fairness_table,
+    solution_flood_experiment,
+)
+from repro.experiments.report import render_table
+from repro.hosts.cpu import SERVER_CPU
+from repro.tcp.adaptive import AdaptiveConfig
+
+
+def test_extension_adaptive_difficulty(benchmark):
+    """Closed-loop tuning from a too-easy start, under attack."""
+    outcome = benchmark.pedantic(
+        adaptive_difficulty_experiment,
+        kwargs=dict(base=bench_scenario_config(time_scale=0.03),
+                    start_m=8,
+                    controller=AdaptiveConfig(interval=1.0,
+                                              target_inflow=60.0,
+                                              m_floor=8)),
+        rounds=1, iterations=1)
+    trajectory = [(f"{t:.0f}s", m) for t, m, _ in outcome.m_trajectory]
+    emit("extension_adaptive", render_table(
+        ["time", "m"], trajectory)
+        + f"\nstatic m=8 attacker steady cps: "
+        f"{outcome.static.attacker_steady_state_rate():.1f}\n"
+        f"adaptive attacker steady cps: "
+        f"{outcome.adaptive.attacker_steady_state_rate():.1f}\n"
+        f"final m: {outcome.final_m}")
+    assert outcome.final_m > 8
+    assert outcome.adaptive.attacker_steady_state_rate() <= \
+        outcome.static.attacker_steady_state_rate()
+
+
+def test_extension_solution_flood(benchmark):
+    """§7's verification-exhaustion analysis, measured."""
+    points = benchmark.pedantic(
+        solution_flood_experiment,
+        kwargs=dict(rates=(1_000.0, 5_000.0, 20_000.0),
+                    base=bench_scenario_config(time_scale=0.03)),
+        rounds=1, iterations=1)
+    # Extrapolate to the §7 closed form with the *marginal* CPU cost per
+    # bogus packet (the baseline ~3% is regular request processing).
+    low, high = points[0], points[-1]
+    slope = ((high.server_cpu_percent - low.server_cpu_percent)
+             / (high.flood_rate - low.flood_rate))
+    saturation_pps = ((100.0 - low.server_cpu_percent) / slope
+                      if slope > 0 else float("inf"))
+    emit("extension_solution_flood", render_table(
+        ["bogus pps", "server CPU %", "rejected", "client completion %"],
+        [(p.flood_rate, p.server_cpu_percent, p.rejected,
+          p.client_completion_percent) for p in points])
+        + f"\nextrapolated saturation rate: {saturation_pps:,.0f} pps "
+        f"(paper's closed form: ~5,400,000 pps at "
+        f"{SERVER_CPU.hash_rate:,.0f} hashes/s)")
+    for point in points:
+        assert point.server_cpu_percent < 5.0
+        assert point.client_completion_percent > 80.0
+    # Within an order of magnitude of the paper's closed form.
+    assert saturation_pps > 500_000
+
+
+def test_extension_pow_fairness(benchmark):
+    """Hashcash vs memory-bound solve-time spread across the catalog."""
+    report = benchmark(pow_fairness_table)
+    emit("extension_pow_fairness", render_table(
+        ["device", "hashcash solve (s)", "membound solve (s)"],
+        [(r.device, r.hashcash_solve_s, r.membound_solve_s)
+         for r in report.rows])
+        + f"\nhash-rate spread: {report.hashcash_spread:.1f}x; "
+        f"memory-rate spread: {report.membound_spread:.1f}x")
+    assert report.membound_spread < report.hashcash_spread / 2
+
+
+def test_extension_fair_queuing(benchmark):
+    """Puzzle Fair Queuing vs uniform Nash pricing under the flood."""
+    from repro.experiments.extensions import fair_queuing_experiment
+
+    outcome = benchmark.pedantic(
+        fair_queuing_experiment,
+        args=(bench_scenario_config(time_scale=0.03),),
+        rounds=1, iterations=1)
+    emit("extension_fair_queuing", render_table(
+        ["pricing", "client cost (hashes/conn)", "client completion %",
+         "attacker steady cps"],
+        [("uniform Nash (2,17)", outcome.uniform_client_cost,
+          outcome.uniform.client_completion_percent(),
+          outcome.uniform.attacker_steady_state_rate()),
+         ("fair queuing (base 1,12)", outcome.fair_client_cost,
+          outcome.fair.client_completion_percent(),
+          outcome.fair.attacker_steady_state_rate())]))
+    assert outcome.fair_client_cost < outcome.uniform_client_cost
+
+
+def test_extension_keepalive(benchmark):
+    """HTTP/1.1 persistence: pay the puzzle once per session (§4.2)."""
+    from repro.experiments.extensions import keepalive_experiment
+
+    outcome = benchmark.pedantic(
+        keepalive_experiment,
+        args=(bench_scenario_config(time_scale=0.03),),
+        rounds=1, iterations=1)
+    emit("extension_keepalive", render_table(
+        ["client mode", "completion %", "puzzles paid"],
+        [("per-request connections", outcome.per_request_completion,
+          outcome.per_request_challenged),
+         ("keep-alive sessions", outcome.keepalive_completion,
+          outcome.keepalive_challenged)]))
+    assert outcome.keepalive_challenged < outcome.per_request_challenged
+
+
+def test_extension_heterogeneous_clientele(benchmark):
+    """The §7 power-mix problem: theory's dropout table + the simulated
+    mixed Xeon/Pi population under attack."""
+    from repro.experiments.heterogeneous import (
+        dropout_prediction_table,
+        mixed_clientele_experiment,
+    )
+    from repro.puzzles.params import PuzzleParams
+
+    def run():
+        theory = dropout_prediction_table(
+            difficulties=(1_000.0, 8_000.0, 30_000.0, 67_000.0))
+        system = mixed_clientele_experiment(
+            bench_scenario_config(time_scale=0.03),
+            params=PuzzleParams(k=2, m=16))
+        return theory, system
+
+    theory, system = benchmark.pedantic(run, rounds=1, iterations=1)
+    theory_table = render_table(
+        ["difficulty", "cpu1 rate", "cpu3 rate", "D1 rate"],
+        [(row.difficulty, row.rates_by_class["cpu1"],
+          row.rates_by_class["cpu3"], row.rates_by_class["D1"])
+         for row in theory])
+    system_table = render_table(
+        ["class", "completion %", "mean connect (s)", "challenged"],
+        [(o.device_class, o.completion_percent, o.mean_connect_time,
+          o.challenged) for o in system.per_class])
+    emit("extension_heterogeneous",
+         "theory (equilibrium rates):\n" + theory_table
+         + "\n\nsimulation (under connection flood):\n" + system_table)
+    # Theory: the Pi class exits as price rises. Simulation: the Pi class
+    # self-throttles — its CPU defers most attempts, so it sustains a
+    # fraction of the Xeons' connection throughput and pays much longer
+    # handshakes (its completion % of *attempted* requests stays fine,
+    # which is precisely why completion alone under-states the unfairness).
+    assert theory[0].rates_by_class["D1"] > 0
+    assert theory[-1].rates_by_class["D1"] == 0.0
+    by_class = {o.device_class: o for o in system.per_class}
+    assert by_class["cpu1"].challenged > by_class["D1"].challenged * 3
+    assert by_class["D1"].mean_connect_time > \
+        by_class["cpu1"].mean_connect_time

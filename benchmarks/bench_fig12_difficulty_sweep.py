@@ -1,0 +1,79 @@
+"""Figure 12: client-throughput boxplots across puzzle difficulties under
+the connection flood (the Nash-equilibrium-strategy experiment)."""
+
+import pytest
+
+from benchmarks.conftest import bench_scenario_config, emit
+from repro.experiments.exp3_nash import (
+    DEFAULT_K_VALUES,
+    DEFAULT_M_VALUES,
+    difficulty_sweep,
+    in_nash_band,
+    rate_limiting_cells,
+    stability_ranking,
+)
+from repro.experiments.report import render_table
+
+#: A scenario per cell is expensive; the sweep runs at a reduced scale.
+SWEEP_SCALE = 0.03
+
+
+@pytest.fixture(scope="module")
+def grid():
+    base = bench_scenario_config(time_scale=SWEEP_SCALE)
+    return difficulty_sweep(base=base)
+
+
+def test_fig12_throughput_boxplots(benchmark, grid):
+    def extract():
+        rows = []
+        for (k, m), cell in sorted(grid.items()):
+            s = cell.throughput
+            rows.append((k, m, s.mean, s.std, s.q1, s.median, s.q3,
+                         cell.attacker_steady_rate))
+        return rows
+
+    rows = benchmark(extract)
+    emit("fig12_difficulty_boxplots", render_table(
+        ["k", "m", "thr mean (Mbps)", "std", "q1", "median", "q3",
+         "attacker steady cps"], rows))
+
+    # §6.3's finding 1: m below ~12 fails to slow the attackers.
+    easy = [cell for (k, m), cell in grid.items() if m == 12]
+    hard = [cell for (k, m), cell in grid.items() if m >= 17]
+    mean_easy = sum(c.attacker_steady_rate for c in easy) / len(easy)
+    mean_hard = sum(c.attacker_steady_rate for c in hard) / len(hard)
+    assert mean_hard < mean_easy / 3
+
+    # §6.3's finding 2: among the cells that actually contain the attack,
+    # the best client service sits in the Nash price band (the paper
+    # itself notes (2,16) edges out (2,17) on raw throughput — the band,
+    # not one rounding, is the reproduction target).
+    contained = rate_limiting_cells(grid, max_attacker_cps=80.0)
+    assert (2, 17) in contained
+    best_key = max(contained, key=lambda key:
+                   contained[key].throughput.mean)
+    assert in_nash_band(*best_key), best_key
+    # ...and over-pricing visibly strangles throughput: the band's best
+    # beats every cell at >= 4x the Nash price.
+    band_best = contained[best_key].throughput.mean
+    for (k, m), cell in grid.items():
+        from repro.puzzles.params import PuzzleParams
+
+        if PuzzleParams(k=k, m=m).expected_hashes >= 4 * 66_966:
+            assert cell.throughput.mean < band_best
+
+
+def test_fig12_rate_limits_all_users(benchmark, grid):
+    """§6.2's companion claim: at Nash difficulty every user is limited to
+    a few requests/second (hash_rate / ℓ)."""
+    cell = grid[(2, 17)]
+
+    def compute():
+        return cell.attacker_measured_rate, cell.attacker_steady_rate
+
+    measured, steady = benchmark(compute)
+    emit("fig12_nash_rate_limit",
+         f"measured attack pps: {measured:.0f}; "
+         f"steady established cps: {steady:.1f}")
+    assert steady < measured / 20.0

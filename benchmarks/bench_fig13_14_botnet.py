@@ -1,0 +1,61 @@
+"""Figures 13–14: botnet effectiveness sweeps at the Nash difficulty."""
+
+import pytest
+
+from benchmarks.conftest import bench_scenario_config, emit
+from repro.experiments.exp4_botnet import (
+    botnet_size_sweep,
+    per_node_rate_sweep,
+)
+from repro.experiments.report import render_table
+
+SWEEP_SCALE = 0.03
+
+
+def _rows(points):
+    return [(p.n_bots, p.configured_rate_per_node,
+             p.configured_rate_total, p.measured_attack_rate,
+             p.completion_rate, p.completion_rate_steady)
+            for p in points]
+
+
+def test_fig13_per_node_rate_sweep(benchmark):
+    # Queue bounds scale with the timeline so the lowest-rate points still
+    # engage the protection within the shortened attack window.
+    base = bench_scenario_config(time_scale=SWEEP_SCALE, backlog=256,
+                                 accept_backlog=256)
+    points = benchmark.pedantic(
+        per_node_rate_sweep,
+        kwargs=dict(rates=(100, 200, 400, 600, 800, 1000), n_bots=5,
+                    base=base),
+        rounds=1, iterations=1)
+    emit("fig13_rate_sweep", render_table(
+        ["bots", "rate/node (pps)", "configured total", "measured (pps)",
+         "completed (cps)", "completed steady (cps)"], _rows(points)))
+    # 13(a): the measured rate saturates below the configured rate as the
+    # bots' CPUs stall the tool.
+    assert points[-1].measured_attack_rate < \
+        points[-1].configured_rate_total * 0.8
+    # 13(b): the completion rate is flat-ish — a 10× rate buys << 10×.
+    assert points[-1].completion_rate < points[0].completion_rate * 5 + 10
+
+
+def test_fig14_botnet_size_sweep(benchmark):
+    base = bench_scenario_config(time_scale=SWEEP_SCALE, backlog=256,
+                                 accept_backlog=256)
+    points = benchmark.pedantic(
+        botnet_size_sweep,
+        kwargs=dict(sizes=(2, 4, 6, 8, 10, 12, 14), total_rate=5000.0,
+                    base=base),
+        rounds=1, iterations=1)
+    emit("fig14_size_sweep", render_table(
+        ["bots", "rate/node (pps)", "configured total", "measured (pps)",
+         "completed (cps)", "completed steady (cps)"], _rows(points)))
+    # 14(a): more machines → more measured pps (each bot's pool bounds it).
+    assert points[-1].measured_attack_rate > points[0].measured_attack_rate
+    # 14(b): the steady effective rate grows with fleet size (each machine
+    # adds its CPU-bound solving trickle) but stays far below measured pps.
+    assert points[-1].completion_rate_steady >= \
+        points[0].completion_rate_steady
+    for point in points[2:]:
+        assert point.completion_rate < point.measured_attack_rate / 5.0

@@ -1,0 +1,45 @@
+"""Figure 15: partial-adoption study — % of client connections established
+for each (attacker-solves, client-solves) combination."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_scenario_config, emit
+from repro.experiments.exp5_adoption import adoption_study, grouped_series
+from repro.experiments.report import render_table
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return adoption_study(bench_scenario_config())
+
+
+def test_fig15_adoption(benchmark, outcomes):
+    def extract():
+        return [(label, o.mean_completion_percent)
+                for label, o in outcomes.items()]
+
+    rows = benchmark(extract)
+    emit("fig15_adoption", render_table(
+        ["scenario", "mean % connections established (attack window)"],
+        rows))
+    by_label = dict(rows)
+    # Solving clients are (almost) always served, against either attacker.
+    assert by_label["NA,SC"] > 60.0
+    assert by_label["SA,SC"] > 60.0
+    # A non-solving client against a non-solving attacker gets almost none.
+    assert by_label["NA,NC"] < 25.0
+    # ... and erratic-at-best service against a solving attacker.
+    assert by_label["SA,NC"] <= by_label["SA,SC"]
+
+
+def test_fig15_grouped_series(benchmark, outcomes):
+    series = benchmark(grouped_series, outcomes)
+    lines = []
+    for label, (times, percent) in series.items():
+        with np.errstate(invalid="ignore"):
+            mean = float(np.nanmean(percent))
+        lines.append((label, mean))
+    emit("fig15_grouped", render_table(
+        ["series", "mean % established (whole run)"], lines))
+    assert set(series) == {"(NA, NC)", "(SA, NC)", "(*A, SC)"}

@@ -1,0 +1,43 @@
+"""Figure 3: model-parameter estimation — w_av (3a) and α (3b)."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.profiling_fig3 import (
+    client_profile_table,
+    server_stress_test,
+)
+from repro.experiments.report import render_table
+
+
+def test_fig3a_client_profiles(benchmark):
+    """Figure 3(a): hashes-per-400ms per client CPU, and w_av."""
+    rows, w_av = benchmark(client_profile_table)
+    emit("fig3a_client_profiles", render_table(
+        ["cpu", "hash rate (/s)", "hashes in 400 ms"],
+        [(r.name, r.hash_rate, r.hashes_in_budget) for r in rows])
+        + f"\nw_av = {w_av:.0f}  (paper: 140630)")
+    assert w_av == pytest.approx(140630.0)
+    assert len(rows) == 3
+
+
+def test_fig3b_server_stress_test(benchmark):
+    """Figure 3(b): service rate µ and service parameter α vs load."""
+    profile = benchmark.pedantic(
+        server_stress_test,
+        kwargs=dict(concurrency_levels=(1, 10, 50, 100, 200, 400, 600,
+                                        800, 1000),
+                    measure_seconds=6.0, service_rate=1100.0),
+        rounds=1, iterations=1)
+    alphas = profile.alpha_curve()
+    emit("fig3b_server_stress", render_table(
+        ["concurrent requests", "service rate (req/s)",
+         "service parameter alpha"],
+        [(c, r, a) for c, r, a in
+         zip(profile.concurrency, profile.service_rate, alphas)])
+        + f"\nmu = {profile.mu:.0f} (paper: ~1100); "
+        f"alpha converges to {profile.alpha:.2f} (paper: 1.1)")
+    # Shape: the served rate saturates near µ and α converges downward.
+    assert profile.mu == pytest.approx(1100.0, rel=0.15)
+    assert profile.alpha == pytest.approx(1.1, rel=0.15)
+    assert alphas[0] > alphas[-1]

@@ -1,0 +1,38 @@
+"""Figure 6: CDF of client connection time over the (k, m) grid."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.exp1_connection_time import (
+    DEFAULT_K_VALUES,
+    DEFAULT_M_VALUES,
+    connection_time_cdf_grid,
+)
+from repro.experiments.report import render_table
+
+
+def test_fig6_connection_time_grid(benchmark):
+    grid = benchmark.pedantic(
+        connection_time_cdf_grid,
+        kwargs=dict(samples=40), rounds=1, iterations=1)
+    rows = []
+    for (k, m), cell in sorted(grid.items()):
+        summary = cell.summary
+        rows.append((k, m, summary.mean * 1e3, summary.median * 1e3,
+                     float(np.percentile(cell.times, 95)) * 1e3))
+    emit("fig6_connection_time", render_table(
+        ["k", "m", "mean (ms)", "median (ms)", "p95 (ms)"], rows))
+
+    means = {key: cell.summary.mean for key, cell in grid.items()}
+    # Shape 1: exponential growth in m (for every k, m=20 >> m=10).
+    for k in DEFAULT_K_VALUES:
+        assert means[(k, 20)] > means[(k, 10)] * 8
+    # Shape 2: roughly linear growth in k at fixed (large) m.
+    for m in (16, 20):
+        ratio = means[(4, m)] / means[(1, m)]
+        assert 2.0 < ratio < 8.0
+    # Every cell produced a full CDF.
+    for cell in grid.values():
+        values, probs = cell.cdf()
+        assert probs[-1] == pytest.approx(1.0)

@@ -1,0 +1,56 @@
+"""Figure 7: client/server throughput during a spoofed SYN flood, under
+no defense / SYN cookies / puzzles (1,8) / puzzles (2,17)."""
+
+import pytest
+
+from benchmarks.conftest import bench_scenario_config, emit
+from repro.experiments.exp2_floods import run_syn_flood_suite
+from repro.experiments.report import render_table
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return run_syn_flood_suite(bench_scenario_config(attack_style="syn"))
+
+
+def test_fig7_syn_flood_throughput(benchmark, suite):
+    def extract():
+        rows = []
+        for label, result in suite.items():
+            rows.append((
+                label,
+                result.client_throughput_before_attack().mean,
+                result.client_throughput_during_attack().mean,
+                result.server_throughput_during_attack().mean,
+                result.client_completion_percent()))
+        return rows
+
+    rows = benchmark(extract)
+    emit("fig7_syn_flood", render_table(
+        ["defense", "client Mbps (pre)", "client Mbps (attack)",
+         "server Mbps (attack)", "client completion %"], rows))
+
+    by_label = {row[0]: row for row in rows}
+    pre = by_label["nodefense"][1]
+    # No defense collapses; cookies and easy puzzles hold; Nash puzzles
+    # reduce but preserve service — the paper's Figure 7 story.
+    assert by_label["nodefense"][2] < pre * 0.35
+    assert by_label["cookies"][2] > pre * 0.7
+    assert by_label["challenges-m8"][2] > pre * 0.7
+    assert 0 < by_label["challenges-m17"][2] < pre
+    assert by_label["challenges-m17"][4] > 90.0
+
+
+def test_fig7_sparkline_challenged_fraction(benchmark, suite):
+    """The sparkline: during the attack most SYN-ACKs carry challenges."""
+    result = suite["challenges-m17"]
+
+    def fractions():
+        stats = result.listener_stats
+        total = stats.synacks_plain + stats.synacks_challenge
+        return stats.synacks_challenge / total
+
+    challenged = benchmark(fractions)
+    emit("fig7_sparkline",
+         f"challenged SYN-ACK fraction (whole run): {challenged:.3f}")
+    assert challenged > 0.5

@@ -1,0 +1,116 @@
+"""Micro-benchmarks of the substrate hot paths.
+
+Not paper figures — these keep the simulator's performance visible (§7's
+solution-flood analysis turns on the server's hashes/second, benchmarked
+here for real).
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.hashcash import find_partial_preimage
+from repro.crypto.sha256 import sha256
+from repro.puzzles.codec import (
+    decode_challenge,
+    decode_solution,
+    encode_challenge,
+    encode_solution,
+)
+from repro.puzzles.juels import (
+    FlowBinding,
+    JuelsBrainardScheme,
+    ModeledSolver,
+    RealSolver,
+)
+from repro.puzzles.params import PuzzleParams
+from repro.sim.engine import Engine
+
+BINDING = FlowBinding(src_ip=0x0A000002, dst_ip=0x0A000001,
+                      src_port=43210, dst_port=80, isn=7)
+
+
+def test_sha256_rate(benchmark):
+    """Raw hash rate of this machine (cf. Figure 3(a) and §7's 10.8 M/s)."""
+    payload = b"\x5a" * 64
+    benchmark(sha256, payload)
+
+
+def test_challenge_generation(benchmark):
+    """g(p) = 1 hash: challenge generation must be cheap (§4.1)."""
+    scheme = JuelsBrainardScheme(mode="real")
+    params = PuzzleParams(k=2, m=17)
+    benchmark(scheme.make_challenge, params, BINDING, 1.0)
+
+
+def test_real_solve_m12(benchmark):
+    """Actual brute force at m=12 (≈2048 expected hashes per solution)."""
+    scheme = JuelsBrainardScheme(mode="real")
+    challenge = scheme.make_challenge(PuzzleParams(k=1, m=12), BINDING,
+                                      1.0)
+    rng = random.Random(5)
+    benchmark.pedantic(RealSolver().solve, args=(challenge, rng),
+                       rounds=3, iterations=1)
+
+
+def test_real_verification(benchmark):
+    """d(p) = 1 + k/2 hashes: verification must stay cheap (§4.1)."""
+    scheme = JuelsBrainardScheme(mode="real")
+    params = PuzzleParams(k=2, m=10)
+    challenge = scheme.make_challenge(params, BINDING, 1.0)
+    solution = RealSolver().solve(challenge, random.Random(5))
+    result = benchmark(scheme.verify, solution, BINDING, 1.5, params)
+    assert result.ok
+
+
+def test_modeled_solve(benchmark):
+    """The simulator's per-connection solve cost (sampling, no hashing)."""
+    scheme = JuelsBrainardScheme(mode="modeled")
+    challenge = scheme.make_challenge(PuzzleParams(k=2, m=17), BINDING,
+                                      1.0)
+    rng = random.Random(5)
+    benchmark(ModeledSolver().solve, challenge, rng)
+
+
+def test_codec_roundtrip(benchmark):
+    scheme = JuelsBrainardScheme(mode="modeled")
+    params = PuzzleParams(k=2, m=17)
+    challenge = scheme.make_challenge(params, BINDING, 1.0)
+    solution = ModeledSolver().solve(challenge, random.Random(5))
+
+    def roundtrip():
+        blob = encode_challenge(challenge)
+        decode_challenge(blob, BINDING)
+        sblob = encode_solution(solution)
+        decode_solution(sblob, params)
+
+    benchmark(roundtrip)
+
+
+def test_engine_event_throughput(benchmark):
+    """Events/second of the DES core (drives scenario wall time)."""
+
+    def run_10k():
+        engine = Engine()
+
+        def chain(remaining: int):
+            if remaining:
+                engine.schedule(0.001, chain, remaining - 1)
+
+        chain(10_000)
+        engine.run()
+        return engine.events_processed
+
+    count = benchmark(run_10k)
+    assert count == 10_000
+
+
+def test_brute_force_hash_rate(benchmark):
+    """Sustained hashcash search rate (the attacker's real-world cost)."""
+    puzzle = b"\x42" * 8
+
+    def solve():
+        return find_partial_preimage(puzzle, 0, 10, 8)
+
+    solution, attempts = benchmark(solve)
+    assert attempts >= 1

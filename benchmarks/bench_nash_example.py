@@ -1,0 +1,50 @@
+"""§4.4's worked example and Theorem 1's asymptotics (Eq. 6/17/18)."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.equilibrium import ClientGame
+from repro.core.stackelberg import StackelbergGame
+from repro.core.theorem import equilibrium_difficulty, nash_difficulty
+from repro.experiments.ablations import finite_n_convergence
+from repro.experiments.report import render_table
+
+
+def test_eq6_worked_example(benchmark):
+    """w_av = 140630, α = 1.1 → ℓ* ≈ 66967 → (k*, m*) = (2, 17)."""
+    params = benchmark(nash_difficulty, 140630.0, 1.1)
+    target = equilibrium_difficulty(140630.0, 1.1)
+    emit("eq6_nash_example", render_table(
+        ["w_av", "alpha", "l* = w_av/(alpha+1)", "k*", "m*",
+         "l(p*) hashes"],
+        [(140630, 1.1, target, params.k, params.m,
+          params.expected_hashes)]))
+    assert (params.k, params.m) == (2, 17)
+
+
+def test_eq17_finite_n_convergence(benchmark):
+    """The exact finite-N optimum approaches w_av/(α+1) as N grows."""
+    rows = benchmark.pedantic(finite_n_convergence, rounds=1, iterations=1)
+    emit("eq17_convergence", render_table(
+        ["N", "exact l*", "asymptotic l*", "relative gap"],
+        [(r.n_users, r.exact_difficulty, r.asymptotic_difficulty,
+          r.relative_gap) for r in rows]))
+    gaps = [r.relative_gap for r in rows]
+    assert all(a >= b for a, b in zip(gaps, gaps[1:]))
+    assert gaps[-1] < 0.01
+
+
+def test_provider_integer_optimum(benchmark):
+    """Exact integer (k, m) optimisation for the testbed population."""
+    game = ClientGame.homogeneous(15, 140630.0, 1100.0)
+    provider = StackelbergGame(game)
+    best = benchmark.pedantic(provider.solve_integer, rounds=1,
+                              iterations=1)
+    relaxed = provider.solve_relaxed()
+    emit("provider_integer_optimum", render_table(
+        ["solution", "difficulty (hashes)", "x_bar (req/s)", "objective"],
+        [("continuous", relaxed.difficulty, relaxed.total_rate,
+          relaxed.objective),
+         (f"integer (k={best.params.k}, m={best.params.m})",
+          best.difficulty, best.total_rate, best.objective)]))
+    assert best.params is not None

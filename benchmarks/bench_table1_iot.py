@@ -1,0 +1,44 @@
+"""Table 1: IoT device profiles, plus the Experiment 6 claim that puzzles
+blunt IoT-based connection floods."""
+
+import pytest
+
+from benchmarks.conftest import bench_scenario_config, emit
+from repro.experiments.exp6_iot import iot_botnet_scenario, \
+    iot_profile_table
+from repro.experiments.report import render_table
+
+
+def test_table1_iot_profiles(benchmark):
+    rows = benchmark(iot_profile_table)
+    emit("table1_iot_profiles", render_table(
+        ["device", "avg hashing rate (/s)", "hashes in 400 ms",
+         "paper hashes in 400 ms", "Nash solves/s"],
+        [(r.device, r.average_hashing_rate, r.hashes_in_400ms,
+          r.paper_hashes_in_400ms, r.nash_solves_per_second)
+         for r in rows]))
+    assert [r.device for r in rows] == ["D1", "D2", "D3", "D4"]
+    for row in rows:
+        assert row.hashes_in_400ms == pytest.approx(
+            row.paper_hashes_in_400ms, rel=0.05)
+        # The section's point: a Pi cannot complete even one Nash-difficulty
+        # handshake per second — useless as a connection-flood bot.
+        assert row.nash_solves_per_second < 1.0
+
+
+def test_exp6_iot_botnet_scenario(benchmark):
+    result = benchmark.pedantic(
+        iot_botnet_scenario, args=(bench_scenario_config(),),
+        rounds=1, iterations=1)
+    emit("exp6_iot_botnet",
+         f"measured attack pps: {result.attacker_measured_rate():.0f}\n"
+         f"effective cps (whole attack): "
+         f"{result.attacker_established_rate():.1f}\n"
+         f"effective cps (steady): "
+         f"{result.attacker_steady_state_rate():.1f}\n"
+         f"client completion %: "
+         f"{result.client_completion_percent():.1f}")
+    # Pi bots at Nash difficulty: the steady-state flood is negligible and
+    # clients keep getting served.
+    assert result.attacker_steady_state_rate() < 40.0
+    assert result.client_completion_percent() > 60.0

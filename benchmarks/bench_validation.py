@@ -1,0 +1,12 @@
+"""The reproduction gate as a benchmark: every claim, one run."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.validation import run_validation
+
+
+def test_reproduction_gate(benchmark):
+    card = benchmark.pedantic(run_validation, rounds=1, iterations=1)
+    emit("reproduction_gate", card.render())
+    assert card.all_passed, card.render()

@@ -1,0 +1,44 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and prints
+the corresponding rows (run with ``-s`` to see them inline; they are also
+written under ``benchmarks/output/``). Scenario benches run at
+``BENCH_TIME_SCALE`` of the paper's 600 s timeline — rates are
+paper-identical, so shapes (who wins, by what factor) are preserved; see
+DESIGN.md's scale-down convention.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.scenario import ScenarioConfig
+
+#: 0.05 → 30 s simulated scenarios (attack 6 s–24 s).
+BENCH_TIME_SCALE = float(os.environ.get("REPRO_BENCH_TIME_SCALE", "0.05"))
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def bench_scenario_config(**overrides) -> ScenarioConfig:
+    """The §6 scenario at benchmark scale."""
+    defaults = dict(time_scale=BENCH_TIME_SCALE)
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a figure/table reproduction and persist it for EXPERIMENTS.md."""
+    banner = f"\n=== {name} ===\n{text}\n"
+    print(banner)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Experiment 5 as a story: who should adopt TCP puzzles, and why.
+
+Runs the four (attacker-solves, client-solves) combinations of §6.5 and
+prints the per-scenario service a client receives during a connection
+flood — the incentive-compatibility argument of §7 ("Software adoption").
+
+Run:  python examples/adoption_study.py
+"""
+
+from repro.experiments.exp5_adoption import adoption_study, grouped_series
+from repro.experiments.report import render_table
+from repro.experiments.scenario import ScenarioConfig
+
+STORIES = {
+    "NA,NC": "nobody patched: the flood wins, clients starve",
+    "SA,NC": "bots patched, clients not: erratic scraps of service",
+    "NA,SC": "clients patched, bots not: clients sail through",
+    "SA,SC": "everyone patched: clients still served, bots rate-limited",
+}
+
+
+def main() -> None:
+    outcomes = adoption_study(ScenarioConfig(time_scale=0.05))
+    print(render_table(
+        ["scenario", "% connections established (attack)", "story"],
+        [(label, f"{o.mean_completion_percent:.1f}", STORIES[label])
+         for label, o in outcomes.items()]))
+
+    print("\nGrouped as the paper plots them (Figure 15):")
+    series = grouped_series(outcomes)
+    import numpy as np
+
+    rows = []
+    for label, (times, percent) in series.items():
+        with np.errstate(invalid="ignore"):
+            rows.append((label, f"{np.nanmean(percent):.1f}"))
+    print(render_table(["series", "mean % established"], rows))
+
+    print("\nThe adoption incentive: a client that solves puzzles is"
+          "\nalmost always served no matter what the attacker does; one"
+          "\nthat refuses is hostage to the attacker's choices. Servers"
+          "\ngain tolerance, clients gain a service guarantee — both"
+          "\nsides have a reason to deploy the patch.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Explore the game theory: how the Nash difficulty responds to the
+server's provisioning and the clients' hardware.
+
+Reproduces the §4.2 analysis numerically:
+
+* a well-provisioned server (α > 1) asks for easier puzzles;
+* an overloaded server (α < 1) pushes the price toward w_av;
+* heterogeneous clients: low-valuation users drop out as difficulty rises
+  (the participation condition, Eq. 11);
+* the provider's revenue-style objective Ĩ(ℓ) = ℓ·x̄*(ℓ) is single-peaked.
+
+Run:  python examples/nash_tuning.py
+"""
+
+import numpy as np
+
+from repro.core.equilibrium import ClientGame
+from repro.core.stackelberg import StackelbergGame
+from repro.core.theorem import equilibrium_difficulty, nash_difficulty
+from repro.experiments.report import render_table
+from repro.hosts.cpu import CPU_CATALOG, IOT_CATALOG
+
+
+def alpha_sweep() -> None:
+    print("## The provisioning trade-off (§4.2)")
+    w_av = 140630.0
+    rows = []
+    for alpha in (0.25, 0.5, 1.0, 1.1, 2.0, 4.0):
+        params = nash_difficulty(w_av, alpha)
+        rows.append((alpha, equilibrium_difficulty(w_av, alpha),
+                     f"(k={params.k}, m={params.m})",
+                     f"{equilibrium_difficulty(w_av, alpha) / w_av:.0%}"))
+    print(render_table(
+        ["alpha (mu/N)", "l* (hashes)", "(k*, m*)", "l*/w_av"], rows))
+    print("Overloaded servers (alpha<1) charge ~w_av; well-provisioned"
+          " ones ask for much less.\n")
+
+
+def clientele_sweep() -> None:
+    print("## The clientele trade-off")
+    rows = []
+    for name, profile in {**CPU_CATALOG, **IOT_CATALOG}.items():
+        w_av = profile.hash_rate * 0.4
+        params = nash_difficulty(w_av, 1.1)
+        rows.append((name, f"{profile.hash_rate:.0f}", f"{w_av:.0f}",
+                     f"(k={params.k}, m={params.m})",
+                     f"{params.expected_hashes / profile.hash_rate:.2f}"))
+    print(render_table(
+        ["clientele", "hash rate (/s)", "w_av", "(k*, m*)",
+         "solve time (s)"], rows))
+    print("Slower clienteles get proportionally easier puzzles — the"
+          " solve time stays near the 400 ms budget.\n")
+
+
+def dropout_demo() -> None:
+    print("## Participation and dropout (Eq. 11)")
+    # A mixed population: 10 laptops, 5 phones with a tenth the patience.
+    weights = [140_000.0] * 10 + [14_000.0] * 5
+    game = ClientGame(weights, mu=1100.0)
+    rows = []
+    for difficulty in (1_000.0, 10_000.0, 20_000.0, 60_000.0, 120_000.0):
+        solution = game.solve(difficulty)
+        rows.append((difficulty, solution.active_users,
+                     f"{solution.total_rate:.2f}"))
+    print(render_table(
+        ["difficulty (hashes)", "active users (of 15)", "x_bar (req/s)"],
+        rows))
+    print("Past the phones' valuation the low-w users drop out; the"
+          " laptops keep paying.\n")
+
+
+def provider_curve() -> None:
+    print("## The provider's objective is single-peaked (Eq. 13–15)")
+    game = ClientGame.homogeneous(15, 140630.0, 1100.0)
+    provider = StackelbergGame(game)
+    optimum = provider.solve_relaxed()
+    sweep = provider.sweep(np.geomspace(10, game.max_feasible_difficulty
+                                        * 0.98, 12))
+    print(render_table(
+        ["difficulty", "x_bar*", "objective l*x_bar"],
+        [(f"{d:.0f}", f"{x:.3f}", f"{o:.0f}") for d, x, o in sweep]))
+    print(f"continuous optimum: l* = {optimum.difficulty:.0f} hashes "
+          f"(objective {optimum.objective:.0f})")
+
+
+def main() -> None:
+    alpha_sweep()
+    clientele_sweep()
+    dropout_demo()
+    provider_curve()
+
+
+if __name__ == "__main__":
+    main()

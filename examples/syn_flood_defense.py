@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Compare every server defense against both flood types (Figures 7–8).
+
+Runs the §6 testbed scenario for each (defense, attack) combination —
+including the SYN-cache baseline the paper discusses but does not plot —
+and prints the throughput/completion comparison along with the queue
+states that explain the outcomes (Figure 10).
+
+Run:  python examples/syn_flood_defense.py [--scale 0.05]
+"""
+
+import argparse
+
+from repro.experiments.report import render_table
+from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.puzzles.params import PuzzleParams
+from repro.tcp.constants import DefenseMode
+
+DEFENSES = (
+    ("nodefense", DefenseMode.NONE, None),
+    ("syncache", DefenseMode.SYNCACHE, None),
+    ("cookies", DefenseMode.SYNCOOKIES, None),
+    ("puzzles (2,17)", DefenseMode.PUZZLES, PuzzleParams(k=2, m=17)),
+)
+
+
+def run_matrix(scale: float) -> None:
+    for style in ("syn", "connect"):
+        print(f"\n### {style} flood ###")
+        rows = []
+        for label, mode, params in DEFENSES:
+            config = ScenarioConfig(time_scale=scale, defense=mode,
+                                    attack_style=style)
+            if params is not None:
+                config = ScenarioConfig(
+                    time_scale=scale, defense=mode, puzzle_params=params,
+                    attack_style=style)
+            result = Scenario(config).run()
+            start, end = result.attack_window()
+            mid = (start + end) / 2
+            rows.append((
+                label,
+                f"{result.client_throughput_during_attack().mean:.2f}",
+                f"{result.client_completion_percent():.1f}",
+                f"{result.attacker_steady_state_rate():.1f}",
+                f"{result.queues.listen_depth.mean_in(mid, end):.0f}",
+                f"{result.queues.accept_depth.mean_in(mid, end):.0f}",
+            ))
+        print(render_table(
+            ["defense", "client Mbps (attack)", "completion %",
+             "attacker cps (steady)", "listen depth", "accept depth"],
+            rows))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="time scale of the 600 s paper timeline")
+    args = parser.parse_args()
+    run_matrix(args.scale)
+    print("\nReading the table: a SYN flood is absorbed by anything"
+          "\nstateless (cookies, cache-ish, puzzles), but only puzzles"
+          "\nsurvive the connection flood — cookies leave the accept"
+          "\nqueue pinned full while puzzles strand the flood in the"
+          "\nlisten queue and keep the accept queue draining.")
+
+
+if __name__ == "__main__":
+    main()

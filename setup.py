@@ -1,0 +1,11 @@
+"""Legacy shim so `pip install -e .` works offline.
+
+The environment ships setuptools without the `wheel` package, so the PEP 660
+editable-install path (which needs bdist_wheel) fails; with this shim pip
+can fall back to `setup.py develop` (--no-use-pep517). All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""Reproduction of *Revisiting Client Puzzles for State Exhaustion Attacks
+Resilience* (Noureddine, Fawaz, Başar, Sanders — DSN 2019).
+
+The package is organised in two halves, mirroring the paper:
+
+* the **theory** — a Stackelberg game between a server (leader, picks the
+  puzzle difficulty) and its clients (followers, pick request rates at Nash
+  equilibrium), in :mod:`repro.core`;
+* the **system** — TCP client puzzles wired into a handshake stack, together
+  with the substrates needed to evaluate them (discrete-event engine, network
+  model, host models, attackers), in :mod:`repro.sim`, :mod:`repro.net`,
+  :mod:`repro.tcp`, :mod:`repro.puzzles` and :mod:`repro.hosts`.
+
+The evaluation section of the paper is reproduced experiment-by-experiment in
+:mod:`repro.experiments`; see ``DESIGN.md`` for the per-figure index.
+
+Quickstart::
+
+    from repro import nash_difficulty
+    params = nash_difficulty(w_av=140630, alpha=1.1)   # -> (k=2, m=17)
+"""
+
+from repro._version import __version__
+from repro.core.theorem import (
+    equilibrium_difficulty,
+    max_feasible_difficulty,
+    nash_difficulty,
+)
+from repro.core.equilibrium import ClientGame, NashSolution
+from repro.core.stackelberg import StackelbergGame, ProviderSolution
+from repro.core.profiling import (
+    ClientProfile,
+    ServerProfile,
+    estimate_alpha,
+    estimate_w_av,
+)
+from repro.puzzles.params import PuzzleParams
+from repro.puzzles.juels import JuelsBrainardScheme, Challenge, Solution
+from repro.hosts.cpu import CPUProfile, CPU_CATALOG
+
+__all__ = [
+    "__version__",
+    "equilibrium_difficulty",
+    "max_feasible_difficulty",
+    "nash_difficulty",
+    "ClientGame",
+    "NashSolution",
+    "StackelbergGame",
+    "ProviderSolution",
+    "ClientProfile",
+    "ServerProfile",
+    "estimate_alpha",
+    "estimate_w_av",
+    "PuzzleParams",
+    "JuelsBrainardScheme",
+    "Challenge",
+    "Solution",
+    "CPUProfile",
+    "CPU_CATALOG",
+]

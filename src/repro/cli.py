@@ -1,0 +1,195 @@
+"""Command-line interface: ``tcp-puzzles`` (or ``python -m repro``).
+
+Subcommands mirror the paper's workflow:
+
+* ``nash``     — compute the Nash difficulty from (w_av, α), §4.4 style;
+* ``profile``  — print the Figure 3(a) / Table 1 hardware profiles;
+* ``run``      — run one evaluation experiment and print its tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_nash(args: argparse.Namespace) -> int:
+    from repro.core.theorem import equilibrium_difficulty, nash_difficulty
+
+    target = equilibrium_difficulty(args.w_av, args.alpha)
+    params = nash_difficulty(args.w_av, args.alpha, k=args.k)
+    print(f"w_av = {args.w_av:.0f} hashes, alpha = {args.alpha}")
+    print(f"continuous optimum  l* = w_av/(alpha+1) = {target:.1f} hashes")
+    print(f"puzzle parameters   (k*, m*) = ({params.k}, {params.m})  "
+          f"[l(p*) = {params.expected_hashes:.0f} expected hashes]")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.experiments.exp6_iot import iot_profile_table
+    from repro.experiments.profiling_fig3 import client_profile_table
+    from repro.experiments.report import render_table
+
+    rows, w_av = client_profile_table()
+    print("Figure 3(a): client CPU profiles (400 ms budget)")
+    print(render_table(
+        ["cpu", "description", "hash rate (/s)", "hashes in 400 ms"],
+        [(r.name, r.description, r.hash_rate, r.hashes_in_budget)
+         for r in rows]))
+    print(f"w_av = {w_av:.0f}\n")
+    print("Table 1: IoT device profiles")
+    print(render_table(
+        ["device", "hash rate (/s)", "hashes in 400 ms (paper)",
+         "Nash solves/s"],
+        [(r.device, r.average_hashing_rate, r.paper_hashes_in_400ms,
+          r.nash_solves_per_second) for r in iot_profile_table()]))
+    return 0
+
+
+def _cmd_cost(args: argparse.Namespace) -> int:
+    from repro.core.analysis import botnet_cost_table
+    from repro.experiments.report import render_table
+    from repro.puzzles.params import PuzzleParams
+
+    params = PuzzleParams(k=args.k, m=args.m)
+    rows = botnet_cost_table(params, args.unprotected_rate)
+    print(f"attack economics at (k={args.k}, m={args.m}) "
+          f"[l(p) = {params.expected_hashes:.0f} hashes]")
+    print(render_table(
+        ["device", "solves/s", "bots for 5000 cps",
+         "botnet amplification"],
+        [(r.device, r.solves_per_second, r.bots_for_5000_cps,
+          r.amplification) for r in rows.values()]))
+    print("\n'botnet amplification' = how many times more machines the "
+          "attacker\nneeds vs. an unprotected server "
+          f"(at {args.unprotected_rate:.0f} cps/bot unprotected).")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.experiments.validation import run_validation
+
+    card = run_validation(progress=lambda msg: print(f"... {msg}",
+                                                     file=sys.stderr))
+    print(card.render())
+    return 0 if card.all_passed else 1
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.report import render_table
+
+    if args.experiment == "syn-flood":
+        from repro.experiments.exp2_floods import run_syn_flood_suite
+
+        suite = run_syn_flood_suite()
+        print(render_table(
+            ["defense", "client Mbps (pre)", "client Mbps (attack)",
+             "completion %"],
+            [(label,
+              r.client_throughput_before_attack().mean,
+              r.client_throughput_during_attack().mean,
+              r.client_completion_percent())
+             for label, r in suite.items()]))
+    elif args.experiment == "connection-flood":
+        from repro.experiments.exp2_floods import \
+            run_connection_flood_suite
+        from repro.experiments.figures import bar_chart, line_chart
+
+        suite = run_connection_flood_suite()
+        print(render_table(
+            ["defense", "client Mbps (pre)", "client Mbps (attack)",
+             "attacker cps", "completion %"],
+            [(label,
+              r.client_throughput_before_attack().mean,
+              r.client_throughput_during_attack().mean,
+              r.attacker_established_rate(),
+              r.client_completion_percent())
+             for label, r in suite.items()]))
+        for label, result in suite.items():
+            times, mbps = result.client_throughput.rx_mbps(
+                result.config.duration)
+            start, end = result.attack_window()
+            print()
+            print(line_chart(times, mbps, title=f"client throughput — "
+                             f"{label}", y_label="Mbps",
+                             shade_from=start, shade_to=end))
+        print("\nsteady-state attacker rate (Figure 11):")
+        print(bar_chart(
+            list(suite),
+            [r.attacker_steady_state_rate() for r in suite.values()],
+            unit=" cps"))
+    elif args.experiment == "adoption":
+        from repro.experiments.exp5_adoption import adoption_study
+
+        outcomes = adoption_study()
+        print(render_table(
+            ["scenario", "mean completion % during attack"],
+            [(label, o.mean_completion_percent)
+             for label, o in outcomes.items()]))
+    elif args.experiment == "connection-time":
+        from repro.experiments.exp1_connection_time import \
+            connection_time_cdf_grid
+
+        grid = connection_time_cdf_grid(samples=args.samples)
+        print(render_table(
+            ["k", "m", "mean (ms)", "median (ms)", "p95 (ms)"],
+            [(k, m, 1e3 * r.summary.mean, 1e3 * r.summary.median,
+              1e3 * float(__import__("numpy").percentile(r.times, 95)))
+             for (k, m), r in sorted(grid.items())]))
+    else:  # pragma: no cover - argparse restricts choices
+        print(f"unknown experiment {args.experiment}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tcp-puzzles",
+        description="TCP client puzzles (DSN 2019) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    nash = sub.add_parser("nash", help="compute the Nash puzzle difficulty")
+    nash.add_argument("--w-av", type=float, default=140630.0,
+                      help="average client hash budget per request")
+    nash.add_argument("--alpha", type=float, default=1.1,
+                      help="server service parameter mu/N")
+    nash.add_argument("-k", type=int, default=2,
+                      help="number of sub-puzzle solutions")
+    nash.set_defaults(func=_cmd_nash)
+
+    profile = sub.add_parser("profile",
+                             help="print hardware profiles (Fig 3a, Tab 1)")
+    profile.set_defaults(func=_cmd_profile)
+
+    cost = sub.add_parser(
+        "cost", help="attack economics at a given difficulty (§6.4/§6.6)")
+    cost.add_argument("-k", type=int, default=2)
+    cost.add_argument("-m", type=int, default=17)
+    cost.add_argument("--unprotected-rate", type=float, default=500.0,
+                      help="per-bot effective cps against a bare server")
+    cost.set_defaults(func=_cmd_cost)
+
+    validate = sub.add_parser(
+        "validate",
+        help="machine-check every paper claim (the reproduction gate)")
+    validate.set_defaults(func=_cmd_validate)
+
+    run = sub.add_parser("run", help="run an evaluation experiment")
+    run.add_argument("experiment",
+                     choices=["syn-flood", "connection-flood", "adoption",
+                              "connection-time"])
+    run.add_argument("--samples", type=int, default=25,
+                     help="samples per cell (connection-time)")
+    run.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

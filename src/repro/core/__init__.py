@@ -1,0 +1,63 @@
+"""Game-theoretic core: Stackelberg difficulty selection (paper §3–§4).
+
+The server (leader) selects the puzzle difficulty; ``N`` selfish clients
+(followers) select request rates at Nash equilibrium. Modules:
+
+* :mod:`repro.core.mm1` — the M/M/1 service-time abstraction ``S(x̄)``;
+* :mod:`repro.core.utility` — client utility (Eq. 1/4) and the strategically
+  equivalent potential ``H`` (Eq. 7);
+* :mod:`repro.core.equilibrium` — finite-N Nash solver for the client game
+  (Eq. 9), feasibility bound (Eq. 10), participation (Eq. 11), and the
+  dropout-aware variant;
+* :mod:`repro.core.stackelberg` — the provider problem (Eq. 12–15): exact
+  finite-N optimum over integer ``(k, m)`` grids and the continuous
+  relaxation;
+* :mod:`repro.core.theorem` — Theorem 1 closed forms (Eq. 17/18) and the
+  practical difficulty-selection rule that reproduces the paper's
+  ``(k*, m*) = (2, 17)`` example;
+* :mod:`repro.core.difficulty` — integer rounding rules for ``(k, m)``;
+* :mod:`repro.core.profiling` — the §4.3 procedures for estimating ``w_av``
+  (client hash budget) and ``α`` (server service parameter).
+"""
+
+from repro.core.mm1 import MM1Queue, expected_service_time
+from repro.core.utility import client_utility, potential
+from repro.core.equilibrium import ClientGame, NashSolution
+from repro.core.stackelberg import StackelbergGame, ProviderSolution
+from repro.core.theorem import (
+    equilibrium_difficulty,
+    max_feasible_difficulty,
+    nash_difficulty,
+)
+from repro.core.difficulty import (
+    params_for_difficulty,
+    round_nearest,
+    round_up,
+)
+from repro.core.profiling import (
+    ClientProfile,
+    ServerProfile,
+    estimate_alpha,
+    estimate_w_av,
+)
+
+__all__ = [
+    "MM1Queue",
+    "expected_service_time",
+    "client_utility",
+    "potential",
+    "ClientGame",
+    "NashSolution",
+    "StackelbergGame",
+    "ProviderSolution",
+    "equilibrium_difficulty",
+    "max_feasible_difficulty",
+    "nash_difficulty",
+    "params_for_difficulty",
+    "round_nearest",
+    "round_up",
+    "ClientProfile",
+    "ServerProfile",
+    "estimate_alpha",
+    "estimate_w_av",
+]

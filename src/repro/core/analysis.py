@@ -1,0 +1,77 @@
+"""Attack-economics analysis: the paper's headline cost claims, derivable.
+
+The abstract claims that with puzzles at the Nash difficulty "the size of a
+botnet has to increase by a factor of 200, and IoT-based botnets become
+unable to launch such attacks"; §6.4 adds "a botnet has to commit 500
+machines to reach an effective attack rate of 5000 cps". These closed
+forms reproduce those numbers from the difficulty and the hardware catalog.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import GameError
+from repro.hosts.cpu import CPU_CATALOG, IOT_CATALOG, CPUProfile
+from repro.puzzles.params import PuzzleParams
+
+
+def solves_per_second(profile: CPUProfile, params: PuzzleParams) -> float:
+    """A solving bot's ceiling: ``hash_rate / ℓ(p)`` connections/second.
+
+    This is the rate limiter everything else follows from — verified
+    against the simulator in
+    ``tests/integration/test_theory_vs_simulation.py``.
+    """
+    return profile.hash_rate / params.expected_hashes
+
+
+def required_botnet_size(target_cps: float, params: PuzzleParams,
+                         profile: CPUProfile) -> int:
+    """Machines needed to sustain *target_cps* established connections/s
+    against a puzzle server at difficulty *params* (§6.4's 500-machine
+    style calculation)."""
+    if target_cps <= 0:
+        raise GameError(f"target_cps must be positive, got {target_cps!r}")
+    return math.ceil(target_cps / solves_per_second(profile, params))
+
+
+def amplification_factor(params: PuzzleParams, profile: CPUProfile,
+                         unprotected_rate_per_bot: float = 500.0) -> float:
+    """How many times more machines an attack needs once puzzles are on.
+
+    Against an unprotected server a bot's effective rate is whatever it
+    can flood (§6's 500 attempts/s each land as completed handshakes);
+    against the Nash puzzles it is the CPU solving ceiling. The ratio is
+    the abstract's "factor of 200"."""
+    if unprotected_rate_per_bot <= 0:
+        raise GameError("unprotected_rate_per_bot must be positive")
+    return unprotected_rate_per_bot / solves_per_second(profile, params)
+
+
+@dataclass(frozen=True)
+class BotnetCostRow:
+    device: str
+    solves_per_second: float
+    bots_for_5000_cps: int
+    amplification: float
+
+
+def botnet_cost_table(params: Optional[PuzzleParams] = None,
+                      unprotected_rate_per_bot: float = 500.0
+                      ) -> Dict[str, BotnetCostRow]:
+    """The §6.4/§6.6 economics over the full hardware catalog."""
+    params = params if params is not None else PuzzleParams(k=2, m=17)
+    rows: Dict[str, BotnetCostRow] = {}
+    for name, profile in {**CPU_CATALOG, **IOT_CATALOG}.items():
+        rate = solves_per_second(profile, params)
+        rows[name] = BotnetCostRow(
+            device=name,
+            solves_per_second=rate,
+            bots_for_5000_cps=required_botnet_size(5000.0, params,
+                                                   profile),
+            amplification=amplification_factor(
+                params, profile, unprotected_rate_per_bot))
+    return rows

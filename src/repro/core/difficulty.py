@@ -1,0 +1,82 @@
+"""Rounding a continuous difficulty ``ℓ*`` to integer puzzle parameters.
+
+The theory produces a real-valued target ``ℓ* = k·2^(m−1)``; the wire
+protocol needs integers. Two rules are provided:
+
+* ``"up"`` — the paper's §4.4 behaviour: never under-protect. ``m`` is the
+  smallest integer with ``k·2^(m−1) ≥ ℓ*``, i.e. ``m = ceil(log2(ℓ*/k))+1``.
+  Reproduces the worked example ``(2, 17)`` for ``ℓ* ≈ 66966, k = 2``.
+* ``"nearest"`` — minimise ``|k·2^(m−1) − ℓ*|``; better when the service
+  degradation budget is hard.
+
+§4.3 trade-off on ``k``: small ``k`` raises the attacker's chance of
+guessing a solution outright (``2^(−k·m)``); large ``k`` raises the server's
+expected verification work (``1 + k/2``). The paper recommends — and its
+example uses — ``k = 2``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import GameError
+from repro.puzzles.params import PuzzleParams
+
+
+def round_up(target: float, k: int) -> int:
+    """Smallest ``m`` with ``k·2^(m−1) ≥ target`` (``m ≥ 0``)."""
+    if target <= 0:
+        raise GameError(f"target difficulty must be positive, got {target!r}")
+    if k < 1:
+        raise GameError(f"k must be >= 1, got {k}")
+    per_solution = target / k
+    if per_solution <= 1.0:
+        return 0 if target <= k else 1
+    return int(math.ceil(math.log2(per_solution))) + 1
+
+
+def round_nearest(target: float, k: int) -> int:
+    """``m`` minimising ``|k·2^(m−1) − target|`` (ties go down: usability)."""
+    if target <= 0:
+        raise GameError(f"target difficulty must be positive, got {target!r}")
+    if k < 1:
+        raise GameError(f"k must be >= 1, got {k}")
+    up = round_up(target, k)
+    if up == 0:
+        return 0
+    down = up - 1
+
+    def cost(m: int) -> float:
+        expected = float(k) if m == 0 else k * 2.0 ** (m - 1)
+        return abs(expected - target)
+
+    return down if cost(down) <= cost(up) else up
+
+
+def guess_success_probability(params: PuzzleParams) -> float:
+    """Probability an attacker passes verification with random strings.
+
+    Each sub-solution survives with probability ``2^−m``; all ``k`` must.
+    """
+    return 2.0 ** (-params.k * params.m)
+
+
+def params_for_difficulty(target: float, k: int = 2, rounding: str = "up",
+                          length_bytes: int = 8) -> PuzzleParams:
+    """Integer ``(k, m)`` realising the continuous target ``ℓ*``.
+
+    Raises :class:`GameError` if the resulting solution block would not fit
+    the 40-byte TCP option budget (choose a smaller ``k`` or ``l``).
+    """
+    if rounding == "up":
+        m = round_up(target, k)
+    elif rounding == "nearest":
+        m = round_nearest(target, k)
+    else:
+        raise GameError(f"unknown rounding rule {rounding!r}")
+    params = PuzzleParams(k=k, m=m, length_bytes=length_bytes)
+    if not params.fits_in_options(embed_timestamp=True):
+        raise GameError(
+            f"params {params} need {params.solution_wire_bytes(True)} option "
+            f"bytes > 40; reduce k or length_bytes")
+    return params

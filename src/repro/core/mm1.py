@@ -1,0 +1,67 @@
+"""M/M/1 abstraction of the server (paper §4.1).
+
+The model abstracts the server's request handling as an M/M/1 queue with
+service rate ``µ``; the expected *system* delay under aggregate arrival rate
+``x̄ < µ`` is ``S(x̄) = 1/(µ − x̄)``. The paper argues this abstraction
+suffices because state-exhaustion attacks target the TCP stack independently
+of the application — only the drain rate of the accept queue matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GameError
+
+
+def expected_service_time(total_rate: float, mu: float) -> float:
+    """``S(x̄) = 1/(µ − x̄)`` for ``x̄ < µ``; raises when unstable."""
+    if mu <= 0:
+        raise GameError(f"service rate mu must be positive, got {mu!r}")
+    if total_rate < 0:
+        raise GameError(f"arrival rate must be >= 0, got {total_rate!r}")
+    if total_rate >= mu:
+        raise GameError(
+            f"arrival rate {total_rate!r} >= service rate {mu!r}: "
+            f"the M/M/1 queue is unstable")
+    return 1.0 / (mu - total_rate)
+
+
+@dataclass(frozen=True)
+class MM1Queue:
+    """Closed-form M/M/1 performance measures for a given ``µ``.
+
+    These are textbook identities; they back both the utility model and the
+    analytical cross-checks in the test suite (the simulated accept loop's
+    delay should track ``S(x̄)`` under Poisson load).
+    """
+
+    mu: float
+
+    def __post_init__(self) -> None:
+        if self.mu <= 0:
+            raise GameError(f"mu must be positive, got {self.mu!r}")
+
+    def utilization(self, rate: float) -> float:
+        """``ρ = x̄/µ``."""
+        if rate < 0:
+            raise GameError(f"rate must be >= 0, got {rate!r}")
+        return rate / self.mu
+
+    def is_stable(self, rate: float) -> bool:
+        return 0 <= rate < self.mu
+
+    def expected_system_time(self, rate: float) -> float:
+        """``W = 1/(µ − x̄)`` — waiting plus service (the paper's S)."""
+        return expected_service_time(rate, self.mu)
+
+    def expected_queue_length(self, rate: float) -> float:
+        """``L = ρ/(1 − ρ)`` — expected number in system (Little's law)."""
+        rho = self.utilization(rate)
+        if rho >= 1.0:
+            raise GameError("unstable queue has unbounded length")
+        return rho / (1.0 - rho)
+
+    def expected_waiting_time(self, rate: float) -> float:
+        """``Wq = W − 1/µ`` — time in queue excluding service."""
+        return self.expected_system_time(rate) - 1.0 / self.mu

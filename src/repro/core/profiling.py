@@ -1,0 +1,134 @@
+"""Model-parameter estimation procedures (paper §4.3, Figure 3, Table 1).
+
+Two parameters drive the Nash difficulty:
+
+* ``w_av`` — the hashes an average client is willing to spend per request,
+  obtained by profiling client machines for the paper's 400 ms acceptable
+  handshake-delay budget (Nielsen's usability threshold);
+* ``α``   — the server's asymptotic per-user capacity, obtained by stress
+  testing: sweep concurrent request load, record the service rate ``µ``,
+  and take the converged ratio ``µ/concurrency``.
+
+Profiles can be measured on the running machine (:func:`measure_hash_rate`)
+or taken from the catalog in :mod:`repro.hosts.cpu`, which reproduces the
+paper's cpu1–cpu3 and Raspberry Pi D1–D4 hardware.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.crypto.sha256 import sha256
+from repro.errors import GameError
+
+#: The paper's acceptable handshake-delay budget: 400 ms does not interrupt
+#: a user's flow of thought (Nielsen 1993, via §4.3).
+DEFAULT_DELAY_BUDGET_SECONDS = 0.4
+
+
+@dataclass(frozen=True)
+class ClientProfile:
+    """A client machine's measured hashing capability."""
+
+    name: str
+    hash_rate: float  # SHA-256 operations per second
+
+    def __post_init__(self) -> None:
+        if self.hash_rate <= 0:
+            raise GameError(
+                f"hash_rate must be positive, got {self.hash_rate!r}")
+
+    def hashes_in(self,
+                  seconds: float = DEFAULT_DELAY_BUDGET_SECONDS) -> float:
+        """Hash operations this machine completes in *seconds*."""
+        if seconds < 0:
+            raise GameError(f"seconds must be >= 0, got {seconds!r}")
+        return self.hash_rate * seconds
+
+    def solve_seconds(self, expected_hashes: float) -> float:
+        """Expected wall time to perform *expected_hashes* operations."""
+        return expected_hashes / self.hash_rate
+
+
+def estimate_w_av(profiles: Sequence[ClientProfile],
+                  delay_budget: float = DEFAULT_DELAY_BUDGET_SECONDS
+                  ) -> float:
+    """``w_av``: mean hashes-per-budget over the expected clientele.
+
+    This is the Figure 3(a) procedure — profile representative CPUs, take
+    the average number of hashes each completes within the delay budget.
+    """
+    if not profiles:
+        raise GameError("need at least one client profile")
+    return sum(p.hashes_in(delay_budget) for p in profiles) / len(profiles)
+
+
+def measure_hash_rate(duration: float = 0.1, block: bytes = b"\x00" * 64
+                      ) -> float:
+    """Measure this machine's real SHA-256 rate (ops/second).
+
+    Used by the live-profiling example; simulations use catalog rates so
+    results do not depend on the host running the simulation.
+    """
+    if duration <= 0:
+        raise GameError(f"duration must be positive, got {duration!r}")
+    count = 0
+    payload = block
+    deadline = time.perf_counter() + duration
+    while time.perf_counter() < deadline:
+        for _ in range(256):
+            payload = sha256(payload)
+        count += 256
+    return count / duration
+
+
+@dataclass(frozen=True)
+class ServerProfile:
+    """A server stress-test result: load sweep → (µ, α) curves.
+
+    ``concurrency[i]`` concurrent requests produced service rate
+    ``service_rate[i]`` (requests/second) — the Figure 3(b) measurement.
+    """
+
+    concurrency: Tuple[int, ...]
+    service_rate: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.concurrency) != len(self.service_rate):
+            raise GameError("concurrency and service_rate lengths differ")
+        if not self.concurrency:
+            raise GameError("stress test must contain at least one point")
+        if any(c <= 0 for c in self.concurrency):
+            raise GameError("concurrency values must be positive")
+        if any(r <= 0 for r in self.service_rate):
+            raise GameError("service rates must be positive")
+        if list(self.concurrency) != sorted(self.concurrency):
+            raise GameError("concurrency sweep must be increasing")
+
+    @classmethod
+    def from_points(cls, points: Sequence[Tuple[int, float]]
+                    ) -> "ServerProfile":
+        points = sorted(points)
+        return cls(tuple(c for c, _ in points), tuple(r for _, r in points))
+
+    @property
+    def mu(self) -> float:
+        """The saturated service rate: the rate under the heaviest load."""
+        return self.service_rate[-1]
+
+    def alpha_curve(self) -> List[float]:
+        """``µ(n)/n`` per sweep point — Figure 3(b)'s service parameter."""
+        return [r / c for c, r in zip(self.concurrency, self.service_rate)]
+
+    @property
+    def alpha(self) -> float:
+        """The converged service parameter (ratio at the heaviest load)."""
+        return self.alpha_curve()[-1]
+
+
+def estimate_alpha(concurrency: Sequence[int],
+                   service_rate: Sequence[float]) -> float:
+    """Convenience wrapper: ``ServerProfile(...).alpha``."""
+    return ServerProfile(tuple(concurrency), tuple(service_rate)).alpha

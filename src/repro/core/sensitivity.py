@@ -1,0 +1,126 @@
+"""Sensitivity of the Nash tuning to parameter misestimation.
+
+§4.3's procedure estimates ``w_av`` (profiling a *sample* of clients) and
+``α`` (a stress test). Real deployments estimate both with error; these
+closed-form sweeps answer the operator's question: *how wrong can my
+estimates be before the tuning hurts?*
+
+The analysis instrument: the server tunes ``(k, m)`` for the *estimated*
+population, the *true* population then plays its equilibrium against that
+difficulty. Under-estimating ``w_av`` under-protects (attackers cheaper);
+over-estimating drives real clients toward the feasibility cliff of
+Eq. (10) — the asymmetry §4.2's analysis implies but never quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.equilibrium import ClientGame
+from repro.core.theorem import nash_difficulty
+from repro.errors import GameError
+from repro.puzzles.params import PuzzleParams
+
+
+@dataclass(frozen=True)
+class MisestimationRow:
+    """Outcome of tuning for an estimate while the truth differs."""
+
+    estimate_factor: float      # est_w_av / true_w_av
+    params: PuzzleParams        # what the server deploys
+    feasible: bool              # does the true population still play?
+    total_rate: float           # x̄* of the true population
+    price_to_valuation: float   # ℓ(p)/true_w_av — the real burden
+    attacker_solves_per_second: float  # per 350 kH/s bot
+
+
+def w_av_misestimation_sweep(
+        true_w_av: float = 140_630.0,
+        alpha: float = 1.1,
+        n_users: int = 1000,
+        factors: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+        k: int = 2,
+        bot_hash_rate: float = 351_575.0) -> List[MisestimationRow]:
+    """Tune for ``factor × true_w_av``; evaluate on the true population.
+
+    ``n_users`` controls how close the finite game sits to the asymptotic
+    regime the tuning formula assumes.
+    """
+    if true_w_av <= 0:
+        raise GameError("true_w_av must be positive")
+    mu = alpha * n_users
+    game = ClientGame.homogeneous(n_users, true_w_av, mu)
+    rows = []
+    for factor in factors:
+        params = nash_difficulty(factor * true_w_av, alpha, k=k)
+        solution = game.solve(params.expected_hashes)
+        rows.append(MisestimationRow(
+            estimate_factor=factor,
+            params=params,
+            feasible=solution.feasible,
+            total_rate=solution.total_rate,
+            price_to_valuation=params.expected_hashes / true_w_av,
+            attacker_solves_per_second=bot_hash_rate
+            / params.expected_hashes))
+    return rows
+
+
+@dataclass(frozen=True)
+class AlphaMisestimationRow:
+    estimate_factor: float
+    params: PuzzleParams
+    feasible: bool
+    total_rate: float
+    attacker_solves_per_second: float
+
+
+def alpha_misestimation_sweep(
+        w_av: float = 140_630.0,
+        true_alpha: float = 1.1,
+        n_users: int = 1000,
+        factors: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+        k: int = 2,
+        bot_hash_rate: float = 351_575.0) -> List[AlphaMisestimationRow]:
+    """Tune for ``factor × true_alpha``; evaluate at the true capacity.
+
+    α only enters the price as ``1/(α+1)``, so its misestimation is far
+    more forgiving than ``w_av``'s — the quantified version of §4.2's
+    "our model requires [only] an estimate of the server's capacity".
+    """
+    mu = true_alpha * n_users
+    game = ClientGame.homogeneous(n_users, w_av, mu)
+    rows = []
+    for factor in factors:
+        params = nash_difficulty(w_av, factor * true_alpha, k=k)
+        solution = game.solve(params.expected_hashes)
+        rows.append(AlphaMisestimationRow(
+            estimate_factor=factor,
+            params=params,
+            feasible=solution.feasible,
+            total_rate=solution.total_rate,
+            attacker_solves_per_second=bot_hash_rate
+            / params.expected_hashes))
+    return rows
+
+
+def safe_estimate_band(true_w_av: float = 140_630.0,
+                       alpha: float = 1.1,
+                       n_users: int = 1000,
+                       k: int = 2,
+                       resolution: int = 41) -> tuple:
+    """The range of w_av over-estimation factors that keep the true
+    population in the game (feasibility of Eq. 10 after round-up).
+
+    Returns ``(low, high)`` factors; ``high`` is where over-pricing
+    finally ejects everyone. Under-estimation never breaks feasibility —
+    it only under-protects — so ``low`` is simply the smallest factor
+    probed."""
+    factors = [0.1 * (1.25 ** i) for i in range(resolution)]
+    feasible = [row.estimate_factor
+                for row in w_av_misestimation_sweep(
+                    true_w_av, alpha, n_users, factors, k=k)
+                if row.feasible]
+    if not feasible:
+        raise GameError("no probed estimate keeps the game feasible")
+    return (min(feasible), max(feasible))

@@ -1,0 +1,96 @@
+"""Theorem 1 closed forms and the practical difficulty rule (§4.1–§4.4).
+
+Asymptotically (``N → ∞`` with ``w̄/N → w_av`` and ``µ/N → α``), the
+provider's optimal difficulty is::
+
+    ℓ(p*) = k*·2^(m*−1) = w_av/(α + 1)             (Eq. 18)
+
+with the second-order refinement::
+
+    ℓ(p*) ~ w_av/(α+1) + (2α − 1)/(γ^(2/3)·N^(2/3))   (Eq. 17)
+
+**Note on the paper's Theorem 1 statement.** Equation (6) in the body prints
+``ℓ(p*) = w_av(α+1)``, but the appendix derivation (Eq. 18) and the §4.2
+analysis ("a well-provisioned server … asks its clients to solve *less*
+complex challenges"; "p* ≃ w_av" when α is small) both require the
+**division** form, which is what we implement. The worked example of §4.4
+(``w_av = 140630, α = 1.1 → (k*, m*) = (2, 17)``) is reproduced by this form
+with the round-up rule ``m = ceil(log2(ℓ*/k)) + 1``:
+``ℓ* = 140630/2.1 ≈ 66966``; with ``k = 2``, ``ceil(log2(33483)) + 1 = 17``.
+"""
+
+from __future__ import annotations
+
+from repro.core.difficulty import params_for_difficulty
+from repro.errors import GameError
+from repro.puzzles.params import PuzzleParams
+
+
+def equilibrium_difficulty(w_av: float, alpha: float) -> float:
+    """``ℓ(p*) = w_av/(α+1)`` — the asymptotic Nash difficulty (Eq. 18).
+
+    Parameters
+    ----------
+    w_av:
+        Average client valuation, in expected hash operations per request
+        (the hashes a typical client will spend for one connection).
+    alpha:
+        The server's asymptotic per-user service capacity ``µ/N``.
+    """
+    if w_av <= 0:
+        raise GameError(f"w_av must be positive, got {w_av!r}")
+    if alpha <= 0:
+        raise GameError(f"alpha must be positive, got {alpha!r}")
+    return w_av / (alpha + 1.0)
+
+
+def second_order_difficulty(w_av: float, alpha: float, n_users: int,
+                            gamma: float) -> float:
+    """Eq. (17): the finite-N refinement of the asymptotic difficulty.
+
+    ``γ = lim (α − x_av)³·N²`` is the convergence constant of Eq. (16);
+    the correction vanishes as ``N^(−2/3)``.
+    """
+    if n_users < 1:
+        raise GameError(f"n_users must be >= 1, got {n_users}")
+    if gamma <= 0:
+        raise GameError(f"gamma must be positive, got {gamma!r}")
+    first_order = equilibrium_difficulty(w_av, alpha)
+    correction = (2.0 * alpha - 1.0) / (gamma ** (2.0 / 3.0)
+                                        * n_users ** (2.0 / 3.0))
+    return first_order + correction
+
+
+def max_feasible_difficulty(w_av: float, n_users: int, mu: float) -> float:
+    """``r̂ = w̄/N − 1/µ²`` (Eq. 10) for homogeneous valuations.
+
+    Above ``r̂`` the client game has no equilibrium with participation —
+    the provider must never price above it. With infinite capacity
+    (``µ → ∞``) this tends to ``w_av``: never charge more than the average
+    valuation.
+    """
+    if n_users < 1:
+        raise GameError(f"n_users must be >= 1, got {n_users}")
+    if mu <= 0:
+        raise GameError(f"mu must be positive, got {mu!r}")
+    if w_av <= 0:
+        raise GameError(f"w_av must be positive, got {w_av!r}")
+    return w_av - 1.0 / mu ** 2
+
+
+def nash_difficulty(w_av: float, alpha: float, k: int = 2,
+                    rounding: str = "up",
+                    length_bytes: int = 8) -> PuzzleParams:
+    """The practical difficulty rule of §4.3–§4.4: integer ``(k, m)``.
+
+    Computes ``ℓ* = w_av/(α+1)`` and rounds it to puzzle parameters with
+    the requested number of sub-solutions ``k`` (default 2, the paper's
+    recommended balance between an attacker's guessing probability —
+    ``2^(−k·m)`` — and the server's verification cost ``1 + k/2``).
+
+    >>> nash_difficulty(w_av=140630, alpha=1.1)
+    PuzzleParams(k=2, m=17, length_bytes=8)
+    """
+    target = equilibrium_difficulty(w_av, alpha)
+    return params_for_difficulty(target, k=k, rounding=rounding,
+                                 length_bytes=length_bytes)

@@ -1,0 +1,59 @@
+"""Client utility and the strategically equivalent potential (Eq. 1/4/7).
+
+User ``i``'s utility for request rate ``x_i`` when everyone else sends
+``x_{-i}`` and the puzzle costs ``ℓ`` expected hashes::
+
+    u_i = w_i · log(1 + x_i) − ℓ·x_i − S(x̄)        (Eq. 1, with Eq. 4's
+                                                     S(x̄) = 1/(µ − x̄))
+
+``w_i`` is the user's valuation — the work she is willing to pay per request.
+Adding Σ_{j≠i}(w_j log(1+x_j) − ℓ x_j) to every utility yields the common
+potential ``H`` (Eq. 7), whose unique maximiser on ``0 ≤ x̄ < µ`` is the Nash
+equilibrium — the device the appendix proof uses, which we expose for tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.mm1 import expected_service_time
+from repro.errors import GameError
+
+
+def client_utility(x_i: float, x_others: float, difficulty: float,
+                   w_i: float, mu: float) -> float:
+    """``u_i(x_i, x_{-i}, p)`` per Eq. (4).
+
+    *difficulty* is ``ℓ(p) = k·2^(m-1)`` in expected hash operations; the
+    hash budget ``w_i`` shares the same unit.
+    """
+    if x_i < 0 or x_others < 0:
+        raise GameError("request rates must be non-negative")
+    if w_i < 0:
+        raise GameError(f"valuation w_i must be >= 0, got {w_i!r}")
+    total = x_i + x_others
+    return (w_i * math.log1p(x_i)
+            - difficulty * x_i
+            - expected_service_time(total, mu))
+
+
+def potential(rates: Sequence[float], difficulty: float,
+              weights: Sequence[float], mu: float) -> float:
+    """The potential ``H`` of Eq. (7): strictly concave on ``x̄ < µ``.
+
+    Its unique maximiser is the Nash equilibrium of the client game, so
+    property tests can verify the solver by hill-climbing H.
+    """
+    if len(rates) != len(weights):
+        raise GameError("rates and weights must have equal length")
+    total = 0.0
+    benefit = 0.0
+    for x, w in zip(rates, weights):
+        if x < 0:
+            raise GameError("request rates must be non-negative")
+        benefit += w * math.log1p(x)
+        total += x
+    return (benefit
+            - difficulty * total
+            - expected_service_time(total, mu))

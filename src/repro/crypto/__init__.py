@@ -1,0 +1,25 @@
+"""Cryptographic substrate: SHA-256 with hash-operation accounting, and a
+generic m-bit partial-preimage ("hashcash") puzzle primitive.
+
+The paper's kernel implementation uses the Linux crypto API's SHA-256; we use
+:mod:`hashlib`'s. The :class:`HashCounter` mirrors the cost model of §4 —
+every call is one "hash operation", the unit in which the puzzle difficulty
+``ℓ(p) = k·2^(m-1)``, the generation cost ``g(p) = 1`` and the verification
+cost ``d(p) = 1 + k/2`` are all expressed.
+"""
+
+from repro.crypto.sha256 import HashCounter, sha256, leading_bits_match
+from repro.crypto.hashcash import (
+    count_expected_attempts,
+    find_partial_preimage,
+    verify_partial_preimage,
+)
+
+__all__ = [
+    "HashCounter",
+    "sha256",
+    "leading_bits_match",
+    "count_expected_attempts",
+    "find_partial_preimage",
+    "verify_partial_preimage",
+]

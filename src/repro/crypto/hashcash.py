@@ -1,0 +1,74 @@
+"""Generic m-bit partial-preimage search (the hashcash primitive).
+
+The Juels–Brainard scheme (§4, Figure 2) challenges a client to find, for
+each sub-puzzle index ``i``, a string ``s_i`` such that the first ``m`` bits
+of ``h(P || i || s_i)`` match the first ``m`` bits of the puzzle ``P``.
+This module implements that search and its verification for real, against
+real SHA-256 — used directly by unit tests, benchmarks, and the simulator's
+full-crypto mode; the modelled solver samples the same attempt distribution
+without hashing (see :mod:`repro.puzzles.juels`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.crypto.sha256 import HashCounter, leading_bits_match, sha256
+
+
+def _candidate(counter_value: int, length_bytes: int) -> bytes:
+    """Deterministic enumeration of candidate solution strings."""
+    return counter_value.to_bytes(length_bytes, "big")
+
+
+def find_partial_preimage(puzzle: bytes, index: int, m_bits: int,
+                          length_bytes: int,
+                          counter: Optional[HashCounter] = None,
+                          start: int = 0) -> Tuple[bytes, int]:
+    """Brute-force an ``s`` with ``h(P || index || s)[:m] == P[:m]``.
+
+    Candidates are enumerated deterministically from *start*; returns
+    ``(solution, attempts)``. Raises :class:`ValueError` when the candidate
+    space (``2**(8*length_bytes)``) is exhausted, which for sensible
+    parameters (``8*length_bytes >> m_bits``) cannot happen.
+    """
+    if m_bits < 0:
+        raise ValueError(f"m_bits must be non-negative, got {m_bits}")
+    if length_bytes <= 0:
+        raise ValueError(f"length_bytes must be positive, got {length_bytes}")
+    index_bytes = index.to_bytes(2, "big")
+    space = 1 << (8 * length_bytes)
+    attempts = 0
+    value = start % space
+    for _ in range(space):
+        candidate = _candidate(value, length_bytes)
+        attempts += 1
+        digest = sha256(puzzle + index_bytes + candidate, counter)
+        if leading_bits_match(digest, puzzle, m_bits):
+            return candidate, attempts
+        value = (value + 1) % space
+    raise ValueError(
+        f"exhausted {space} candidates without finding a {m_bits}-bit "
+        f"partial preimage")
+
+
+def verify_partial_preimage(puzzle: bytes, index: int, m_bits: int,
+                            solution: bytes,
+                            counter: Optional[HashCounter] = None) -> bool:
+    """Check one sub-puzzle solution: one hash operation."""
+    index_bytes = index.to_bytes(2, "big")
+    digest = sha256(puzzle + index_bytes + solution, counter)
+    return leading_bits_match(digest, puzzle, m_bits)
+
+
+def count_expected_attempts(k: int, m_bits: int) -> float:
+    """Expected hash operations to solve a (k, m) puzzle: ``k * 2^(m-1)``.
+
+    This is the paper's ``ℓ(p)``. For ``m = 0`` every candidate succeeds on
+    the first try, so the expectation is ``k``.
+    """
+    if k < 0 or m_bits < 0:
+        raise ValueError("k and m_bits must be non-negative")
+    if m_bits == 0:
+        return float(k)
+    return float(k) * float(2 ** (m_bits - 1))

@@ -1,0 +1,69 @@
+"""SHA-256 helpers with hash-operation accounting.
+
+All puzzle-related hashing in the package flows through :func:`sha256` so a
+:class:`HashCounter` can attribute hash work to a host — this is how the
+simulator reproduces the paper's Figure 9 CPU-utilisation measurements
+without instrumenting real kernels.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+
+class HashCounter:
+    """Counts hash operations charged to one principal (host, role, ...).
+
+    The counter is deliberately dumb — just an integer with a label — so it
+    can be shared between the real brute-force solver (which increments it
+    per actual SHA-256 call) and the modelled solver (which adds the sampled
+    attempt count in one go).
+    """
+
+    __slots__ = ("label", "count")
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self.count = 0
+
+    def add(self, n: int = 1) -> None:
+        self.count += n
+
+    def reset(self) -> int:
+        """Zero the counter, returning the old value."""
+        old = self.count
+        self.count = 0
+        return old
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"HashCounter({self.label!r}, count={self.count})"
+
+
+def sha256(data: bytes, counter: Optional[HashCounter] = None) -> bytes:
+    """One SHA-256 hash operation; charges *counter* if given."""
+    if counter is not None:
+        counter.add(1)
+    return hashlib.sha256(data).digest()
+
+
+def leading_bits_match(a: bytes, b: bytes, nbits: int) -> bool:
+    """True iff the first *nbits* bits of *a* and *b* agree.
+
+    Both inputs must be long enough to contain ``nbits`` bits; this is the
+    match test of the Juels–Brainard scheme (the first m bits of
+    ``h(P || i || s_i)`` must equal the first m bits of ``P``).
+    """
+    if nbits < 0:
+        raise ValueError(f"nbits must be non-negative, got {nbits}")
+    if nbits == 0:
+        return True
+    nbytes, rem = divmod(nbits, 8)
+    if len(a) < nbytes + (1 if rem else 0) or len(b) < nbytes + (1 if rem else 0):
+        raise ValueError("inputs shorter than the requested bit prefix")
+    if a[:nbytes] != b[:nbytes]:
+        return False
+    if rem == 0:
+        return True
+    mask = 0xFF << (8 - rem) & 0xFF
+    return (a[nbytes] & mask) == (b[nbytes] & mask)

@@ -1,0 +1,92 @@
+"""Reproduction of the paper's evaluation (§6), experiment by experiment.
+
+Every module regenerates one table or figure; see DESIGN.md for the index.
+The shared scenario machinery lives in :mod:`repro.experiments.scenario`:
+a single server under (optional) attack from a botnet while 15 benign
+clients request text — the §6 testbed in simulation.
+
+The paper's 600 s timeline is scaled down by default (see
+``ScenarioConfig.time_scale``); rates are paper-identical.
+"""
+
+from repro.experiments.scenario import (
+    Scenario,
+    ScenarioConfig,
+    ScenarioResult,
+)
+from repro.experiments.profiling_fig3 import (
+    client_profile_table,
+    server_stress_test,
+)
+from repro.experiments.exp1_connection_time import (
+    ConnectionTimeExperiment,
+    connection_time_cdf_grid,
+)
+from repro.experiments.exp2_floods import (
+    FloodExperiment,
+    run_connection_flood_suite,
+    run_syn_flood_suite,
+)
+from repro.experiments.exp3_nash import difficulty_sweep
+from repro.experiments.exp4_botnet import (
+    botnet_size_sweep,
+    per_node_rate_sweep,
+)
+from repro.experiments.exp5_adoption import adoption_study
+from repro.experiments.exp6_iot import iot_botnet_scenario, \
+    iot_profile_table
+from repro.experiments.ablations import (
+    controller_ablation,
+    expiry_window_ablation,
+    finite_n_convergence,
+    syncache_ablation,
+)
+from repro.experiments.extensions import (
+    adaptive_difficulty_experiment,
+    fair_queuing_experiment,
+    keepalive_experiment,
+    pow_fairness_table,
+    solution_flood_experiment,
+)
+from repro.experiments.heterogeneous import (
+    dropout_prediction_table,
+    mixed_clientele_experiment,
+)
+from repro.experiments.validation import run_validation
+from repro.experiments.figures import bar_chart, line_chart, sparkline
+from repro.experiments.report import render_table
+
+__all__ = [
+    "Scenario",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "client_profile_table",
+    "server_stress_test",
+    "ConnectionTimeExperiment",
+    "connection_time_cdf_grid",
+    "FloodExperiment",
+    "run_syn_flood_suite",
+    "run_connection_flood_suite",
+    "difficulty_sweep",
+    "per_node_rate_sweep",
+    "botnet_size_sweep",
+    "adoption_study",
+    "iot_profile_table",
+    "iot_botnet_scenario",
+    "controller_ablation",
+    "expiry_window_ablation",
+    "finite_n_convergence",
+    "syncache_ablation",
+    "adaptive_difficulty_experiment",
+    "fair_queuing_experiment",
+    "keepalive_experiment",
+    "pow_fairness_table",
+    "solution_flood_experiment",
+    "dropout_prediction_table",
+    "mixed_clientele_experiment",
+    "run_validation",
+    "bar_chart",
+    "line_chart",
+    "sparkline",
+    "render_table",
+]

@@ -1,0 +1,85 @@
+"""Experiment 2 (Figures 7–11): SYN-flood and connection-flood protection.
+
+Two suites:
+
+* :func:`run_syn_flood_suite` — Figure 7's four settings: no defense,
+  SYN cookies, puzzles at (1, 8), puzzles at the Nash (2, 17).
+* :func:`run_connection_flood_suite` — Figure 8's three settings: no
+  defense, SYN cookies, puzzles at Nash.
+
+Each returns the full :class:`~repro.experiments.scenario.ScenarioResult`
+per setting, which also carries the Figure 9 (CPU), Figure 10 (queues) and
+Figure 11 (effective attack rate) measurements for the same runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from repro.experiments.scenario import Scenario, ScenarioConfig, \
+    ScenarioResult
+from repro.puzzles.params import PuzzleParams
+from repro.tcp.constants import DefenseMode
+
+#: The paper's labels for the Figure 7/8 series.
+NODEFENSE = "nodefense"
+COOKIES = "cookies"
+CHALLENGES_M8 = "challenges-m8"
+CHALLENGES_M17 = "challenges-m17"
+
+
+@dataclass
+class FloodExperiment:
+    """One flood run under one defense setting."""
+
+    defense: str = CHALLENGES_M17     # one of the labels above
+    attack_style: str = "connect"     # "syn" | "connect"
+    base: Optional[ScenarioConfig] = None
+
+    def config(self) -> ScenarioConfig:
+        base = self.base if self.base is not None else ScenarioConfig()
+        if self.defense == NODEFENSE:
+            return replace(base, defense=DefenseMode.NONE,
+                           attack_style=self.attack_style)
+        if self.defense == COOKIES:
+            return replace(base, defense=DefenseMode.SYNCOOKIES,
+                           attack_style=self.attack_style)
+        if self.defense == CHALLENGES_M8:
+            return replace(base, defense=DefenseMode.PUZZLES,
+                           puzzle_params=PuzzleParams(k=1, m=8),
+                           attack_style=self.attack_style)
+        if self.defense == CHALLENGES_M17:
+            return replace(base, defense=DefenseMode.PUZZLES,
+                           puzzle_params=PuzzleParams(k=2, m=17),
+                           attack_style=self.attack_style)
+        raise ValueError(f"unknown defense label {self.defense!r}")
+
+    def run(self) -> ScenarioResult:
+        return Scenario(self.config()).run()
+
+
+def run_syn_flood_suite(base: Optional[ScenarioConfig] = None
+                        ) -> Dict[str, ScenarioResult]:
+    """Figure 7: throughput under a spoofed SYN flood, four defenses."""
+    suite = {}
+    for label in (NODEFENSE, COOKIES, CHALLENGES_M8, CHALLENGES_M17):
+        suite[label] = FloodExperiment(defense=label, attack_style="syn",
+                                       base=base).run()
+    return suite
+
+
+def run_connection_flood_suite(base: Optional[ScenarioConfig] = None
+                               ) -> Dict[str, ScenarioResult]:
+    """Figures 8–11: connection flood — no defense, cookies, Nash puzzles.
+
+    The paper omits the m=8 series here ("TCP puzzles at difficulty of 8
+    bits were ineffective at protecting the server's state"); Experiment 3
+    sweeps difficulties instead.
+    """
+    suite = {}
+    for label in (NODEFENSE, COOKIES, CHALLENGES_M17):
+        suite[label] = FloodExperiment(defense=label,
+                                       attack_style="connect",
+                                       base=base).run()
+    return suite

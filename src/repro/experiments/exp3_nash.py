@@ -1,0 +1,108 @@
+"""Experiment 3 (Figure 12): the Nash difficulty against alternatives.
+
+Sweeps k ∈ {1..4} × m ∈ {12, 15, 16, 17, 18, 20} under the connection
+flood and summarises the per-bin client throughput during the attack as
+boxplot statistics. The paper's finding: m < 12 fails to limit the
+attackers at all; the Nash (2, 17) gives the most *stable* throughput —
+competitive mean with low variability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.metrics.summary import Summary, describe
+from repro.puzzles.params import PuzzleParams
+from repro.tcp.constants import DefenseMode
+
+DEFAULT_K_VALUES = (1, 2, 3, 4)
+DEFAULT_M_VALUES = (12, 15, 16, 17, 18, 20)
+
+
+@dataclass(frozen=True)
+class DifficultyCell:
+    """One (k, m) box of Figure 12 plus the rate-limiting side metrics."""
+
+    k: int
+    m: int
+    throughput: Summary            # client Mbps per bin, attack window
+    throughput_bins: np.ndarray
+    attacker_established_rate: float   # server-side cps (§6.3 text)
+    attacker_steady_rate: float        # same, post-engagement transient
+    attacker_measured_rate: float      # attacker SYN pps (§6.3 text)
+    client_completion_percent: float
+
+
+def run_difficulty_cell(k: int, m: int,
+                        base: Optional[ScenarioConfig] = None
+                        ) -> DifficultyCell:
+    """One connection-flood run at difficulty (k, m)."""
+    config = base if base is not None else ScenarioConfig()
+    config = replace(config, defense=DefenseMode.PUZZLES,
+                     puzzle_params=PuzzleParams(k=k, m=m),
+                     attack_style="connect")
+    result = Scenario(config).run()
+    start, end = result.attack_window()
+    times, mbps = result.client_throughput.rx_mbps(config.duration)
+    mask = (times >= start) & (times < end)
+    bins = mbps[mask]
+    return DifficultyCell(
+        k=k, m=m,
+        throughput=describe(bins),
+        throughput_bins=bins,
+        attacker_established_rate=result.attacker_established_rate(),
+        attacker_steady_rate=result.attacker_steady_state_rate(),
+        attacker_measured_rate=result.attacker_measured_rate(),
+        client_completion_percent=result.client_completion_percent())
+
+
+def difficulty_sweep(k_values: Sequence[int] = DEFAULT_K_VALUES,
+                     m_values: Sequence[int] = DEFAULT_M_VALUES,
+                     base: Optional[ScenarioConfig] = None
+                     ) -> Dict[Tuple[int, int], DifficultyCell]:
+    """The full Figure 12 grid, keyed by (k, m)."""
+    grid: Dict[Tuple[int, int], DifficultyCell] = {}
+    for k in k_values:
+        for m in m_values:
+            grid[(k, m)] = run_difficulty_cell(k, m, base)
+    return grid
+
+
+def stability_ranking(grid: Dict[Tuple[int, int], DifficultyCell]
+                      ) -> List[Tuple[Tuple[int, int], float]]:
+    """Cells ranked by throughput stability (mean − std, higher better) —
+    the criterion under which §6.3 argues the Nash cell wins."""
+    scored = []
+    for key, cell in grid.items():
+        if cell.throughput.count == 0:
+            continue
+        scored.append((key, cell.throughput.mean - cell.throughput.std))
+    scored.sort(key=lambda item: item[1], reverse=True)
+    return scored
+
+
+def rate_limiting_cells(grid: Dict[Tuple[int, int], DifficultyCell],
+                        max_attacker_cps: float
+                        ) -> Dict[Tuple[int, int], DifficultyCell]:
+    """The subset of cells that actually contain the attack — §6.3's
+    precondition before stability is even worth comparing ("the ease of
+    solving the challenges does not affect the attackers' rate, thus
+    causing a denial of service")."""
+    return {key: cell for key, cell in grid.items()
+            if cell.attacker_steady_rate <= max_attacker_cps}
+
+
+def in_nash_band(k: int, m: int, target: float = 66_966.0,
+                 factor: float = 2.0) -> bool:
+    """Whether ℓ(k, m) lies within *factor* of the continuous optimum ℓ*.
+
+    §6.3's own data places the best throughput near the Nash price — the
+    paper notes (2, 16) (= ℓ*/1.02) "achieves a slightly better average
+    with comparable variability" — so the reproduction target is the
+    *band*, not one rounding of it."""
+    expected = PuzzleParams(k=k, m=m).expected_hashes
+    return target / factor <= expected <= target * factor

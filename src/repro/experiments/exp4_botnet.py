@@ -1,0 +1,84 @@
+"""Experiment 4 (Figures 13–14): botnet effectiveness under Nash puzzles.
+
+Two sweeps over the connection flood with solving bots and the Nash
+difficulty:
+
+* :func:`per_node_rate_sweep` (Figure 13) — 5 bots, per-node rate from 100
+  to 1000 pps. Finding: the *measured* attack rate saturates well below the
+  configured rate (the bots' blocking socket pools fill with challenged
+  attempts), and the *completion* (effective) rate is flat — raising the
+  per-node rate buys the attacker nothing.
+* :func:`botnet_size_sweep` (Figure 14) — aggregate 5000 pps split over 2
+  to 14 bots. Finding: the effective rate grows only ~linearly in the
+  number of machines (each contributes its CPU-bound solving rate), two
+  orders of magnitude below the measured rate — to scale the attack you
+  must buy machines, not bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.puzzles.params import PuzzleParams
+from repro.tcp.constants import DefenseMode
+
+
+@dataclass(frozen=True)
+class BotnetSweepPoint:
+    """One x-axis point of Figure 13 or 14."""
+
+    n_bots: int
+    configured_rate_per_node: float
+    configured_rate_total: float
+    measured_attack_rate: float       # pps the botnet actually sent (13a/14a)
+    completion_rate: float            # cps accepted by the server (13b/14b)
+    completion_rate_steady: float     # same, past the engagement transient
+    client_completion_percent: float
+
+
+def _nash_config(base: Optional[ScenarioConfig]) -> ScenarioConfig:
+    config = base if base is not None else ScenarioConfig()
+    return replace(config, defense=DefenseMode.PUZZLES,
+                   puzzle_params=PuzzleParams(k=2, m=17),
+                   attack_style="connect", attackers_solve=True)
+
+
+def _run_point(config: ScenarioConfig) -> BotnetSweepPoint:
+    result = Scenario(config).run()
+    return BotnetSweepPoint(
+        n_bots=config.n_attackers,
+        configured_rate_per_node=config.attack_rate,
+        configured_rate_total=config.attack_rate * config.n_attackers,
+        measured_attack_rate=result.attacker_measured_rate(),
+        completion_rate=result.attacker_established_rate(),
+        completion_rate_steady=result.attacker_steady_state_rate(),
+        client_completion_percent=result.client_completion_percent())
+
+
+def per_node_rate_sweep(rates: Sequence[float] = (100, 200, 400, 600, 800,
+                                                  1000),
+                        n_bots: int = 5,
+                        base: Optional[ScenarioConfig] = None
+                        ) -> List[BotnetSweepPoint]:
+    """Figure 13: fixed 5-bot fleet, increasing per-node rate."""
+    points = []
+    for rate in rates:
+        config = replace(_nash_config(base), n_attackers=n_bots,
+                         attack_rate=rate)
+        points.append(_run_point(config))
+    return points
+
+
+def botnet_size_sweep(sizes: Sequence[int] = (2, 4, 6, 8, 10, 12, 14),
+                      total_rate: float = 5000.0,
+                      base: Optional[ScenarioConfig] = None
+                      ) -> List[BotnetSweepPoint]:
+    """Figure 14: fixed 5000 pps aggregate, increasing fleet size."""
+    points = []
+    for size in sizes:
+        config = replace(_nash_config(base), n_attackers=size,
+                         attack_rate=total_rate / size)
+        points.append(_run_point(config))
+    return points

@@ -1,0 +1,97 @@
+"""Experiment 5 (Figure 15): partial adoption of TCP puzzles.
+
+Clients and attackers independently may or may not run the patch:
+
+* ``(NA, NC)`` — neither solves: clients get almost no service (their plain
+  ACKs are ignored while the non-solving flood keeps the queues pressured);
+* ``(SA, NC)`` — solving attacker, non-solving clients: erratic service
+  (the rate-limited attacker leaves openings that non-solvers race for);
+* ``(*A, SC)`` — solving clients against either attacker: near-full
+  service. The paper groups (NA, SC) and (SA, SC) into one series because
+  they coincide; we run all four and expose the grouping.
+
+The reported metric is the per-bin percentage of client connection
+attempts that completed (Figure 15's y-axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.scenario import Scenario, ScenarioConfig, \
+    ScenarioResult
+from repro.puzzles.params import PuzzleParams
+from repro.tcp.constants import DefenseMode
+
+#: The paper's scenario labels.
+SCENARIOS = {
+    "NA,NC": (False, False),
+    "SA,NC": (True, False),
+    "NA,SC": (False, True),
+    "SA,SC": (True, True),
+}
+
+
+@dataclass
+class AdoptionOutcome:
+    """One adoption scenario's Figure 15 series and summary."""
+
+    label: str
+    attacker_solves: bool
+    client_solves: bool
+    times: np.ndarray
+    completion_percent: np.ndarray     # per attempt-bin, NaN when no attempts
+    mean_completion_percent: float
+    result: ScenarioResult
+
+
+def run_adoption_scenario(label: str,
+                          base: Optional[ScenarioConfig] = None
+                          ) -> AdoptionOutcome:
+    attacker_solves, client_solves = SCENARIOS[label]
+    config = base if base is not None else ScenarioConfig()
+    config = replace(config,
+                     defense=DefenseMode.PUZZLES,
+                     puzzle_params=PuzzleParams(k=2, m=17),
+                     attack_style="connect",
+                     attackers_solve=attacker_solves,
+                     clients_patched=client_solves,
+                     clients_solve=client_solves)
+    result = Scenario(config).run()
+    start, end = result.attack_window()
+    times, percent = result.tracker.completion_percent_series(
+        "client", config.duration)
+    mask = (times >= start) & (times < end)
+    window = percent[mask]
+    window = window[~np.isnan(window)]
+    mean = float(np.mean(window)) if window.size else float("nan")
+    return AdoptionOutcome(label=label, attacker_solves=attacker_solves,
+                           client_solves=client_solves, times=times,
+                           completion_percent=percent,
+                           mean_completion_percent=mean, result=result)
+
+
+def adoption_study(base: Optional[ScenarioConfig] = None
+                   ) -> Dict[str, AdoptionOutcome]:
+    """All four scenarios, keyed by the paper's labels."""
+    return {label: run_adoption_scenario(label, base)
+            for label in SCENARIOS}
+
+
+def grouped_series(outcomes: Dict[str, AdoptionOutcome]
+                   ) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+    """The paper's three Figure 15 series: (NA,NC), (SA,NC), (*A,SC)."""
+    solving = [outcomes["NA,SC"], outcomes["SA,SC"]]
+    stacked = np.vstack([o.completion_percent for o in solving])
+    with np.errstate(invalid="ignore"):
+        merged = np.nanmean(stacked, axis=0)
+    return {
+        "(NA, NC)": (outcomes["NA,NC"].times,
+                     outcomes["NA,NC"].completion_percent),
+        "(SA, NC)": (outcomes["SA,NC"].times,
+                     outcomes["SA,NC"].completion_percent),
+        "(*A, SC)": (solving[0].times, merged),
+    }

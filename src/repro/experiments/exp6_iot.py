@@ -1,0 +1,72 @@
+"""Experiment 6 (Table 1): impact of TCP puzzles on IoT devices.
+
+Reproduces the table — per-device hash rate and hashes-in-400 ms — and
+extends it with the derived quantity the section argues from: the maximum
+connection-flood rate a device can sustain at the Nash difficulty
+(``hash_rate / ℓ(p*)``), i.e. how badly puzzles blunt an IoT botnet.
+
+:func:`iot_botnet_scenario` additionally runs the §6 connection flood with
+the bots on Raspberry Pi CPUs, for the benches that quantify the
+"IoT-based botnets become unable to launch such attacks" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.core.profiling import DEFAULT_DELAY_BUDGET_SECONDS
+from repro.experiments.scenario import Scenario, ScenarioConfig, \
+    ScenarioResult
+from repro.hosts.cpu import (
+    IOT_CATALOG,
+    IOT_MEASURED_HASHES_400MS,
+    CPUProfile,
+)
+from repro.puzzles.params import PuzzleParams
+from repro.tcp.constants import DefenseMode
+
+
+@dataclass(frozen=True)
+class IotProfileRow:
+    """One Table 1 row, extended with the Nash-difficulty implication."""
+
+    device: str
+    description: str
+    average_hashing_rate: float
+    hashes_in_400ms: float
+    paper_hashes_in_400ms: int
+    #: Connections/second the device can complete at the Nash difficulty —
+    #: its ceiling as a connection-flood bot.
+    nash_solves_per_second: float
+
+
+def iot_profile_table(params: Optional[PuzzleParams] = None
+                      ) -> List[IotProfileRow]:
+    """Table 1, with the derived flood-rate ceiling column."""
+    params = params if params is not None else PuzzleParams(k=2, m=17)
+    rows = []
+    for name, profile in IOT_CATALOG.items():
+        rows.append(IotProfileRow(
+            device=name,
+            description=profile.description,
+            average_hashing_rate=profile.hash_rate,
+            hashes_in_400ms=profile.hash_rate
+            * DEFAULT_DELAY_BUDGET_SECONDS,
+            paper_hashes_in_400ms=IOT_MEASURED_HASHES_400MS[name],
+            nash_solves_per_second=profile.hash_rate
+            / params.expected_hashes))
+    return rows
+
+
+def iot_botnet_scenario(base: Optional[ScenarioConfig] = None
+                        ) -> ScenarioResult:
+    """The §6 connection flood with Raspberry Pi bots at Nash difficulty."""
+    config = base if base is not None else ScenarioConfig()
+    config = replace(config,
+                     defense=DefenseMode.PUZZLES,
+                     puzzle_params=PuzzleParams(k=2, m=17),
+                     attack_style="connect",
+                     attackers_solve=True,
+                     attacker_cpus=list(IOT_CATALOG.values()))
+    return Scenario(config).run()

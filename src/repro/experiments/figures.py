@@ -1,0 +1,137 @@
+"""ASCII rendering of the paper's figure shapes.
+
+Offline environments have no plotting stack; these renderers draw the
+reproduced series as terminal charts — line charts for the throughput
+figures, sparklines for the §6.2 challenged/unchallenged tick strips, and
+horizontal bars for comparisons. Pure functions over arrays; used by the
+examples and the ``tcp-puzzles run`` subcommands.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import ExperimentError
+
+#: Eight-level block characters for sparklines and bars.
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float],
+              maximum: Optional[float] = None) -> str:
+    """One-line intensity strip (the paper's Figure 7/8 sparkline).
+
+    NaNs render as spaces.
+    """
+    values = list(values)
+    if not values:
+        return ""
+    finite = [v for v in values if v == v]
+    if maximum is None:
+        maximum = max(finite) if finite else 1.0
+    if maximum <= 0:
+        maximum = 1.0
+    out = []
+    for v in values:
+        if v != v:  # NaN
+            out.append(" ")
+            continue
+        level = int(round(min(max(v, 0.0), maximum) / maximum * 8))
+        out.append(_BLOCKS[level])
+    return "".join(out)
+
+
+def line_chart(times: Sequence[float], values: Sequence[float],
+               width: int = 72, height: int = 12,
+               title: str = "", y_label: str = "",
+               shade_from: Optional[float] = None,
+               shade_to: Optional[float] = None) -> str:
+    """A terminal line chart.
+
+    *shade_from*/*shade_to* mark a time window (the attack) with a ``▒``
+    strip under the x-axis, like the shaded region in Figures 7–8.
+    """
+    times = list(times)
+    values = list(values)
+    if len(times) != len(values):
+        raise ExperimentError("times and values must have equal length")
+    if not times:
+        raise ExperimentError("nothing to plot")
+    if width < 16 or height < 4:
+        raise ExperimentError("chart too small")
+
+    t_min, t_max = times[0], times[-1]
+    span = max(t_max - t_min, 1e-12)
+    finite = [v for v in values if v == v]
+    v_max = max(finite) if finite else 1.0
+    if v_max <= 0:
+        v_max = 1.0
+
+    # Bucket values into columns (mean per column).
+    columns: list = [[] for _ in range(width)]
+    for t, v in zip(times, values):
+        if v != v:
+            continue
+        col = min(int((t - t_min) / span * width), width - 1)
+        columns[col].append(v)
+    levels = []
+    for bucket in columns:
+        if not bucket:
+            levels.append(None)
+        else:
+            mean = sum(bucket) / len(bucket)
+            levels.append(min(int(mean / v_max * (height - 1) + 0.5),
+                              height - 1))
+
+    rows = []
+    for row in range(height - 1, -1, -1):
+        line = []
+        for level in levels:
+            if level is None:
+                line.append(" ")
+            elif level == row:
+                line.append("•")
+            elif level > row:
+                line.append("·" if row == 0 else " ")
+            else:
+                line.append(" ")
+        prefix = f"{v_max * row / (height - 1):8.2f} ┤" if row % 3 == 0 \
+            else " " * 8 + " ┤"
+        rows.append(prefix + "".join(line))
+    axis = " " * 8 + " └" + "─" * width
+    rows.append(axis)
+
+    if shade_from is not None and shade_to is not None:
+        strip = []
+        for col in range(width):
+            t = t_min + (col + 0.5) / width * span
+            strip.append("▒" if shade_from <= t <= shade_to else " ")
+        rows.append(" " * 10 + "".join(strip) + "  (attack window)")
+    rows.append(" " * 10 + f"{t_min:<10.1f}"
+                + f"{t_max:>{max(width - 10, 1)}.1f}  time (s)")
+
+    header = []
+    if title:
+        header.append(title)
+    if y_label:
+        header.append(f"[y: {y_label}, max {v_max:.3g}]")
+    return "\n".join(header + rows)
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 50, unit: str = "") -> str:
+    """Horizontal comparison bars (defense-vs-defense summaries)."""
+    labels = list(labels)
+    values = list(values)
+    if len(labels) != len(values):
+        raise ExperimentError("labels and values must have equal length")
+    if not labels:
+        raise ExperimentError("nothing to plot")
+    v_max = max(max(values), 1e-12)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = int(round(value / v_max * width))
+        bar = "█" * filled + "░" * (width - filled)
+        lines.append(f"{label:<{label_width}} │{bar}│ {value:.3g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Figure 3: obtaining the model parameters w_av and α (§4.3–§4.4).
+
+* Figure 3(a): per-CPU hash trajectories over the 400 ms budget, and the
+  resulting ``w_av`` (the paper's 140,630).
+* Figure 3(b): a stress test of the application server — closed-loop
+  clients sweep the concurrency level; the measured service rate converges
+  to µ and the service parameter ``α = µ/n`` to its asymptote (the paper's
+  1.1 at µ ≈ 1100).
+
+The stress test here runs against the *simulated* server (the same
+M/M/1-style worker pool the experiments use), exactly as the paper ran
+``ab`` against its apache2 deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.profiling import (
+    DEFAULT_DELAY_BUDGET_SECONDS,
+    ServerProfile,
+    estimate_w_av,
+)
+from repro.hosts.cpu import CPU_CATALOG, SERVER_CPU, CPUProfile
+from repro.hosts.host import Host
+from repro.hosts.server import AppServer, ServerConfig
+from repro.net.addresses import AddressAllocator
+from repro.net.network import Network
+from repro.net.topology import deter_topology
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from repro.tcp.connection import ClientConnConfig
+
+
+@dataclass(frozen=True)
+class ClientProfileRow:
+    """One Figure 3(a) trajectory endpoint."""
+
+    name: str
+    description: str
+    hash_rate: float
+    hashes_in_budget: float
+
+
+def client_profile_table(
+        catalog: Optional[Dict[str, CPUProfile]] = None,
+        budget: float = DEFAULT_DELAY_BUDGET_SECONDS
+) -> Tuple[List[ClientProfileRow], float]:
+    """Rows for each profiled CPU plus the resulting ``w_av``."""
+    catalog = catalog if catalog is not None else CPU_CATALOG
+    rows = [
+        ClientProfileRow(name=p.name, description=p.description,
+                         hash_rate=p.hash_rate,
+                         hashes_in_budget=p.hash_rate * budget)
+        for p in catalog.values()
+    ]
+    w_av = estimate_w_av([p.to_client_profile() for p in catalog.values()],
+                         budget)
+    return rows, w_av
+
+
+class _ClosedLoopClient:
+    """One ``ab``-style concurrent requester: re-requests on completion."""
+
+    def __init__(self, host: Host, server_ip: int, on_served) -> None:
+        self.host = host
+        self.server_ip = server_ip
+        self.on_served = on_served
+        self._issue()
+
+    def _issue(self) -> None:
+        connection = self.host.tcp.connect(self.server_ip, 80,
+                                           ClientConnConfig())
+        connection.on_established = lambda conn: conn.send_data(
+            120, app_data=("gettext", 1000))
+        connection.on_data = self._on_response
+        connection.on_reset = lambda conn: self._retry()
+        connection.on_failed = lambda conn, reason: self._retry()
+
+    def _on_response(self, connection, payload_bytes, app_data) -> None:
+        connection.abort()
+        self.on_served()
+        self._issue()
+
+    def _retry(self) -> None:
+        self.host.engine.schedule(0.05, self._issue)
+
+
+def server_stress_test(concurrency_levels: Sequence[int] = (
+        1, 10, 50, 100, 200, 400, 600, 800, 1000),
+        measure_seconds: float = 10.0,
+        service_rate: float = 1100.0,
+        seed: int = 7) -> ServerProfile:
+    """Figure 3(b): sweep concurrency, record the served rate.
+
+    Each level runs an independent simulation with *n* closed-loop clients
+    hammering the server; the measured rate is requests served over the
+    measurement window (after a warm-up of one window-tenth).
+    """
+    points = []
+    for n in concurrency_levels:
+        engine = Engine()
+        streams = RngStreams(seed + n)
+        # Closed-loop load generators live on a handful of client hosts.
+        n_hosts = min(n, 16)
+        topology = deter_topology(n_hosts, 0)
+        network = Network(engine, topology)
+        allocator = AddressAllocator()
+        server_host = Host("server", allocator.allocate(), engine, network,
+                           SERVER_CPU, streams.get("server"))
+        server = AppServer(server_host, ServerConfig(
+            service_rate=service_rate,
+            workers=max(128, n),
+            idle_timeout=1.0))
+        served = [0]
+
+        def count() -> None:
+            served[0] += 1
+
+        hosts = []
+        for i in range(n_hosts):
+            hosts.append(Host(f"client{i}", allocator.allocate(), engine,
+                              network, list(CPU_CATALOG.values())[i % 3],
+                              streams.get(f"client{i}")))
+        warmup = measure_seconds / 10.0
+        for i in range(n):
+            host = hosts[i % n_hosts]
+            engine.schedule(warmup * i / max(n, 1) * 0.1,
+                            _ClosedLoopClient, host,
+                            server_host.address, count)
+        engine.run(until=warmup)
+        served[0] = 0
+        engine.run(until=warmup + measure_seconds)
+        engine.drain()
+        rate = served[0] / measure_seconds
+        points.append((n, max(rate, 1e-9)))
+    return ServerProfile.from_points(points)

@@ -1,0 +1,37 @@
+"""Plain-text table rendering for experiment output.
+
+The harness prints the same rows the paper's tables/figures report; these
+helpers keep the formatting in one place (and EXPERIMENTS.md embeds the
+rendered output).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (value != 0 and abs(value) < 0.01):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence]) -> str:
+    """Monospace table with a header rule."""
+    str_rows: List[List[str]] = [[_fmt(cell) for cell in row]
+                                 for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)

@@ -1,0 +1,186 @@
+"""The reproduction scorecard: every paper claim as a machine-checkable
+predicate.
+
+``run_validation()`` executes scaled-down renditions of the evaluation and
+returns a structured scorecard — claim by claim, with the measured values
+inline — so "does this repo still reproduce the paper?" is one command
+(``tcp-puzzles validate``) instead of an afternoon. The full-size versions
+live in ``benchmarks/``; this gate trades precision for minutes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.theorem import equilibrium_difficulty, nash_difficulty
+from repro.experiments.exp1_connection_time import \
+    ConnectionTimeExperiment
+from repro.experiments.exp2_floods import (
+    CHALLENGES_M8,
+    CHALLENGES_M17,
+    COOKIES,
+    NODEFENSE,
+    FloodExperiment,
+)
+from repro.experiments.scenario import ScenarioConfig
+from repro.hosts.cpu import catalog_w_av
+
+
+@dataclass(frozen=True)
+class Check:
+    """One verified claim."""
+
+    claim: str                 # the paper's statement, paraphrased
+    measured: str              # what we observed
+    passed: bool
+    source: str                # where in the paper the claim lives
+
+
+@dataclass
+class Scorecard:
+    checks: List[Check] = field(default_factory=list)
+
+    def add(self, claim: str, source: str, passed: bool,
+            measured: str) -> None:
+        self.checks.append(Check(claim=claim, measured=measured,
+                                 passed=bool(passed), source=source))
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for check in self.checks if check.passed)
+
+    @property
+    def failed(self) -> int:
+        return len(self.checks) - self.passed
+
+    @property
+    def all_passed(self) -> bool:
+        return self.failed == 0
+
+    def render(self) -> str:
+        lines = []
+        for check in self.checks:
+            mark = "PASS" if check.passed else "FAIL"
+            lines.append(f"[{mark}] {check.source}: {check.claim}")
+            lines.append(f"       measured: {check.measured}")
+        lines.append(f"\n{self.passed}/{len(self.checks)} claims "
+                     f"reproduced")
+        return "\n".join(lines)
+
+
+def _gate_config(**overrides) -> ScenarioConfig:
+    """The validation gate's scaled scenario (the locking regime —
+    see DESIGN.md)."""
+    defaults = dict(time_scale=0.015, n_clients=3, n_attackers=3,
+                    attack_rate=500.0, backlog=24, accept_backlog=64,
+                    workers=32, idle_timeout=0.5)
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+def run_validation(progress: Optional[Callable[[str], None]] = None
+                   ) -> Scorecard:
+    """Run every claim check; takes a couple of minutes."""
+    card = Scorecard()
+
+    def step(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    # ------------------------------------------------------------------
+    step("theory: Nash difficulty")
+    w_av = catalog_w_av()
+    params = nash_difficulty(w_av, 1.1)
+    card.add("w_av = 140630 from the Figure 3(a) clientele", "Fig 3a",
+             abs(w_av - 140630.0) < 1.0, f"w_av = {w_av:.0f}")
+    card.add("Nash difficulty (k*, m*) = (2, 17) at alpha = 1.1",
+             "§4.4 / Eq. 6",
+             (params.k, params.m) == (2, 17),
+             f"(k, m) = ({params.k}, {params.m}), "
+             f"l* = {equilibrium_difficulty(w_av, 1.1):.0f}")
+
+    # ------------------------------------------------------------------
+    step("experiment 1: connection time scaling")
+    low = ConnectionTimeExperiment(k=1, m=6, samples=20).run()
+    high = ConnectionTimeExperiment(k=1, m=14, samples=20).run()
+    quad = ConnectionTimeExperiment(k=4, m=14, samples=20).run()
+    m_ratio = high.summary.mean / low.summary.mean
+    k_ratio = quad.summary.mean / high.summary.mean
+    card.add("connection time grows exponentially in m", "Fig 6 / §6.1",
+             m_ratio > 5.0, f"m=6 -> m=14 multiplies time {m_ratio:.0f}x")
+    card.add("connection time grows ~linearly in k", "Fig 6 / §6.1",
+             1.5 < k_ratio < 8.0, f"k=1 -> k=4 multiplies {k_ratio:.1f}x")
+
+    # ------------------------------------------------------------------
+    step("experiment 2: SYN flood")
+    syn_no = FloodExperiment(NODEFENSE, "syn", _gate_config()).run()
+    syn_ck = FloodExperiment(COOKIES, "syn", _gate_config()).run()
+    syn_m8 = FloodExperiment(CHALLENGES_M8, "syn", _gate_config()).run()
+    card.add("an unprotected server collapses under a SYN flood",
+             "Fig 7",
+             syn_no.client_completion_percent() < 25.0,
+             f"completion {syn_no.client_completion_percent():.1f}%")
+    card.add("SYN cookies absorb a SYN flood", "Fig 7",
+             syn_ck.client_completion_percent() > 90.0,
+             f"completion {syn_ck.client_completion_percent():.1f}%")
+    card.add("easy puzzles (1,8) absorb a SYN flood", "Fig 7",
+             syn_m8.client_completion_percent() > 90.0,
+             f"completion {syn_m8.client_completion_percent():.1f}%")
+
+    # ------------------------------------------------------------------
+    step("experiment 2: connection flood")
+    conn_ck = FloodExperiment(COOKIES, "connect", _gate_config()).run()
+    conn_pz = FloodExperiment(CHALLENGES_M17, "connect",
+                              _gate_config()).run()
+    card.add("cookies are ineffective against a connection flood",
+             "Fig 8",
+             conn_ck.client_completion_percent() < 25.0,
+             f"completion {conn_ck.client_completion_percent():.1f}%")
+    card.add("Nash puzzles preserve client service under the flood",
+             "Fig 8",
+             conn_pz.client_completion_percent() > 60.0,
+             f"completion {conn_pz.client_completion_percent():.1f}%")
+    ratio = (conn_ck.attacker_steady_state_rate()
+             / max(conn_pz.attacker_steady_state_rate(), 1e-9))
+    card.add("puzzles cut the effective attack rate by a large factor",
+             "Fig 11",
+             ratio > 3.0,
+             f"cookies {conn_ck.attacker_steady_state_rate():.1f} cps vs "
+             f"puzzles {conn_pz.attacker_steady_state_rate():.1f} cps "
+             f"({ratio:.1f}x)")
+    start, end = conn_pz.attack_window()
+    mid = (start + end) / 2
+    listen = conn_pz.queues.listen_depth.mean_in(mid, end)
+    accept = conn_pz.queues.accept_depth.mean_in(mid, end)
+    card.add("challenges: listen queue saturated, accept queue drained",
+             "Fig 10",
+             listen > 0.9 * conn_pz.config.backlog
+             and accept < 0.5 * conn_pz.config.accept_backlog,
+             f"listen {listen:.0f}/{conn_pz.config.backlog}, "
+             f"accept {accept:.0f}/{conn_pz.config.accept_backlog}")
+    server_cpu = conn_pz.cpu.mean_in("server", start, end)
+    attacker_cpu = conn_pz.cpu.mean_in("attacker0", start, end)
+    card.add("server puzzle overhead is negligible; attackers burn CPU",
+             "Fig 9",
+             server_cpu < 5.0 and attacker_cpu > 50.0,
+             f"server {server_cpu:.1f}%, attacker {attacker_cpu:.0f}%")
+
+    # ------------------------------------------------------------------
+    step("attack economics")
+    from repro.core.analysis import amplification_factor, \
+        solves_per_second
+    from repro.hosts.cpu import CPU_CATALOG, IOT_CATALOG
+    from repro.puzzles.params import PuzzleParams
+
+    nash = PuzzleParams(k=2, m=17)
+    factor = amplification_factor(nash, CPU_CATALOG["cpu3"], 500.0)
+    card.add("the required botnet grows by a factor of ~200", "abstract",
+             140 < factor < 230, f"amplification {factor:.0f}x")
+    iot_max = max(solves_per_second(profile, nash)
+                  for profile in IOT_CATALOG.values())
+    card.add("IoT devices cannot sustain a connection flood",
+             "abstract / §6.6",
+             iot_max < 1.0, f"fastest Pi: {iot_max:.2f} solves/s")
+    return card

@@ -1,0 +1,40 @@
+"""Host models: the server, benign clients, attackers, and their CPUs.
+
+* :mod:`repro.hosts.cpu` — hash-rate profiles of the paper's hardware
+  (Figure 3(a) Xeons, Table 1 Raspberry Pis);
+* :mod:`repro.hosts.host` — base host: NIC + TCP stack + hash accounting;
+* :mod:`repro.hosts.server` — the apache2-like ``gettext/size`` application
+  server with an M/M/1 accept-service loop;
+* :mod:`repro.hosts.client` — benign clients issuing requests at
+  exponentially distributed intervals and solving puzzles;
+* :mod:`repro.hosts.attacker` — hping3-like spoofed SYN flooders and
+  nping-like connection flooders (solving and non-solving);
+* :mod:`repro.hosts.botnet` — fleet construction helpers.
+"""
+
+from repro.hosts.cpu import CPU_CATALOG, IOT_CATALOG, CPUProfile
+from repro.hosts.host import Host
+from repro.hosts.server import AppServer, ServerConfig
+from repro.hosts.client import BenignClient, ClientConfig
+from repro.hosts.attacker import (
+    AttackerConfig,
+    ConnectionFlooder,
+    SynFlooder,
+)
+from repro.hosts.botnet import Botnet, build_botnet
+
+__all__ = [
+    "CPUProfile",
+    "CPU_CATALOG",
+    "IOT_CATALOG",
+    "Host",
+    "AppServer",
+    "ServerConfig",
+    "BenignClient",
+    "ClientConfig",
+    "AttackerConfig",
+    "SynFlooder",
+    "ConnectionFlooder",
+    "Botnet",
+    "build_botnet",
+]

@@ -1,0 +1,125 @@
+"""CPU profiles: the hash rates of the paper's evaluation hardware.
+
+Figure 3(a) profiles three Xeon-class client CPUs whose *average* completes
+``w_av = 140630`` SHA-256 operations within the 400 ms delay budget
+(≈ 351,575 hashes/s mean). The paper reports only the average, so the
+individual rates below are chosen to be plausible for the named parts while
+reproducing the published mean exactly.
+
+Table 1 profiles four Raspberry Pi boards; those rates are published
+directly and are reproduced verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.profiling import (
+    DEFAULT_DELAY_BUDGET_SECONDS,
+    ClientProfile,
+)
+from repro.errors import GameError
+
+
+@dataclass(frozen=True)
+class CPUProfile:
+    """A named CPU with a SHA-256 hash rate (operations/second).
+
+    ``memory_rate`` is the sustained *random* memory-access rate, used by
+    the memory-bound proof-of-work extension (§7 fairness discussion).
+    DRAM latency varies far less across the device spectrum than compute
+    throughput — the catalog's memory rates span ~2× where hash rates span
+    ~7× — which is exactly the property memory-bound puzzles exploit. The
+    values are synthetic estimates consistent with DDR3-era parts.
+    """
+
+    name: str
+    description: str
+    hash_rate: float
+    memory_rate: float = 50e6
+
+    def __post_init__(self) -> None:
+        if self.hash_rate <= 0:
+            raise GameError(
+                f"hash_rate must be positive, got {self.hash_rate!r}")
+        if self.memory_rate <= 0:
+            raise GameError(
+                f"memory_rate must be positive, got {self.memory_rate!r}")
+
+    @property
+    def hashes_in_budget(self) -> float:
+        """Hashes completed within the 400 ms usability budget."""
+        return self.hash_rate * DEFAULT_DELAY_BUDGET_SECONDS
+
+    def solve_seconds(self, expected_hashes: float) -> float:
+        """Expected wall time to perform *expected_hashes* operations."""
+        if expected_hashes < 0:
+            raise GameError("expected_hashes must be >= 0")
+        return expected_hashes / self.hash_rate
+
+    def to_client_profile(self) -> ClientProfile:
+        return ClientProfile(name=self.name, hash_rate=self.hash_rate)
+
+
+#: Figure 3(a) client CPUs. Individual rates are calibrated so the catalog
+#: mean over 400 ms is the paper's w_av = 140630 exactly.
+CPU_CATALOG: Dict[str, CPUProfile] = {
+    "cpu1": CPUProfile(
+        name="cpu1",
+        description="Intel Xeon E3-1260L quad-core @ 2.4 GHz",
+        hash_rate=372_500.0, memory_rate=55e6),
+    "cpu2": CPUProfile(
+        name="cpu2",
+        description="Intel Xeon X3210 quad-core @ 2.13 GHz",
+        hash_rate=330_000.0, memory_rate=45e6),
+    "cpu3": CPUProfile(
+        name="cpu3",
+        description="Intel Xeon @ 3 GHz",
+        hash_rate=352_225.0, memory_rate=50e6),
+}
+
+#: Table 1 IoT devices: (average hashing rate, hashes done in 400 ms) as
+#: published. The 400 ms column is the paper's *measured* value, which
+#: differs slightly from rate × 0.4 — both are preserved.
+IOT_CATALOG: Dict[str, CPUProfile] = {
+    "D1": CPUProfile(
+        name="D1",
+        description="Raspberry Pi Model B rev 2.0 (700 MHz ARM 11)",
+        hash_rate=49_617.0, memory_rate=24e6),
+    "D2": CPUProfile(
+        name="D2",
+        description="Raspberry Pi Zero (1 GHz ARM 11)",
+        hash_rate=68_960.0, memory_rate=28e6),
+    "D3": CPUProfile(
+        name="D3",
+        description="Raspberry Pi 2 Model B v1.1 (quad 1.2 GHz Cortex-A53)",
+        hash_rate=70_009.0, memory_rate=30e6),
+    "D4": CPUProfile(
+        name="D4",
+        description="Raspberry Pi 3 Model B v1.2 (quad 1.2 GHz BCM2837)",
+        hash_rate=74_201.0, memory_rate=32e6),
+}
+
+#: The paper's measured hashes-in-400ms column of Table 1, verbatim.
+IOT_MEASURED_HASHES_400MS: Dict[str, int] = {
+    "D1": 19_901,
+    "D2": 26_563,
+    "D3": 27_987,
+    "D4": 29_732,
+}
+
+#: The server used in the evaluation: dual Xeon hexa-core @ 2.2 GHz.
+#: §7 reports it performs 10.8 million hash operations per second.
+SERVER_CPU = CPUProfile(
+    name="server",
+    description="HP DL360 G8, dual Intel Xeon hexa-core @ 2.2 GHz",
+    hash_rate=10_800_000.0, memory_rate=80e6)
+
+
+def catalog_w_av(budget: float = DEFAULT_DELAY_BUDGET_SECONDS) -> float:
+    """``w_av`` over the Figure 3(a) catalog — 140630 for the 400 ms budget."""
+    profiles = [p.to_client_profile() for p in CPU_CATALOG.values()]
+    from repro.core.profiling import estimate_w_av
+
+    return estimate_w_av(profiles, budget)

@@ -1,0 +1,198 @@
+"""The application server: an apache2-like ``gettext/size`` responder.
+
+The experiments' server runs an HTTP application that "accepts
+gettext/size requests and returns messages containing size bytes of random
+text" (§6). Two resources shape its behaviour:
+
+* a **worker pool** of connection handlers — each free worker accepts one
+  connection from the listener's accept queue and waits for its request;
+  silent connections (a connection flood's zombies) tie a worker down for
+  ``idle_timeout`` before being shed, which is the damage that flood does;
+* a **processing unit** that serves requests *serially* at exponential
+  rate µ — the M/M/1 abstraction of §4.1 made executable. Under light
+  load a request takes ≈ 1/µ; under saturation the aggregate rate pins at
+  µ, and the measured latency tracks the theory's ``S(x̄) = 1/(µ − x̄)``.
+  This is what the Figure 3(b) stress test measures.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import ExperimentError
+from repro.hosts.host import Host
+from repro.tcp.connection import ServerConnection
+from repro.tcp.listener import DefenseConfig, ListenSocket
+
+
+@dataclass
+class ServerConfig:
+    """Application-level server knobs."""
+
+    port: int = 80
+    service_rate: float = 1100.0     # µ: the M/M/1 processing rate (Fig 3b)
+    workers: int = 128               # concurrent connection handlers
+    idle_timeout: float = 0.57       # seconds a worker waits on silence
+    cpu_seconds_per_request: float = 0.0001  # non-hash CPU per request
+    #: HTTP/1.1-style persistent connections (§4.2: a client on a
+    #: keep-alive session pays the puzzle once per *session*). The worker
+    #: keeps the connection after responding, up to the request cap or an
+    #: idle gap.
+    keep_alive: bool = False
+    max_keepalive_requests: int = 100
+    defense: DefenseConfig = field(default_factory=DefenseConfig)
+
+    def __post_init__(self) -> None:
+        if self.service_rate <= 0:
+            raise ExperimentError("service_rate must be positive")
+        if self.workers < 1:
+            raise ExperimentError("workers must be >= 1")
+        if self.idle_timeout <= 0:
+            raise ExperimentError("idle_timeout must be positive")
+
+
+@dataclass
+class ServerStats:
+    requests_served: int = 0
+    response_bytes: int = 0
+    idle_closed: int = 0
+    malformed_requests: int = 0
+
+
+class _ProcessingUnit:
+    """Serial request processor: the executable M/M/1 server.
+
+    Jobs queue FIFO; each takes an Exp(µ) service draw. Implemented like
+    :class:`~repro.hosts.host.CPUResource` — an analytic ``next_free``
+    clock and one completion event per job.
+    """
+
+    def __init__(self, host: Host, rate: float, rng: random.Random) -> None:
+        self.host = host
+        self.rate = rate
+        self.rng = rng
+        self._next_free = 0.0
+        self.jobs_done = 0
+
+    def backlog_seconds(self) -> float:
+        return max(0.0, self._next_free - self.host.engine.now)
+
+    def submit(self, callback: Callable[[], None]) -> None:
+        now = self.host.engine.now
+        start = max(now, self._next_free)
+        service = self.rng.expovariate(self.rate)
+        self._next_free = start + service
+
+        def finish() -> None:
+            self.jobs_done += 1
+            callback()
+
+        self.host.engine.schedule_at(self._next_free, finish)
+
+
+class AppServer:
+    """Worker-pool + M/M/1 application on top of a :class:`ListenSocket`."""
+
+    def __init__(self, host: Host, config: Optional[ServerConfig] = None
+                 ) -> None:
+        self.host = host
+        self.config = config if config is not None else ServerConfig()
+        self.listener: ListenSocket = host.tcp.listen(
+            self.config.port, self.config.defense)
+        self.listener.on_acceptable = self._dispatch
+        self.free_workers = self.config.workers
+        self.stats = ServerStats()
+        self.processing = _ProcessingUnit(host, self.config.service_rate,
+                                          host.rng)
+
+    # ------------------------------------------------------------------
+    # Worker pool
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        while self.free_workers > 0:
+            connection = self.listener.accept()
+            if connection is None:
+                return
+            self.free_workers -= 1
+            _Worker(self, connection)
+
+    def _worker_done(self) -> None:
+        self.free_workers += 1
+        self._dispatch()
+
+
+class _Worker:
+    """One connection handler's lifecycle on one accepted connection."""
+
+    def __init__(self, server: AppServer, connection: ServerConnection
+                 ) -> None:
+        self.server = server
+        self.connection = connection
+        self.host = server.host
+        self._done = False
+        self._served = 0
+        # ±15% jitter: zombies attached in one engagement burst would
+        # otherwise shed in phase-locked waves, holding the accept queue
+        # below full long enough for floods to refill it wholesale. Real
+        # servers desynchronise through timer granularity and scheduling
+        # variance.
+        timeout = server.config.idle_timeout * self.host.rng.uniform(
+            0.85, 1.15)
+        self._idle_timer = self.host.engine.schedule(
+            timeout, self._idle_timeout)
+        connection.attach_reader(self._on_request)
+
+    def _on_request(self, connection: ServerConnection, payload_bytes: int,
+                    app_data: object) -> None:
+        if self._done:
+            return
+        self._idle_timer.cancel()
+        if (not isinstance(app_data, tuple) or len(app_data) != 2
+                or app_data[0] != "gettext"):
+            self.server.stats.malformed_requests += 1
+            self._finish(reset=True)
+            return
+        size = int(app_data[1])
+        self.host.cpu.consume_seconds(
+            self.server.config.cpu_seconds_per_request)
+        self.server.processing.submit(lambda: self._respond(size))
+
+    def _respond(self, size: int) -> None:
+        if self._done:
+            return
+        self.connection.send_data(size, app_data=("response", size))
+        self.server.stats.requests_served += 1
+        self.server.stats.response_bytes += size
+        self._served += 1
+        config = self.server.config
+        if (config.keep_alive
+                and self._served < config.max_keepalive_requests):
+            # HTTP/1.1 persistence: hold the connection for the next
+            # request, bounded by the idle timer.
+            self._idle_timer = self.host.engine.schedule(
+                config.idle_timeout * self.host.rng.uniform(0.85, 1.15),
+                self._idle_timeout)
+            return
+        # Keep-alive request cap reached: notify the peer so it re-opens
+        # promptly instead of timing out on a dead session.
+        self._finish(reset=config.keep_alive)
+
+    def _idle_timeout(self) -> None:
+        """The connection never sent a request — shed it (RST) and move on.
+
+        This is how connection-flood zombies eventually lose their accept
+        slot; until then they have consumed a worker, which is the damage
+        the flood does.
+        """
+        if self._done:
+            return
+        self.server.stats.idle_closed += 1
+        self._finish(reset=True)
+
+    def _finish(self, reset: bool) -> None:
+        self._done = True
+        self._idle_timer.cancel()
+        self.connection.close(reset=reset)
+        self.server._worker_done()

@@ -1,0 +1,91 @@
+"""CSV export of measurement series and summaries.
+
+The benchmarks print human tables; downstream users replotting figures
+want machine-readable series. These helpers write standard CSV (no
+dependency beyond the stdlib) from the metrics primitives.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Optional, Sequence, TextIO, Union
+
+from repro.errors import SimulationError
+from repro.metrics.connections import ConnectionTracker
+from repro.metrics.series import BinnedSeries, GaugeSeries
+
+
+def _writer(stream: TextIO) -> "csv.writer":
+    return csv.writer(stream, lineterminator="\n")
+
+
+def write_series_csv(stream: TextIO,
+                     series: Dict[str, Union[BinnedSeries, GaugeSeries]],
+                     until: Optional[float] = None,
+                     time_header: str = "time_s") -> int:
+    """Write one or more *aligned* series as CSV columns.
+
+    ``BinnedSeries`` columns require *until* (they are materialised over
+    ``[t0, until)``); all series must produce identical time axes.
+    Returns the number of data rows written.
+    """
+    if not series:
+        raise SimulationError("no series given")
+    axes = {}
+    for name, obj in series.items():
+        if isinstance(obj, BinnedSeries):
+            if until is None:
+                raise SimulationError(
+                    "until= is required to export BinnedSeries")
+            times, values = obj.series(until)
+        else:
+            times, values = obj.arrays()
+        axes[name] = (list(times), list(values))
+    reference = None
+    for name, (times, _) in axes.items():
+        if reference is None:
+            reference = times
+        elif times != reference:
+            raise SimulationError(
+                f"series {name!r} has a different time axis; export it "
+                f"separately")
+    writer = _writer(stream)
+    names = list(series)
+    writer.writerow([time_header] + names)
+    count = 0
+    for i, t in enumerate(reference or []):
+        writer.writerow([t] + [axes[name][1][i] for name in names])
+        count += 1
+    return count
+
+
+def write_connections_csv(stream: TextIO,
+                          tracker: ConnectionTracker,
+                          labels: Optional[Sequence[str]] = None) -> int:
+    """Dump per-connection lifecycle records (the tcpdump-post-processing
+    equivalent): one row per tracked connection."""
+    writer = _writer(stream)
+    writer.writerow(["label", "t_open", "t_established", "t_completed",
+                     "t_failed", "reason", "challenged", "outcome"])
+    count = 0
+    for record in tracker.records:
+        if labels is not None and record.label not in labels:
+            continue
+        writer.writerow([
+            record.label, record.t_open,
+            "" if record.t_established is None else record.t_established,
+            "" if record.t_completed is None else record.t_completed,
+            "" if record.t_failed is None else record.t_failed,
+            record.reason or "", int(record.challenged), record.outcome])
+        count += 1
+    return count
+
+
+def series_to_csv_string(
+        series: Dict[str, Union[BinnedSeries, GaugeSeries]],
+        until: Optional[float] = None) -> str:
+    """Convenience: the CSV as a string."""
+    buffer = io.StringIO()
+    write_series_csv(buffer, series, until=until)
+    return buffer.getvalue()

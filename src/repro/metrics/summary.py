@@ -1,0 +1,68 @@
+"""Summary statistics: means, quantiles and boxplot descriptors.
+
+Backs the Figure 12 boxplots and the EXPERIMENTS.md tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number summary plus mean/std — what a boxplot needs."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    def whiskers(self) -> tuple:
+        """Tukey whiskers: the data range clipped to 1.5 IQR fences."""
+        low = self.q1 - 1.5 * self.iqr
+        high = self.q3 + 1.5 * self.iqr
+        return (max(self.minimum, low), min(self.maximum, high))
+
+    def __str__(self) -> str:
+        return (f"n={self.count} mean={self.mean:.4g} std={self.std:.4g} "
+                f"min={self.minimum:.4g} q1={self.q1:.4g} "
+                f"med={self.median:.4g} q3={self.q3:.4g} "
+                f"max={self.maximum:.4g}")
+
+
+def describe(values: Sequence[float]) -> Summary:
+    """Summary of *values*; NaN-filled when empty."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        nan = float("nan")
+        return Summary(0, nan, nan, nan, nan, nan, nan, nan)
+    return Summary(
+        count=int(array.size),
+        mean=float(np.mean(array)),
+        std=float(np.std(array)),
+        minimum=float(np.min(array)),
+        q1=float(np.percentile(array, 25)),
+        median=float(np.percentile(array, 50)),
+        q3=float(np.percentile(array, 75)),
+        maximum=float(np.max(array)),
+    )
+
+
+def cdf(values: Sequence[float]) -> tuple:
+    """Empirical CDF points ``(sorted values, cumulative probabilities)``."""
+    array = np.sort(np.asarray(list(values), dtype=float))
+    if array.size == 0:
+        return array, array
+    probs = np.arange(1, array.size + 1) / array.size
+    return array, probs

@@ -1,0 +1,77 @@
+"""IPv4 addresses as plain integers, plus allocation and spoofing pools.
+
+Addresses are ``int`` everywhere in the simulator (hashable, compact, and
+byte-packable for puzzle pre-images); these helpers convert to and from
+dotted-quad notation and hand out experiment address space.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.errors import NetworkError
+
+
+def parse_ip(dotted: str) -> int:
+    """``"10.1.0.1" -> 0x0A010001``."""
+    parts = dotted.split(".")
+    if len(parts) != 4:
+        raise NetworkError(f"malformed IPv4 address {dotted!r}")
+    value = 0
+    for part in parts:
+        try:
+            octet = int(part)
+        except ValueError:
+            raise NetworkError(f"malformed IPv4 address {dotted!r}")
+        if not 0 <= octet <= 255:
+            raise NetworkError(f"malformed IPv4 address {dotted!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ip(value: int) -> str:
+    """``0x0A010001 -> "10.1.0.1"``."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise NetworkError(f"IPv4 address out of range: {value!r}")
+    return ".".join(str((value >> shift) & 0xFF)
+                    for shift in (24, 16, 8, 0))
+
+
+class AddressAllocator:
+    """Sequential allocation from a /16-style experiment block."""
+
+    def __init__(self, base: str = "10.1.0.0") -> None:
+        self._base = parse_ip(base)
+        self._next = 1
+
+    def allocate(self) -> int:
+        """Next unused address in the block."""
+        if self._next >= 0xFFFF:
+            raise NetworkError("experiment address block exhausted")
+        address = self._base + self._next
+        self._next += 1
+        return address
+
+    def allocate_many(self, count: int) -> List[int]:
+        return [self.allocate() for _ in range(count)]
+
+
+class SpoofingPool:
+    """Random source addresses for the hping3-style spoofed SYN flood.
+
+    Draws from a block disjoint from the experiment's real hosts so replies
+    to spoofed sources are blackholed — exactly what happens to a spoofed
+    SYN-ACK on a real network with no egress filtering.
+    """
+
+    def __init__(self, rng: random.Random, base: str = "172.16.0.0",
+                 span: int = 1 << 20) -> None:
+        if span <= 0:
+            raise NetworkError(f"span must be positive, got {span}")
+        self._rng = rng
+        self._base = parse_ip(base)
+        self._span = span
+
+    def draw(self) -> int:
+        return self._base + self._rng.randrange(self._span)

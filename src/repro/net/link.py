@@ -1,0 +1,119 @@
+"""Point-to-point link with serialization, propagation and bounded queueing.
+
+A link is modelled analytically rather than with per-hop events: it keeps
+the absolute time its transmitter becomes free (``_next_free``) and, when a
+packet is offered at time ``t``, computes
+
+* queueing delay  — ``max(0, _next_free − t)``,
+* serialization   — ``bytes × 8 / rate``,
+* propagation     — fixed ``delay``,
+
+updating ``_next_free`` as a side effect. Because the engine processes sends
+in global time order, per-link arrival order is monotone and this analytic
+fold is exactly equivalent to simulating the FIFO hop by hop — at one event
+per packet per *path* instead of per *link*.
+
+The queue is byte-bounded (droptail): a packet that would have to wait for
+more than ``buffer_bytes`` worth of backlog is dropped.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import NetworkError
+
+
+@dataclass
+class Link:
+    """One direction of a network link.
+
+    Parameters
+    ----------
+    rate_bps:
+        Transmission rate, bits/second (e.g. ``100e6`` for the testbed's
+        host links, ``1e9`` for the server and backbone links).
+    delay:
+        One-way propagation delay in seconds.
+    buffer_bytes:
+        Droptail queue capacity in bytes.
+    loss_rate:
+        Independent per-packet corruption/loss probability (0 disables —
+        the testbed's links are clean; failure-injection tests raise it).
+    rng:
+        RNG for loss draws; required when ``loss_rate > 0``.
+    name:
+        For diagnostics and drop accounting.
+    """
+
+    rate_bps: float
+    delay: float = 0.0005
+    buffer_bytes: int = 256 * 1024
+    loss_rate: float = 0.0
+    rng: Optional[random.Random] = field(default=None, repr=False)
+    name: str = ""
+
+    _next_free: float = field(default=0.0, repr=False)
+    packets_sent: int = field(default=0, repr=False)
+    packets_dropped: int = field(default=0, repr=False)
+    packets_lost: int = field(default=0, repr=False)
+    bytes_sent: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise NetworkError(f"rate_bps must be positive, got "
+                               f"{self.rate_bps!r}")
+        if self.delay < 0:
+            raise NetworkError(f"delay must be >= 0, got {self.delay!r}")
+        if self.buffer_bytes <= 0:
+            raise NetworkError(f"buffer_bytes must be positive, got "
+                               f"{self.buffer_bytes!r}")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise NetworkError(f"loss_rate must be in [0, 1), got "
+                               f"{self.loss_rate!r}")
+        if self.loss_rate > 0 and self.rng is None:
+            raise NetworkError("loss_rate > 0 requires an rng")
+
+    def serialization_delay(self, size_bytes: int) -> float:
+        return size_bytes * 8.0 / self.rate_bps
+
+    def backlog_bytes(self, now: float) -> float:
+        """Bytes currently queued ahead of a new arrival at *now*."""
+        waiting = max(0.0, self._next_free - now)
+        return waiting * self.rate_bps / 8.0
+
+    def offer(self, now: float, size_bytes: int) -> Optional[float]:
+        """Offer a packet; returns its arrival time at the far end, or
+        ``None`` if the droptail queue rejects it."""
+        if size_bytes <= 0:
+            raise NetworkError(f"size_bytes must be positive, got "
+                               f"{size_bytes!r}")
+        if self.backlog_bytes(now) + size_bytes > self.buffer_bytes:
+            self.packets_dropped += 1
+            return None
+        if self.loss_rate > 0 and self.rng.random() < self.loss_rate:
+            # The frame still occupies air time before being lost.
+            self.packets_lost += 1
+            start = max(now, self._next_free)
+            self._next_free = start + self.serialization_delay(size_bytes)
+            return None
+        start = max(now, self._next_free)
+        self._next_free = start + self.serialization_delay(size_bytes)
+        self.packets_sent += 1
+        self.bytes_sent += size_bytes
+        return self._next_free + self.delay
+
+    def utilization(self, now: float, since: float = 0.0) -> float:
+        """Approximate long-run utilization: bytes sent over elapsed time."""
+        elapsed = now - since
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.bytes_sent * 8.0 / (self.rate_bps * elapsed))
+
+    def reset_counters(self) -> None:
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self.packets_lost = 0
+        self.bytes_sent = 0

@@ -1,0 +1,128 @@
+"""The network fabric: delivers packets between attached hosts.
+
+``Network`` owns the topology and the engine reference; hosts register with
+their address and receive callbacks. Sending folds the packet through every
+directed link on its path (see :mod:`repro.net.link` for why that is exact)
+and schedules one delivery event.
+
+Packets addressed to unregistered addresses — e.g. SYN-ACKs answering
+spoofed SYN floods — still consume link capacity on the path toward the
+destination's *presumed* attachment and are then blackholed, mirroring what
+spoofed-source replies do on a real network.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Protocol
+
+from repro.errors import NetworkError
+from repro.net.packet import Packet
+from repro.net.topology import Topology
+from repro.sim.engine import Engine
+
+
+class Attachable(Protocol):
+    """What the network needs from a host."""
+
+    address: int
+    name: str
+
+    def receive(self, packet: Packet) -> None: ...  # noqa: E704
+
+
+#: Tap signature: (time, packet, event) with event in
+#: {"send", "deliver", "drop", "blackhole"}.
+Tap = Callable[[float, Packet, str], None]
+
+
+class Network:
+    """Packet delivery fabric over a :class:`Topology`."""
+
+    def __init__(self, engine: Engine, topology: Topology) -> None:
+        self.engine = engine
+        self.topology = topology
+        self._hosts_by_ip: Dict[int, Attachable] = {}
+        self._hosts_by_name: Dict[str, Attachable] = {}
+        self._taps: List[Tap] = []
+        self.packets_delivered = 0
+        self.packets_dropped = 0
+        self.packets_blackholed = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, host: Attachable) -> None:
+        """Register a host already attached in the topology."""
+        if host.name not in self.topology.host_names():
+            raise NetworkError(
+                f"host {host.name!r} is not attached to the topology")
+        if host.address in self._hosts_by_ip:
+            raise NetworkError(
+                f"duplicate address registration: {host.address!r}")
+        self._hosts_by_ip[host.address] = host
+        self._hosts_by_name[host.name] = host
+
+    def host_for(self, address: int) -> Optional[Attachable]:
+        return self._hosts_by_ip.get(address)
+
+    def add_tap(self, tap: Tap) -> None:
+        """Install a tcpdump-like observer over all fabric events."""
+        self._taps.append(tap)
+
+    def _emit(self, packet: Packet, event: str) -> None:
+        if self._taps:
+            now = self.engine.now
+            for tap in self._taps:
+                tap(now, packet, event)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, src: Attachable, packet: Packet) -> None:
+        """Inject *packet* from *src*; delivery is scheduled on the engine.
+
+        The source *host* determines the ingress path regardless of the
+        packet's source address — that is what makes spoofing possible.
+        """
+        now = self.engine.now
+        packet.sent_at = now
+        self._emit(packet, "send")
+
+        dst_host = self._hosts_by_ip.get(packet.dst_ip)
+        if dst_host is None:
+            # Replies to spoofed sources: consume the sender's uplink, then
+            # vanish in the backbone.
+            uplink = self.topology.path_links(src.name, "server")[:1] \
+                if src.name != "server" else \
+                self.topology.path_links("server",
+                                         self._any_other_host(src.name))[:1]
+            arrival = now
+            for link in uplink:
+                offered = link.offer(arrival, packet.size_bytes)
+                if offered is None:
+                    break
+                arrival = offered
+            self.packets_blackholed += 1
+            self._emit(packet, "blackhole")
+            return
+
+        arrival = now
+        for link in self.topology.path_links(src.name, dst_host.name):
+            offered = link.offer(arrival, packet.size_bytes)
+            if offered is None:
+                self.packets_dropped += 1
+                self._emit(packet, "drop")
+                return
+            arrival = offered
+        self.engine.schedule_at(arrival, self._deliver, dst_host, packet)
+
+    def _any_other_host(self, not_this: str) -> str:
+        for name in self.topology.host_names():
+            if name != not_this:
+                return name
+        raise NetworkError("topology has a single host; nowhere to route")
+
+    def _deliver(self, host: Attachable, packet: Packet) -> None:
+        self.packets_delivered += 1
+        self._emit(packet, "deliver")
+        host.receive(packet)

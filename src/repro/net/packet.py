@@ -1,0 +1,179 @@
+"""Packet model: IPv4 + TCP headers with structured options.
+
+Packets carry *structured* option objects (challenge/solution instances)
+rather than raw bytes — the byte-exact wire formats live in
+:mod:`repro.puzzles.codec` and are exercised by tests, while the simulator
+avoids serialise/parse work per packet. Byte accounting is still faithful:
+:attr:`Packet.size_bytes` includes the padded on-wire size of every option
+block, so link serialization and throughput numbers match what the real
+encodings would produce.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from repro.puzzles.codec import challenge_wire_size, solution_wire_size
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.puzzles.juels import Challenge, Solution
+
+IP_HEADER_BYTES = 20
+TCP_HEADER_BYTES = 20
+#: Minimum on-wire frame: the paper's §7 uses "at least 60 bytes for IP and
+#: TCP headers" when costing a solution flood.
+MIN_FRAME_BYTES = 60
+
+
+class TCPFlags(enum.IntFlag):
+    """The TCP flags the handshake machinery needs."""
+
+    NONE = 0
+    FIN = 1
+    SYN = 2
+    RST = 4
+    PSH = 8
+    ACK = 16
+
+
+# Plain-int mirrors for hot-path flag tests: IntFlag's operators construct
+# enum instances per call, which dominates profiles at flood rates.
+_FIN = 1
+_SYN = 2
+_RST = 4
+_PSH = 8
+_ACK = 16
+
+
+@dataclass
+class TCPOptions:
+    """Structured TCP options.
+
+    ``mss``/``wscale`` are carried on SYN and SYN-ACK; ``ts_val``/``ts_ecr``
+    model the timestamps option; ``challenge``/``solution`` are the paper's
+    0xfc/0xfd blocks. ``None`` means the option is absent.
+    """
+
+    mss: Optional[int] = None
+    wscale: Optional[int] = None
+    ts_val: Optional[int] = None
+    ts_ecr: Optional[int] = None
+    challenge: Optional["Challenge"] = None
+    solution: Optional["Solution"] = None
+
+    @property
+    def wire_bytes(self) -> int:
+        """Padded on-wire size of all present options."""
+        size = 0
+        if self.mss is not None:
+            size += 4  # kind, len, 2 value bytes
+        if self.wscale is not None:
+            size += 4  # kind, len, value, NOP
+        if self.ts_val is not None or self.ts_ecr is not None:
+            size += 12  # kind, len, two 4-byte stamps, 2 NOPs
+        has_timestamps = self.ts_val is not None
+        if self.challenge is not None:
+            # With timestamps negotiated the challenge timestamp rides there
+            # and the block drops its embedded copy (§5).
+            _, padded = challenge_wire_size(
+                self.challenge.params, embed_timestamp=not has_timestamps)
+            size += padded
+        if self.solution is not None:
+            _, padded = solution_wire_size(
+                self.solution.params, embed_timestamp=not has_timestamps)
+            size += padded
+        return size
+
+
+_packet_counter = 0
+
+
+@dataclass
+class Packet:
+    """One simulated IP/TCP packet (or an aggregated data burst).
+
+    ``payload_bytes`` is the application payload carried; for data transfer
+    the hosts aggregate a whole response into one packet whose
+    ``extra_frames`` records how many MSS-sized segments it stands for, so
+    per-frame header overhead still lands in :attr:`size_bytes`.
+    """
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: TCPFlags = TCPFlags.NONE
+    options: TCPOptions = field(default_factory=TCPOptions)
+    payload_bytes: int = 0
+    extra_frames: int = 0
+    sent_at: float = 0.0
+    app_data: object = None
+    uid: int = field(default=0)
+    _size_cache: Optional[int] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        global _packet_counter
+        _packet_counter += 1
+        self.uid = _packet_counter
+        # Store flags as a plain int: every demux consults them and
+        # IntFlag arithmetic allocates an enum object per operation.
+        self.flags = int(self.flags)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total on-wire bytes, headers included (per represented frame).
+
+        Cached on first access: options do not change once the packet is
+        injected into the fabric, and the fabric asks repeatedly (per link,
+        per tap).
+        """
+        if self._size_cache is None:
+            headers = (IP_HEADER_BYTES + TCP_HEADER_BYTES
+                       + self.options.wire_bytes)
+            total = headers * (1 + self.extra_frames) + self.payload_bytes
+            self._size_cache = max(total, MIN_FRAME_BYTES)
+        return self._size_cache
+
+    @property
+    def is_syn(self) -> bool:
+        return bool(self.flags & _SYN) and not (self.flags & _ACK)
+
+    @property
+    def is_synack(self) -> bool:
+        return bool(self.flags & _SYN) and bool(self.flags & _ACK)
+
+    @property
+    def is_rst(self) -> bool:
+        return bool(self.flags & _RST)
+
+    @property
+    def has_ack(self) -> bool:
+        return bool(self.flags & _ACK)
+
+    @property
+    def flow(self) -> tuple:
+        """(src_ip, src_port, dst_ip, dst_port) — the demux key."""
+        return (self.src_ip, self.src_port, self.dst_ip, self.dst_port)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        from repro.net.addresses import format_ip
+
+        names = []
+        for flag in (TCPFlags.SYN, TCPFlags.ACK, TCPFlags.RST, TCPFlags.FIN,
+                     TCPFlags.PSH):
+            if self.flags & flag:
+                names.append(flag.name)
+        extras = []
+        if self.options.challenge is not None:
+            extras.append("chal")
+        if self.options.solution is not None:
+            extras.append("sol")
+        return (f"<Packet {format_ip(self.src_ip)}:{self.src_port} -> "
+                f"{format_ip(self.dst_ip)}:{self.dst_port} "
+                f"[{'|'.join(names) or 'none'}"
+                f"{' ' + '+'.join(extras) if extras else ''}] "
+                f"{self.payload_bytes}B>")

@@ -1,0 +1,76 @@
+"""tcpdump-like capture utilities.
+
+The paper deploys ``tcpdump`` on every machine and post-processes the
+captures into throughput, connection-time and drop statistics. We expose
+the same two styles:
+
+* :class:`PacketCapture` — streaming observer; metrics subscribe with
+  predicates and aggregate online (no packet storage), which is what the
+  experiments use;
+* :class:`RingCapture` — bounded in-memory capture of recent records, for
+  tests and debugging.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional
+
+from repro.net.packet import Packet
+
+
+@dataclass(frozen=True)
+class CaptureRecord:
+    """One observed fabric event."""
+
+    time: float
+    packet: Packet
+    event: str  # "send" | "deliver" | "drop" | "blackhole"
+
+
+Predicate = Callable[[CaptureRecord], bool]
+Sink = Callable[[CaptureRecord], None]
+
+
+class PacketCapture:
+    """Streaming capture: routes fabric events to filtered sinks."""
+
+    def __init__(self) -> None:
+        self._subscriptions: List[tuple] = []
+
+    def subscribe(self, sink: Sink,
+                  predicate: Optional[Predicate] = None) -> None:
+        self._subscriptions.append((predicate, sink))
+
+    def tap(self, time: float, packet: Packet, event: str) -> None:
+        """Network tap entry point (install via ``Network.add_tap``)."""
+        if not self._subscriptions:
+            return
+        record = CaptureRecord(time=time, packet=packet, event=event)
+        for predicate, sink in self._subscriptions:
+            if predicate is None or predicate(record):
+                sink(record)
+
+
+class RingCapture:
+    """Keeps the last *capacity* records; handy in unit tests."""
+
+    def __init__(self, capacity: int = 4096,
+                 predicate: Optional[Predicate] = None) -> None:
+        self.records: Deque[CaptureRecord] = deque(maxlen=capacity)
+        self._predicate = predicate
+
+    def tap(self, time: float, packet: Packet, event: str) -> None:
+        record = CaptureRecord(time=time, packet=packet, event=event)
+        if self._predicate is None or self._predicate(record):
+            self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def filter(self, predicate: Predicate) -> List[CaptureRecord]:
+        return [r for r in self.records if predicate(r)]
+
+    def clear(self) -> None:
+        self.records.clear()

@@ -1,0 +1,48 @@
+"""The TCP client-puzzle protocol (paper §4–§5).
+
+Implements the Juels–Brainard puzzle scheme applied to TCP:
+
+* :mod:`repro.puzzles.params` — the ``(k, m)`` difficulty tuple and wire
+  sizing;
+* :mod:`repro.puzzles.juels` — challenge construction from
+  ``h(secret, T, packet-level data)``, brute-force and modelled solving,
+  stateless verification;
+* :mod:`repro.puzzles.estimator` — the cost model ``ℓ(p) = k·2^(m-1)``,
+  ``g(p) = 1``, ``d(p) = 1 + k/2`` used by the game-theoretic core;
+* :mod:`repro.puzzles.secrets` — server secret-key management;
+* :mod:`repro.puzzles.replay` — timestamp-based expiry (replay defence);
+* :mod:`repro.puzzles.codec` — byte-exact encoding of the challenge
+  (opcode 0xfc, Figure 4) and solution (opcode 0xfd, Figure 5) TCP options.
+"""
+
+from repro.puzzles.params import PuzzleParams
+from repro.puzzles.juels import (
+    Challenge,
+    JuelsBrainardScheme,
+    ModeledSolver,
+    RealSolver,
+    Solution,
+)
+from repro.puzzles.estimator import (
+    expected_generation_hashes,
+    expected_solution_hashes,
+    expected_verification_hashes,
+    provider_net_work,
+)
+from repro.puzzles.secrets import SecretKey
+from repro.puzzles.replay import ExpiryPolicy
+
+__all__ = [
+    "PuzzleParams",
+    "Challenge",
+    "Solution",
+    "JuelsBrainardScheme",
+    "RealSolver",
+    "ModeledSolver",
+    "expected_generation_hashes",
+    "expected_solution_hashes",
+    "expected_verification_hashes",
+    "provider_net_work",
+    "SecretKey",
+    "ExpiryPolicy",
+]

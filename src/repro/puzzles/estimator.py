@@ -1,0 +1,39 @@
+"""Expected hash-operation cost model (paper §4.1).
+
+These closed forms are what the game-theoretic core optimises over:
+
+* ``ℓ(p) = k · 2^(m-1)`` — expected client work to solve,
+* ``g(p) = 1``            — server work to generate a challenge,
+* ``d(p) = 1 + k/2``      — expected server work to verify a solution
+  (one hash to regenerate the pre-image, plus k/2 expected sub-puzzle
+  checks when spot-checking uniformly at random).
+
+The provider's per-request net payoff is ``ℓ(p) − g(p) − d(p)``
+(= the integrand of Equation (5)).
+"""
+
+from __future__ import annotations
+
+from repro.puzzles.params import PuzzleParams
+
+
+def expected_solution_hashes(params: PuzzleParams) -> float:
+    """``ℓ(p)``: expected hashes a client spends solving."""
+    return params.expected_hashes
+
+
+def expected_generation_hashes(params: PuzzleParams) -> float:
+    """``g(p)``: hashes the server spends generating a challenge (always 1)."""
+    return 1.0
+
+
+def expected_verification_hashes(params: PuzzleParams) -> float:
+    """``d(p)``: expected hashes the server spends verifying a solution."""
+    return 1.0 + params.k / 2.0
+
+
+def provider_net_work(params: PuzzleParams) -> float:
+    """``ℓ(p) − g(p) − d(p) = k·2^(m-1) − 2 − k/2`` (Equation (5) integrand)."""
+    return (expected_solution_hashes(params)
+            - expected_generation_hashes(params)
+            - expected_verification_hashes(params))

@@ -1,0 +1,179 @@
+"""Memory-bound proof-of-work (§7, "Fairness and power considerations").
+
+The paper's closing discussion notes that CPU puzzles penalise power-limited
+benign devices (phones, IoT) far more than GPU/desktop users, and points at
+memory-bound functions (Abadi et al. 2005) "that promise more uniform
+solution requirements" as a future direction. This module implements that
+direction so the ablations can quantify the fairness gain:
+
+* a real, replayable memory-bound puzzle: a pseudo-random table ``T`` of
+  ``2^table_bits`` words is derived from the challenge; a candidate ``s``
+  is checked by walking ``T`` for ``walk_length`` dependent lookups and
+  comparing the low ``m`` bits of the end state. Finding a solution takes
+  ~``2^(m-1)`` walks, each dominated by random memory accesses;
+* a modelled solver that samples the walk count and converts *accesses*
+  to time via a per-device memory rate — the analogue of the hash-rate
+  model, with the crucial property that memory rates vary ~2× across the
+  device spectrum where SHA-256 rates vary ~5–7×.
+
+Trade-off faithfully reproduced: verification costs a full walk
+(``walk_length`` accesses) instead of hashcash's ~1 hash, so the provider's
+net-work margin shrinks — the reason the paper treats this as future work
+rather than the default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import random
+
+from repro.crypto.sha256 import sha256
+from repro.errors import PuzzleError
+
+
+@dataclass(frozen=True)
+class MemboundParams:
+    """Difficulty of a memory-bound puzzle.
+
+    ``table_bits`` — the table has ``2^table_bits`` words (sized to defeat
+    caches in a real deployment; small in tests).
+    ``walk_length`` — dependent lookups per candidate.
+    ``m`` — difficulty bits: the walk's end state must match the target's
+    low ``m`` bits.
+    """
+
+    table_bits: int = 16
+    walk_length: int = 32
+    m: int = 8
+
+    def __post_init__(self) -> None:
+        if not 4 <= self.table_bits <= 28:
+            raise PuzzleError(
+                f"table_bits must be in [4, 28], got {self.table_bits}")
+        if self.walk_length < 1:
+            raise PuzzleError("walk_length must be >= 1")
+        if not 0 <= self.m <= 30:
+            raise PuzzleError(f"m must be in [0, 30], got {self.m}")
+
+    @property
+    def table_size(self) -> int:
+        return 1 << self.table_bits
+
+    @property
+    def expected_walks(self) -> float:
+        """~``2^(m-1)`` candidate walks until a match (scan average)."""
+        if self.m == 0:
+            return 1.0
+        return float(2 ** (self.m - 1))
+
+    @property
+    def expected_accesses(self) -> float:
+        """Expected memory accesses to solve: the client's cost unit."""
+        return self.expected_walks * self.walk_length
+
+    @property
+    def verification_accesses(self) -> int:
+        """Accesses the server spends verifying: one full walk."""
+        return self.walk_length
+
+
+def build_table(seed: bytes, params: MemboundParams) -> List[int]:
+    """Derive the public lookup table from *seed* (deterministic).
+
+    Entries are pseudo-random indices into the table itself, chained from
+    SHA-256 output blocks.
+    """
+    size = params.table_size
+    mask = size - 1
+    table: List[int] = []
+    counter = 0
+    material = b""
+    while len(table) < size:
+        material = sha256(seed + counter.to_bytes(4, "big"))
+        counter += 1
+        for offset in range(0, 32, 4):
+            if len(table) >= size:
+                break
+            word = int.from_bytes(material[offset:offset + 4], "big")
+            table.append(word & mask)
+    return table
+
+
+def _walk(table: List[int], params: MemboundParams, start: int) -> int:
+    """The dependent-lookup walk; each step needs the previous result.
+
+    The candidate is mixed into every lookup index: iterated lookups on a
+    random table alone would merge trajectories permanently (random-map
+    coalescence), shrinking the walk's image until some targets become
+    unreachable. With the candidate folded in, merged states diverge again
+    on the next step and the end states stay ~uniform.
+    """
+    mask = params.table_size - 1
+    state = start & mask
+    for step in range(params.walk_length):
+        state = table[(state + start + step) & mask]
+    return state
+
+
+def solve(table: List[int], params: MemboundParams, target: int,
+          start: int = 0) -> Tuple[int, int, int]:
+    """Scan candidates from *start* until a walk ends matching *target*'s
+    low ``m`` bits. Returns ``(solution, walks, accesses)``."""
+    mask = (1 << params.m) - 1
+    space = params.table_size
+    walks = 0
+    candidate = start % space
+    for _ in range(space):
+        walks += 1
+        end = _walk(table, params, candidate)
+        if (end & mask) == (target & mask):
+            return candidate, walks, walks * params.walk_length
+        candidate = (candidate + 1) % space
+    raise PuzzleError(
+        f"candidate space exhausted without an m={params.m} match "
+        f"(table_bits={params.table_bits} too small for this m)")
+
+
+def verify(table: List[int], params: MemboundParams, target: int,
+           solution: int) -> bool:
+    """Replay one walk: ``walk_length`` accesses."""
+    mask = (1 << params.m) - 1
+    return (_walk(table, params, solution) & mask) == (target & mask)
+
+
+class ModeledMemboundSolver:
+    """Sample the walk count instead of walking (simulation fast path)."""
+
+    def sample_walks(self, params: MemboundParams,
+                     rng: random.Random) -> int:
+        return rng.randint(1, 2 ** params.m) if params.m else 1
+
+    def sample_accesses(self, params: MemboundParams,
+                        rng: random.Random) -> int:
+        return self.sample_walks(params, rng) * params.walk_length
+
+
+def solve_seconds(params: MemboundParams, memory_rate: float,
+                  walks: Optional[float] = None) -> float:
+    """Time to perform the solve's memory accesses at *memory_rate*
+    (random accesses/second — the device property that is far more uniform
+    across hardware than hash rate)."""
+    if memory_rate <= 0:
+        raise PuzzleError("memory_rate must be positive")
+    if walks is None:
+        walks = params.expected_walks
+    return walks * params.walk_length / memory_rate
+
+
+def fairness_ratio(rates: List[float]) -> float:
+    """max/min solve-time ratio across a device population (lower=fairer).
+
+    Because solve time is inversely proportional to the rate, this is just
+    ``max(rate)/min(rate)`` — exposed for both hash and memory rates so the
+    ablation can compare like for like.
+    """
+    if not rates or any(r <= 0 for r in rates):
+        raise PuzzleError("rates must be positive and non-empty")
+    return max(rates) / min(rates)

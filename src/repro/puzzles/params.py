@@ -1,0 +1,79 @@
+"""Puzzle difficulty parameters.
+
+A puzzle in the Juels–Brainard scheme is described by the tuple ``(k, m)``:
+the client must produce ``k`` independent solutions, each matching the first
+``m`` bits of the challenge. The third wire-level parameter is ``l``, the
+byte length of the challenge pre-image and of each solution string
+(the paper's ``l``-bit strings; we size in whole bytes for wire alignment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PuzzleError
+
+#: Default pre-image/solution length in bytes. Chosen so a k=4 solution
+#: option (the largest the paper sweeps) still fits the 40-byte TCP option
+#: budget: 3 header bytes + MSS(2) + wscale(1) + 4×8 solution bytes = 38.
+DEFAULT_LENGTH_BYTES = 8
+
+#: Maximum TCP option space (RFC 793: data offset is 4 bits of 32-bit words,
+#: so header ≤ 60 bytes, options ≤ 40 bytes).
+MAX_TCP_OPTION_BYTES = 40
+
+
+@dataclass(frozen=True)
+class PuzzleParams:
+    """Immutable ``(k, m)`` difficulty with wire sizing.
+
+    Attributes
+    ----------
+    k:
+        Number of sub-puzzle solutions requested (paper sweeps 1–4).
+    m:
+        Difficulty bits per solution (paper sweeps 4–20; Nash example 17).
+    length_bytes:
+        Byte length ``l`` of the pre-image and of each solution string.
+    """
+
+    k: int
+    m: int
+    length_bytes: int = DEFAULT_LENGTH_BYTES
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise PuzzleError(f"k must be >= 1, got {self.k}")
+        if self.m < 0:
+            raise PuzzleError(f"m must be >= 0, got {self.m}")
+        if self.length_bytes < 1 or self.length_bytes > 255:
+            raise PuzzleError(
+                f"length_bytes must be in [1, 255], got {self.length_bytes}")
+        if self.m > 8 * self.length_bytes:
+            raise PuzzleError(
+                f"difficulty m={self.m} exceeds pre-image length "
+                f"{8 * self.length_bytes} bits")
+
+    @property
+    def expected_hashes(self) -> float:
+        """``ℓ(p) = k · 2^(m-1)`` — expected hash ops to solve (paper §4.1)."""
+        if self.m == 0:
+            return float(self.k)
+        return float(self.k) * float(2 ** (self.m - 1))
+
+    @property
+    def worst_case_hashes(self) -> int:
+        """``k · 2^m`` — maximum brute-force work."""
+        return self.k * (2 ** self.m)
+
+    def solution_wire_bytes(self, embed_timestamp: bool = False) -> int:
+        """Bytes the solution option occupies before NOP padding."""
+        base = 3 + 2 + 1 + self.k * self.length_bytes
+        return base + (4 if embed_timestamp else 0)
+
+    def fits_in_options(self, embed_timestamp: bool = False) -> bool:
+        """Whether the solution block fits the 40-byte TCP option budget."""
+        return self.solution_wire_bytes(embed_timestamp) <= MAX_TCP_OPTION_BYTES
+
+    def __str__(self) -> str:
+        return f"(k={self.k}, m={self.m})"

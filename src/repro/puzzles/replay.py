@@ -1,0 +1,45 @@
+"""Timestamp-based challenge expiry — the paper's stateless replay defence.
+
+The server embeds the generation timestamp in the challenge (via the TCP
+timestamps option when negotiated, else inline in the option block). On
+verification it checks the echoed timestamp against its clock; stale
+solutions fail, so a captured (challenge, solution) pair is only replayable
+within the window, and — because the pre-image binds the 4-tuple — only for
+the original flow. The window is tunable, mirroring the kernel sysctl.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PuzzleError
+
+#: Default expiry window in seconds. The kernel patch exposes this as a
+#: sysctl; the paper does not publish its default, so we pick a window a bit
+#: larger than a worst-case solve-plus-RTT at the Nash difficulty.
+DEFAULT_WINDOW_SECONDS = 8.0
+
+
+@dataclass(frozen=True)
+class ExpiryPolicy:
+    """Freshness rule for challenge timestamps.
+
+    ``window`` — how long after generation a solution is still accepted.
+    ``skew`` — tolerated clock skew for timestamps that appear to be from
+    the (near) future; meaningful when clients echo their own clocks.
+    """
+
+    window: float = DEFAULT_WINDOW_SECONDS
+    skew: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise PuzzleError(f"window must be positive, got {self.window!r}")
+        if self.skew < 0:
+            raise PuzzleError(f"skew must be >= 0, got {self.skew!r}")
+
+    def is_fresh(self, issued_at: float, now: float) -> bool:
+        """True iff a challenge issued at *issued_at* is valid at *now*."""
+        if issued_at > now + self.skew:
+            return False
+        return (now - issued_at) <= self.window

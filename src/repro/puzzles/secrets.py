@@ -1,0 +1,56 @@
+"""Server secret-key management for puzzle generation.
+
+The paper generates the secret "once at the start of a socket's lifetime"
+(§5). We additionally support rotation, since a long-lived listener that
+never rotates lets a patient attacker amortise precomputation; rotation
+keeps the previous key valid for one grace window so in-flight challenges
+still verify.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional
+
+
+class SecretKey:
+    """A (rotatable) server secret.
+
+    Deterministic derivation from ``seed`` keeps simulations reproducible;
+    pass ``seed=None`` for an OS-random key in interactive use.
+    """
+
+    KEY_BYTES = 32
+
+    def __init__(self, seed: Optional[int] = 0) -> None:
+        if seed is None:
+            import os
+
+            self._current = os.urandom(self.KEY_BYTES)
+        else:
+            self._current = hashlib.sha256(
+                f"repro-secret/{seed}".encode("utf-8")).digest()
+        self._previous: Optional[bytes] = None
+        self._generation = 0
+
+    @property
+    def current(self) -> bytes:
+        return self._current
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def valid_keys(self) -> List[bytes]:
+        """Keys acceptable for verification: current, then previous."""
+        keys = [self._current]
+        if self._previous is not None:
+            keys.append(self._previous)
+        return keys
+
+    def rotate(self) -> None:
+        """Derive a fresh key; the old one stays valid for one grace window."""
+        self._previous = self._current
+        self._generation += 1
+        self._current = hashlib.sha256(
+            self._current + b"/rotate").digest()

@@ -1,0 +1,23 @@
+"""Discrete-event simulation engine.
+
+A deliberately small, fast core: a binary-heap event queue keyed on
+``(time, sequence)``, a simulation clock, seeded per-stream random number
+generators, and a handful of process helpers (periodic and Poisson arrival
+processes) that the host models build on.
+
+The engine substitutes for the paper's DETER testbed: experiments that ran
+for 600 wall-clock seconds on physical machines run here as simulated
+seconds (see ``DESIGN.md``, *Scale-down convention*).
+"""
+
+from repro.sim.engine import Engine, Event
+from repro.sim.rng import RngStreams
+from repro.sim.process import PeriodicProcess, PoissonProcess
+
+__all__ = [
+    "Engine",
+    "Event",
+    "RngStreams",
+    "PeriodicProcess",
+    "PoissonProcess",
+]

@@ -1,0 +1,159 @@
+"""The discrete-event engine.
+
+Design notes
+------------
+* Events are ``(time, seq, callback, args)`` tuples on a binary heap. The
+  monotonically increasing ``seq`` breaks ties deterministically, which makes
+  whole-simulation runs reproducible given fixed RNG seeds.
+* Events can be cancelled in O(1) by flagging the handle; cancelled entries
+  are skipped when popped (lazy deletion), which is much cheaper than heap
+  surgery for the timer-heavy TCP workload (every half-open connection owns
+  a retransmission timer that is usually cancelled).
+* The engine knows nothing about networks or hosts; higher layers schedule
+  plain callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """Handle for a scheduled callback.
+
+    Returned by :meth:`Engine.schedule`; the only public operation is
+    :meth:`cancel`. Instances are single-use.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing. Idempotent."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} seq={self.seq} {state}>"
+
+
+class Engine:
+    """A discrete-event simulation engine.
+
+    Typical use::
+
+        engine = Engine()
+        engine.schedule(1.0, lambda: print("one second in"))
+        engine.run(until=10.0)
+
+    The clock starts at ``0.0`` and only advances when events fire; *until*
+    is inclusive (an event at exactly ``until`` still runs).
+    """
+
+    def __init__(self) -> None:
+        # Heap entries are (time, seq, event) tuples so ordering is pure C
+        # tuple comparison — `seq` is unique, so the Event never compares.
+        self._heap: List[tuple] = []
+        self._now = 0.0
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far (cancelled events excluded)."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of heap entries, including lazily-deleted ones."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, callback: Callable[..., None],
+                 *args: Any) -> Event:
+        """Schedule *callback(*args)* to run ``delay`` seconds from now.
+
+        Raises :class:`SimulationError` for negative delays; a zero delay is
+        allowed and runs after all events already scheduled for this instant.
+        """
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule an event {delay!r}s in the past")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None],
+                    *args: Any) -> Event:
+        """Schedule *callback(*args)* at absolute simulation time *time*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r} before now={self._now!r}")
+        self._seq += 1
+        event = Event(time, self._seq, callback, args)
+        heapq.heappush(self._heap, (time, self._seq, event))
+        return event
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run events in time order.
+
+        Stops when the heap drains, when the next event is later than
+        *until*, when *max_events* callbacks have run, or when
+        :meth:`stop` is called from inside a callback. The clock is left at
+        *until* (if given) even when the heap drains early, so that
+        measurements covering the whole window see a consistent end time.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (reentrant run)")
+        self._running = True
+        self._stopped = False
+        processed_this_run = 0
+        try:
+            while self._heap:
+                if self._stopped:
+                    break
+                entry = self._heap[0]
+                if until is not None and entry[0] > until:
+                    break
+                heapq.heappop(self._heap)
+                event = entry[2]
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback(*event.args)
+                self._events_processed += 1
+                processed_this_run += 1
+                if max_events is not None and processed_this_run >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self._now < until:
+            self._now = until
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the in-flight callback."""
+        self._stopped = True
+
+    def drain(self) -> int:
+        """Discard all pending events; returns how many were discarded.
+
+        Useful at the end of an experiment to release timer references.
+        """
+        count = sum(1 for entry in self._heap if not entry[2].cancelled)
+        self._heap.clear()
+        return count

@@ -1,0 +1,106 @@
+"""Recurring-event process helpers built on the engine.
+
+Two arrival disciplines cover everything in the paper's evaluation:
+
+* :class:`PeriodicProcess` — fixed-interval firing; used by the attackers
+  (hping3/nping flood at a constant rate) and by metric samplers.
+* :class:`PoissonProcess` — exponentially distributed inter-arrival times;
+  used by the benign clients ("requesting ... at exponentially distributed
+  time intervals", §6).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine, Event
+
+
+class _BaseProcess:
+    """Shared start/stop machinery for recurring processes."""
+
+    def __init__(self, engine: Engine, action: Callable[[], None]) -> None:
+        self.engine = engine
+        self.action = action
+        self._event: Optional[Event] = None
+        self._running = False
+        self.fire_count = 0
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self, delay: float = 0.0) -> None:
+        """Begin firing; first action runs after *delay* seconds."""
+        if self._running:
+            raise SimulationError("process already started")
+        self._running = True
+        self._event = self.engine.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        """Stop firing. Safe to call from inside the action."""
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _next_interval(self) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self.fire_count += 1
+        self.action()
+        if self._running:
+            self._event = self.engine.schedule(
+                self._next_interval(), self._fire)
+
+
+class PeriodicProcess(_BaseProcess):
+    """Fire ``action`` every ``interval`` seconds.
+
+    ``rate`` is accepted as a convenience alternative (``interval = 1/rate``).
+    """
+
+    def __init__(self, engine: Engine, action: Callable[[], None],
+                 interval: Optional[float] = None,
+                 rate: Optional[float] = None) -> None:
+        super().__init__(engine, action)
+        if (interval is None) == (rate is None):
+            raise SimulationError("give exactly one of interval= or rate=")
+        if interval is None:
+            if rate <= 0:
+                raise SimulationError(f"rate must be positive, got {rate!r}")
+            interval = 1.0 / rate
+        if interval <= 0:
+            raise SimulationError(
+                f"interval must be positive, got {interval!r}")
+        self.interval = interval
+
+    def _next_interval(self) -> float:
+        return self.interval
+
+
+class PoissonProcess(_BaseProcess):
+    """Fire ``action`` with i.i.d. exponential(*rate*) inter-arrival times."""
+
+    def __init__(self, engine: Engine, action: Callable[[], None],
+                 rate: float, rng: random.Random) -> None:
+        super().__init__(engine, action)
+        if rate <= 0:
+            raise SimulationError(f"rate must be positive, got {rate!r}")
+        self.rate = rate
+        self.rng = rng
+
+    def _next_interval(self) -> float:
+        return self.rng.expovariate(self.rate)
+
+    def start(self, delay: Optional[float] = None) -> None:
+        """Begin firing; the first arrival is itself exponential unless an
+        explicit *delay* is given."""
+        if delay is None:
+            delay = self.rng.expovariate(self.rate)
+        super().start(delay)

@@ -1,0 +1,51 @@
+"""Seeded random-number streams.
+
+Every stochastic component of the simulation (client arrivals, attacker
+jitter, puzzle solve-attempt counts, service times, ...) draws from its own
+named stream so that adding a component never perturbs the draws of another
+— the standard variance-reduction discipline for simulation experiments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+class RngStreams:
+    """A factory of named, independently-seeded ``random.Random`` streams.
+
+    The per-stream seed is derived from the root seed and the stream name via
+    SHA-256, so streams are stable across runs and uncorrelated with each
+    other for any practical purpose.
+
+    >>> streams = RngStreams(seed=7)
+    >>> a = streams.get("client-0")
+    >>> b = streams.get("client-1")
+    >>> a is streams.get("client-0")
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def get(self, name: str) -> random.Random:
+        """Return (creating if needed) the stream called *name*."""
+        stream = self._streams.get(name)
+        if stream is None:
+            digest = hashlib.sha256(
+                f"{self.seed}/{name}".encode("utf-8")).digest()
+            stream = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = stream
+        return stream
+
+    def spawn(self, name: str) -> "RngStreams":
+        """Derive a child factory whose streams are disjoint from ours."""
+        digest = hashlib.sha256(
+            f"{self.seed}/spawn/{name}".encode("utf-8")).digest()
+        return RngStreams(int.from_bytes(digest[:8], "big"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RngStreams(seed={self.seed}, streams={len(self._streams)})"

@@ -1,0 +1,52 @@
+"""TCP handshake stack with client-puzzle, SYN-cookie and SYN-cache defenses.
+
+This package reproduces, at protocol level, the paper's Linux 4.13 kernel
+modifications (§5) plus the baselines it compares against (§2.1):
+
+* :mod:`repro.tcp.tcb` — connection state blocks and the handshake state
+  machine's states;
+* :mod:`repro.tcp.queues` — the bounded ``listen`` (half-open) and
+  ``accept`` queues whose exhaustion the attacks target;
+* :mod:`repro.tcp.syncookies` — classic SYN cookies: connection parameters
+  encoded in the ISN, 3-bit MSS table, lost window scaling;
+* :mod:`repro.tcp.syncache` — the BSD-style SYN cache baseline;
+* :mod:`repro.tcp.listener` — the listening socket with the opportunistic
+  puzzle protection controller;
+* :mod:`repro.tcp.stack` — per-host stack: demux, client connections,
+  RST generation;
+* :mod:`repro.tcp.connection` — established-connection data transfer.
+"""
+
+from repro.tcp.constants import DefenseMode
+from repro.tcp.tcb import HalfOpenTCB, TCBState
+from repro.tcp.queues import AcceptQueue, ListenQueue
+from repro.tcp.syncookies import SynCookieCodec
+from repro.tcp.syncache import SynCache
+from repro.tcp.listener import DefenseConfig, ListenSocket, ListenerStats
+from repro.tcp.stack import TCPStack
+from repro.tcp.connection import ClientConnection, ServerConnection
+from repro.tcp.stream import ReliableReceiver, ReliableSender
+from repro.tcp.adaptive import AdaptiveConfig, AdaptiveDifficultyController
+from repro.tcp.fairness import FairnessConfig, FairQueuingPolicy
+
+__all__ = [
+    "DefenseMode",
+    "TCBState",
+    "HalfOpenTCB",
+    "ListenQueue",
+    "AcceptQueue",
+    "SynCookieCodec",
+    "SynCache",
+    "DefenseConfig",
+    "ListenSocket",
+    "ListenerStats",
+    "TCPStack",
+    "ClientConnection",
+    "ServerConnection",
+    "ReliableSender",
+    "ReliableReceiver",
+    "AdaptiveConfig",
+    "AdaptiveDifficultyController",
+    "FairnessConfig",
+    "FairQueuingPolicy",
+]

@@ -1,0 +1,109 @@
+"""Adaptive difficulty: the closed control loop §7 sketches as future work.
+
+    "Another possibility would be to adapt the difficulty of the sent
+    puzzles based on the behavior of the observed traffic at the server,
+    thus forming a closed control loop."
+
+The controller watches the listener's own counters — exactly the signals a
+kernel has — and retunes ``m`` through the sysctl interface each interval:
+
+* while protection is engaged, if the *established-connection* inflow
+  exceeds a target fraction of the accept-drain capacity, the puzzles are
+  too easy for the offered load → raise ``m``;
+* if inflow is far below target (clients over-throttled or attack waning)
+  → lower ``m``;
+* with no pressure at all, decay toward the floor so post-attack clients
+  stop paying quickly.
+
+Because each ``m`` step doubles the price, the controller converges in
+O(log) steps to the neighbourhood of the Nash difficulty for whatever
+population is actually attacking — without knowing ``w_av`` in advance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import ExperimentError
+from repro.sim.engine import Engine
+from repro.sim.process import PeriodicProcess
+from repro.tcp.listener import ListenSocket
+
+
+@dataclass
+class AdaptiveConfig:
+    """Controller tuning."""
+
+    interval: float = 2.0        # seconds between control decisions
+    m_floor: int = 8             # never easier than this while engaged
+    m_ceiling: int = 22          # wire/usability cap
+    #: Target established-connections inflow, as a fraction of the
+    #: accept-drain capacity the operator provisions for.
+    target_inflow: float = 50.0  # connections/second
+    #: Hysteresis band around the target (fractions of it).
+    low_water: float = 0.25
+    high_water: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ExperimentError("interval must be positive")
+        if not 0 <= self.m_floor <= self.m_ceiling:
+            raise ExperimentError("need 0 <= m_floor <= m_ceiling")
+        if self.target_inflow <= 0:
+            raise ExperimentError("target_inflow must be positive")
+        if not 0 < self.low_water < self.high_water:
+            raise ExperimentError("need 0 < low_water < high_water")
+
+
+class AdaptiveDifficultyController:
+    """Retunes a listener's ``m`` from its own observed counters."""
+
+    def __init__(self, engine: Engine, listener: ListenSocket,
+                 config: Optional[AdaptiveConfig] = None) -> None:
+        self.engine = engine
+        self.listener = listener
+        self.config = config if config is not None else AdaptiveConfig()
+        self.history: List[Tuple[float, int, float]] = []  # (t, m, inflow)
+        self._last_established = 0
+        self._last_challenges = 0
+        self._process = PeriodicProcess(engine, self._decide,
+                                        interval=self.config.interval)
+
+    def start(self, delay: float = 0.0) -> None:
+        self._process.start(delay if delay else self.config.interval)
+
+    def stop(self) -> None:
+        self._process.stop()
+
+    # ------------------------------------------------------------------
+    @property
+    def current_m(self) -> int:
+        return self.listener.config.puzzle_params.m
+
+    def _decide(self) -> None:
+        stats = self.listener.stats
+        established = stats.established_total()
+        challenges = stats.synacks_challenge
+        inflow = (established - self._last_established) \
+            / self.config.interval
+        challenge_rate = (challenges - self._last_challenges) \
+            / self.config.interval
+        self._last_established = established
+        self._last_challenges = challenges
+
+        m = self.current_m
+        engaged = challenge_rate > 0 or self.listener.protection_active
+        if engaged:
+            if inflow > self.config.target_inflow * self.config.high_water:
+                m = min(m + 1, self.config.m_ceiling)
+            elif inflow < self.config.target_inflow * self.config.low_water:
+                m = max(m - 1, self.config.m_floor)
+        else:
+            # No pressure: decay so legitimate clients stop paying.
+            m = max(m - 1, self.config.m_floor)
+
+        if m != self.current_m:
+            params = self.listener.config.puzzle_params
+            self.listener.set_difficulty(params.k, m)
+        self.history.append((self.engine.now, self.current_m, inflow))

@@ -1,0 +1,43 @@
+"""Shared TCP-layer constants and the defense-mode enumeration."""
+
+from __future__ import annotations
+
+import enum
+
+#: Linux-flavoured defaults, scaled where noted for simulation runtimes.
+DEFAULT_BACKLOG = 4096          # listen (half-open) queue bound
+DEFAULT_ACCEPT_BACKLOG = 4096   # accept (established) queue bound
+DEFAULT_SYNACK_TIMEOUT = 1.0    # initial SYN-ACK retransmission timeout (s)
+#: Linux's tcp_synack_retries default. With exponential backoff this gives
+#: a half-open connection a ~63 s lifetime — long enough that the strands
+#: created while the accept queue is full keep the listen queue (and so the
+#: puzzle protection) locked for an entire attack. Lowering this weakens
+#: the defense: strands expire, openings leak unchallenged attackers.
+DEFAULT_SYNACK_RETRIES = 5
+DEFAULT_SYN_TIMEOUT = 1.0       # client SYN retransmission timeout (s)
+DEFAULT_SYN_RETRIES = 4         # client SYN retransmissions before failing
+DEFAULT_MSS = 1460
+DEFAULT_WSCALE = 7
+
+
+class DefenseMode(enum.Enum):
+    """Which state-exhaustion defense the listening socket runs.
+
+    ``NONE`` — stock behaviour: half-open state for every SYN, drop when the
+    backlog is full (the paper's "nodefense" control setting).
+
+    ``SYNCOOKIES`` — stock behaviour until the listen queue fills, then
+    stateless cookies (Linux semantics: cookies serve the overflow only).
+
+    ``SYNCACHE`` — BSD-style compact half-open cache (discussed in §2.1;
+    included as a baseline extension).
+
+    ``PUZZLES`` — the paper's contribution: stock behaviour until either
+    queue fills, then stateless challenges; takes precedence over cookies
+    (§5), which remain available as an explicit fallback flag.
+    """
+
+    NONE = "none"
+    SYNCOOKIES = "cookies"
+    SYNCACHE = "syncache"
+    PUZZLES = "puzzles"

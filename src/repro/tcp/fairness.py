@@ -1,0 +1,125 @@
+"""Puzzle Fair Queuing (§7: "our work ... can be a catalyst for future
+exploration of fairness schemes, such as Puzzle Fair Queuing").
+
+The paper's deployed mechanism prices every requester identically, which it
+flags as a fairness concern: one flooding source and one occasional client
+pay the same per connection. This extension prices *per source*: the more
+connections a source has recently established, the more difficulty bits its
+next puzzle carries.
+
+Design constraints honoured:
+
+* **Bounded state.** The per-source accounting is a fixed-size LRU of
+  recent establishment counts over a sliding window (two rotating
+  buckets) — O(table_size), independent of attack rate; an evicted source
+  simply falls back to the base difficulty. This deliberately relaxes the
+  paper's strict statelessness *for established connections only* (state
+  the server already holds anyway); half-open handling stays stateless.
+* **Self-contained verification.** The solution block already echoes its
+  parameters in our wire model; the verifier recomputes the source's
+  *required* difficulty from the same table and accepts any solution at or
+  above it — so a requirement that rose between challenge and solution
+  only costs the client a retry, never a protocol violation.
+
+Effect (see ``extensions.fair_queuing_experiment``): light clients pay the
+base price while a flooding source's price doubles per escalation step,
+throttling it geometrically — per-source rate ≈ hash_rate/(k·2^(m_base +
+extra − 1)).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.errors import ExperimentError
+from repro.puzzles.params import PuzzleParams
+
+
+@dataclass
+class FairnessConfig:
+    """Per-source difficulty escalation policy."""
+
+    base_params: PuzzleParams = field(
+        default_factory=lambda: PuzzleParams(k=1, m=12))
+    #: Extra difficulty bits cap (price multiplier cap = 2^max_extra_bits).
+    max_extra_bits: int = 8
+    #: Establishments per window a source may make at the base price.
+    free_allowance: int = 4
+    #: Sliding-window length (seconds) for the counts.
+    window: float = 10.0
+    #: LRU capacity: distinct sources tracked.
+    table_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.max_extra_bits < 0:
+            raise ExperimentError("max_extra_bits must be >= 0")
+        if self.base_params.m + self.max_extra_bits > \
+                8 * self.base_params.length_bytes:
+            raise ExperimentError(
+                "base m + max_extra_bits exceeds the pre-image length")
+        if self.free_allowance < 1:
+            raise ExperimentError("free_allowance must be >= 1")
+        if self.window <= 0:
+            raise ExperimentError("window must be positive")
+        if self.table_size < 1:
+            raise ExperimentError("table_size must be >= 1")
+
+
+class FairQueuingPolicy:
+    """Bounded per-source establishment accounting → difficulty."""
+
+    def __init__(self, config: FairnessConfig) -> None:
+        self.config = config
+        # Two rotating half-window buckets approximate a sliding window.
+        self._current: "OrderedDict[int, int]" = OrderedDict()
+        self._previous: "OrderedDict[int, int]" = OrderedDict()
+        self._rotated_at = 0.0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def _rotate_if_due(self, now: float) -> None:
+        half = self.config.window / 2.0
+        while now - self._rotated_at >= half:
+            self._previous = self._current
+            self._current = OrderedDict()
+            self._rotated_at += half
+
+    def _count(self, src_ip: int, now: float) -> int:
+        self._rotate_if_due(now)
+        return (self._current.get(src_ip, 0)
+                + self._previous.get(src_ip, 0))
+
+    # ------------------------------------------------------------------
+    def record_established(self, src_ip: int, now: float) -> None:
+        """Account one accepted connection to *src_ip*."""
+        self._rotate_if_due(now)
+        bucket = self._current
+        if src_ip in bucket:
+            bucket[src_ip] += 1
+            bucket.move_to_end(src_ip)
+            return
+        if len(bucket) >= self.config.table_size:
+            bucket.popitem(last=False)
+            self.evictions += 1
+        bucket[src_ip] = 1
+
+    def extra_bits(self, src_ip: int, now: float) -> int:
+        """Escalation: log2 of the window count beyond the allowance."""
+        count = self._count(src_ip, now)
+        if count < self.config.free_allowance:
+            return 0
+        extra = int(math.log2(count / self.config.free_allowance)) + 1
+        return min(extra, self.config.max_extra_bits)
+
+    def difficulty_for(self, src_ip: int, now: float) -> PuzzleParams:
+        """The (k, m) this source must solve right now."""
+        base = self.config.base_params
+        extra = self.extra_bits(src_ip, now)
+        return PuzzleParams(k=base.k, m=base.m + extra,
+                            length_bytes=base.length_bytes)
+
+    def tracked_sources(self) -> int:
+        return len(set(self._current) | set(self._previous))

@@ -1,0 +1,451 @@
+"""The listening socket and its opportunistic protection controller (§5).
+
+Behavioural contract, straight from the paper:
+
+* Challenges (and cookies) are **off** during normal operation; the stock
+  three-way handshake with half-open state runs while the queues have room.
+* Protection engages when a queue fills. Puzzles take precedence over
+  cookies; with ``DefenseMode.PUZZLES`` the socket sends a challenge even
+  when the *accept* queue is the one overflowing — throttling everyone
+  rather than silently refusing.
+* On an ACK carrying a solution: if the accept queue is full the ACK is
+  **ignored** (the sender is left believing it connected; data it sends
+  later is RST — the deception mechanism); otherwise the solution is
+  verified statelessly and, only if valid, state is created directly in the
+  accept queue.
+* ``k`` and ``m`` are dynamically tunable (:meth:`ListenSocket.set_difficulty`
+  mirrors the kernel's sysctl interface).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.net.packet import Packet, TCPFlags, TCPOptions
+from repro.puzzles.juels import FlowBinding, JuelsBrainardScheme
+from repro.puzzles.params import PuzzleParams
+from repro.tcp.constants import (
+    DEFAULT_ACCEPT_BACKLOG,
+    DEFAULT_BACKLOG,
+    DEFAULT_MSS,
+    DEFAULT_SYNACK_RETRIES,
+    DEFAULT_SYNACK_TIMEOUT,
+    DefenseMode,
+)
+from repro.tcp.connection import ServerConnection
+from repro.tcp.fairness import FairQueuingPolicy
+from repro.tcp.queues import AcceptQueue, ListenQueue
+from repro.tcp.syncache import CacheEntry, SynCache
+from repro.tcp.syncookies import SynCookieCodec
+from repro.tcp.tcb import EstablishPath, HalfOpenTCB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tcp.stack import TCPStack
+
+
+@dataclass
+class DefenseConfig:
+    """Server-side defense configuration (the sysctl surface)."""
+
+    mode: DefenseMode = DefenseMode.NONE
+    puzzle_params: PuzzleParams = field(
+        default_factory=lambda: PuzzleParams(k=2, m=17))
+    scheme: Optional[JuelsBrainardScheme] = None
+    backlog: int = DEFAULT_BACKLOG
+    accept_backlog: int = DEFAULT_ACCEPT_BACKLOG
+    synack_timeout: float = DEFAULT_SYNACK_TIMEOUT
+    synack_retries: int = DEFAULT_SYNACK_RETRIES
+    syncache: Optional[SynCache] = None
+    #: Challenge every SYN regardless of queue pressure. Used by the
+    #: Figure 6 connection-time measurements and the controller ablation;
+    #: the paper's deployed configuration is opportunistic (False).
+    always_challenge: bool = False
+    #: Puzzle Fair Queuing (§7 extension): per-source difficulty
+    #: escalation. None = the paper's uniform pricing.
+    fairness: Optional["FairQueuingPolicy"] = None
+    #: Seconds the *ACK discipline* (plain completions refused, §5's
+    #: verify-only rule) outlives the last queue-full observation. The
+    #: challenge trigger stays instantaneous — challenging SYNs only while
+    #: a queue is exactly full preserves the stranded-half-open supply
+    #: that locks the listen queue — but the completion rule must ride
+    #: through the sub-millisecond occupancy dips that expiry and
+    #: completion churn create, or in-flight plain ACKs chain through the
+    #: transient gaps at the accept-drain rate (see DESIGN.md).
+    ack_discipline_hold: float = 2.0
+
+
+@dataclass
+class ListenerStats:
+    """Counters behind Figures 7–11's per-path analysis."""
+
+    syns_received: int = 0
+    synacks_plain: int = 0           # SYN-ACK without challenge/cookie
+    synacks_challenge: int = 0       # SYN-ACK carrying a challenge
+    synacks_cookie: int = 0
+    syn_drops_queue_full: int = 0    # nodefense: SYN dropped, queue full
+    established_normal: int = 0
+    established_cookie: int = 0
+    established_puzzle: int = 0
+    established_syncache: int = 0
+    acks_ignored_queue_full: int = 0  # the §5 deception path
+    solutions_invalid: int = 0
+    cookies_invalid: int = 0
+    accept_drops_full: int = 0
+    half_open_expired: int = 0
+
+    def established_total(self) -> int:
+        return (self.established_normal + self.established_cookie
+                + self.established_puzzle + self.established_syncache)
+
+
+class ListenSocket:
+    """A passive-open socket with pluggable state-exhaustion defenses."""
+
+    def __init__(self, stack: "TCPStack", port: int,
+                 config: Optional[DefenseConfig] = None) -> None:
+        self.stack = stack
+        self.host = stack.host
+        self.port = port
+        self.config = config if config is not None else DefenseConfig()
+        self.listen_queue = ListenQueue(self.config.backlog)
+        self.accept_queue = AcceptQueue(self.config.accept_backlog)
+        self.stats = ListenerStats()
+        if self.config.scheme is None:
+            self.config.scheme = JuelsBrainardScheme()
+        self._cookie_codec = SynCookieCodec(
+            secret=self.config.scheme.secret.current + b"/cookies")
+        if (self.config.mode is DefenseMode.SYNCACHE
+                and self.config.syncache is None):
+            self.config.syncache = SynCache()
+        self._attack_until = 0.0
+        #: Called whenever a connection lands in the accept queue.
+        self.on_acceptable: Optional[Callable[[], None]] = None
+        #: Observability hook: (remote_ip, path) on every establishment —
+        #: how experiments measure the server-side effective attack rate.
+        self.on_established_hook: Optional[
+            Callable[[int, EstablishPath], None]] = None
+
+    # ------------------------------------------------------------------
+    # sysctl-style tuning
+    # ------------------------------------------------------------------
+    def set_difficulty(self, k: int, m: int) -> None:
+        """Dynamically retune (k, m) — the kernel patch's sysctl knobs."""
+        old = self.config.puzzle_params
+        self.config.puzzle_params = PuzzleParams(
+            k=k, m=m, length_bytes=old.length_bytes)
+
+    # ------------------------------------------------------------------
+    # Controller predicates
+    # ------------------------------------------------------------------
+    @property
+    def protection_active(self) -> bool:
+        """Opportunistic challenge trigger: any *currently* full queue.
+
+        Deliberately instantaneous (the paper's "enabled when the
+        socket's queue is full"): SYNs arriving in momentary openings take
+        the stock path, which is what keeps the listen queue supplied
+        with strandable half-opens during an attack.
+        """
+        if self.config.mode is DefenseMode.NONE:
+            return False
+        if self.config.mode is DefenseMode.PUZZLES:
+            pressured = (self.config.always_challenge
+                         or self.listen_queue.full
+                         or self.accept_queue.full)
+            if pressured:
+                self._attack_until = (self.host.engine.now
+                                      + self.config.ack_discipline_hold)
+            return pressured
+        # Cookies/cache engage on listen-queue pressure only (stock Linux).
+        return self.listen_queue.full
+
+    @property
+    def under_attack(self) -> bool:
+        """Sticky attack state gating the ACK discipline (§5's "while
+        under attack ... only performs the verification procedure").
+
+        Refreshed by every queue-full observation; survives the
+        sub-millisecond occupancy dips between an expiry/completion and
+        the flood's refill — the window through which in-flight plain
+        ACKs would otherwise cascade (completion opens a slot, the refill
+        SYN's own ACK completes through another completion's gap, ad
+        infinitum at the drain rate).
+        """
+        if self.protection_active:
+            return True
+        if self.config.mode is not DefenseMode.PUZZLES:
+            return False
+        return self.host.engine.now < self._attack_until
+
+    # ------------------------------------------------------------------
+    # SYN handling
+    # ------------------------------------------------------------------
+    def handle_syn(self, packet: Packet) -> None:
+        self.stats.syns_received += 1
+        mode = self.config.mode
+
+        if mode is DefenseMode.PUZZLES and self.protection_active:
+            self._send_challenge(packet)
+            return
+        if mode is DefenseMode.SYNCOOKIES and self.listen_queue.full:
+            self._send_cookie_synack(packet)
+            return
+        if mode is DefenseMode.SYNCACHE:
+            self._syncache_insert(packet)
+            return
+
+        # Stock path: allocate half-open state if the backlog allows.
+        if self.listen_queue.full:
+            self.stats.syn_drops_queue_full += 1
+            return
+        self._stock_half_open(packet)
+
+    def _stock_half_open(self, packet: Packet) -> None:
+        flow = (packet.src_ip, packet.src_port, self.port)
+        existing = self.listen_queue.get(flow)
+        if existing is not None:
+            self._send_plain_synack(existing)
+            return
+        tcb = HalfOpenTCB(
+            remote_ip=packet.src_ip, remote_port=packet.src_port,
+            local_port=self.port, remote_isn=packet.seq,
+            local_isn=self.stack.new_isn(),
+            mss=packet.options.mss or DEFAULT_MSS,
+            wscale=packet.options.wscale,
+            created_at=self.host.engine.now,
+            timeout_scale=self.host.rng.uniform(0.7, 1.3))
+        if not self.listen_queue.try_add(tcb):
+            self.stats.syn_drops_queue_full += 1
+            return
+        self._send_plain_synack(tcb)
+        self._arm_synack_timer(tcb)
+
+    def _send_plain_synack(self, tcb: HalfOpenTCB) -> None:
+        self.stats.synacks_plain += 1
+        options = TCPOptions(mss=DEFAULT_MSS, wscale=tcb.wscale)
+        packet = Packet(src_ip=self.host.address, dst_ip=tcb.remote_ip,
+                        src_port=self.port, dst_port=tcb.remote_port,
+                        seq=tcb.local_isn, ack=tcb.remote_isn + 1,
+                        flags=TCPFlags.SYN | TCPFlags.ACK, options=options)
+        self.host.send(packet)
+
+    def _arm_synack_timer(self, tcb: HalfOpenTCB) -> None:
+        # Per-step ±10% jitter (timer wheel) on top of the entry's own
+        # lifetime scale (see HalfOpenTCB.timeout_scale): together they
+        # spread a burst-created cohort's expiries over tens of seconds,
+        # so the listen queue's strand lock erodes as a trickle of
+        # individually-refilled openings instead of periodic mass waves.
+        jitter = tcb.timeout_scale * self.host.rng.uniform(0.9, 1.1)
+        timeout = self.config.synack_timeout * (2 ** tcb.retransmits) * jitter
+        tcb.timer = self.host.engine.schedule(
+            timeout, self._synack_timeout, tcb)
+
+    def _synack_timeout(self, tcb: HalfOpenTCB) -> None:
+        if self.listen_queue.get(tcb.flow) is not tcb:
+            return  # completed or already reaped
+        if tcb.retransmits >= self.config.synack_retries:
+            self.listen_queue.expire(tcb.flow)
+            self.stats.half_open_expired += 1
+            return
+        tcb.retransmits += 1
+        self._send_plain_synack(tcb)
+        self._arm_synack_timer(tcb)
+
+    def _send_challenge(self, packet: Packet) -> None:
+        scheme = self.config.scheme
+        binding = FlowBinding(src_ip=packet.src_ip, dst_ip=packet.dst_ip,
+                              src_port=packet.src_port,
+                              dst_port=packet.dst_port, isn=packet.seq)
+        params = self.config.puzzle_params
+        if self.config.fairness is not None:
+            params = self.config.fairness.difficulty_for(
+                packet.src_ip, self.host.engine.now)
+        challenge = scheme.make_challenge(
+            params, binding, self.host.engine.now,
+            counter=self.host.hash_counter)
+        self.host.cpu.consume(1)  # g(p) = 1 hash of server CPU time
+        self.stats.synacks_challenge += 1
+        options = TCPOptions(mss=DEFAULT_MSS, challenge=challenge)
+        response = Packet(src_ip=self.host.address, dst_ip=packet.src_ip,
+                          src_port=self.port, dst_port=packet.src_port,
+                          seq=self.stack.new_isn(), ack=packet.seq + 1,
+                          flags=TCPFlags.SYN | TCPFlags.ACK, options=options)
+        self.host.send(response)
+
+    def _send_cookie_synack(self, packet: Packet) -> None:
+        cookie = self._cookie_codec.encode(
+            self.host.engine.now, packet.src_ip, packet.src_port,
+            self.port, packet.seq, packet.options.mss or DEFAULT_MSS)
+        self.stats.synacks_cookie += 1
+        options = TCPOptions(mss=DEFAULT_MSS)  # wscale is lost with cookies
+        response = Packet(src_ip=self.host.address, dst_ip=packet.src_ip,
+                          src_port=self.port, dst_port=packet.src_port,
+                          seq=cookie, ack=packet.seq + 1,
+                          flags=TCPFlags.SYN | TCPFlags.ACK, options=options)
+        self.host.send(response)
+
+    def _syncache_insert(self, packet: Packet) -> None:
+        cache = self.config.syncache
+        entry = CacheEntry(
+            flow=(packet.src_ip, packet.src_port, self.port),
+            remote_isn=packet.seq, local_isn=self.stack.new_isn(),
+            mss=packet.options.mss or DEFAULT_MSS,
+            wscale=packet.options.wscale,
+            created_at=self.host.engine.now)
+        cache.insert(entry)
+        tcb = HalfOpenTCB(
+            remote_ip=packet.src_ip, remote_port=packet.src_port,
+            local_port=self.port, remote_isn=packet.seq,
+            local_isn=entry.local_isn, mss=entry.mss, wscale=entry.wscale,
+            created_at=entry.created_at)
+        self._send_plain_synack(tcb)
+
+    # ------------------------------------------------------------------
+    # ACK handling
+    # ------------------------------------------------------------------
+    def handle_ack(self, packet: Packet) -> bool:
+        """Process a handshake-completing ACK; False → caller sends RST.
+
+        §5 semantics: while the protection is in effect every completing
+        ACK goes through the verification procedure — a plain ACK cannot
+        complete **even an existing half-open**. This is what keeps the
+        listen queue saturated with stranded half-opens during an attack
+        (Figure 10) and limits attackers to the solving path.
+        """
+        flow = (packet.src_ip, packet.src_port, self.port)
+
+        tcb = self.listen_queue.get(flow)
+        if tcb is not None:
+            if (self.config.mode is DefenseMode.PUZZLES
+                    and self.under_attack
+                    and packet.options.solution is None):
+                # Under attack, unverified completions are ignored; the
+                # half-open is left stranded until its timer reaps it.
+                self.stats.acks_ignored_queue_full += 1
+                return True
+            return self._complete_stock(tcb)
+
+        if packet.options.solution is not None and \
+                self.config.mode is DefenseMode.PUZZLES:
+            return self._complete_puzzle(packet)
+
+        if self.config.mode is DefenseMode.SYNCACHE:
+            entry = self.config.syncache.complete(flow)
+            if entry is not None:
+                return self._install(packet, EstablishPath.SYNCACHE,
+                                     entry.mss, entry.wscale)
+            return False
+
+        if self.config.mode is DefenseMode.SYNCOOKIES:
+            state = self._cookie_codec.decode(
+                self.host.engine.now, (packet.ack - 1) & 0xFFFFFFFF,
+                packet.src_ip, packet.src_port, self.port,
+                (packet.seq - 1) & 0xFFFFFFFF)
+            if state is not None:
+                return self._complete_cookie(packet, state)
+            self.stats.cookies_invalid += 1
+            return False
+
+        if self.config.mode is DefenseMode.PUZZLES \
+                and packet.payload_bytes == 0 and self.under_attack:
+            # Pure plain ACK while puzzles are demanded — e.g. an
+            # unpatched host answering a challenge. Silently ignored: the
+            # host believes it connected; data it sends later carries a
+            # payload, falls through here, and draws an RST (§5).
+            self.stats.solutions_invalid += 1
+            return True
+        return False
+
+    def _complete_stock(self, tcb: HalfOpenTCB) -> bool:
+        if self.accept_queue.full:
+            # Stock Linux: leave the connection half-open; the SYN-ACK
+            # timer keeps running and may later find room.
+            self.stats.accept_drops_full += 1
+            return True
+        self.listen_queue.complete(tcb.flow)
+        self._install_tcb(tcb.remote_ip, tcb.remote_port,
+                          EstablishPath.NORMAL, tcb.mss, tcb.wscale)
+        return True
+
+    def _complete_puzzle(self, packet: Packet) -> bool:
+        # §5: verify only when there is room; otherwise ignore the ACK.
+        if self.accept_queue.full:
+            self.stats.acks_ignored_queue_full += 1
+            return True
+        solution = packet.options.solution
+        binding = FlowBinding(src_ip=packet.src_ip, dst_ip=packet.dst_ip,
+                              src_port=packet.src_port,
+                              dst_port=packet.dst_port,
+                              isn=(packet.seq - 1) & 0xFFFFFFFF)
+        scheme = self.config.scheme
+        expected = self.config.puzzle_params
+        if self.config.fairness is not None:
+            # Fair queuing: accept any difficulty at or above this
+            # source's current requirement (the solution echoes its own
+            # parameters; a requirement that rose mid-handshake just
+            # costs the client a retry).
+            required = self.config.fairness.difficulty_for(
+                packet.src_ip, self.host.engine.now)
+            if (solution.params.k != required.k
+                    or solution.params.m < required.m
+                    or solution.params.length_bytes
+                    != required.length_bytes):
+                self.stats.solutions_invalid += 1
+                return True
+            expected = solution.params
+        result = scheme.verify(
+            solution, binding, self.host.engine.now,
+            expected, rng=self.host.rng,
+            counter=self.host.hash_counter)
+        self.host.cpu.consume(result.hashes_spent)
+        if not result.ok:
+            self.stats.solutions_invalid += 1
+            return True  # silently dropped, no RST: stateless server
+        return self._install(packet, EstablishPath.PUZZLE,
+                             solution.mss, solution.wscale)
+
+    def _complete_cookie(self, packet: Packet, state) -> bool:
+        if self.accept_queue.full:
+            self.stats.accept_drops_full += 1
+            return True
+        return self._install(packet, EstablishPath.COOKIE, state.mss,
+                             state.wscale)
+
+    def _install(self, packet: Packet, path: EstablishPath, mss: int,
+                 wscale) -> bool:
+        return self._install_tcb(packet.src_ip, packet.src_port, path, mss,
+                                 wscale)
+
+    def _install_tcb(self, remote_ip: int, remote_port: int,
+                     path: EstablishPath, mss: int, wscale) -> bool:
+        connection = ServerConnection(
+            self.stack, self.port, remote_ip, remote_port, path, mss,
+            wscale)
+        if not self.accept_queue.try_add(connection):
+            self.stats.accept_drops_full += 1
+            return True
+        self.stack.register_server(connection)
+        if path is EstablishPath.NORMAL:
+            self.stats.established_normal += 1
+        elif path is EstablishPath.COOKIE:
+            self.stats.established_cookie += 1
+        elif path is EstablishPath.PUZZLE:
+            self.stats.established_puzzle += 1
+        else:
+            self.stats.established_syncache += 1
+        if self.config.fairness is not None:
+            self.config.fairness.record_established(
+                remote_ip, self.host.engine.now)
+        if self.on_established_hook is not None:
+            self.on_established_hook(remote_ip, path)
+        if self.on_acceptable is not None:
+            self.on_acceptable()
+        return True
+
+    # ------------------------------------------------------------------
+    # App interface
+    # ------------------------------------------------------------------
+    def accept(self) -> Optional[ServerConnection]:
+        """Dequeue the oldest established connection, or None."""
+        return self.accept_queue.pop()

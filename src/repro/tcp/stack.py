@@ -1,0 +1,154 @@
+"""Per-host TCP stack: demultiplexing, connection tables, RST generation.
+
+The stack owns three tables —
+
+* listeners by local port,
+* client (active-open) connections by (local_port, remote_ip, remote_port),
+* server (passive-open) connections by the same key —
+
+and implements the catch-all RFC 793 rule the paper's deception mechanism
+relies on: a non-SYN segment matching no connection draws an RST. That is
+how a host that was silently ignored by an overloaded puzzle server finds
+out, on first data, that it never really connected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol, Tuple
+
+import random
+
+from repro.errors import NetworkError
+from repro.net.packet import Packet, TCPFlags
+from repro.tcp.connection import ClientConnConfig, ClientConnection, \
+    ServerConnection
+from repro.tcp.listener import DefenseConfig, ListenSocket
+
+Key = Tuple[int, int, int]  # (local_port, remote_ip, remote_port)
+
+EPHEMERAL_BASE = 32768
+EPHEMERAL_SPAN = 28232
+
+
+class HostLike(Protocol):
+    """What the stack needs from its host."""
+
+    address: int
+    name: str
+    engine: object
+    rng: random.Random
+    cpu: object
+    hash_counter: object
+
+    def send(self, packet: Packet) -> None: ...  # noqa: E704
+
+
+class TCPStack:
+    """One host's TCP endpoint machinery."""
+
+    def __init__(self, host: HostLike) -> None:
+        self.host = host
+        self._listeners: Dict[int, ListenSocket] = {}
+        self._clients: Dict[Key, ClientConnection] = {}
+        self._servers: Dict[Key, ServerConnection] = {}
+        self._next_ephemeral = EPHEMERAL_BASE
+        self.rsts_sent = 0
+        self.segments_received = 0
+
+    # ------------------------------------------------------------------
+    # Socket creation
+    # ------------------------------------------------------------------
+    def listen(self, port: int,
+               config: Optional[DefenseConfig] = None) -> ListenSocket:
+        if port in self._listeners:
+            raise NetworkError(f"port {port} already has a listener")
+        listener = ListenSocket(self, port, config)
+        self._listeners[port] = listener
+        return listener
+
+    def connect(self, remote_ip: int, remote_port: int,
+                config: Optional[ClientConnConfig] = None
+                ) -> ClientConnection:
+        """Active open; the connection's SYN is sent immediately."""
+        config = config if config is not None else ClientConnConfig()
+        local_port = self._allocate_port(remote_ip, remote_port)
+        connection = ClientConnection(self, local_port, remote_ip,
+                                      remote_port, config)
+        self._clients[(local_port, remote_ip, remote_port)] = connection
+        connection.start()
+        return connection
+
+    def _allocate_port(self, remote_ip: int, remote_port: int) -> int:
+        for _ in range(EPHEMERAL_SPAN):
+            port = self._next_ephemeral
+            self._next_ephemeral += 1
+            if self._next_ephemeral >= EPHEMERAL_BASE + EPHEMERAL_SPAN:
+                self._next_ephemeral = EPHEMERAL_BASE
+            if (port, remote_ip, remote_port) not in self._clients:
+                return port
+        raise NetworkError("ephemeral port space exhausted")
+
+    def new_isn(self) -> int:
+        return self.host.rng.getrandbits(32)
+
+    # ------------------------------------------------------------------
+    # Teardown bookkeeping
+    # ------------------------------------------------------------------
+    def forget(self, connection: ClientConnection) -> None:
+        key = (connection.local_port, connection.remote_ip,
+               connection.remote_port)
+        self._clients.pop(key, None)
+
+    def register_server(self, connection: ServerConnection) -> None:
+        key = (connection.local_port, connection.remote_ip,
+               connection.remote_port)
+        self._servers[key] = connection
+
+    def forget_server(self, connection: ServerConnection) -> None:
+        key = (connection.local_port, connection.remote_ip,
+               connection.remote_port)
+        self._servers.pop(key, None)
+
+    def listener(self, port: int) -> Optional[ListenSocket]:
+        return self._listeners.get(port)
+
+    @property
+    def open_connections(self) -> int:
+        return len(self._clients) + len(self._servers)
+
+    # ------------------------------------------------------------------
+    # Demux
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        self.segments_received += 1
+        key = (packet.dst_port, packet.src_ip, packet.src_port)
+
+        server = self._servers.get(key)
+        if server is not None:
+            server.handle(packet)
+            return
+
+        client = self._clients.get(key)
+        if client is not None:
+            client.handle(packet)
+            return
+
+        listener = self._listeners.get(packet.dst_port)
+        if listener is not None:
+            if packet.is_syn:
+                listener.handle_syn(packet)
+                return
+            if packet.has_ack and not packet.is_rst:
+                if listener.handle_ack(packet):
+                    return
+        # RFC 793 catch-all: no matching state -> RST (never RST an RST).
+        if not packet.is_rst:
+            self._send_rst(packet)
+
+    def _send_rst(self, packet: Packet) -> None:
+        self.rsts_sent += 1
+        rst = Packet(src_ip=self.host.address, dst_ip=packet.src_ip,
+                     src_port=packet.dst_port, dst_port=packet.src_port,
+                     seq=packet.ack, ack=packet.seq + 1,
+                     flags=TCPFlags.RST)
+        self.host.send(rst)

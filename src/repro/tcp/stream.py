@@ -1,0 +1,174 @@
+"""Reliable byte-stream transfer over established connections.
+
+The handshake stack (the paper's subject) abstracts data transfer: a
+request or response is one aggregated burst with no retransmission, which
+is exact on the evaluation's clean links. This module adds an opt-in
+reliability layer for lossy-link studies: Go-Back-N with byte sequence
+numbers, cumulative ACKs, and a retransmission timer — enough TCP to
+deliver a payload intact over links with real loss, without modelling
+congestion control (out of scope for state-exhaustion work).
+
+Usage::
+
+    sender = ReliableSender(connection, total_bytes=100_000)
+    sender.on_complete = lambda s: ...
+    receiver = ReliableReceiver(peer_connection)
+    receiver.on_complete = lambda r: ...
+    sender.start()
+
+Both endpoints hook the underlying connection's ``on_data``; application
+frames are ``("seg", offset, length)`` and ``("ack", cumulative)`` tuples
+riding the existing packet abstraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from repro.errors import NetworkError
+from repro.tcp.connection import ClientConnection, ServerConnection
+
+Connection = Union[ClientConnection, ServerConnection]
+
+DEFAULT_SEGMENT_BYTES = 1460
+DEFAULT_WINDOW_SEGMENTS = 16
+DEFAULT_RTO = 0.2
+MAX_RETRANSMISSIONS = 20
+
+
+class ReliableSender:
+    """Go-Back-N sender for one payload over an established connection."""
+
+    def __init__(self, connection: Connection, total_bytes: int,
+                 segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+                 window_segments: int = DEFAULT_WINDOW_SEGMENTS,
+                 rto: float = DEFAULT_RTO) -> None:
+        if total_bytes <= 0:
+            raise NetworkError("total_bytes must be positive")
+        if segment_bytes <= 0 or window_segments <= 0 or rto <= 0:
+            raise NetworkError("segment/window/rto must be positive")
+        self.connection = connection
+        self.engine = connection.host.engine
+        self.total_bytes = total_bytes
+        self.segment_bytes = segment_bytes
+        self.window_bytes = window_segments * segment_bytes
+        self.rto = rto
+        self.base = 0            # lowest unacknowledged byte
+        self.next_offset = 0     # next byte to send
+        self.retransmissions = 0      # consecutive timeouts w/o progress
+        self.total_retransmissions = 0
+        self.segments_sent = 0
+        self.completed = False
+        self.failed = False
+        self._timer = None
+        self.on_complete: Optional[Callable[["ReliableSender"],
+                                            None]] = None
+        self.on_failed: Optional[Callable[["ReliableSender"], None]] = None
+        connection.on_data = self._on_frame
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._fill_window()
+
+    def _fill_window(self) -> None:
+        while (self.next_offset < self.total_bytes
+               and self.next_offset - self.base < self.window_bytes):
+            length = min(self.segment_bytes,
+                         self.total_bytes - self.next_offset)
+            self._send_segment(self.next_offset, length)
+            self.next_offset += length
+        if self._timer is None and self.base < self.total_bytes:
+            self._arm_timer()
+
+    def _send_segment(self, offset: int, length: int) -> None:
+        self.segments_sent += 1
+        self.connection.send_data(length, app_data=("seg", offset, length))
+
+    def _arm_timer(self) -> None:
+        self._timer = self.engine.schedule(self.rto, self._timeout)
+
+    def _timeout(self) -> None:
+        self._timer = None
+        if self.completed or self.failed:
+            return
+        self.retransmissions += 1
+        self.total_retransmissions += 1
+        if self.retransmissions > MAX_RETRANSMISSIONS:
+            self.failed = True
+            if self.on_failed is not None:
+                self.on_failed(self)
+            return
+        # Go-Back-N: resend everything from the base.
+        offset = self.base
+        while offset < self.next_offset:
+            length = min(self.segment_bytes, self.total_bytes - offset)
+            self._send_segment(offset, length)
+            offset += length
+        self._arm_timer()
+
+    # ------------------------------------------------------------------
+    def _on_frame(self, connection, payload_bytes: int,
+                  app_data: object) -> None:
+        if (not isinstance(app_data, tuple) or len(app_data) != 2
+                or app_data[0] != "ack"):
+            return
+        cumulative = int(app_data[1])
+        if cumulative <= self.base:
+            return  # duplicate/old ACK
+        self.base = cumulative
+        self.retransmissions = 0  # progress: reset the give-up counter
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self.base >= self.total_bytes:
+            self.completed = True
+            if self.on_complete is not None:
+                self.on_complete(self)
+            return
+        self._fill_window()
+
+
+class ReliableReceiver:
+    """Cumulative-ACK receiver: delivers in-order bytes, discards gaps."""
+
+    def __init__(self, connection: Connection) -> None:
+        self.connection = connection
+        self.expected = 0        # next in-order byte offset
+        self.received_bytes = 0
+        self.out_of_order_discarded = 0
+        self.on_complete: Optional[Callable[["ReliableReceiver"],
+                                            None]] = None
+        self.expected_total: Optional[int] = None
+        connection.on_data = self._on_frame
+
+    def expect(self, total_bytes: int) -> None:
+        """Arm completion notification at *total_bytes* delivered."""
+        self.expected_total = total_bytes
+        self._check_complete()
+
+    def _on_frame(self, connection, payload_bytes: int,
+                  app_data: object) -> None:
+        if (not isinstance(app_data, tuple) or len(app_data) != 3
+                or app_data[0] != "seg"):
+            return
+        _, offset, length = app_data
+        if offset == self.expected:
+            self.expected += length
+            self.received_bytes += length
+        elif offset < self.expected:
+            pass  # duplicate of already-delivered data
+        else:
+            self.out_of_order_discarded += 1  # Go-Back-N: drop the gap
+        # Cumulative ACK either way (dup-ACKs drive retransmission). A
+        # nominal 8-byte payload keeps the frame visible to the endpoints'
+        # payload-bearing delivery path.
+        self.connection.send_data(8, app_data=("ack", self.expected))
+        self._check_complete()
+
+    def _check_complete(self) -> None:
+        if (self.expected_total is not None
+                and self.received_bytes >= self.expected_total
+                and self.on_complete is not None):
+            callback, self.on_complete = self.on_complete, None
+            callback(self)

@@ -1,0 +1,99 @@
+"""BSD-style SYN cache (Lemon 2002) — the paper's other §2.1 baseline.
+
+Instead of a full TCB per half-open connection, the cache keeps a compact
+record in a fixed-size hash table with per-bucket bounds. When a bucket
+overflows, the oldest entry in that bucket is evicted — which is exactly
+why the paper notes caches fail against large botnets: sufficient attack
+rate simply churns the cache.
+
+The paper discusses but does not evaluate the cache; we include it so the
+ablation benchmarks can compare all four server configurations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+Flow = Tuple[int, int, int]  # (remote_ip, remote_port, local_port)
+
+
+@dataclass
+class CacheEntry:
+    """Compact half-open record (a fraction of a full TCB)."""
+
+    flow: Flow
+    remote_isn: int
+    local_isn: int
+    mss: int
+    wscale: Optional[int]
+    created_at: float
+
+
+class SynCache:
+    """Fixed-size, bucketed half-open cache with per-bucket eviction."""
+
+    def __init__(self, bucket_count: int = 512,
+                 bucket_limit: int = 30,
+                 secret: bytes = b"syncache") -> None:
+        if bucket_count < 1 or bucket_limit < 1:
+            raise SimulationError("bucket_count and bucket_limit must be >=1")
+        self.bucket_count = bucket_count
+        self.bucket_limit = bucket_limit
+        self._secret = secret
+        self._buckets: List["OrderedDict[Flow, CacheEntry]"] = [
+            OrderedDict() for _ in range(bucket_count)
+        ]
+        self.evictions = 0
+        self.insertions = 0
+        self.completions = 0
+
+    def _bucket_for(self, flow: Flow) -> "OrderedDict[Flow, CacheEntry]":
+        material = (self._secret
+                    + flow[0].to_bytes(4, "big")
+                    + flow[1].to_bytes(2, "big")
+                    + flow[2].to_bytes(2, "big"))
+        digest = hashlib.sha256(material).digest()
+        index = int.from_bytes(digest[:4], "big") % self.bucket_count
+        return self._buckets[index]
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._buckets)
+
+    @property
+    def capacity(self) -> int:
+        return self.bucket_count * self.bucket_limit
+
+    def insert(self, entry: CacheEntry) -> None:
+        """Add a half-open record, evicting the bucket's oldest if needed."""
+        bucket = self._bucket_for(entry.flow)
+        if entry.flow in bucket:
+            return  # SYN retransmission
+        if len(bucket) >= self.bucket_limit:
+            bucket.popitem(last=False)
+            self.evictions += 1
+        bucket[entry.flow] = entry
+        self.insertions += 1
+
+    def complete(self, flow: Flow) -> Optional[CacheEntry]:
+        """Remove and return the record for a completing ACK."""
+        bucket = self._bucket_for(flow)
+        entry = bucket.pop(flow, None)
+        if entry is not None:
+            self.completions += 1
+        return entry
+
+    def expire_older_than(self, cutoff: float) -> int:
+        """Reap entries created before *cutoff*; returns the count."""
+        reaped = 0
+        for bucket in self._buckets:
+            stale = [flow for flow, e in bucket.items()
+                     if e.created_at < cutoff]
+            for flow in stale:
+                del bucket[flow]
+                reaped += 1
+        return reaped

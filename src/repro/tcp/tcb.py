@@ -1,0 +1,71 @@
+"""Transmission Control Blocks and handshake states.
+
+Only the states the evaluation exercises are modelled; data-transfer
+sequencing beyond the handshake is abstracted (see
+:mod:`repro.tcp.connection`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.engine import Event
+
+
+class TCBState(enum.Enum):
+    """Handshake-relevant connection states."""
+
+    SYN_SENT = "syn-sent"        # client: SYN out, awaiting SYN-ACK
+    SOLVING = "solving"          # client: challenged, computing solutions
+    SYN_RECEIVED = "syn-received"  # server: half-open, in the listen queue
+    ESTABLISHED = "established"
+    CLOSED = "closed"
+    RESET = "reset"
+
+
+class EstablishPath(enum.Enum):
+    """How a server-side connection came to be established — drives the
+    per-path accounting behind the paper's sparklines and Figure 11."""
+
+    NORMAL = "normal"        # stock three-way handshake via the listen queue
+    COOKIE = "cookie"        # stateless SYN-cookie validation
+    SYNCACHE = "syncache"    # compact-cache half-open
+    PUZZLE = "puzzle"        # verified challenge solution
+
+
+@dataclass
+class HalfOpenTCB:
+    """Server-side state for a half-open (SYN_RECEIVED) connection.
+
+    This is precisely the state a SYN flood tries to exhaust: one exists
+    per unacknowledged SYN when no stateless defense is active.
+    """
+
+    remote_ip: int
+    remote_port: int
+    local_port: int
+    remote_isn: int
+    local_isn: int
+    mss: int
+    wscale: Optional[int]
+    created_at: float
+    retransmits: int = 0
+    #: Per-entry scaling of every retransmission timeout, drawn at
+    #: creation. Models the aggregate lifetime variance a real SYN queue
+    #: entry sees (timer-wheel granularity, pressure pruning): without
+    #: it, half-opens created in one engagement burst expire in one wave,
+    #: and each wave hands the freed backlog to whoever floods fastest.
+    timeout_scale: float = 1.0
+    timer: Optional[Event] = field(default=None, repr=False)
+
+    @property
+    def flow(self) -> tuple:
+        """Demux key from the server's perspective."""
+        return (self.remote_ip, self.remote_port, self.local_port)
+
+    def cancel_timer(self) -> None:
+        if self.timer is not None:
+            self.timer.cancel()
+            self.timer = None

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.hosts.cpu import CPU_CATALOG, SERVER_CPU
+from repro.hosts.host import Host
+from repro.net.addresses import AddressAllocator
+from repro.net.network import Network
+from repro.net.topology import deter_topology
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+class MiniNet:
+    """A two-host (server + client) network for protocol-level tests."""
+
+    def __init__(self, seed: int = 5, n_clients: int = 1,
+                 n_attackers: int = 0) -> None:
+        self.engine = Engine()
+        self.streams = RngStreams(seed)
+        self.topology = deter_topology(max(n_clients, 1), n_attackers)
+        self.network = Network(self.engine, self.topology)
+        allocator = AddressAllocator()
+        self.server = Host("server", allocator.allocate(), self.engine,
+                           self.network, SERVER_CPU,
+                           self.streams.get("server"))
+        self.clients = []
+        cpus = list(CPU_CATALOG.values())
+        for i in range(n_clients):
+            self.clients.append(
+                Host(f"client{i}", allocator.allocate(), self.engine,
+                     self.network, cpus[i % len(cpus)],
+                     self.streams.get(f"client{i}")))
+        self.attackers = []
+        for i in range(n_attackers):
+            self.attackers.append(
+                Host(f"attacker{i}", allocator.allocate(), self.engine,
+                     self.network, cpus[i % len(cpus)],
+                     self.streams.get(f"attacker{i}")))
+
+    @property
+    def client(self) -> Host:
+        return self.clients[0]
+
+    def run(self, until: float) -> None:
+        self.engine.run(until=until)
+
+
+@pytest.fixture
+def mini_net() -> MiniNet:
+    return MiniNet()

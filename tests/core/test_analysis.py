@@ -1,0 +1,64 @@
+"""Attack-economics tests: the paper's headline numbers must be derivable."""
+
+import pytest
+
+from repro.core.analysis import (
+    amplification_factor,
+    botnet_cost_table,
+    required_botnet_size,
+    solves_per_second,
+)
+from repro.errors import GameError
+from repro.hosts.cpu import CPU_CATALOG, IOT_CATALOG
+from repro.puzzles.params import PuzzleParams
+
+NASH = PuzzleParams(k=2, m=17)
+
+
+class TestClosedForms:
+    def test_solving_ceiling(self):
+        cpu1 = CPU_CATALOG["cpu1"]
+        assert solves_per_second(cpu1, NASH) == pytest.approx(
+            372_500.0 / 131_072.0)
+
+    def test_required_size_rounds_up(self):
+        cpu1 = CPU_CATALOG["cpu1"]
+        assert required_botnet_size(10.0, NASH, cpu1) == 4  # 3.52 -> 4
+
+    def test_validation(self):
+        with pytest.raises(GameError):
+            required_botnet_size(0.0, NASH, CPU_CATALOG["cpu1"])
+        with pytest.raises(GameError):
+            amplification_factor(NASH, CPU_CATALOG["cpu1"],
+                                 unprotected_rate_per_bot=0.0)
+
+
+class TestPaperHeadlines:
+    def test_factor_of_200_botnet_amplification(self):
+        """Abstract: 'the size of a botnet has to increase by a factor
+        of 200'. A Xeon-class bot flooding 500 cps unprotected drops to
+        ~2.7 solves/s at the Nash difficulty — a ~185x amplification."""
+        for profile in CPU_CATALOG.values():
+            factor = amplification_factor(NASH, profile, 500.0)
+            assert 140 < factor < 230
+
+    def test_thousands_of_machines_for_5000_cps(self):
+        """§6.4: reaching an effective 5000 cps takes a fleet in the
+        hundreds-to-thousands (the paper extrapolates ~500 from its
+        measured slope; the pure CPU ceiling gives ~1900)."""
+        size = required_botnet_size(5000.0, NASH, CPU_CATALOG["cpu3"])
+        assert 500 <= size <= 5000
+
+    def test_iot_botnets_neutralised(self):
+        """Abstract: 'IoT-based botnets become unable to launch such
+        attacks' — every Pi is under 0.6 connections/second."""
+        for profile in IOT_CATALOG.values():
+            assert solves_per_second(profile, NASH) < 0.6
+
+    def test_cost_table(self):
+        rows = botnet_cost_table()
+        assert set(rows) == {"cpu1", "cpu2", "cpu3", "D1", "D2", "D3",
+                             "D4"}
+        # IoT amplification is an order beyond the Xeons'.
+        assert rows["D1"].amplification > rows["cpu1"].amplification * 4
+        assert rows["D1"].bots_for_5000_cps > 10_000

@@ -1,0 +1,151 @@
+"""Nash-equilibrium solver tests: first-order conditions, feasibility,
+participation/dropout, and the potential-maximisation characterisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.equilibrium import ClientGame
+from repro.core.utility import client_utility, potential
+from repro.errors import GameError
+
+
+class TestConstruction:
+    def test_needs_clients(self):
+        with pytest.raises(GameError):
+            ClientGame([], mu=10.0)
+
+    def test_positive_weights_required(self):
+        with pytest.raises(GameError):
+            ClientGame([1.0, 0.0], mu=10.0)
+
+    def test_homogeneous_helper(self):
+        game = ClientGame.homogeneous(15, 140630.0, 1100.0)
+        assert game.n_users == 15
+        assert game.w_av == 140630.0
+        assert game.alpha == pytest.approx(1100.0 / 15)
+
+
+class TestFeasibilityBound:
+    def test_equation_10(self):
+        """r̂ = w̄/N − 1/µ²."""
+        game = ClientGame.homogeneous(10, 100.0, 2.0)
+        assert game.max_feasible_difficulty == pytest.approx(100.0 - 0.25)
+
+    def test_above_bound_infeasible(self):
+        game = ClientGame.homogeneous(10, 100.0, 2.0)
+        solution = game.solve(game.max_feasible_difficulty * 1.01)
+        assert not solution.feasible
+        assert solution.total_rate == 0.0
+
+    def test_above_bound_raises_without_dropout(self):
+        game = ClientGame.homogeneous(10, 100.0, 2.0)
+        with pytest.raises(GameError):
+            game.solve(game.max_feasible_difficulty * 1.01,
+                       allow_dropout=False)
+
+
+class TestFirstOrderConditions:
+    def test_interior_residuals_vanish(self):
+        game = ClientGame.homogeneous(15, 140630.0, 1100.0)
+        solution = game.solve(131072.0)
+        assert solution.feasible
+        for residual in solution.first_order_residuals():
+            assert abs(residual) < 1e-4
+
+    def test_rates_positive_and_stable(self):
+        game = ClientGame.homogeneous(15, 140630.0, 1100.0)
+        solution = game.solve(131072.0)
+        assert all(x > 0 for x in solution.rates)
+        assert solution.total_rate < game.mu
+
+    def test_heterogeneous_rates_ordered_by_valuation(self):
+        game = ClientGame([100.0, 200.0, 400.0], mu=50.0)
+        solution = game.solve(10.0)
+        assert solution.rates[0] < solution.rates[1] < solution.rates[2]
+
+    def test_y_bar_change_of_variables(self):
+        game = ClientGame.homogeneous(5, 1000.0, 100.0)
+        solution = game.solve(50.0)
+        assert solution.y_bar == pytest.approx(5 + solution.total_rate)
+
+
+class TestMonotonicity:
+    def test_harder_puzzles_lower_demand(self):
+        """x̄*(ℓ) is decreasing — the rate-limiting mechanism itself."""
+        game = ClientGame.homogeneous(15, 140630.0, 1100.0)
+        difficulties = [1000.0, 10000.0, 50000.0, 100000.0]
+        rates = [game.total_rate(d) for d in difficulties]
+        assert all(a > b for a, b in zip(rates, rates[1:]))
+
+    def test_zero_difficulty_maximises_demand(self):
+        game = ClientGame.homogeneous(5, 100.0, 50.0)
+        assert game.total_rate(0.0) > game.total_rate(1.0)
+
+
+class TestDropout:
+    def test_low_valuation_users_drop_out(self):
+        """§4.2: users with w_i below the price exit (w=0-like users)."""
+        game = ClientGame([10.0, 10.0, 10000.0], mu=100.0)
+        solution = game.solve(500.0)
+        assert solution.feasible
+        assert solution.rates[0] == 0.0
+        assert solution.rates[1] == 0.0
+        assert solution.rates[2] > 0.0
+
+    def test_remaining_user_satisfies_reduced_first_order(self):
+        game = ClientGame([10.0, 10000.0], mu=100.0)
+        solution = game.solve(500.0)
+        x = solution.rates[1]
+        residual = 10000.0 / (1 + x) - 500.0 - 1.0 / (100.0 - x) ** 2
+        assert abs(residual) < 1e-6
+
+    def test_dropout_user_prefers_zero(self):
+        """No dropped-out user could gain by deviating to a positive rate."""
+        game = ClientGame([10.0, 10000.0], mu=100.0)
+        solution = game.solve(500.0)
+        others = solution.total_rate
+        u_zero = client_utility(0.0, others, 500.0, 10.0, 100.0)
+        for x in (0.01, 0.1, 1.0):
+            assert client_utility(x, others, 500.0, 10.0,
+                                  100.0) <= u_zero + 1e-9
+
+
+class TestEquilibriumIsPotentialMaximum:
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(min_value=1, max_value=6),
+           st.floats(min_value=10.0, max_value=1e4, allow_nan=False),
+           st.floats(min_value=5.0, max_value=500.0, allow_nan=False),
+           st.floats(min_value=0.0, max_value=0.5, allow_nan=False))
+    def test_no_unilateral_deviation_improves(self, n, w, mu, rel_diff):
+        """Nash property: no user gains by changing only her own rate."""
+        game = ClientGame.homogeneous(n, w, mu)
+        difficulty = rel_diff * game.max_feasible_difficulty
+        if difficulty <= 0:
+            difficulty = 0.0
+        solution = game.solve(difficulty)
+        if not solution.feasible:
+            return
+        i = 0
+        x_star = solution.rates[i]
+        others = solution.total_rate - x_star
+        u_star = client_utility(x_star, others, difficulty, w, mu)
+        for delta in (-0.5, -0.1, 0.1, 0.5):
+            x = x_star * (1 + delta)
+            if x < 0 or others + x >= mu:
+                continue
+            assert client_utility(x, others, difficulty, w,
+                                  mu) <= u_star + 1e-7
+
+    def test_equilibrium_maximises_potential(self):
+        game = ClientGame.homogeneous(4, 500.0, 60.0)
+        solution = game.solve(30.0)
+        h_star = potential(solution.rates, 30.0, game.weights, game.mu)
+        rng = np.random.default_rng(5)
+        for _ in range(200):
+            perturbed = [max(0.0, x + rng.normal(scale=0.2))
+                         for x in solution.rates]
+            if sum(perturbed) >= game.mu:
+                continue
+            assert potential(perturbed, 30.0, game.weights,
+                             game.mu) <= h_star + 1e-9

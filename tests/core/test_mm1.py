@@ -1,0 +1,62 @@
+"""Unit tests for the M/M/1 abstraction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.mm1 import MM1Queue, expected_service_time
+from repro.errors import GameError
+
+
+class TestServiceTime:
+    def test_paper_form(self):
+        """S(x̄) = 1/(µ − x̄)."""
+        assert expected_service_time(0.0, 2.0) == 0.5
+        assert expected_service_time(1.0, 2.0) == 1.0
+
+    def test_unstable_rejected(self):
+        with pytest.raises(GameError):
+            expected_service_time(2.0, 2.0)
+        with pytest.raises(GameError):
+            expected_service_time(3.0, 2.0)
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(GameError):
+            expected_service_time(-1.0, 2.0)
+        with pytest.raises(GameError):
+            expected_service_time(1.0, 0.0)
+
+    @given(st.floats(min_value=0.1, max_value=1e4, allow_nan=False),
+           st.floats(min_value=0.0, max_value=0.99, allow_nan=False))
+    def test_increasing_in_load(self, mu, rho):
+        rate = rho * mu
+        s = expected_service_time(rate, mu)
+        s_more = expected_service_time(min(rate + 0.001 * mu, 0.999 * mu),
+                                       mu)
+        assert s_more >= s
+
+
+class TestQueueMeasures:
+    def test_utilization(self):
+        queue = MM1Queue(mu=100.0)
+        assert queue.utilization(50.0) == 0.5
+
+    def test_stability(self):
+        queue = MM1Queue(mu=10.0)
+        assert queue.is_stable(9.9)
+        assert not queue.is_stable(10.0)
+
+    def test_littles_law_consistency(self):
+        """L = λ·W must hold for the closed forms."""
+        queue = MM1Queue(mu=10.0)
+        rate = 6.0
+        length = queue.expected_queue_length(rate)
+        wait = queue.expected_system_time(rate)
+        assert length == pytest.approx(rate * wait)
+
+    def test_waiting_excludes_service(self):
+        queue = MM1Queue(mu=10.0)
+        assert queue.expected_waiting_time(0.0) == pytest.approx(0.0)
+
+    def test_invalid_mu_rejected(self):
+        with pytest.raises(GameError):
+            MM1Queue(mu=0.0)

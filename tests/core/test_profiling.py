@@ -1,0 +1,115 @@
+"""Tests for the §4.3 parameter-estimation procedures and utility model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.profiling import (
+    ClientProfile,
+    ServerProfile,
+    estimate_alpha,
+    estimate_w_av,
+    measure_hash_rate,
+)
+from repro.core.utility import client_utility, potential
+from repro.errors import GameError
+from repro.hosts.cpu import CPU_CATALOG, catalog_w_av
+
+
+class TestClientProfile:
+    def test_hashes_in_budget(self):
+        profile = ClientProfile("x", hash_rate=1000.0)
+        assert profile.hashes_in(0.4) == 400.0
+
+    def test_solve_seconds(self):
+        profile = ClientProfile("x", hash_rate=1000.0)
+        assert profile.solve_seconds(500.0) == 0.5
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(GameError):
+            ClientProfile("x", hash_rate=0.0)
+
+    def test_w_av_is_mean(self):
+        profiles = [ClientProfile("a", 1000.0), ClientProfile("b", 3000.0)]
+        assert estimate_w_av(profiles, 0.4) == pytest.approx(800.0)
+
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(GameError):
+            estimate_w_av([])
+
+    def test_catalog_reproduces_paper_w_av(self):
+        """Figure 3(a): the catalog's 400 ms average is exactly 140630."""
+        assert catalog_w_av() == pytest.approx(140630.0)
+
+    def test_measure_hash_rate_is_positive(self):
+        assert measure_hash_rate(duration=0.02) > 1000.0
+
+
+class TestServerProfile:
+    def test_alpha_is_converged_ratio(self):
+        profile = ServerProfile(concurrency=(10, 100, 1000),
+                                service_rate=(10.0, 100.0, 1100.0))
+        assert profile.alpha == pytest.approx(1.1)
+        assert profile.mu == pytest.approx(1100.0)
+
+    def test_alpha_curve(self):
+        profile = ServerProfile(concurrency=(10, 100),
+                                service_rate=(10.0, 110.0))
+        assert profile.alpha_curve() == [pytest.approx(1.0),
+                                         pytest.approx(1.1)]
+
+    def test_from_points_sorts(self):
+        profile = ServerProfile.from_points([(100, 110.0), (10, 10.0)])
+        assert profile.concurrency == (10, 100)
+
+    def test_validation(self):
+        with pytest.raises(GameError):
+            ServerProfile(concurrency=(), service_rate=())
+        with pytest.raises(GameError):
+            ServerProfile(concurrency=(10, 5), service_rate=(1.0, 1.0))
+        with pytest.raises(GameError):
+            ServerProfile(concurrency=(10,), service_rate=(1.0, 2.0))
+        with pytest.raises(GameError):
+            ServerProfile(concurrency=(0,), service_rate=(1.0,))
+
+    def test_estimate_alpha_wrapper(self):
+        assert estimate_alpha([10, 1000], [10.0, 1100.0]) == \
+            pytest.approx(1.1)
+
+
+class TestUtilityModel:
+    def test_equation_4_form(self):
+        """u = w·log(1+x) − ℓ·x − 1/(µ − x̄)."""
+        u = client_utility(x_i=1.0, x_others=2.0, difficulty=3.0,
+                           w_i=10.0, mu=5.0)
+        expected = 10.0 * math.log(2.0) - 3.0 - 1.0 / 2.0
+        assert u == pytest.approx(expected)
+
+    def test_zero_rate_pays_no_work(self):
+        u = client_utility(0.0, 1.0, 1e6, 10.0, 5.0)
+        assert u == pytest.approx(-1.0 / 4.0)
+
+    def test_validation(self):
+        with pytest.raises(GameError):
+            client_utility(-1.0, 0.0, 1.0, 1.0, 5.0)
+        with pytest.raises(GameError):
+            client_utility(1.0, 0.0, 1.0, -1.0, 5.0)
+
+    def test_potential_length_mismatch(self):
+        with pytest.raises(GameError):
+            potential([1.0], 1.0, [1.0, 2.0], 10.0)
+
+    @given(st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+           st.floats(min_value=0.0, max_value=3.0, allow_nan=False))
+    def test_potential_difference_equals_utility_difference(self, x1, x2):
+        """H is an exact potential: ΔH = Δu_i for unilateral deviations."""
+        weights = [5.0, 7.0]
+        mu = 20.0
+        difficulty = 0.5
+        fixed = 1.0
+        h1 = potential([x1, fixed], difficulty, weights, mu)
+        h2 = potential([x2, fixed], difficulty, weights, mu)
+        u1 = client_utility(x1, fixed, difficulty, weights[0], mu)
+        u2 = client_utility(x2, fixed, difficulty, weights[0], mu)
+        assert (h1 - h2) == pytest.approx(u1 - u2, abs=1e-9)

@@ -1,0 +1,80 @@
+"""Tests for the misestimation sensitivity analysis."""
+
+import pytest
+
+from repro.core.sensitivity import (
+    alpha_misestimation_sweep,
+    safe_estimate_band,
+    w_av_misestimation_sweep,
+)
+from repro.errors import GameError
+
+
+class TestWavMisestimation:
+    def test_correct_estimate_is_feasible_and_fair(self):
+        rows = w_av_misestimation_sweep(factors=(1.0,))
+        row = rows[0]
+        assert row.feasible
+        assert (row.params.k, row.params.m) == (2, 17)
+        # Round-up prices at most ~2x the valuation-share target.
+        assert row.price_to_valuation < 1.0
+
+    def test_underestimation_underprotects(self):
+        rows = w_av_misestimation_sweep(factors=(0.25, 1.0))
+        low, right = rows
+        assert low.feasible
+        # 4x cheaper puzzles -> ~4x faster attacker solving.
+        assert low.attacker_solves_per_second > \
+            right.attacker_solves_per_second * 3
+
+    def test_overestimation_hits_feasibility_cliff(self):
+        rows = w_av_misestimation_sweep(factors=(1.0, 4.0))
+        assert rows[0].feasible
+        # 4x overestimate prices at ~2.9x the true valuation: everyone
+        # drops out (r̂ ≈ w_av).
+        assert not rows[1].feasible
+        assert rows[1].total_rate == 0.0
+
+    def test_demand_decreases_with_estimate(self):
+        rows = w_av_misestimation_sweep(factors=(0.5, 1.0, 2.0))
+        rates = [row.total_rate for row in rows]
+        assert rates[0] >= rates[1] >= rates[2]
+
+    def test_validation(self):
+        with pytest.raises(GameError):
+            w_av_misestimation_sweep(true_w_av=0.0)
+
+
+class TestAlphaMisestimation:
+    def test_alpha_is_forgiving(self):
+        """±4x on alpha never ejects the population (contrast w_av)."""
+        rows = alpha_misestimation_sweep(factors=(0.25, 1.0, 4.0))
+        assert all(row.feasible for row in rows)
+
+    def test_overestimating_alpha_underprotects(self):
+        rows = alpha_misestimation_sweep(factors=(1.0, 4.0))
+        assert rows[1].attacker_solves_per_second > \
+            rows[0].attacker_solves_per_second
+
+    def test_price_moves_less_than_estimate(self):
+        """The 1/(α+1) structure compresses the error: a 4x alpha error
+        moves the continuous price by (4α+1)/(α+1) ≈ 2.6x. (Integer
+        rounding to powers of two can stretch one step to exactly 4x.)"""
+        from repro.core.theorem import equilibrium_difficulty
+
+        ratio = (equilibrium_difficulty(140_630.0, 1.1)
+                 / equilibrium_difficulty(140_630.0, 4.4))
+        assert ratio < 4.0
+        rows = alpha_misestimation_sweep(factors=(1.0, 4.0))
+        integer_ratio = (rows[0].params.expected_hashes
+                         / rows[1].params.expected_hashes)
+        assert integer_ratio <= 4.0
+
+
+class TestSafeBand:
+    def test_band_contains_truth_and_some_overestimate(self):
+        low, high = safe_estimate_band()
+        assert low < 1.0 < high
+        # Over-estimation tolerance is finite and around ~2x: the
+        # round-up rule already spends most of the feasibility slack.
+        assert 1.0 < high < 4.0

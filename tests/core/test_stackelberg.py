@@ -1,0 +1,170 @@
+"""Provider-problem tests: Eq. 12–15 and Lemma 1's relaxation bound."""
+
+import pytest
+
+from repro.core.equilibrium import ClientGame
+from repro.core.stackelberg import StackelbergGame
+from repro.core.theorem import equilibrium_difficulty
+from repro.errors import GameError
+from repro.puzzles.estimator import provider_net_work
+from repro.puzzles.params import PuzzleParams
+
+
+@pytest.fixture
+def testbed_game() -> ClientGame:
+    """The paper's testbed population: 15 clients, µ = 1100."""
+    return ClientGame.homogeneous(15, 140630.0, 1100.0)
+
+
+class TestRelaxedSolution:
+    def test_first_order_condition_holds(self, testbed_game):
+        provider = StackelbergGame(testbed_game)
+        solution = provider.solve_relaxed()
+        n = testbed_game.n_users
+        mu = testbed_game.mu
+        w_bar = testbed_game.w_bar
+        y = solution.y_bar
+        residual = (w_bar * n / y ** 2
+                    - (mu + y - n) / (mu + n - y) ** 3)
+        assert abs(residual) < 1e-6
+
+    def test_consistent_with_client_game(self, testbed_game):
+        """ℓ* maps back to the same x̄ through the followers' game."""
+        provider = StackelbergGame(testbed_game)
+        solution = provider.solve_relaxed()
+        x_bar = testbed_game.total_rate(solution.difficulty)
+        assert x_bar == pytest.approx(solution.total_rate, rel=1e-6)
+
+    def test_relaxed_optimum_beats_neighbours(self, testbed_game):
+        provider = StackelbergGame(testbed_game)
+        best = provider.solve_relaxed()
+        for factor in (0.5, 0.9, 1.1, 2.0):
+            other = provider.relaxed_objective(best.difficulty * factor)
+            assert other <= best.objective * (1 + 1e-9)
+
+    def test_close_to_asymptotic_for_many_users(self):
+        """Appendix: the exact optimum → w_av/(α+1) as N grows."""
+        w_av, alpha = 140630.0, 1.1
+        asymptotic = equilibrium_difficulty(w_av, alpha)
+        game = ClientGame.homogeneous(2000, w_av, alpha * 2000)
+        exact = StackelbergGame(game).solve_relaxed().difficulty
+        assert exact == pytest.approx(asymptotic, rel=0.05)
+
+    def test_convergence_improves_with_n(self):
+        w_av, alpha = 140630.0, 1.1
+        asymptotic = equilibrium_difficulty(w_av, alpha)
+        gaps = []
+        for n in (10, 100, 1000):
+            game = ClientGame.homogeneous(n, w_av, alpha * n)
+            exact = StackelbergGame(game).solve_relaxed().difficulty
+            gaps.append(abs(exact - asymptotic) / asymptotic)
+        assert gaps[0] > gaps[1] > gaps[2]
+
+    def test_degenerate_game_rejected(self):
+        # r̂ <= 0: no difficulty sustains participation.
+        game = ClientGame.homogeneous(1, 0.5, 1.0)
+        assert game.max_feasible_difficulty < 0
+        with pytest.raises(GameError):
+            StackelbergGame(game).solve_relaxed()
+
+
+class TestIntegerSolution:
+    def test_objective_matches_definition(self, testbed_game):
+        provider = StackelbergGame(testbed_game)
+        params = PuzzleParams(k=2, m=12)
+        expected = provider_net_work(params) * testbed_game.total_rate(
+            params.expected_hashes)
+        assert provider.objective(params) == pytest.approx(expected)
+
+    def test_grid_search_returns_feasible_best(self, testbed_game):
+        provider = StackelbergGame(testbed_game)
+        best = provider.solve_integer()
+        assert best.params is not None
+        assert best.difficulty < testbed_game.max_feasible_difficulty
+        # No swept grid point beats it.
+        for k in (1, 2, 3, 4):
+            for m in range(0, 18):
+                params = PuzzleParams(k=k, m=m)
+                if params.expected_hashes >= \
+                        testbed_game.max_feasible_difficulty:
+                    continue
+                assert provider.objective(params) <= best.objective + 1e-9
+
+    def test_integer_near_relaxed_optimum(self, testbed_game):
+        provider = StackelbergGame(testbed_game)
+        relaxed = provider.solve_relaxed()
+        integer = provider.solve_integer()
+        # Lemma 1: within a constant; in practice the same ballpark.
+        assert integer.difficulty == pytest.approx(relaxed.difficulty,
+                                                   rel=1.0)
+
+    def test_explicit_m_grid(self, testbed_game):
+        provider = StackelbergGame(testbed_game)
+        best = provider.solve_integer(k_values=(2,), m_values=(8, 10, 12))
+        assert best.params.k == 2
+        assert best.params.m in (8, 10, 12)
+
+    def test_no_feasible_grid_point_raises(self):
+        game = ClientGame.homogeneous(4, 3.0, 100.0)  # r̂ = 3 − 1e-4
+        provider = StackelbergGame(game)
+        with pytest.raises(GameError):
+            provider.solve_integer(k_values=(4,), m_values=(10,))
+
+
+class TestSweep:
+    def test_sweep_rows(self, testbed_game):
+        provider = StackelbergGame(testbed_game)
+        rows = provider.sweep([100.0, 1000.0, 10000.0])
+        assert len(rows) == 3
+        # Demand falls with difficulty...
+        assert rows[0][1] > rows[1][1] > rows[2][1]
+        # ...and each row's objective is ℓ·x̄.
+        for difficulty, rate, objective in rows:
+            assert objective == pytest.approx(difficulty * rate)
+
+
+class TestLemma1Property:
+    """Lemma 1: the relaxation's optimum is within (k/2 + 2)·µ of the
+    exact objective — checked over randomly drawn games."""
+
+    from hypothesis import given, settings, strategies as st
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(min_value=2, max_value=30),
+           st.floats(min_value=50.0, max_value=1e6, allow_nan=False),
+           st.floats(min_value=0.2, max_value=50.0, allow_nan=False))
+    def test_integer_within_lemma_bound(self, n, w, alpha):
+        from hypothesis import assume
+
+        game = ClientGame.homogeneous(n, w, alpha * n)
+        assume(game.max_feasible_difficulty > 4.0)
+        provider = StackelbergGame(game)
+        relaxed = provider.solve_relaxed()
+        integer = provider.solve_integer(k_values=(1, 2))
+        # The continuous relaxation upper-bounds Ĩ at any integer point...
+        assert integer.difficulty * game.total_rate(integer.difficulty) \
+            <= relaxed.objective * (1 + 1e-9)
+        # ...and over the SAME integer space, Lemma 1's constant bounds
+        # the gap between maximising I and maximising Ĩ.
+        best_i_tilde = max(
+            PuzzleParams(k=k, m=m).expected_hashes
+            * game.total_rate(PuzzleParams(k=k, m=m).expected_hashes)
+            for k in (1, 2) for m in range(0, 40)
+            if PuzzleParams(k=k, m=m, length_bytes=8).expected_hashes
+            < game.max_feasible_difficulty)
+        constant = (integer.params.k / 2 + 2) * game.mu
+        assert integer.objective >= best_i_tilde - constant \
+            - 1e-6 * best_i_tilde
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(min_value=2, max_value=30),
+           st.floats(min_value=50.0, max_value=1e6, allow_nan=False),
+           st.floats(min_value=0.2, max_value=50.0, allow_nan=False))
+    def test_relaxed_difficulty_below_feasibility(self, n, w, alpha):
+        from hypothesis import assume
+
+        game = ClientGame.homogeneous(n, w, alpha * n)
+        assume(game.max_feasible_difficulty > 4.0)
+        relaxed = StackelbergGame(game).solve_relaxed()
+        assert 0 < relaxed.difficulty < game.max_feasible_difficulty
+        assert 0 < relaxed.total_rate < game.mu

@@ -1,0 +1,147 @@
+"""Theorem 1, the difficulty rounding rules, and the §4.4 worked example."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.difficulty import (
+    guess_success_probability,
+    params_for_difficulty,
+    round_nearest,
+    round_up,
+)
+from repro.core.theorem import (
+    equilibrium_difficulty,
+    max_feasible_difficulty,
+    nash_difficulty,
+    second_order_difficulty,
+)
+from repro.errors import GameError
+
+
+class TestEquilibriumDifficulty:
+    def test_equation_18(self):
+        assert equilibrium_difficulty(140630.0, 1.1) == pytest.approx(
+            140630.0 / 2.1)
+
+    def test_well_provisioned_server_asks_less(self):
+        """§4.2: α > 1 → clients commit less than w_av."""
+        assert equilibrium_difficulty(1000.0, 2.0) < 1000.0 / 2
+
+    def test_overloaded_server_approaches_w_av(self):
+        """§4.2: α → 0 → p* ≃ w_av."""
+        assert equilibrium_difficulty(1000.0, 0.01) == pytest.approx(
+            1000.0, rel=0.02)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(GameError):
+            equilibrium_difficulty(0.0, 1.0)
+        with pytest.raises(GameError):
+            equilibrium_difficulty(100.0, 0.0)
+
+    @given(st.floats(min_value=1.0, max_value=1e7, allow_nan=False),
+           st.floats(min_value=0.01, max_value=100.0, allow_nan=False))
+    def test_decreasing_in_alpha(self, w_av, alpha):
+        assert equilibrium_difficulty(w_av, alpha * 1.5) < \
+            equilibrium_difficulty(w_av, alpha)
+
+
+class TestSecondOrder:
+    def test_correction_vanishes_with_n(self):
+        first = equilibrium_difficulty(1000.0, 2.0)
+        small_n = second_order_difficulty(1000.0, 2.0, 10, gamma=1.0)
+        large_n = second_order_difficulty(1000.0, 2.0, 10000, gamma=1.0)
+        assert abs(large_n - first) < abs(small_n - first)
+
+    def test_sign_follows_2alpha_minus_1(self):
+        above = second_order_difficulty(1000.0, 2.0, 100, gamma=1.0)
+        below = second_order_difficulty(1000.0, 0.25, 100, gamma=1.0)
+        assert above > equilibrium_difficulty(1000.0, 2.0)
+        assert below < equilibrium_difficulty(1000.0, 0.25)
+
+
+class TestFeasibility:
+    def test_equation_10_form(self):
+        assert max_feasible_difficulty(100.0, 10, 2.0) == pytest.approx(
+            100.0 - 0.25)
+
+    def test_infinite_capacity_limit_is_w_av(self):
+        """µ → ∞ ⇒ never price above the average valuation."""
+        assert max_feasible_difficulty(100.0, 10, 1e9) == pytest.approx(
+            100.0)
+
+
+class TestRounding:
+    def test_paper_worked_example(self):
+        """§4.4: w_av = 140630, α = 1.1 → (k*, m*) = (2, 17)."""
+        params = nash_difficulty(140630.0, 1.1)
+        assert (params.k, params.m) == (2, 17)
+
+    def test_round_up_never_under_protects(self):
+        for target in (3.0, 100.0, 66966.0, 1e6):
+            for k in (1, 2, 3, 4):
+                m = round_up(target, k)
+                realised = float(k) if m == 0 else k * 2.0 ** (m - 1)
+                assert realised >= target or m == 0
+
+    def test_round_up_minimal(self):
+        """One difficulty bit less would under-protect."""
+        for target in (100.0, 66966.0):
+            for k in (1, 2):
+                m = round_up(target, k)
+                assert m >= 1
+                below = float(k) if m - 1 == 0 else k * 2.0 ** (m - 2)
+                assert below < target
+
+    def test_round_nearest_minimises_error(self):
+        target = 66966.0
+        for k in (1, 2, 3, 4):
+            m = round_nearest(target, k)
+            chosen = float(k) if m == 0 else k * 2.0 ** (m - 1)
+            for other in (m - 1, m + 1):
+                if other < 0:
+                    continue
+                alt = float(k) if other == 0 else k * 2.0 ** (other - 1)
+                assert abs(chosen - target) <= abs(alt - target) + 1e-9
+
+    def test_tiny_target(self):
+        assert round_up(0.5, 1) == 0      # a free puzzle already covers it
+        assert round_up(1.5, 1) == 2      # m=1 realises only 1 < 1.5
+
+    def test_k1_example(self):
+        """With k = 1 the same rule gives m = 18 (one level harder)."""
+        params = nash_difficulty(140630.0, 1.1, k=1)
+        assert (params.k, params.m) == (1, 18)
+
+    def test_unknown_rounding_rule(self):
+        with pytest.raises(GameError):
+            params_for_difficulty(100.0, rounding="stochastic")
+
+    def test_oversized_k_rejected_by_wire_budget(self):
+        with pytest.raises(GameError):
+            params_for_difficulty(1e6, k=4, length_bytes=12)
+
+    @given(st.floats(min_value=2.0, max_value=1e6, allow_nan=False),
+           st.integers(min_value=1, max_value=4))
+    def test_round_up_matches_ceiling_formula(self, target, k):
+        m = round_up(target, k)
+        if target / k > 1.0:
+            assert m == int(math.ceil(math.log2(target / k))) + 1
+
+
+class TestGuessProbability:
+    def test_formula(self):
+        from repro.puzzles.params import PuzzleParams
+
+        assert guess_success_probability(PuzzleParams(k=2, m=17)) == \
+            pytest.approx(2.0 ** -34)
+
+    def test_k_tradeoff(self):
+        """§4.3: lower k (same ℓ) → easier to guess."""
+        from repro.puzzles.params import PuzzleParams
+
+        low_k = PuzzleParams(k=1, m=18)   # ℓ = 131072
+        high_k = PuzzleParams(k=2, m=17)  # ℓ = 131072
+        assert guess_success_probability(low_k) > \
+            guess_success_probability(high_k)

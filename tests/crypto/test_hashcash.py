@@ -1,0 +1,117 @@
+"""Unit and property tests for the partial-preimage (hashcash) primitive."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hashcash import (
+    count_expected_attempts,
+    find_partial_preimage,
+    verify_partial_preimage,
+)
+from repro.crypto.sha256 import HashCounter
+
+
+class TestFindAndVerify:
+    def test_found_solution_verifies(self):
+        puzzle = b"\x17" * 8
+        solution, attempts = find_partial_preimage(puzzle, 0, 8, 8)
+        assert attempts >= 1
+        assert verify_partial_preimage(puzzle, 0, 8, solution)
+
+    def test_solution_bound_to_index(self):
+        puzzle = b"\x42" * 8
+        solution, _ = find_partial_preimage(puzzle, 0, 10, 8)
+        assert verify_partial_preimage(puzzle, 0, 10, solution)
+        assert not verify_partial_preimage(puzzle, 1, 10, solution)
+
+    def test_solution_bound_to_puzzle(self):
+        solution, _ = find_partial_preimage(b"\x01" * 8, 0, 10, 8)
+        assert not verify_partial_preimage(b"\x02" * 8, 0, 10, solution)
+
+    def test_zero_difficulty_first_try(self):
+        puzzle = b"\x00" * 8
+        solution, attempts = find_partial_preimage(puzzle, 0, 0, 8)
+        assert attempts == 1
+        assert verify_partial_preimage(puzzle, 0, 0, solution)
+
+    def test_counter_charged_per_attempt(self):
+        counter = HashCounter()
+        _, attempts = find_partial_preimage(b"\x55" * 8, 0, 6, 8,
+                                            counter=counter)
+        assert counter.count == attempts
+
+    def test_verify_charges_one_hash(self):
+        counter = HashCounter()
+        solution, _ = find_partial_preimage(b"\x55" * 8, 0, 4, 8)
+        verify_partial_preimage(b"\x55" * 8, 0, 4, solution,
+                                counter=counter)
+        assert counter.count == 1
+
+    def test_start_offset_changes_enumeration(self):
+        puzzle = b"\x33" * 8
+        s1, _ = find_partial_preimage(puzzle, 0, 4, 8, start=0)
+        s2, _ = find_partial_preimage(puzzle, 0, 4, 8, start=12345)
+        # Both verify, independent of the scan start.
+        assert verify_partial_preimage(puzzle, 0, 4, s1)
+        assert verify_partial_preimage(puzzle, 0, 4, s2)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            find_partial_preimage(b"x", 0, -1, 8)
+        with pytest.raises(ValueError):
+            find_partial_preimage(b"x", 0, 4, 0)
+
+    def test_exhaustion_raises(self):
+        # 1-byte candidate space with absurd difficulty: no solution.
+        with pytest.raises(ValueError):
+            find_partial_preimage(b"\xde\xad\xbe\xef", 0, 32, 1)
+
+
+class TestExpectedAttempts:
+    def test_formula(self):
+        assert count_expected_attempts(2, 17) == 2 * 2 ** 16
+        assert count_expected_attempts(1, 1) == 1.0
+
+    def test_zero_difficulty(self):
+        assert count_expected_attempts(3, 0) == 3.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            count_expected_attempts(-1, 4)
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=24))
+    def test_linear_in_k_exponential_in_m(self, k, m):
+        base = count_expected_attempts(1, m)
+        assert count_expected_attempts(k, m) == pytest.approx(k * base)
+        assert count_expected_attempts(k, m + 1) == pytest.approx(
+            2 * count_expected_attempts(k, m))
+
+
+class TestSolveDistribution:
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(min_value=0, max_value=2 ** 30))
+    def test_random_start_solution_always_verifies(self, start):
+        puzzle = b"\x77" * 8
+        solution, _ = find_partial_preimage(puzzle, 3, 6, 8, start=start)
+        assert verify_partial_preimage(puzzle, 3, 6, solution)
+
+    def test_mean_attempts_near_expectation(self):
+        """Attempts from a random start are geometric(2^-m): mean ≈ 2^m.
+
+        (The paper's ℓ = k·2^(m-1) is the *scan-from-zero* average; the
+        random-start search pays 2^m on average — both exponential in m,
+        which is the property the difficulty model rests on.)
+        """
+        import random
+
+        rng = random.Random(9)
+        puzzle = b"\x99" * 8
+        total = 0
+        trials = 60
+        for _ in range(trials):
+            _, attempts = find_partial_preimage(
+                puzzle, 0, 6, 8, start=rng.randrange(2 ** 32))
+            total += attempts
+        mean = total / trials
+        assert 30 < mean < 130  # expectation 64, generous noise band

@@ -1,0 +1,79 @@
+"""Unit tests for the SHA-256 wrapper and bit-prefix matching."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.sha256 import HashCounter, leading_bits_match, sha256
+
+
+class TestSha256:
+    def test_matches_hashlib(self):
+        assert sha256(b"hello") == hashlib.sha256(b"hello").digest()
+
+    def test_counter_increments(self):
+        counter = HashCounter("test")
+        sha256(b"a", counter)
+        sha256(b"b", counter)
+        assert counter.count == 2
+
+    def test_counter_optional(self):
+        assert sha256(b"x") is not None  # no counter, no crash
+
+    def test_counter_reset_returns_old_value(self):
+        counter = HashCounter()
+        counter.add(5)
+        assert counter.reset() == 5
+        assert counter.count == 0
+
+
+class TestLeadingBits:
+    def test_zero_bits_always_match(self):
+        assert leading_bits_match(b"\x00", b"\xff", 0)
+
+    def test_full_byte_match(self):
+        assert leading_bits_match(b"\xab\xcd", b"\xab\x00", 8)
+
+    def test_full_byte_mismatch(self):
+        assert not leading_bits_match(b"\xab", b"\xac", 8)
+
+    def test_partial_byte_match(self):
+        # 0b1010_0000 vs 0b1010_1111 agree on the first 4 bits only.
+        assert leading_bits_match(b"\xa0", b"\xaf", 4)
+        assert not leading_bits_match(b"\xa0", b"\xaf", 5)
+
+    def test_multi_byte_with_remainder(self):
+        a = b"\x12\x34\x80"
+        b = b"\x12\x34\xbf"
+        assert leading_bits_match(a, b, 18)  # 16 + first 2 bits (10 vs 10)
+        assert not leading_bits_match(a, b, 19)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            leading_bits_match(b"\x00", b"\x00", -1)
+
+    def test_short_input_rejected(self):
+        with pytest.raises(ValueError):
+            leading_bits_match(b"\x00", b"\x00", 9)
+
+    @given(st.binary(min_size=4, max_size=8),
+           st.integers(min_value=0, max_value=32))
+    def test_reflexive(self, data, nbits):
+        assert leading_bits_match(data, data, nbits)
+
+    @given(st.binary(min_size=4, max_size=8),
+           st.binary(min_size=4, max_size=8),
+           st.integers(min_value=0, max_value=32))
+    def test_symmetric(self, a, b, nbits):
+        assert leading_bits_match(a, b, nbits) == \
+            leading_bits_match(b, a, nbits)
+
+    @given(st.binary(min_size=4, max_size=8),
+           st.binary(min_size=4, max_size=8),
+           st.integers(min_value=1, max_value=31))
+    def test_monotone_in_prefix_length(self, a, b, nbits):
+        """Matching n bits implies matching every shorter prefix."""
+        if leading_bits_match(a, b, nbits):
+            for shorter in range(nbits):
+                assert leading_bits_match(a, b, shorter)

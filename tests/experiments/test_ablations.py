@@ -1,0 +1,72 @@
+"""Tests for the ablation experiments."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    controller_ablation,
+    expiry_window_ablation,
+    finite_n_convergence,
+    syncache_ablation,
+)
+from tests.experiments.test_scenario import fast_config
+
+
+class TestControllerAblation:
+    def test_opportunistic_sends_no_challenges_at_peace(self):
+        rows = controller_ablation(fast_config())
+        by_key = {(r.controller, r.attack): r for r in rows}
+        assert by_key[("opportunistic", False)].challenges_sent == 0
+        assert by_key[("always-on", False)].challenges_sent > 0
+
+    def test_both_controllers_protect_under_attack(self):
+        rows = controller_ablation(fast_config())
+        by_key = {(r.controller, r.attack): r for r in rows}
+        for controller in ("opportunistic", "always-on"):
+            row = by_key[(controller, True)]
+            assert row.client_completion_percent > 30.0
+
+    def test_peacetime_throughput_cost_of_always_on(self):
+        """Always-on taxes every handshake even with no attacker."""
+        rows = controller_ablation(fast_config())
+        by_key = {(r.controller, r.attack): r for r in rows}
+        opportunistic = by_key[("opportunistic", False)]
+        always_on = by_key[("always-on", False)]
+        assert always_on.client_completion_percent <= \
+            opportunistic.client_completion_percent + 1e-9
+
+
+class TestExpiryAblation:
+    def test_short_windows_kill_replays(self):
+        rows = expiry_window_ablation(windows=(1.0, 16.0),
+                                      replay_delay=4.0, replays=50)
+        by_window = {r.window: r for r in rows}
+        assert by_window[1.0].accepted == 0
+        assert by_window[16.0].accepted == 50
+        assert by_window[16.0].acceptance_rate == 1.0
+
+
+class TestSynCacheAblation:
+    def test_rate_and_capacity_tradeoff(self):
+        rows = syncache_ablation(bucket_counts=(16, 256),
+                                 attack_rates=(500.0, 5000.0))
+        assert len(rows) == 4
+        # More capacity never hurts at fixed rate.
+        by_key = {(r.capacity, r.attack_rate): r for r in rows}
+        capacities = sorted({r.capacity for r in rows})
+        for rate in (500.0, 5000.0):
+            assert by_key[(capacities[1], rate)].survival_fraction >= \
+                by_key[(capacities[0], rate)].survival_fraction
+
+
+class TestConvergence:
+    def test_gap_shrinks_with_n(self):
+        rows = finite_n_convergence(n_values=(10, 100, 1000))
+        gaps = [r.relative_gap for r in rows]
+        assert gaps[0] > gaps[1] > gaps[2]
+
+    def test_rate_near_n_to_two_thirds(self):
+        """Eq. 17: the correction decays ~N^(-2/3)."""
+        rows = finite_n_convergence(n_values=(100, 800))
+        ratio = rows[0].relative_gap / rows[1].relative_gap
+        expected = (800 / 100) ** (2.0 / 3.0)
+        assert ratio == pytest.approx(expected, rel=0.35)

@@ -1,0 +1,76 @@
+"""Tests for the §7 extension experiments."""
+
+import pytest
+
+from repro.experiments.extensions import (
+    adaptive_difficulty_experiment,
+    pow_fairness_table,
+    solution_flood_experiment,
+)
+from repro.tcp.adaptive import AdaptiveConfig
+from tests.experiments.test_scenario import fast_config
+
+
+class TestAdaptive:
+    def test_controller_hardens_under_attack(self):
+        outcome = adaptive_difficulty_experiment(
+            base=fast_config(),
+            start_m=8,
+            controller=AdaptiveConfig(interval=0.5, target_inflow=30.0,
+                                      m_floor=8))
+        # Starting too easy, the controller must have raised m.
+        assert outcome.final_m > 8
+        assert len(outcome.m_trajectory) > 3
+
+    def test_adaptive_beats_static_easy_setting(self):
+        outcome = adaptive_difficulty_experiment(
+            base=fast_config(),
+            start_m=8,
+            controller=AdaptiveConfig(interval=0.5, target_inflow=30.0,
+                                      m_floor=8))
+        adaptive_rate = outcome.adaptive.attacker_steady_state_rate()
+        static_rate = outcome.static.attacker_steady_state_rate()
+        assert adaptive_rate <= static_rate
+
+
+class TestSolutionFlood:
+    def test_server_cpu_stays_negligible(self):
+        """§7: verification overhead is negligible at realistic rates."""
+        points = solution_flood_experiment(rates=(2_000.0,),
+                                           base=fast_config())
+        point = points[0]
+        assert point.rejected > 0
+        assert point.server_cpu_percent < 5.0
+        # Legit clients keep being served through the bogus barrage.
+        assert point.client_completion_percent > 80.0
+
+    def test_cost_scales_linearly(self):
+        points = solution_flood_experiment(rates=(1_000.0, 4_000.0),
+                                           base=fast_config())
+        low, high = points
+        assert high.rejected > low.rejected * 2
+        # CPU cost per bogus packet is tiny: even 4x the rate stays <5%.
+        assert high.server_cpu_percent < 5.0
+
+
+class TestFairness:
+    def test_membound_is_fairer(self):
+        report = pow_fairness_table()
+        assert report.membound_spread < report.hashcash_spread / 2
+        devices = {row.device for row in report.rows}
+        assert {"cpu1", "D1"} <= devices
+
+    def test_calibrated_to_reference_device(self):
+        report = pow_fairness_table()
+        cpu3 = next(r for r in report.rows if r.device == "cpu3")
+        # Calibration puts cpu3's membound time within ~2x of hashcash.
+        ratio = cpu3.membound_solve_s / cpu3.hashcash_solve_s
+        assert 0.3 < ratio < 3.0
+
+    def test_worst_case_device_gap_shrinks(self):
+        report = pow_fairness_table()
+        hashcash = {r.device: r.hashcash_solve_s for r in report.rows}
+        membound = {r.device: r.membound_solve_s for r in report.rows}
+        gap_hash = max(hashcash.values()) / min(hashcash.values())
+        gap_mem = max(membound.values()) / min(membound.values())
+        assert gap_mem < gap_hash

@@ -1,0 +1,86 @@
+"""Tests for the ASCII figure renderers."""
+
+import math
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.figures import bar_chart, line_chart, sparkline
+
+
+class TestSparkline:
+    def test_levels(self):
+        strip = sparkline([0.0, 0.5, 1.0], maximum=1.0)
+        assert len(strip) == 3
+        assert strip[0] == " "
+        assert strip[2] == "█"
+
+    def test_auto_maximum(self):
+        strip = sparkline([1.0, 2.0, 4.0])
+        assert strip[-1] == "█"
+
+    def test_nan_renders_blank(self):
+        assert sparkline([float("nan"), 1.0])[0] == " "
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_all_zero(self):
+        assert set(sparkline([0.0, 0.0])) == {" "}
+
+
+class TestLineChart:
+    def test_renders_shape(self):
+        times = [float(i) for i in range(60)]
+        values = [math.sin(i / 10) ** 2 for i in range(60)]
+        chart = line_chart(times, values, width=40, height=8,
+                           title="throughput", y_label="Mbps")
+        lines = chart.splitlines()
+        assert lines[0] == "throughput"
+        assert "•" in chart
+        assert "└" in chart
+        assert "time (s)" in lines[-1]
+
+    def test_attack_window_shading(self):
+        times = [float(i) for i in range(100)]
+        values = [1.0] * 100
+        chart = line_chart(times, values, shade_from=20.0, shade_to=60.0)
+        shaded = [line for line in chart.splitlines()
+                  if "▒" in line]
+        assert len(shaded) == 1
+        assert "attack window" in shaded[0]
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            line_chart([1.0], [1.0, 2.0])
+        with pytest.raises(ExperimentError):
+            line_chart([], [])
+        with pytest.raises(ExperimentError):
+            line_chart([1.0], [1.0], width=4)
+
+    def test_handles_nan_gaps(self):
+        times = [0.0, 1.0, 2.0]
+        values = [1.0, float("nan"), 2.0]
+        chart = line_chart(times, values, width=20, height=5)
+        assert "•" in chart
+
+
+class TestBarChart:
+    def test_bars_proportional(self):
+        chart = bar_chart(["cookies", "puzzles"], [200.0, 25.0],
+                          width=20, unit=" cps")
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 20
+        assert 2 <= lines[1].count("█") <= 4
+        assert "200 cps" in lines[0]
+
+    def test_labels_aligned(self):
+        chart = bar_chart(["a", "longer-label"], [1.0, 2.0])
+        lines = chart.splitlines()
+        assert lines[0].index("│") == lines[1].index("│")
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            bar_chart(["a"], [])
+        with pytest.raises(ExperimentError):
+            bar_chart([], [])

@@ -1,0 +1,82 @@
+"""Heterogeneous-clientele experiments: theory and simulation agree on who
+gets priced out."""
+
+import math
+
+import pytest
+
+from repro.experiments.heterogeneous import (
+    dropout_prediction_table,
+    mixed_clientele_experiment,
+)
+from repro.puzzles.params import PuzzleParams
+from tests.experiments.test_scenario import fast_config
+
+
+class TestDropoutPrediction:
+    def test_everyone_plays_when_cheap(self):
+        rows = dropout_prediction_table(difficulties=(100.0,))
+        assert rows[0].active_classes == 3
+        assert all(rate > 0 for rate in rows[0].rates_by_class.values())
+
+    def test_iot_class_priced_out_first(self):
+        """D1's valuation (~19.8k hashes) sits far below the Xeons'
+        (~140k): at difficulties between the two, only D1 drops."""
+        rows = dropout_prediction_table(
+            difficulties=(1_000.0, 30_000.0, 67_000.0))
+        cheap, mid, high = rows
+        assert cheap.rates_by_class["D1"] > 0
+        assert mid.rates_by_class["D1"] == 0.0
+        assert mid.rates_by_class["cpu1"] > 0
+        # Even near the continuous Nash optimum the Xeons still play.
+        assert high.rates_by_class["cpu1"] > 0
+        assert high.rates_by_class["D1"] == 0.0
+
+    def test_xeon_tuned_nash_infeasible_for_mixed_population(self):
+        """The §7 warning, made precise: price the puzzles for a Xeon-only
+        clientele (ℓ = 131072) and a population that is one-third IoT has
+        w̄/N below the price — the whole game loses its equilibrium, i.e.
+        the server drives *everyone* away. w_av must be re-estimated for
+        the clientele actually served."""
+        rows = dropout_prediction_table(difficulties=(131_072.0,))
+        assert rows[0].active_classes == 0
+
+    def test_rates_ordered_by_valuation(self):
+        rows = dropout_prediction_table(difficulties=(5_000.0,))
+        by_class = rows[0].rates_by_class
+        assert by_class["cpu1"] >= by_class["cpu3"] >= by_class["D1"]
+
+    def test_monotone_participation(self):
+        """Raising the price never brings a class back in."""
+        rows = dropout_prediction_table(
+            difficulties=(1_000.0, 10_000.0, 50_000.0, 120_000.0))
+        actives = [row.active_classes for row in rows]
+        assert actives == sorted(actives, reverse=True)
+
+
+class TestMixedClientele:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return mixed_clientele_experiment(
+            fast_config(n_clients=4),
+            params=PuzzleParams(k=2, m=16))
+
+    def test_both_classes_tracked(self, outcome):
+        classes = {o.device_class for o in outcome.per_class}
+        assert classes == {"cpu1", "D1"}
+
+    def test_fast_class_served_better(self, outcome):
+        by_class = {o.device_class: o for o in outcome.per_class}
+        fast, slow = by_class["cpu1"], by_class["D1"]
+        assert fast.completion_percent >= slow.completion_percent
+
+    def test_slow_class_pays_longer_connect_times(self, outcome):
+        by_class = {o.device_class: o for o in outcome.per_class}
+        fast, slow = by_class["cpu1"], by_class["D1"]
+        if not math.isnan(slow.mean_connect_time) and \
+                not math.isnan(fast.mean_connect_time):
+            # A Pi takes ~7x longer per solve than a Xeon.
+            assert slow.mean_connect_time > fast.mean_connect_time
+
+    def test_challenges_reached_both_classes(self, outcome):
+        assert sum(o.challenged for o in outcome.per_class) > 0

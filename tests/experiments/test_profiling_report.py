@@ -1,0 +1,68 @@
+"""Extra coverage: the Figure 3 harness internals and report rendering."""
+
+import pytest
+
+from repro.experiments.profiling_fig3 import (
+    ClientProfileRow,
+    client_profile_table,
+    server_stress_test,
+)
+from repro.experiments.report import render_table
+from repro.hosts.cpu import IOT_CATALOG
+
+
+class TestClientProfileTable:
+    def test_custom_catalog(self):
+        rows, w_av = client_profile_table(catalog=IOT_CATALOG)
+        assert len(rows) == 4
+        assert w_av == pytest.approx(
+            sum(p.hash_rate for p in IOT_CATALOG.values()) / 4 * 0.4)
+
+    def test_custom_budget(self):
+        rows, w_av = client_profile_table(budget=0.1)
+        assert w_av == pytest.approx(140630.0 / 4)
+
+    def test_row_fields(self):
+        rows, _ = client_profile_table()
+        row = rows[0]
+        assert isinstance(row, ClientProfileRow)
+        assert row.hashes_in_budget == pytest.approx(row.hash_rate * 0.4)
+
+
+class TestStressTestHarness:
+    def test_single_concurrency_level(self):
+        profile = server_stress_test(concurrency_levels=(8,),
+                                     measure_seconds=2.0,
+                                     service_rate=50.0)
+        assert len(profile.concurrency) == 1
+        # Closed loop at 8 clients against mu=50: pinned near mu.
+        assert profile.mu == pytest.approx(50.0, rel=0.4)
+
+    def test_rate_monotone_in_concurrency_until_saturation(self):
+        profile = server_stress_test(concurrency_levels=(1, 16),
+                                     measure_seconds=3.0,
+                                     service_rate=200.0)
+        assert profile.service_rate[1] > profile.service_rate[0]
+
+
+class TestRenderTable:
+    def test_column_alignment(self):
+        text = render_table(["name", "value"],
+                            [("a", 1), ("long-name", 22)])
+        lines = text.splitlines()
+        widths = {len(line.rstrip()) for line in lines[:2]}
+        assert lines[1].startswith("----")
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert text.splitlines()[0] == "a"
+
+    def test_int_float_str_mixed(self):
+        text = render_table(["x"], [(1,), (2.5,), ("s",)])
+        assert "2.5" in text and "s" in text
+
+    def test_small_floats_use_scientific(self):
+        assert "3e-06" in render_table(["x"], [(3e-6,)])
+
+    def test_zero_renders_plainly(self):
+        assert "0" in render_table(["x"], [(0.0,)])

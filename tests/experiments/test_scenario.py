@@ -1,0 +1,107 @@
+"""Scenario machinery tests (fast, shrunken configurations)."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.puzzles.params import PuzzleParams
+from repro.tcp.constants import DefenseMode
+
+
+def fast_config(**overrides) -> ScenarioConfig:
+    """A shrunken scenario that runs in well under a second.
+
+    Queue bounds and worker drain are scaled together so the accept queue's
+    full periods stay long relative to the handshake RTT — the regime the
+    paper's testbed operates in (see DESIGN.md on protection locking).
+    """
+    defaults = dict(time_scale=0.015, n_clients=3, n_attackers=3,
+                    attack_rate=500.0, backlog=24, accept_backlog=64,
+                    workers=32, idle_timeout=0.5)
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+class TestConfig:
+    def test_scaled_timeline(self):
+        config = ScenarioConfig(time_scale=0.1)
+        assert config.duration == 60.0
+        assert config.attack_start == 12.0
+        assert config.attack_end == 48.0
+
+    def test_paper_scale(self):
+        config = ScenarioConfig().paper_scale()
+        assert config.duration == 600.0
+        assert config.backlog == 4096
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            ScenarioConfig(time_scale=0.0)
+        with pytest.raises(ExperimentError):
+            ScenarioConfig(base_attack_start=500.0, base_attack_end=100.0)
+        with pytest.raises(ExperimentError):
+            ScenarioConfig(attack_style="smurf")
+
+
+class TestBuild:
+    def test_population(self):
+        result = Scenario(fast_config()).build()
+        assert len(result.clients) == 3
+        assert result.botnet.size == 3
+        assert len(result.hosts) == 1 + 3 + 3
+
+    def test_no_attack_configuration(self):
+        result = Scenario(fast_config(attack_enabled=False)).build()
+        assert result.botnet is None
+
+    def test_defense_wiring(self):
+        config = fast_config(defense=DefenseMode.PUZZLES,
+                             puzzle_params=PuzzleParams(k=3, m=9))
+        result = Scenario(config).build()
+        listener = result.server_app.listener
+        assert listener.config.mode is DefenseMode.PUZZLES
+        assert listener.config.puzzle_params.k == 3
+
+
+class TestRun:
+    def test_baseline_without_attack_serves_everyone(self):
+        result = Scenario(fast_config(attack_enabled=False)).run()
+        counts = result.tracker.counts("client")
+        assert counts["attempts"] > 0
+        assert counts["completed"] >= counts["attempts"] * 0.9
+
+    def test_attack_window_respected(self):
+        result = Scenario(fast_config(attack_style="syn")).run()
+        start, end = result.attack_window()
+        times, rate = result.tracker.attempt_rate(
+            "client", result.config.duration)
+        # The botnet only fires inside the window: syn flooders do not
+        # register tracker records, so check via listener SYN counts.
+        assert result.listener_stats.syns_received > 0
+
+    def test_reproducible_with_same_seed(self):
+        a = Scenario(fast_config(seed=42)).run()
+        b = Scenario(fast_config(seed=42)).run()
+        assert a.tracker.counts("client") == b.tracker.counts("client")
+        assert a.listener_stats.syns_received == \
+            b.listener_stats.syns_received
+
+    def test_different_seeds_differ(self):
+        a = Scenario(fast_config(seed=1)).run()
+        b = Scenario(fast_config(seed=2)).run()
+        assert a.listener_stats.syns_received != \
+            b.listener_stats.syns_received
+
+    def test_server_side_classification(self):
+        result = Scenario(fast_config(defense=DefenseMode.NONE)).run()
+        assert result.server_established["client"].total > 0
+        assert result.server_established["attacker"].total > 0
+
+    def test_summaries_have_data(self):
+        result = Scenario(fast_config()).run()
+        assert result.client_throughput_before_attack().count > 0
+        assert result.client_throughput_during_attack().count > 0
+        assert result.server_throughput_during_attack().count > 0
+        assert 0 <= result.client_completion_percent() <= 100.0

@@ -1,0 +1,50 @@
+"""Tests for the reproduction scorecard machinery (cheap checks only —
+the full gate runs via ``tcp-puzzles validate`` and in CI-style benches)."""
+
+import pytest
+
+from repro.experiments.validation import Check, Scorecard
+
+
+class TestScorecard:
+    def test_counts(self):
+        card = Scorecard()
+        card.add("a", "src", True, "x")
+        card.add("b", "src", False, "y")
+        assert card.passed == 1
+        assert card.failed == 1
+        assert not card.all_passed
+
+    def test_render(self):
+        card = Scorecard()
+        card.add("claim text", "Fig 1", True, "42")
+        card.add("other", "Fig 2", False, "0")
+        text = card.render()
+        assert "[PASS] Fig 1: claim text" in text
+        assert "[FAIL] Fig 2: other" in text
+        assert "1/2 claims reproduced" in text
+
+    def test_checks_are_frozen(self):
+        check = Check(claim="c", measured="m", passed=True, source="s")
+        with pytest.raises(AttributeError):
+            check.passed = False
+
+    def test_empty_card_all_passed(self):
+        assert Scorecard().all_passed
+        assert "0/0" in Scorecard().render()
+
+
+class TestTheoryChecksOnly:
+    def test_cheap_checks_pass(self):
+        """The instant (non-simulation) slice of the gate."""
+        from repro.core.analysis import amplification_factor
+        from repro.core.theorem import nash_difficulty
+        from repro.hosts.cpu import CPU_CATALOG, catalog_w_av
+        from repro.puzzles.params import PuzzleParams
+
+        assert catalog_w_av() == pytest.approx(140630.0)
+        params = nash_difficulty(catalog_w_av(), 1.1)
+        assert (params.k, params.m) == (2, 17)
+        factor = amplification_factor(PuzzleParams(k=2, m=17),
+                                      CPU_CATALOG["cpu3"], 500.0)
+        assert 140 < factor < 230

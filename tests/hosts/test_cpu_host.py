@@ -1,0 +1,119 @@
+"""CPU catalog and CPUResource tests."""
+
+import pytest
+
+from repro.errors import GameError, SimulationError
+from repro.hosts.cpu import (
+    CPU_CATALOG,
+    IOT_CATALOG,
+    IOT_MEASURED_HASHES_400MS,
+    SERVER_CPU,
+    CPUProfile,
+    catalog_w_av,
+)
+from repro.hosts.host import CPUResource
+from repro.sim.engine import Engine
+
+
+class TestCatalog:
+    def test_fig3a_mean_is_w_av(self):
+        assert catalog_w_av() == pytest.approx(140630.0)
+
+    def test_three_client_cpus(self):
+        assert set(CPU_CATALOG) == {"cpu1", "cpu2", "cpu3"}
+
+    def test_table1_devices(self):
+        assert set(IOT_CATALOG) == {"D1", "D2", "D3", "D4"}
+        for name, profile in IOT_CATALOG.items():
+            # Table 1's measured column within 5% of rate × 0.4.
+            assert profile.hashes_in_budget == pytest.approx(
+                IOT_MEASURED_HASHES_400MS[name], rel=0.05)
+
+    def test_iot_much_slower_than_clients(self):
+        """Experiment 6's premise: IoT bots are 5-7x weaker."""
+        slowest_client = min(p.hash_rate for p in CPU_CATALOG.values())
+        fastest_iot = max(p.hash_rate for p in IOT_CATALOG.values())
+        assert fastest_iot < slowest_client / 4
+
+    def test_server_rate_from_section7(self):
+        assert SERVER_CPU.hash_rate == 10_800_000.0
+
+    def test_solve_seconds(self):
+        profile = CPUProfile("x", "test", 1000.0)
+        assert profile.solve_seconds(131072) == pytest.approx(131.072)
+        with pytest.raises(GameError):
+            profile.solve_seconds(-1)
+
+    def test_invalid_rate(self):
+        with pytest.raises(GameError):
+            CPUProfile("x", "test", 0.0)
+
+
+class TestCPUResource:
+    def _cpu(self, engine, rate=1000.0):
+        return CPUResource(engine, CPUProfile("t", "test", rate))
+
+    def test_run_schedules_completion(self, engine):
+        cpu = self._cpu(engine)
+        done = []
+        cpu.run(500, lambda: done.append(engine.now))
+        engine.run()
+        assert done == [0.5]
+
+    def test_jobs_serialize(self, engine):
+        cpu = self._cpu(engine)
+        done = []
+        cpu.run(500, lambda: done.append(engine.now))
+        cpu.run(500, lambda: done.append(engine.now))
+        engine.run()
+        assert done == [0.5, 1.0]
+
+    def test_backlog_measurement(self, engine):
+        cpu = self._cpu(engine)
+        cpu.run(2000, lambda: None)
+        assert cpu.backlog_seconds() == pytest.approx(2.0)
+        engine.run(until=1.5)
+        assert cpu.backlog_seconds() == pytest.approx(0.5)
+
+    def test_busy_seconds_exact_through_time(self, engine):
+        cpu = self._cpu(engine)
+        cpu.run(1000, lambda: None)
+        assert cpu.busy_seconds(0.0) == pytest.approx(0.0)
+        assert cpu.busy_seconds(0.25) == pytest.approx(0.25)
+        assert cpu.busy_seconds(2.0) == pytest.approx(1.0)
+
+    def test_idle_gap_not_counted(self, engine):
+        cpu = self._cpu(engine)
+        cpu.run(500, lambda: None)
+        engine.run(until=10.0)
+        cpu.run(500, lambda: None)
+        engine.run(until=20.0)
+        assert cpu.busy_seconds() == pytest.approx(1.0)
+
+    def test_consume_accounts_synchronous_work(self, engine):
+        cpu = self._cpu(engine)
+        cpu.consume(100)
+        assert cpu.busy_seconds(1.0) == pytest.approx(0.1)
+
+    def test_consume_seconds(self, engine):
+        cpu = self._cpu(engine)
+        cpu.consume_seconds(0.3)
+        assert cpu.busy_seconds(1.0) == pytest.approx(0.3)
+
+    def test_negative_rejected(self, engine):
+        cpu = self._cpu(engine)
+        with pytest.raises(SimulationError):
+            cpu.run(-1, lambda: None)
+        with pytest.raises(SimulationError):
+            cpu.consume(-1)
+        with pytest.raises(SimulationError):
+            cpu.consume_seconds(-0.1)
+
+    def test_rate_limiting_identity(self, engine):
+        """The core mechanism: N solve jobs take N·ℓ/rate seconds."""
+        cpu = self._cpu(engine, rate=351_575.0)
+        completions = []
+        for _ in range(10):
+            cpu.run(131_072, lambda: completions.append(engine.now))
+        engine.run()
+        assert completions[-1] == pytest.approx(10 * 131_072 / 351_575.0)

@@ -1,0 +1,98 @@
+"""Keep-alive (HTTP/1.1 persistence) tests — §4.2's amortisation note."""
+
+import pytest
+
+from repro.hosts.client import ClientConfig, KeepAliveClient
+from repro.hosts.server import AppServer, ServerConfig
+from repro.metrics.connections import ConnectionTracker
+from repro.puzzles.params import PuzzleParams
+from repro.tcp.constants import DefenseMode
+from repro.tcp.listener import DefenseConfig
+from tests.conftest import MiniNet
+
+
+def _setup(keep_alive=True, defense=None, **server_kwargs):
+    net = MiniNet()
+    server = AppServer(net.server, ServerConfig(
+        keep_alive=keep_alive, defense=defense or DefenseConfig(),
+        **server_kwargs))
+    tracker = ConnectionTracker(net.engine)
+    return net, server, tracker
+
+
+class TestServerKeepAlive:
+    def test_many_requests_one_connection(self):
+        net, server, tracker = _setup()
+        client = KeepAliveClient(net.client, ClientConfig(
+            server_ip=net.server.address, request_rate=10.0), tracker)
+        client.start()
+        net.run(until=10.0)
+        client.stop()
+        counts = tracker.counts("client")
+        assert counts["completed"] > 50
+        # All requests rode a handful of sessions.
+        assert client.sessions_opened <= 3
+        assert server.stats.requests_served == counts["completed"]
+
+    def test_request_cap_recycles_session(self):
+        net, server, tracker = _setup(max_keepalive_requests=5)
+        client = KeepAliveClient(net.client, ClientConfig(
+            server_ip=net.server.address, request_rate=20.0), tracker)
+        client.start()
+        net.run(until=5.0)
+        client.stop()
+        completed = tracker.counts("client")["completed"]
+        assert completed > 20
+        assert client.sessions_opened >= completed // 5 - 1
+
+    def test_idle_session_closed(self):
+        net, server, tracker = _setup(idle_timeout=0.5)
+        client = KeepAliveClient(net.client, ClientConfig(
+            server_ip=net.server.address, request_rate=0.2), tracker)
+        # Rate 0.2/s << 1/idle_timeout: each request needs a new session.
+        client.start(delay=0.1)
+        net.run(until=20.0)
+        client.stop()
+        assert client.sessions_opened >= 3
+
+    def test_disabled_keeps_per_request_behavior(self):
+        net, server, tracker = _setup(keep_alive=False)
+        from repro.hosts.client import BenignClient
+
+        client = BenignClient(net.client, ClientConfig(
+            server_ip=net.server.address, request_rate=10.0), tracker)
+        client.start()
+        net.run(until=5.0)
+        client.stop()
+        counts = tracker.counts("client")
+        assert counts["completed"] > 20
+
+
+class TestKeepAliveUnderPuzzles:
+    def test_one_puzzle_per_session(self):
+        """§4.2: 'the client would only need to pay p* hashes once'."""
+        defense = DefenseConfig(mode=DefenseMode.PUZZLES,
+                                puzzle_params=PuzzleParams(k=1, m=10),
+                                always_challenge=True)
+        net, server, tracker = _setup(defense=defense)
+        client = KeepAliveClient(net.client, ClientConfig(
+            server_ip=net.server.address, request_rate=10.0), tracker)
+        client.start()
+        net.run(until=10.0)
+        client.stop()
+        counts = tracker.counts("client")
+        assert counts["completed"] > 50
+        # Only the session-opening request was challenged.
+        assert counts["challenged"] <= client.sessions_opened
+
+    def test_extension_experiment(self):
+        from repro.experiments.extensions import keepalive_experiment
+        from tests.experiments.test_scenario import fast_config
+
+        outcome = keepalive_experiment(fast_config())
+        # Persistent sessions pay fewer puzzles...
+        assert outcome.keepalive_challenged < \
+            outcome.per_request_challenged
+        # ...and complete at least comparably many requests.
+        assert outcome.keepalive_completion > \
+            outcome.per_request_completion * 0.8

@@ -1,0 +1,34 @@
+"""Scenario hardware-assignment coverage."""
+
+import pytest
+
+from repro.experiments.scenario import Scenario
+from repro.hosts.cpu import CPU_CATALOG, IOT_CATALOG
+from tests.experiments.test_scenario import fast_config
+
+
+class TestCpuAssignment:
+    def test_custom_client_cpus_cycle(self):
+        config = fast_config(client_cpus=[IOT_CATALOG["D1"]])
+        result = Scenario(config).build()
+        for i in range(config.n_clients):
+            host = result.hosts[f"client{i}"]
+            assert host.cpu.profile.name == "D1"
+
+    def test_custom_attacker_cpus(self):
+        config = fast_config(attacker_cpus=[IOT_CATALOG["D2"],
+                                            IOT_CATALOG["D3"]])
+        result = Scenario(config).build()
+        names = {result.hosts[f"attacker{i}"].cpu.profile.name
+                 for i in range(config.n_attackers)}
+        assert names <= {"D2", "D3"}
+
+    def test_default_cycles_figure3_catalog(self):
+        result = Scenario(fast_config()).build()
+        names = {result.hosts[f"client{i}"].cpu.profile.name
+                 for i in range(3)}
+        assert names <= set(CPU_CATALOG)
+
+    def test_server_uses_dl360_profile(self):
+        result = Scenario(fast_config()).build()
+        assert result.hosts["server"].cpu.hash_rate == 10_800_000.0

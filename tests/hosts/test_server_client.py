@@ -1,0 +1,149 @@
+"""Application-layer host tests: the gettext server and benign clients."""
+
+import pytest
+
+from repro.hosts.client import BenignClient, ClientConfig
+from repro.hosts.server import AppServer, ServerConfig
+from repro.metrics.connections import ConnectionTracker
+from repro.errors import ExperimentError
+from tests.conftest import MiniNet
+
+
+def _served_setup(n_clients=1, server_config=None):
+    net = MiniNet(n_clients=n_clients)
+    server = AppServer(net.server, server_config or ServerConfig())
+    tracker = ConnectionTracker(net.engine)
+    return net, server, tracker
+
+
+class TestAppServer:
+    def test_serves_request(self):
+        net, server, tracker = _served_setup()
+        client = BenignClient(net.client, ClientConfig(
+            server_ip=net.server.address, request_rate=5.0,
+            request_size=2000), tracker)
+        client.start()
+        net.run(until=10.0)
+        client.stop()
+        assert server.stats.requests_served > 20
+        counts = tracker.counts("client")
+        assert counts["attempts"] > 0
+        assert counts["failed"] == 0
+        # Everything not still in flight at the cutoff completed.
+        assert counts["completed"] >= counts["attempts"] - 3
+
+    def test_response_size_honoured(self):
+        net, server, tracker = _served_setup()
+        client = BenignClient(net.client, ClientConfig(
+            server_ip=net.server.address, request_rate=2.0,
+            request_size=12_345), tracker)
+        client.start()
+        net.run(until=5.0)
+        assert server.stats.response_bytes % 12_345 == 0
+        assert server.stats.response_bytes > 0
+
+    def test_idle_connection_shed_after_timeout(self):
+        net, server, _ = _served_setup(server_config=ServerConfig(
+            idle_timeout=0.5, workers=2))
+        # A connection that never sends a request.
+        conn = net.client.tcp.connect(net.server.address, 80)
+        net.run(until=2.0)
+        assert server.stats.idle_closed == 1
+        assert server.free_workers == 2
+
+    def test_malformed_request_reset(self):
+        net, server, _ = _served_setup()
+        conn = net.client.tcp.connect(net.server.address, 80)
+        events = []
+        conn.on_established = lambda c: c.send_data(10, "not-a-request")
+        conn.on_reset = lambda c: events.append("reset")
+        net.run(until=2.0)
+        assert server.stats.malformed_requests == 1
+        assert events == ["reset"]
+
+    def test_worker_pool_bounds_concurrency(self):
+        """With one worker and slow service, requests serialise."""
+        net, server, tracker = _served_setup(server_config=ServerConfig(
+            workers=1, service_rate=1.0, idle_timeout=5.0))
+        client = BenignClient(net.client, ClientConfig(
+            server_ip=net.server.address, request_rate=50.0,
+            request_timeout=100.0), tracker)
+        client.start()
+        net.run(until=3.0)
+        client.stop()
+        # Mean service 1 s at 1 worker: only a few could have finished.
+        assert server.stats.requests_served <= 8
+
+    def test_saturated_aggregate_rate_approximates_mu(self):
+        """Figure 3(b)'s premise: under heavy load the pool serves ≈ µ."""
+        net, server, tracker = _served_setup(
+            n_clients=4,
+            server_config=ServerConfig(service_rate=200.0, workers=32))
+        clients = []
+        for host in net.clients:
+            client = BenignClient(host, ClientConfig(
+                server_ip=net.server.address, request_rate=100.0,
+                request_timeout=100.0, max_cpu_backlog=1e9), tracker)
+            client.start()
+            clients.append(client)
+        net.run(until=10.0)
+        for client in clients:
+            client.stop()
+        rate = server.stats.requests_served / 10.0
+        assert rate == pytest.approx(200.0, rel=0.2)
+
+    def test_config_validation(self):
+        with pytest.raises(ExperimentError):
+            ServerConfig(service_rate=0.0)
+        with pytest.raises(ExperimentError):
+            ServerConfig(workers=0)
+        with pytest.raises(ExperimentError):
+            ServerConfig(idle_timeout=0.0)
+
+
+class TestBenignClient:
+    def test_request_timeout_counts_failure(self):
+        net = MiniNet()
+        # Listener that accepts but never responds.
+        net.server.tcp.listen(80)
+        tracker = ConnectionTracker(net.engine)
+        client = BenignClient(net.client, ClientConfig(
+            server_ip=net.server.address, request_rate=5.0,
+            request_timeout=0.5), tracker)
+        client.start()
+        net.run(until=3.0)
+        client.stop()
+        counts = tracker.counts("client")
+        assert counts["failed"] > 0
+        assert counts["completed"] == 0
+        assert all(r.reason == "timeout" for r in tracker.records
+                   if r.t_failed is not None)
+
+    def test_defers_when_cpu_saturated(self):
+        net = MiniNet()
+        net.server.tcp.listen(80)
+        tracker = ConnectionTracker(net.engine)
+        net.client.cpu.consume_seconds(100.0)
+        client = BenignClient(net.client, ClientConfig(
+            server_ip=net.server.address, request_rate=10.0,
+            max_cpu_backlog=1.0), tracker)
+        client.start()
+        net.run(until=2.0)
+        client.stop()
+        assert client.deferred > 0
+        assert tracker.counts("client")["attempts"] == 0
+
+    def test_unreachable_server_counts_syn_timeouts(self):
+        net = MiniNet()
+        tracker = ConnectionTracker(net.engine)
+        client = BenignClient(net.client, ClientConfig(
+            server_ip=0x0B0B0B0B, request_rate=2.0,
+            request_timeout=60.0), tracker)
+        client.start()
+        net.run(until=40.0)
+        client.stop()
+        counts = tracker.counts("client")
+        assert counts["failed"] > 0
+        reasons = {r.reason for r in tracker.records
+                   if r.t_failed is not None}
+        assert "syn-timeout" in reasons

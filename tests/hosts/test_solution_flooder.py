@@ -1,0 +1,76 @@
+"""Tests for the §7 solution-flood attacker."""
+
+import pytest
+
+from repro.hosts.attacker import AttackerConfig, SolutionFlooder
+from repro.hosts.server import AppServer, ServerConfig
+from repro.puzzles.params import PuzzleParams
+from repro.tcp.constants import DefenseMode
+from repro.tcp.listener import DefenseConfig
+from tests.conftest import MiniNet
+
+
+def _protected_server(net, k=1, m=8):
+    defense = DefenseConfig(mode=DefenseMode.PUZZLES,
+                            puzzle_params=PuzzleParams(k=k, m=m),
+                            always_challenge=True)
+    return AppServer(net.server, ServerConfig(defense=defense))
+
+
+class TestSolutionFlooder:
+    def test_bogus_solutions_all_rejected(self):
+        net = MiniNet(n_attackers=1)
+        server = _protected_server(net)
+        flooder = SolutionFlooder(
+            net.attackers[0],
+            AttackerConfig(server_ip=net.server.address, rate=200.0),
+            params=PuzzleParams(k=1, m=8))
+        flooder.start()
+        net.run(until=2.0)
+        flooder.stop()
+        stats = server.listener.stats
+        assert stats.solutions_invalid > 300
+        assert stats.established_total() == 0
+
+    def test_server_pays_verification_hashes(self):
+        net = MiniNet(n_attackers=1)
+        server = _protected_server(net)
+        before = net.server.hash_counter.count
+        flooder = SolutionFlooder(
+            net.attackers[0],
+            AttackerConfig(server_ip=net.server.address, rate=100.0),
+            params=PuzzleParams(k=1, m=8))
+        flooder.start()
+        net.run(until=1.0)
+        flooder.stop()
+        spent = net.server.hash_counter.count - before
+        # >= 1 pre-image recomputation per bogus solution (with the
+        # rotation-grace second key, up to 2x + early-exit checks).
+        assert spent >= flooder.stats.syns_sent
+
+    def test_wrong_params_rejected_cheaply(self):
+        """Bogus solutions with the wrong k are params-mismatch drops."""
+        net = MiniNet(n_attackers=1)
+        server = _protected_server(net, k=2, m=8)
+        flooder = SolutionFlooder(
+            net.attackers[0],
+            AttackerConfig(server_ip=net.server.address, rate=100.0),
+            params=PuzzleParams(k=1, m=8))  # wrong k on purpose
+        flooder.start()
+        net.run(until=1.0)
+        flooder.stop()
+        assert server.listener.stats.solutions_invalid > 0
+        assert server.listener.stats.established_total() == 0
+
+    def test_flood_does_not_create_server_state(self):
+        net = MiniNet(n_attackers=1)
+        server = _protected_server(net)
+        flooder = SolutionFlooder(
+            net.attackers[0],
+            AttackerConfig(server_ip=net.server.address, rate=200.0),
+            params=PuzzleParams(k=1, m=8))
+        flooder.start()
+        net.run(until=1.0)
+        flooder.stop()
+        assert len(server.listener.listen_queue) == 0
+        assert len(server.listener.accept_queue) == 0

@@ -1,0 +1,68 @@
+"""End-to-end scenario with REAL SHA-256 puzzles (no modelling).
+
+The simulator's default "modeled" mode samples attempt counts; this suite
+runs whole attack scenarios with genuine brute-force solving and hash
+verification at small m — proving the two modes are interchangeable at
+the protocol level, not just in unit tests.
+"""
+
+import pytest
+
+from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.puzzles.params import PuzzleParams
+from repro.tcp.constants import DefenseMode
+from tests.experiments.test_scenario import fast_config
+
+
+def real_config(**overrides) -> ScenarioConfig:
+    # m=14: real brute force averages 2^13 hashes per sub-solution —
+    # strong enough to rate-limit at this scale, cheap enough to keep the
+    # test's wall time in single-digit seconds.
+    defaults = dict(crypto_mode="real",
+                    defense=DefenseMode.PUZZLES,
+                    puzzle_params=PuzzleParams(k=2, m=14),
+                    attack_style="connect",
+                    time_scale=0.008, n_clients=2, n_attackers=2,
+                    attack_rate=120.0, backlog=24, accept_backlog=32,
+                    workers=16, idle_timeout=0.5)
+    defaults.update(overrides)
+    return fast_config(**defaults)
+
+
+class TestRealCryptoScenario:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return Scenario(real_config()).run()
+
+    def test_real_solutions_verified(self, result):
+        stats = result.listener_stats
+        assert stats.established_puzzle > 0
+        assert stats.synacks_challenge > 0
+
+    def test_no_false_rejections(self, result):
+        """Every honest real solution must verify: invalid counts stem
+        only from non-solvers (none here) or expiry (none at m=6)."""
+        assert result.listener_stats.solutions_invalid == 0
+
+    def test_clients_served(self, result):
+        assert result.client_completion_percent() > 60.0
+
+    def test_real_hash_work_performed(self, result):
+        """The clients' hash counters show genuine brute-force effort:
+        ~k·2^(m-1) = 64 expected hashes per challenged connection."""
+        challenged = result.tracker.counts("client")["challenged"] + \
+            result.tracker.counts("attacker")["challenged"]
+        if challenged == 0:
+            pytest.skip("no challenges issued in this run")
+        total_hashes = sum(
+            host.hash_counter.count
+            for name, host in result.hosts.items()
+            if name != "server")
+        assert total_hashes > challenged * 20  # well above k floor
+
+    def test_matches_modeled_mode_shape(self, result):
+        """Same scenario in modeled mode: same qualitative outcome."""
+        modeled = Scenario(real_config(crypto_mode="modeled")).run()
+        real_completion = result.client_completion_percent()
+        modeled_completion = modeled.client_completion_percent()
+        assert abs(real_completion - modeled_completion) < 30.0

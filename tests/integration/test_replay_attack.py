@@ -1,0 +1,122 @@
+"""Scenario-level replay attacks against the puzzle protocol (§7).
+
+The §7 analysis: a captured (challenge, solution) pair binds one flow
+4-tuple and one timestamp, so a replay flood (a) only works within the
+expiry window, and (b) "can only be used to occupy one slot in the
+server's queue at a time".
+"""
+
+import copy
+
+import pytest
+
+from repro.net.packet import Packet, TCPFlags, TCPOptions
+from repro.puzzles.params import PuzzleParams
+from repro.puzzles.replay import ExpiryPolicy
+from repro.puzzles.juels import JuelsBrainardScheme
+from repro.tcp.constants import DefenseMode
+from repro.tcp.listener import DefenseConfig
+from tests.conftest import MiniNet
+
+
+class _AckSniffer:
+    """Records the victim client's solution-bearing ACK for replaying."""
+
+    def __init__(self, net):
+        self.captured = []
+        net.network.add_tap(self.tap)
+
+    def tap(self, time, packet, event):
+        if event == "send" and packet.options.solution is not None:
+            self.captured.append(packet)
+
+
+def _protected(net, window=8.0, accept_backlog=64):
+    scheme = JuelsBrainardScheme(expiry=ExpiryPolicy(window=window))
+    return net.server.tcp.listen(80, DefenseConfig(
+        mode=DefenseMode.PUZZLES, puzzle_params=PuzzleParams(k=1, m=6),
+        scheme=scheme, always_challenge=True,
+        accept_backlog=accept_backlog))
+
+
+def _replay(net, packet, at):
+    clone = Packet(src_ip=packet.src_ip, dst_ip=packet.dst_ip,
+                   src_port=packet.src_port, dst_port=packet.dst_port,
+                   seq=packet.seq, ack=packet.ack, flags=TCPFlags.ACK,
+                   options=TCPOptions(
+                       solution=copy.deepcopy(packet.options.solution)))
+    net.engine.schedule_at(at, lambda: net.network.send(
+        net.attackers[0], clone))
+
+
+class TestReplayFlood:
+    def test_replay_occupies_at_most_one_slot(self):
+        """100 replays of one valid solution yield at most one extra
+        server-side connection: the 4-tuple collides with itself."""
+        net = MiniNet(n_attackers=1)
+        listener = _protected(net)
+        sniffer = _AckSniffer(net)
+        conn = net.client.tcp.connect(net.server.address, 80)
+        net.run(until=1.0)
+        assert listener.stats.established_puzzle == 1
+        assert len(sniffer.captured) == 1
+        original = sniffer.captured[0]
+
+        for i in range(100):
+            _replay(net, original, at=1.0 + i * 0.01)
+        net.run(until=4.0)
+        # Replays re-verify (fresh window) but demux routes them to the
+        # existing connection — server state stays at one entry.
+        assert len(listener.accept_queue) <= 1
+        assert net.server.tcp.open_connections <= 1
+
+    def test_stale_replays_rejected_outright(self):
+        net = MiniNet(n_attackers=1)
+        listener = _protected(net, window=2.0)
+        sniffer = _AckSniffer(net)
+        conn = net.client.tcp.connect(net.server.address, 80)
+        net.run(until=1.0)
+        original = sniffer.captured[0]
+        # The victim's connection ends; the attacker replays much later.
+        server_conn = listener.accept()
+        server_conn.close()
+        for i in range(50):
+            _replay(net, original, at=10.0 + i * 0.01)
+        net.run(until=15.0)
+        assert listener.stats.solutions_invalid >= 50
+        assert listener.stats.established_puzzle == 1  # the original only
+
+    def test_fresh_replay_after_close_reoccupies_one_slot(self):
+        """Within the window, a replay of a closed flow's solution does
+        re-establish — the §7 bound is one slot, not zero. The expiry
+        window caps how long the attacker can keep doing this."""
+        net = MiniNet(n_attackers=1)
+        listener = _protected(net, window=30.0)
+        sniffer = _AckSniffer(net)
+        conn = net.client.tcp.connect(net.server.address, 80)
+        net.run(until=1.0)
+        server_conn = listener.accept()
+        server_conn.close()
+        _replay(net, sniffer.captured[0], at=2.0)
+        net.run(until=3.0)
+        assert listener.stats.established_puzzle == 2
+        assert net.server.tcp.open_connections == 1  # still one slot
+
+    def test_replay_to_different_port_fails(self):
+        """Changing any 4-tuple field breaks the pre-image binding."""
+        net = MiniNet(n_attackers=1)
+        listener = _protected(net)
+        sniffer = _AckSniffer(net)
+        net.client.tcp.connect(net.server.address, 80)
+        net.run(until=1.0)
+        original = sniffer.captured[0]
+        tampered = Packet(
+            src_ip=original.src_ip, dst_ip=original.dst_ip,
+            src_port=original.src_port + 1,  # the attacker's own port
+            dst_port=80, seq=original.seq, ack=original.ack,
+            flags=TCPFlags.ACK,
+            options=TCPOptions(solution=original.options.solution))
+        net.network.send(net.attackers[0], tampered)
+        net.run(until=2.0)
+        assert listener.stats.solutions_invalid == 1
+        assert listener.stats.established_puzzle == 1

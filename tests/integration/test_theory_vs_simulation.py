@@ -1,0 +1,139 @@
+"""Cross-validation: the analytic models against the simulator.
+
+The theory half of the paper prices puzzles using closed forms (M/M/1
+delay, CPU-bound solve rates); the system half measures a simulator. These
+tests check the two halves of *our* reproduction against each other — if
+they drift apart, one of them is wrong.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mm1 import MM1Queue
+from repro.hosts.client import BenignClient, ClientConfig
+from repro.hosts.server import AppServer, ServerConfig
+from repro.metrics.connections import ConnectionTracker
+from repro.puzzles.params import PuzzleParams
+from repro.tcp.constants import DefenseMode
+from repro.tcp.listener import DefenseConfig
+from tests.conftest import MiniNet
+
+
+class TestMM1Delay:
+    @pytest.mark.parametrize("rho", [0.3, 0.6, 0.8])
+    def test_simulated_latency_tracks_closed_form(self, rho):
+        """Request latency ≈ S(x̄) = 1/(µ − λ) + transport overhead."""
+        mu = 200.0
+        rate = rho * mu
+        net = MiniNet(n_clients=4)
+        server = AppServer(net.server, ServerConfig(
+            service_rate=mu, workers=512))
+        tracker = ConnectionTracker(net.engine)
+        completion_times = []
+        clients = []
+        for host in net.clients:
+            client = BenignClient(host, ClientConfig(
+                server_ip=net.server.address,
+                request_rate=rate / 4.0,
+                request_timeout=60.0,
+                max_cpu_backlog=1e9), tracker)
+            client.start()
+            clients.append(client)
+        net.run(until=40.0)
+        for client in clients:
+            client.stop()
+
+        latencies = [
+            record.t_completed - record.t_open
+            for record in tracker.records
+            if record.t_completed is not None and record.t_open > 5.0
+        ]
+        assert len(latencies) > 200
+        measured = float(np.mean(latencies))
+        # Analytic: queueing+service, plus two RTTs (handshake + data).
+        rtt = 0.0032
+        expected = MM1Queue(mu).expected_system_time(rate) + 2 * rtt
+        assert measured == pytest.approx(expected, rel=0.30)
+
+    def test_latency_grows_toward_saturation(self):
+        """The congestion term the utility function charges is real."""
+        mu = 100.0
+        means = []
+        for rho in (0.3, 0.9):
+            net = MiniNet(n_clients=2)
+            AppServer(net.server, ServerConfig(service_rate=mu,
+                                               workers=512))
+            tracker = ConnectionTracker(net.engine)
+            clients = []
+            for host in net.clients:
+                client = BenignClient(host, ClientConfig(
+                    server_ip=net.server.address,
+                    request_rate=rho * mu / 2.0,
+                    request_timeout=60.0,
+                    max_cpu_backlog=1e9), tracker)
+                client.start()
+                clients.append(client)
+            net.run(until=30.0)
+            for client in clients:
+                client.stop()
+            latencies = [r.t_completed - r.t_open
+                         for r in tracker.records
+                         if r.t_completed is not None and r.t_open > 5.0]
+            means.append(float(np.mean(latencies)))
+        assert means[1] > means[0] * 2
+
+
+class TestSolveRateModel:
+    def test_cpu_bound_connection_rate_matches_closed_form(self):
+        """A solving host's sustained connection rate ≈ hash_rate/ℓ —
+        the identity every rate-limiting claim in the paper rests on."""
+        params = PuzzleParams(k=2, m=14)
+        net = MiniNet()
+        listener = net.server.tcp.listen(80, DefenseConfig(
+            mode=DefenseMode.PUZZLES, puzzle_params=params,
+            always_challenge=True))
+        established = [0]
+
+        def relentless_connect():
+            conn = net.client.tcp.connect(net.server.address, 80)
+
+            def on_established(c):
+                established[0] += 1
+                c.abort()
+                relentless_connect()
+
+            conn.on_established = on_established
+            conn.config.solve_backlog_limit = 1e9
+
+        relentless_connect()
+        horizon = 30.0
+        net.run(until=horizon)
+        closed_form = net.client.cpu.hash_rate / params.expected_hashes
+        measured = established[0] / horizon
+        assert measured == pytest.approx(closed_form, rel=0.25)
+
+    def test_expected_hashes_paid_per_connection(self):
+        """Mean sampled solve attempts ≈ ℓ(p) over many connections."""
+        params = PuzzleParams(k=1, m=10)
+        net = MiniNet()
+        net.server.tcp.listen(80, DefenseConfig(
+            mode=DefenseMode.PUZZLES, puzzle_params=params,
+            always_challenge=True))
+        attempts = []
+
+        def connect_next():
+            conn = net.client.tcp.connect(net.server.address, 80)
+
+            def on_established(c):
+                attempts.append(c.solve_attempts)
+                c.abort()
+                if len(attempts) < 200:
+                    connect_next()
+
+            conn.on_established = on_established
+
+        connect_next()
+        net.run(until=200.0)
+        assert len(attempts) == 200
+        assert float(np.mean(attempts)) == pytest.approx(
+            params.expected_hashes, rel=0.15)

@@ -1,0 +1,90 @@
+"""CSV export tests."""
+
+import csv
+import io
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.metrics.connections import ConnectionTracker
+from repro.metrics.export import (
+    series_to_csv_string,
+    write_connections_csv,
+    write_series_csv,
+)
+from repro.metrics.series import BinnedSeries, GaugeSeries
+from repro.sim.engine import Engine
+
+
+class TestSeriesExport:
+    def test_binned_series_roundtrip(self):
+        series = BinnedSeries(bin_width=1.0)
+        series.add(0.5, 10.0)
+        series.add(2.5, 20.0)
+        text = series_to_csv_string({"bytes": series}, until=3.0)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["time_s", "bytes"]
+        assert [float(v) for _, v in rows[1:]] == [10.0, 0.0, 20.0]
+
+    def test_multiple_aligned_series(self):
+        a = BinnedSeries(bin_width=1.0)
+        b = BinnedSeries(bin_width=1.0)
+        a.add(0.1, 1.0)
+        b.add(1.1, 2.0)
+        text = series_to_csv_string({"a": a, "b": b}, until=2.0)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[1] == ["0.0", "1.0", "0.0"]
+        assert rows[2] == ["1.0", "0.0", "2.0"]
+
+    def test_gauge_series(self):
+        gauge = GaugeSeries()
+        gauge.sample(0.0, 5.0)
+        gauge.sample(1.0, 6.0)
+        buffer = io.StringIO()
+        count = write_series_csv(buffer, {"depth": gauge})
+        assert count == 2
+
+    def test_misaligned_axes_rejected(self):
+        a = BinnedSeries(bin_width=1.0)
+        gauge = GaugeSeries()
+        gauge.sample(0.33, 1.0)
+        a.add(0.1)
+        with pytest.raises(SimulationError):
+            series_to_csv_string({"a": a, "g": gauge}, until=1.0)
+
+    def test_binned_needs_until(self):
+        with pytest.raises(SimulationError):
+            series_to_csv_string({"a": BinnedSeries(bin_width=1.0)})
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(SimulationError):
+            series_to_csv_string({}, until=1.0)
+
+
+class TestConnectionsExport:
+    def test_records_dumped(self):
+        engine = Engine()
+        tracker = ConnectionTracker(engine)
+        record = tracker.open("client")
+        tracker.established(record, challenged=True)
+        tracker.completed(record)
+        failed = tracker.open("attacker")
+        tracker.failed(failed, "reset")
+        buffer = io.StringIO()
+        count = write_connections_csv(buffer, tracker)
+        assert count == 2
+        rows = list(csv.reader(io.StringIO(buffer.getvalue())))
+        assert rows[1][0] == "client"
+        assert rows[1][6] == "1"            # challenged
+        assert rows[1][7] == "completed"
+        assert rows[2][5] == "reset"
+
+    def test_label_filter(self):
+        engine = Engine()
+        tracker = ConnectionTracker(engine)
+        tracker.open("client")
+        tracker.open("attacker")
+        buffer = io.StringIO()
+        count = write_connections_csv(buffer, tracker,
+                                      labels=["attacker"])
+        assert count == 1

@@ -1,0 +1,66 @@
+"""Tests for address parsing, allocation, and spoofing pools."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NetworkError
+from repro.net.addresses import (
+    AddressAllocator,
+    SpoofingPool,
+    format_ip,
+    parse_ip,
+)
+
+
+class TestParseFormat:
+    def test_parse(self):
+        assert parse_ip("10.1.0.1") == 0x0A010001
+
+    def test_format(self):
+        assert format_ip(0x0A010001) == "10.1.0.1"
+
+    def test_malformed(self):
+        for bad in ("10.1.0", "10.1.0.1.2", "10.1.0.256", "a.b.c.d", ""):
+            with pytest.raises(NetworkError):
+                parse_ip(bad)
+
+    def test_out_of_range_format(self):
+        with pytest.raises(NetworkError):
+            format_ip(-1)
+        with pytest.raises(NetworkError):
+            format_ip(2 ** 32)
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_roundtrip(self, value):
+        assert parse_ip(format_ip(value)) == value
+
+
+class TestAllocator:
+    def test_sequential_unique(self):
+        allocator = AddressAllocator()
+        addresses = allocator.allocate_many(100)
+        assert len(set(addresses)) == 100
+
+    def test_within_block(self):
+        allocator = AddressAllocator("10.2.0.0")
+        address = allocator.allocate()
+        assert format_ip(address).startswith("10.2.")
+
+
+class TestSpoofingPool:
+    def test_disjoint_from_experiment_block(self):
+        pool = SpoofingPool(random.Random(1))
+        experiment = set(AddressAllocator().allocate_many(1000))
+        for _ in range(1000):
+            assert pool.draw() not in experiment
+
+    def test_draws_vary(self):
+        pool = SpoofingPool(random.Random(1))
+        draws = {pool.draw() for _ in range(100)}
+        assert len(draws) > 90  # 1M-address span: collisions are rare
+
+    def test_invalid_span(self):
+        with pytest.raises(NetworkError):
+            SpoofingPool(random.Random(1), span=0)

@@ -1,0 +1,120 @@
+"""Packet model tests: flags, sizes, option byte accounting."""
+
+import random
+
+from repro.net.packet import (
+    MIN_FRAME_BYTES,
+    Packet,
+    TCPFlags,
+    TCPOptions,
+)
+from repro.puzzles.codec import challenge_wire_size, solution_wire_size
+from repro.puzzles.juels import (
+    FlowBinding,
+    JuelsBrainardScheme,
+    ModeledSolver,
+)
+from repro.puzzles.params import PuzzleParams
+
+
+def _packet(**kwargs) -> Packet:
+    defaults = dict(src_ip=1, dst_ip=2, src_port=1000, dst_port=80)
+    defaults.update(kwargs)
+    return Packet(**defaults)
+
+
+class TestFlags:
+    def test_syn(self):
+        packet = _packet(flags=TCPFlags.SYN)
+        assert packet.is_syn and not packet.is_synack and not packet.is_rst
+
+    def test_synack(self):
+        packet = _packet(flags=TCPFlags.SYN | TCPFlags.ACK)
+        assert packet.is_synack and not packet.is_syn
+
+    def test_rst(self):
+        assert _packet(flags=TCPFlags.RST).is_rst
+
+    def test_has_ack(self):
+        assert _packet(flags=TCPFlags.ACK).has_ack
+        assert not _packet(flags=TCPFlags.SYN).has_ack
+
+    def test_flags_stored_as_int(self):
+        packet = _packet(flags=TCPFlags.SYN | TCPFlags.ACK)
+        assert isinstance(packet.flags, int)
+
+
+class TestSizes:
+    def test_minimum_frame(self):
+        assert _packet().size_bytes == MIN_FRAME_BYTES
+
+    def test_payload_adds(self):
+        packet = _packet(payload_bytes=1000)
+        assert packet.size_bytes == 40 + 1000
+
+    def test_burst_counts_per_frame_headers(self):
+        packet = _packet(payload_bytes=14600, extra_frames=9)
+        assert packet.size_bytes == 40 * 10 + 14600
+
+    def test_size_cached(self):
+        packet = _packet(payload_bytes=100)
+        first = packet.size_bytes
+        assert packet.size_bytes == first
+
+    def test_uid_unique(self):
+        assert _packet().uid != _packet().uid
+
+    def test_flow_tuple(self):
+        packet = _packet(src_ip=1, src_port=10, dst_ip=2, dst_port=20)
+        assert packet.flow == (1, 10, 2, 20)
+
+
+class TestOptionAccounting:
+    def test_mss_wscale_timestamps(self):
+        options = TCPOptions(mss=1460, wscale=7, ts_val=1, ts_ecr=2)
+        assert options.wire_bytes == 4 + 4 + 12
+
+    def test_empty_options(self):
+        assert TCPOptions().wire_bytes == 0
+
+    def _challenge_and_solution(self, params=PuzzleParams(k=2, m=8)):
+        scheme = JuelsBrainardScheme(mode="modeled")
+        binding = FlowBinding(1, 2, 10, 80, 5)
+        challenge = scheme.make_challenge(params, binding, 1.0)
+        solution = ModeledSolver().solve(challenge, random.Random(2))
+        return challenge, solution
+
+    def test_challenge_size_matches_codec_without_timestamps(self):
+        challenge, _ = self._challenge_and_solution()
+        options = TCPOptions(challenge=challenge)
+        _, padded = challenge_wire_size(challenge.params,
+                                        embed_timestamp=True)
+        assert options.wire_bytes == padded
+
+    def test_challenge_size_with_timestamps_option(self):
+        """With the TS option negotiated, the block drops its own stamp."""
+        challenge, _ = self._challenge_and_solution()
+        options = TCPOptions(challenge=challenge, ts_val=1, ts_ecr=0)
+        _, padded = challenge_wire_size(challenge.params,
+                                        embed_timestamp=False)
+        assert options.wire_bytes == 12 + padded
+
+    def test_solution_size_matches_codec(self):
+        _, solution = self._challenge_and_solution()
+        options = TCPOptions(solution=solution)
+        _, padded = solution_wire_size(solution.params,
+                                       embed_timestamp=True)
+        assert options.wire_bytes == padded
+
+    def test_low_packet_size_overhead(self):
+        """The paper's claim: the extension has low packet-size overhead.
+
+        A Nash-difficulty challenge SYN-ACK stays within the option budget
+        and adds well under 30 bytes to a stock SYN-ACK."""
+        challenge, solution = self._challenge_and_solution(
+            PuzzleParams(k=2, m=17))
+        stock = TCPOptions(mss=1460, wscale=7).wire_bytes
+        with_challenge = TCPOptions(mss=1460, wscale=7,
+                                    challenge=challenge).wire_bytes
+        assert with_challenge - stock <= 20
+        assert TCPOptions(solution=solution).wire_bytes <= 40

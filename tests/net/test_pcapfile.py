@@ -1,0 +1,157 @@
+"""pcap export tests: the file must be structurally valid and the TCP
+option bytes must round-trip through the real codec."""
+
+import io
+import random
+import struct
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.packet import Packet, TCPFlags, TCPOptions
+from repro.net.pcapfile import (
+    LINKTYPE_RAW,
+    PCAP_MAGIC,
+    PcapWriter,
+    packet_to_bytes,
+)
+from repro.puzzles.codec import decode_challenge, decode_solution
+from repro.puzzles.juels import (
+    FlowBinding,
+    JuelsBrainardScheme,
+    ModeledSolver,
+)
+from repro.puzzles.params import PuzzleParams
+
+
+def _packet(**kwargs) -> Packet:
+    defaults = dict(src_ip=0x0A000002, dst_ip=0x0A000001, src_port=43210,
+                    dst_port=80, seq=100, ack=0, flags=TCPFlags.SYN)
+    defaults.update(kwargs)
+    return Packet(**defaults)
+
+
+class TestFrameEncoding:
+    def test_ip_header_fields(self):
+        frame = packet_to_bytes(_packet(payload_bytes=10))
+        assert frame[0] == 0x45                       # IPv4, IHL 5
+        assert frame[9] == 6                          # protocol TCP
+        total_length = struct.unpack("!H", frame[2:4])[0]
+        assert total_length == len(frame)
+        src_ip = struct.unpack("!I", frame[12:16])[0]
+        assert src_ip == 0x0A000002
+
+    def test_tcp_header_fields(self):
+        frame = packet_to_bytes(_packet(flags=TCPFlags.SYN | TCPFlags.ACK))
+        tcp = frame[20:]
+        src_port, dst_port = struct.unpack("!HH", tcp[:4])
+        assert (src_port, dst_port) == (43210, 80)
+        flags = tcp[13]
+        assert flags == 0x12                          # SYN|ACK
+
+    def test_payload_length(self):
+        frame = packet_to_bytes(_packet(payload_bytes=100))
+        assert len(frame) == 20 + 20 + 100
+
+    def test_mss_wscale_timestamp_options(self):
+        packet = _packet(options=TCPOptions(mss=1460, wscale=7, ts_val=5,
+                                            ts_ecr=0))
+        frame = packet_to_bytes(packet)
+        tcp = frame[20:]
+        data_offset = (tcp[12] >> 4) * 4
+        options = tcp[20:data_offset]
+        assert options[0] == 2 and options[1] == 4    # MSS kind/len
+        assert struct.unpack("!H", options[2:4])[0] == 1460
+        assert 3 in options                           # wscale kind present
+        assert len(options) % 4 == 0
+
+    def test_puzzle_options_decode_with_real_codec(self):
+        scheme = JuelsBrainardScheme(mode="modeled")
+        binding = FlowBinding(0x0A000002, 0x0A000001, 43210, 80, 100)
+        params = PuzzleParams(k=2, m=8)
+        challenge = scheme.make_challenge(params, binding, 1.0)
+        frame = packet_to_bytes(_packet(
+            flags=TCPFlags.SYN | TCPFlags.ACK,
+            options=TCPOptions(mss=1460, challenge=challenge)))
+        tcp = frame[20:]
+        data_offset = (tcp[12] >> 4) * 4
+        options = tcp[20:data_offset]
+        # Skip the 4-byte MSS block, then parse the challenge block.
+        decoded = decode_challenge(options[4:], binding)
+        assert decoded.preimage == challenge.preimage
+        assert decoded.params == params
+
+    def test_solution_option_decodes(self):
+        scheme = JuelsBrainardScheme(mode="modeled")
+        binding = FlowBinding(0x0A000002, 0x0A000001, 43210, 80, 100)
+        params = PuzzleParams(k=1, m=6)
+        challenge = scheme.make_challenge(params, binding, 1.0)
+        solution = ModeledSolver().solve(challenge, random.Random(4))
+        frame = packet_to_bytes(_packet(
+            flags=TCPFlags.ACK, options=TCPOptions(solution=solution)))
+        tcp = frame[20:]
+        data_offset = (tcp[12] >> 4) * 4
+        decoded = decode_solution(tcp[20:data_offset], params)
+        assert decoded.solutions == solution.solutions
+
+    def test_oversized_options_rejected(self):
+        scheme = JuelsBrainardScheme(mode="modeled")
+        binding = FlowBinding(1, 2, 3, 80, 5)
+        params = PuzzleParams(k=4, m=8)
+        challenge = scheme.make_challenge(params, binding, 1.0)
+        solution = ModeledSolver().solve(challenge, random.Random(4))
+        packet = _packet(options=TCPOptions(
+            mss=1460, wscale=7, ts_val=1, ts_ecr=0, solution=solution))
+        with pytest.raises(NetworkError):
+            packet_to_bytes(packet)
+
+
+class TestPcapWriter:
+    def test_global_header(self):
+        buffer = io.BytesIO()
+        PcapWriter(buffer)
+        data = buffer.getvalue()
+        magic, major, minor = struct.unpack("<IHH", data[:8])
+        assert magic == PCAP_MAGIC
+        assert (major, minor) == (2, 4)
+        linktype = struct.unpack("<I", data[20:24])[0]
+        assert linktype == LINKTYPE_RAW
+
+    def test_frames_roundtrip(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        writer.write(1.25, _packet(payload_bytes=5))
+        writer.write(2.5, _packet(flags=TCPFlags.ACK))
+        data = buffer.getvalue()
+        offset = 24
+        frames = []
+        while offset < len(data):
+            sec, usec, caplen, origlen = struct.unpack(
+                "<IIII", data[offset:offset + 16])
+            frames.append((sec + usec / 1e6, caplen))
+            offset += 16 + caplen
+        assert len(frames) == 2
+        assert frames[0][0] == pytest.approx(1.25)
+        assert frames[0][1] == 45                    # 40 hdrs + 5 payload
+        assert writer.frames_written == 2
+
+    def test_tap_records_sends_only(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        packet = _packet()
+        writer.tap(1.0, packet, "send")
+        writer.tap(1.1, packet, "deliver")
+        writer.tap(1.2, packet, "drop")
+        assert writer.frames_written == 1
+
+    def test_live_capture_from_simulation(self, mini_net, tmp_path):
+        path = tmp_path / "handshake.pcap"
+        with open(path, "wb") as stream:
+            writer = PcapWriter(stream)
+            mini_net.network.add_tap(writer.tap)
+            mini_net.server.tcp.listen(80)
+            mini_net.client.tcp.connect(mini_net.server.address, 80)
+            mini_net.run(until=0.5)
+        data = path.read_bytes()
+        assert struct.unpack("<I", data[:4])[0] == PCAP_MAGIC
+        assert writer.frames_written >= 3   # SYN, SYN-ACK, ACK

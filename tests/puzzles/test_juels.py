@@ -1,0 +1,222 @@
+"""Unit tests for the Juels–Brainard scheme: generation, solving (both
+modes), and stateless verification with its replay/binding defences."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.sha256 import HashCounter
+from repro.errors import PuzzleError
+from repro.puzzles.juels import (
+    Challenge,
+    FlowBinding,
+    JuelsBrainardScheme,
+    ModeledSolver,
+    RealSolver,
+    Solution,
+    VerifyStatus,
+)
+from repro.puzzles.params import PuzzleParams
+from repro.puzzles.replay import ExpiryPolicy
+from repro.puzzles.secrets import SecretKey
+
+BINDING = FlowBinding(src_ip=0x0A000002, dst_ip=0x0A000001,
+                      src_port=43210, dst_port=80, isn=0xDEADBEEF)
+PARAMS = PuzzleParams(k=2, m=8)
+
+
+def real_scheme() -> JuelsBrainardScheme:
+    return JuelsBrainardScheme(secret=SecretKey(1), mode="real")
+
+
+def modeled_scheme() -> JuelsBrainardScheme:
+    return JuelsBrainardScheme(secret=SecretKey(1), mode="modeled")
+
+
+class TestGeneration:
+    def test_challenge_has_configured_length(self):
+        challenge = real_scheme().make_challenge(PARAMS, BINDING, 1.0)
+        assert len(challenge.preimage) == PARAMS.length_bytes
+
+    def test_generation_costs_one_hash(self):
+        counter = HashCounter()
+        real_scheme().make_challenge(PARAMS, BINDING, 1.0, counter=counter)
+        assert counter.count == 1
+
+    def test_preimage_depends_on_flow(self):
+        scheme = real_scheme()
+        a = scheme.make_challenge(PARAMS, BINDING, 1.0)
+        other = FlowBinding(BINDING.src_ip, BINDING.dst_ip,
+                            BINDING.src_port + 1, BINDING.dst_port,
+                            BINDING.isn)
+        b = scheme.make_challenge(PARAMS, other, 1.0)
+        assert a.preimage != b.preimage
+
+    def test_preimage_depends_on_time(self):
+        scheme = real_scheme()
+        a = scheme.make_challenge(PARAMS, BINDING, 1.0)
+        b = scheme.make_challenge(PARAMS, BINDING, 1.01)
+        assert a.preimage != b.preimage
+
+    def test_preimage_depends_on_secret(self):
+        a = JuelsBrainardScheme(secret=SecretKey(1)).make_challenge(
+            PARAMS, BINDING, 1.0)
+        b = JuelsBrainardScheme(secret=SecretKey(2)).make_challenge(
+            PARAMS, BINDING, 1.0)
+        assert a.preimage != b.preimage
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(PuzzleError):
+            JuelsBrainardScheme(mode="quantum")
+
+
+class TestRealRoundtrip:
+    def test_solve_verify_ok(self):
+        scheme = real_scheme()
+        challenge = scheme.make_challenge(PARAMS, BINDING, 1.0)
+        solution = RealSolver().solve(challenge, random.Random(2))
+        result = scheme.verify(solution, BINDING, 1.5, PARAMS,
+                               rng=random.Random(3))
+        assert result.ok
+
+    def test_verification_cost_counted(self):
+        scheme = real_scheme()
+        challenge = scheme.make_challenge(PARAMS, BINDING, 1.0)
+        solution = RealSolver().solve(challenge, random.Random(2))
+        result = scheme.verify(solution, BINDING, 1.5, PARAMS)
+        # 1 pre-image recomputation + k sub-checks on the happy path.
+        assert result.hashes_spent == 1 + PARAMS.k
+
+    def test_solver_charges_attempts(self):
+        scheme = real_scheme()
+        challenge = scheme.make_challenge(PARAMS, BINDING, 1.0)
+        counter = HashCounter()
+        solution = RealSolver().solve(challenge, random.Random(2),
+                                      counter=counter)
+        assert counter.count == solution.attempts >= PARAMS.k
+
+
+class TestModeledRoundtrip:
+    def test_solve_verify_ok(self):
+        scheme = modeled_scheme()
+        challenge = scheme.make_challenge(PARAMS, BINDING, 1.0)
+        solution = ModeledSolver().solve(challenge, random.Random(2))
+        assert scheme.verify(solution, BINDING, 1.5, PARAMS).ok
+
+    def test_attempts_sampled_in_range(self):
+        solver = ModeledSolver()
+        rng = random.Random(7)
+        for _ in range(50):
+            attempts = solver.sample_attempts(PARAMS, rng)
+            assert PARAMS.k <= attempts <= PARAMS.worst_case_hashes
+
+    def test_attempts_mean_matches_cost_model(self):
+        solver = ModeledSolver()
+        rng = random.Random(8)
+        samples = [solver.sample_attempts(PARAMS, rng)
+                   for _ in range(4000)]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(PARAMS.expected_hashes, rel=0.05)
+
+    def test_fabricated_placeholder_fails(self):
+        """An attacker cannot mint placeholders without the pre-image."""
+        scheme = modeled_scheme()
+        challenge = scheme.make_challenge(PARAMS, BINDING, 1.0)
+        bogus = Solution(params=PARAMS,
+                         solutions=[b"\x00" * 8, b"\x11" * 8],
+                         issued_at_ms=challenge.issued_at_ms)
+        result = scheme.verify(bogus, BINDING, 1.5, PARAMS)
+        assert result.status is VerifyStatus.BAD_SOLUTION
+
+
+class TestBindingAndReplay:
+    @pytest.fixture(params=["real", "modeled"])
+    def scheme_and_solution(self, request):
+        scheme = JuelsBrainardScheme(secret=SecretKey(1),
+                                     mode=request.param)
+        challenge = scheme.make_challenge(PARAMS, BINDING, 1.0)
+        solution = scheme.solver().solve(challenge, random.Random(2))
+        return scheme, solution
+
+    def test_wrong_flow_rejected(self, scheme_and_solution):
+        scheme, solution = scheme_and_solution
+        wrong = FlowBinding(0x0A0000FF, BINDING.dst_ip, BINDING.src_port,
+                            BINDING.dst_port, BINDING.isn)
+        assert scheme.verify(solution, wrong, 1.5,
+                             PARAMS).status is VerifyStatus.BAD_SOLUTION
+
+    def test_wrong_isn_rejected(self, scheme_and_solution):
+        scheme, solution = scheme_and_solution
+        wrong = FlowBinding(BINDING.src_ip, BINDING.dst_ip,
+                            BINDING.src_port, BINDING.dst_port, 123)
+        assert not scheme.verify(solution, wrong, 1.5, PARAMS).ok
+
+    def test_expired_solution_rejected(self, scheme_and_solution):
+        scheme, solution = scheme_and_solution
+        late = 1.0 + scheme.expiry.window + 1.0
+        assert scheme.verify(solution, BINDING, late,
+                             PARAMS).status is VerifyStatus.EXPIRED
+
+    def test_future_timestamp_rejected(self, scheme_and_solution):
+        scheme, solution = scheme_and_solution
+        assert scheme.verify(solution, BINDING, 0.0,
+                             PARAMS).status is VerifyStatus.FUTURE_TIMESTAMP
+
+    def test_tampered_timestamp_rejected(self, scheme_and_solution):
+        """Refreshing the timestamp breaks the pre-image (the §5 replay
+        defence: tampering makes verification fail)."""
+        scheme, solution = scheme_and_solution
+        solution.issued_at_ms += 5000
+        assert scheme.verify(solution, BINDING, 6.2,
+                             PARAMS).status is VerifyStatus.BAD_SOLUTION
+
+    def test_params_mismatch_rejected(self, scheme_and_solution):
+        scheme, solution = scheme_and_solution
+        harder = PuzzleParams(k=2, m=12)
+        assert scheme.verify(solution, BINDING, 1.5,
+                             harder).status is VerifyStatus.PARAMS_MISMATCH
+
+
+class TestSecretRotation:
+    def test_previous_key_valid_within_grace(self):
+        scheme = modeled_scheme()
+        challenge = scheme.make_challenge(PARAMS, BINDING, 1.0)
+        solution = ModeledSolver().solve(challenge, random.Random(2))
+        scheme.secret.rotate()
+        assert scheme.verify(solution, BINDING, 1.5, PARAMS).ok
+
+    def test_two_rotations_invalidate(self):
+        scheme = modeled_scheme()
+        challenge = scheme.make_challenge(PARAMS, BINDING, 1.0)
+        solution = ModeledSolver().solve(challenge, random.Random(2))
+        scheme.secret.rotate()
+        scheme.secret.rotate()
+        assert not scheme.verify(solution, BINDING, 1.5, PARAMS).ok
+
+
+class TestSolutionValidation:
+    def test_wrong_solution_count_rejected_at_construction(self):
+        with pytest.raises(PuzzleError):
+            Solution(params=PARAMS, solutions=[b"\x00" * 8],
+                     issued_at_ms=0)
+
+    def test_wrong_solution_length_rejected(self):
+        with pytest.raises(PuzzleError):
+            Solution(params=PARAMS, solutions=[b"\x00" * 4, b"\x00" * 4],
+                     issued_at_ms=0)
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF),
+       st.integers(min_value=0, max_value=0xFFFF),
+       st.integers(min_value=1, max_value=6))
+def test_modeled_roundtrip_property(src_ip, port, m):
+    """Any flow, any small difficulty: honest solve always verifies."""
+    binding = FlowBinding(src_ip=src_ip, dst_ip=1, src_port=port,
+                          dst_port=80, isn=99)
+    params = PuzzleParams(k=1, m=m)
+    scheme = JuelsBrainardScheme(secret=SecretKey(3), mode="modeled")
+    challenge = scheme.make_challenge(params, binding, 10.0)
+    solution = ModeledSolver().solve(challenge, random.Random(src_ip))
+    assert scheme.verify(solution, binding, 10.1, params).ok

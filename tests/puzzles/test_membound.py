@@ -1,0 +1,144 @@
+"""Tests for the memory-bound proof-of-work extension (§7 fairness)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PuzzleError
+from repro.puzzles.membound import (
+    MemboundParams,
+    ModeledMemboundSolver,
+    build_table,
+    fairness_ratio,
+    solve,
+    solve_seconds,
+    verify,
+)
+
+PARAMS = MemboundParams(table_bits=10, walk_length=8, m=6)
+
+
+class TestParams:
+    def test_cost_model(self):
+        assert PARAMS.expected_walks == 32
+        assert PARAMS.expected_accesses == 32 * 8
+        assert PARAMS.verification_accesses == 8
+
+    def test_zero_difficulty(self):
+        params = MemboundParams(table_bits=8, walk_length=4, m=0)
+        assert params.expected_walks == 1.0
+
+    def test_validation(self):
+        with pytest.raises(PuzzleError):
+            MemboundParams(table_bits=2)
+        with pytest.raises(PuzzleError):
+            MemboundParams(walk_length=0)
+        with pytest.raises(PuzzleError):
+            MemboundParams(m=-1)
+
+
+class TestTable:
+    def test_deterministic_from_seed(self):
+        assert build_table(b"seed", PARAMS) == build_table(b"seed", PARAMS)
+
+    def test_different_seeds_differ(self):
+        assert build_table(b"a", PARAMS) != build_table(b"b", PARAMS)
+
+    def test_entries_in_range(self):
+        table = build_table(b"seed", PARAMS)
+        assert len(table) == PARAMS.table_size
+        assert all(0 <= v < PARAMS.table_size for v in table)
+
+
+class TestSolveVerify:
+    def test_roundtrip(self):
+        table = build_table(b"challenge", PARAMS)
+        solution, walks, accesses = solve(table, PARAMS, target=0x2A)
+        assert walks >= 1
+        assert accesses == walks * PARAMS.walk_length
+        assert verify(table, PARAMS, 0x2A, solution)
+
+    def test_wrong_solution_rejected(self):
+        table = build_table(b"challenge", PARAMS)
+        solution, _, _ = solve(table, PARAMS, target=0x2A)
+        # A different target almost surely mismatches this solution.
+        assert not verify(table, PARAMS, (0x2A + 1) & 0x3F, solution) or \
+            verify(table, PARAMS, 0x2A, solution)
+
+    def test_solution_bound_to_table(self):
+        table_a = build_table(b"a", PARAMS)
+        table_b = build_table(b"b", PARAMS)
+        solution, _, _ = solve(table_a, PARAMS, target=5)
+        # With m=6 the chance the same s works on another table is 1/64;
+        # use several targets to make the test robust.
+        agreements = sum(
+            verify(table_b, PARAMS, t, solve(table_a, PARAMS, t)[0])
+            for t in range(10))
+        assert agreements < 6
+
+    def test_mean_walks_matches_expectation(self):
+        table = build_table(b"stats", PARAMS)
+        total = 0
+        trials = 40
+        rng = random.Random(7)
+        for i in range(trials):
+            _, walks, _ = solve(table, PARAMS, target=i,
+                                start=rng.randrange(PARAMS.table_size))
+            total += walks
+        mean = total / trials
+        # Geometric with p=2^-6: mean 64; generous band.
+        assert 20 < mean < 160
+
+    def test_impossible_difficulty_raises(self):
+        params = MemboundParams(table_bits=4, walk_length=2, m=16)
+        table = build_table(b"x", params)
+        with pytest.raises(PuzzleError):
+            solve(table, params, target=0xFFFF)
+
+
+class TestModeledSolver:
+    def test_sample_range(self):
+        solver = ModeledMemboundSolver()
+        rng = random.Random(1)
+        for _ in range(100):
+            walks = solver.sample_walks(PARAMS, rng)
+            assert 1 <= walks <= 2 ** PARAMS.m
+
+    def test_accesses_scale_with_walk_length(self):
+        solver = ModeledMemboundSolver()
+        rng = random.Random(1)
+        accesses = solver.sample_accesses(PARAMS, rng)
+        assert accesses % PARAMS.walk_length == 0
+
+
+class TestFairness:
+    def test_solve_seconds(self):
+        assert solve_seconds(PARAMS, memory_rate=256.0) == \
+            pytest.approx(32 * 8 / 256.0)
+
+    def test_fairness_ratio(self):
+        assert fairness_ratio([10.0, 20.0, 40.0]) == 4.0
+        with pytest.raises(PuzzleError):
+            fairness_ratio([])
+        with pytest.raises(PuzzleError):
+            fairness_ratio([1.0, 0.0])
+
+    def test_memory_rates_are_fairer_than_hash_rates(self):
+        """The §7 premise, as encoded in the hardware catalog."""
+        from repro.hosts.cpu import CPU_CATALOG, IOT_CATALOG
+
+        devices = {**CPU_CATALOG, **IOT_CATALOG}.values()
+        hash_spread = fairness_ratio([d.hash_rate for d in devices])
+        mem_spread = fairness_ratio([d.memory_rate for d in devices])
+        assert mem_spread < hash_spread / 2
+
+
+@settings(deadline=None, max_examples=15)
+@given(st.integers(min_value=0, max_value=2 ** 16),
+       st.integers(min_value=1, max_value=5))
+def test_solve_verify_property(target, m):
+    params = MemboundParams(table_bits=8, walk_length=4, m=m)
+    table = build_table(b"prop", params)
+    solution, _, _ = solve(table, params, target)
+    assert verify(table, params, target, solution)

@@ -1,0 +1,83 @@
+"""Unit tests for puzzle parameters and wire sizing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PuzzleError
+from repro.puzzles.params import MAX_TCP_OPTION_BYTES, PuzzleParams
+
+
+class TestValidation:
+    def test_nash_example(self):
+        params = PuzzleParams(k=2, m=17)
+        assert params.expected_hashes == 2 * 2 ** 16
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(PuzzleError):
+            PuzzleParams(k=0, m=4)
+
+    def test_m_nonnegative(self):
+        with pytest.raises(PuzzleError):
+            PuzzleParams(k=1, m=-1)
+
+    def test_m_bounded_by_preimage_bits(self):
+        with pytest.raises(PuzzleError):
+            PuzzleParams(k=1, m=65, length_bytes=8)
+        PuzzleParams(k=1, m=64, length_bytes=8)  # boundary is legal
+
+    def test_length_bounds(self):
+        with pytest.raises(PuzzleError):
+            PuzzleParams(k=1, m=0, length_bytes=0)
+        with pytest.raises(PuzzleError):
+            PuzzleParams(k=1, m=0, length_bytes=256)
+
+    def test_frozen(self):
+        params = PuzzleParams(k=1, m=4)
+        with pytest.raises(AttributeError):
+            params.k = 2
+
+
+class TestCostModel:
+    def test_zero_difficulty_costs_k(self):
+        assert PuzzleParams(k=3, m=0).expected_hashes == 3.0
+
+    def test_worst_case(self):
+        assert PuzzleParams(k=2, m=4).worst_case_hashes == 32
+
+    @given(st.integers(min_value=1, max_value=4),
+           st.integers(min_value=1, max_value=20))
+    def test_expected_half_of_worst(self, k, m):
+        params = PuzzleParams(k=k, m=m)
+        assert params.expected_hashes * 2 == params.worst_case_hashes
+
+
+class TestWireBudget:
+    def test_paper_sweep_fits(self):
+        """Every (k, m) the paper sweeps fits the 40-byte budget when the
+        timestamp rides in the standard TS option (no embedded copy)."""
+        for k in (1, 2, 3, 4):
+            for m in (4, 10, 12, 15, 16, 17, 18, 20):
+                assert PuzzleParams(k=k, m=m).fits_in_options(
+                    embed_timestamp=False)
+
+    def test_k_le_3_fits_even_with_embedded_timestamp(self):
+        for k in (1, 2, 3):
+            assert PuzzleParams(k=k, m=20).fits_in_options(
+                embed_timestamp=True)
+
+    def test_k4_needs_external_timestamp_at_default_length(self):
+        """k=4 at l=8 exceeds the budget with the embedded 4-byte stamp —
+        the implementation must rely on the negotiated TS option there."""
+        params = PuzzleParams(k=4, m=20)
+        assert params.solution_wire_bytes(False) <= MAX_TCP_OPTION_BYTES
+        assert params.solution_wire_bytes(True) > MAX_TCP_OPTION_BYTES
+
+    def test_oversized_combination_rejected_by_budget_check(self):
+        params = PuzzleParams(k=4, m=20, length_bytes=12)
+        assert not params.fits_in_options(embed_timestamp=True)
+
+    def test_wire_bytes_formula(self):
+        params = PuzzleParams(k=2, m=17, length_bytes=8)
+        # opcode + len + mss(2) + wscale + 2*8 solutions = 22; +4 ts = 26
+        assert params.solution_wire_bytes(False) == 22
+        assert params.solution_wire_bytes(True) == 26

@@ -1,0 +1,100 @@
+"""Tests for secrets, expiry policy, and the cost estimator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PuzzleError
+from repro.puzzles.estimator import (
+    expected_generation_hashes,
+    expected_solution_hashes,
+    expected_verification_hashes,
+    provider_net_work,
+)
+from repro.puzzles.params import PuzzleParams
+from repro.puzzles.replay import ExpiryPolicy
+from repro.puzzles.secrets import SecretKey
+
+
+class TestSecretKey:
+    def test_deterministic_from_seed(self):
+        assert SecretKey(1).current == SecretKey(1).current
+
+    def test_different_seeds_differ(self):
+        assert SecretKey(1).current != SecretKey(2).current
+
+    def test_rotation_changes_key(self):
+        key = SecretKey(1)
+        old = key.current
+        key.rotate()
+        assert key.current != old
+        assert key.generation == 1
+
+    def test_grace_window_holds_one_previous_key(self):
+        key = SecretKey(1)
+        first = key.current
+        key.rotate()
+        assert key.valid_keys() == [key.current, first]
+        key.rotate()
+        assert first not in key.valid_keys()
+        assert len(key.valid_keys()) == 2
+
+    def test_random_key_without_seed(self):
+        assert SecretKey(None).current != SecretKey(None).current
+
+
+class TestExpiryPolicy:
+    def test_fresh_within_window(self):
+        policy = ExpiryPolicy(window=8.0)
+        assert policy.is_fresh(issued_at=10.0, now=17.9)
+
+    def test_stale_after_window(self):
+        policy = ExpiryPolicy(window=8.0)
+        assert not policy.is_fresh(issued_at=10.0, now=18.1)
+
+    def test_boundary_inclusive(self):
+        policy = ExpiryPolicy(window=8.0)
+        assert policy.is_fresh(issued_at=10.0, now=18.0)
+
+    def test_future_beyond_skew_rejected(self):
+        policy = ExpiryPolicy(window=8.0, skew=0.5)
+        assert not policy.is_fresh(issued_at=20.0, now=19.0)
+        assert policy.is_fresh(issued_at=19.4, now=19.0)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(PuzzleError):
+            ExpiryPolicy(window=0.0)
+        with pytest.raises(PuzzleError):
+            ExpiryPolicy(window=1.0, skew=-1.0)
+
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+           st.floats(min_value=0.01, max_value=100.0, allow_nan=False))
+    def test_monotone_staleness(self, issued_at, window):
+        """Once comfortably past the window, a challenge is stale."""
+        policy = ExpiryPolicy(window=window)
+        clearly_stale = issued_at + window * 1.01 + 0.01
+        assert not policy.is_fresh(issued_at, clearly_stale)
+        clearly_fresh = issued_at + window * 0.99 - 0.001
+        if clearly_fresh >= issued_at:
+            assert policy.is_fresh(issued_at, clearly_fresh)
+
+
+class TestEstimator:
+    def test_paper_cost_model(self):
+        """§4.1: ℓ = k·2^(m-1), g = 1, d = 1 + k/2."""
+        params = PuzzleParams(k=2, m=17)
+        assert expected_solution_hashes(params) == 131072
+        assert expected_generation_hashes(params) == 1.0
+        assert expected_verification_hashes(params) == 2.0
+
+    def test_provider_net_work_equation5(self):
+        params = PuzzleParams(k=2, m=17)
+        assert provider_net_work(params) == 131072 - 2 - 1
+
+    @given(st.integers(min_value=1, max_value=4),
+           st.integers(min_value=6, max_value=20))
+    def test_net_work_positive_for_nontrivial_puzzles(self, k, m):
+        assert provider_net_work(PuzzleParams(k=k, m=m)) > 0
+
+    def test_net_work_negative_for_trivial_puzzle(self):
+        """A near-free puzzle costs the server more than clients pay."""
+        assert provider_net_work(PuzzleParams(k=1, m=0)) < 0

@@ -1,0 +1,105 @@
+"""Unit tests for periodic and Poisson processes."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.process import PeriodicProcess, PoissonProcess
+
+
+class TestPeriodic:
+    def test_fires_at_fixed_interval(self, engine):
+        times = []
+        proc = PeriodicProcess(engine, lambda: times.append(engine.now),
+                               interval=1.0)
+        proc.start()
+        engine.run(until=5.5)
+        assert times == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_rate_is_reciprocal_interval(self, engine):
+        proc = PeriodicProcess(engine, lambda: None, rate=4.0)
+        assert proc.interval == 0.25
+
+    def test_start_delay(self, engine):
+        times = []
+        proc = PeriodicProcess(engine, lambda: times.append(engine.now),
+                               interval=1.0)
+        proc.start(delay=0.5)
+        engine.run(until=2.6)
+        assert times == [0.5, 1.5, 2.5]
+
+    def test_stop_halts_firing(self, engine):
+        count = [0]
+
+        def action():
+            count[0] += 1
+            if count[0] == 3:
+                proc.stop()
+
+        proc = PeriodicProcess(engine, action, interval=1.0)
+        proc.start()
+        engine.run(until=100.0)
+        assert count[0] == 3
+        assert not proc.running
+
+    def test_double_start_rejected(self, engine):
+        proc = PeriodicProcess(engine, lambda: None, interval=1.0)
+        proc.start()
+        with pytest.raises(SimulationError):
+            proc.start()
+
+    def test_requires_exactly_one_of_interval_or_rate(self, engine):
+        with pytest.raises(SimulationError):
+            PeriodicProcess(engine, lambda: None)
+        with pytest.raises(SimulationError):
+            PeriodicProcess(engine, lambda: None, interval=1.0, rate=1.0)
+
+    def test_nonpositive_interval_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            PeriodicProcess(engine, lambda: None, interval=0.0)
+        with pytest.raises(SimulationError):
+            PeriodicProcess(engine, lambda: None, rate=-1.0)
+
+    def test_fire_count(self, engine):
+        proc = PeriodicProcess(engine, lambda: None, interval=0.5)
+        proc.start()
+        engine.run(until=2.0)
+        assert proc.fire_count == 5  # 0.0, 0.5, 1.0, 1.5, 2.0
+
+
+class TestPoisson:
+    def test_mean_rate_approximates_configured(self, engine):
+        count = [0]
+        proc = PoissonProcess(engine, lambda: count.__setitem__(
+            0, count[0] + 1), rate=50.0, rng=random.Random(3))
+        proc.start()
+        engine.run(until=100.0)
+        observed = count[0] / 100.0
+        assert 45.0 < observed < 55.0
+
+    def test_intervals_are_exponential_like(self, engine):
+        times = []
+        proc = PoissonProcess(engine, lambda: times.append(engine.now),
+                              rate=10.0, rng=random.Random(4))
+        proc.start()
+        engine.run(until=200.0)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean = sum(gaps) / len(gaps)
+        variance = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        # For an exponential, std == mean; allow simulation noise.
+        assert 0.8 < variance ** 0.5 / mean < 1.2
+
+    def test_nonpositive_rate_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            PoissonProcess(engine, lambda: None, rate=0.0,
+                           rng=random.Random(0))
+
+    def test_explicit_start_delay(self, engine):
+        times = []
+        proc = PoissonProcess(engine, lambda: times.append(engine.now),
+                              rate=1.0, rng=random.Random(5))
+        proc.start(delay=2.0)
+        engine.run(max_events=1)
+        assert times == [2.0]

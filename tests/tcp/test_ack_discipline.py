@@ -1,0 +1,101 @@
+"""Tests for the sticky under-attack ACK discipline (DESIGN.md's
+asymmetric controller)."""
+
+import pytest
+
+from repro.net.packet import Packet, TCPFlags, TCPOptions
+from repro.puzzles.params import PuzzleParams
+from repro.tcp.constants import DefenseMode
+from repro.tcp.listener import DefenseConfig
+from tests.conftest import MiniNet
+
+
+def _fill_listen(net, listener, count=None):
+    count = count if count is not None else listener.config.backlog
+    for i in range(count):
+        packet = Packet(src_ip=0xAC200000 + i,
+                        dst_ip=net.server.address,
+                        src_port=2000 + i, dst_port=80, seq=1,
+                        flags=TCPFlags.SYN,
+                        options=TCPOptions(mss=1460))
+        net.network.send(net.client, packet)
+
+
+class TestUnderAttackStickiness:
+    def test_challenge_trigger_is_instantaneous(self, mini_net):
+        """Challenges stop the moment the queue has room again."""
+        listener = mini_net.server.tcp.listen(80, DefenseConfig(
+            mode=DefenseMode.PUZZLES, backlog=4))
+        _fill_listen(mini_net, listener, 4)
+        mini_net.run(until=0.1)
+        assert listener.protection_active
+        listener.listen_queue.expire(
+            next(iter(listener.listen_queue.values())).flow)
+        assert not listener.protection_active
+
+    def test_ack_discipline_outlives_pressure(self, mini_net):
+        """The completion rule stays strict for the hold window."""
+        listener = mini_net.server.tcp.listen(80, DefenseConfig(
+            mode=DefenseMode.PUZZLES, backlog=4,
+            ack_discipline_hold=2.0))
+        _fill_listen(mini_net, listener, 4)
+        mini_net.run(until=0.1)
+        assert listener.protection_active  # refreshes the hold
+        listener.listen_queue.expire(
+            next(iter(listener.listen_queue.values())).flow)
+        assert not listener.protection_active
+        assert listener.under_attack        # sticky
+        mini_net.engine.run(until=mini_net.engine.now + 3.0)
+        assert not listener.under_attack    # hold expired
+
+    def test_plain_ack_stranded_through_momentary_opening(self, mini_net):
+        """The cascade scenario: a half-open completes its handshake in a
+        sub-hold window after the queue dipped below full — the plain ACK
+        must still be refused."""
+        listener = mini_net.server.tcp.listen(80, DefenseConfig(
+            mode=DefenseMode.PUZZLES, backlog=8,
+            puzzle_params=PuzzleParams(k=1, m=4),
+            ack_discipline_hold=2.0))
+        # A benign-looking connection whose SYN sneaks into a non-full
+        # queue (stock path)...
+        conn = mini_net.client.tcp.connect(mini_net.server.address, 80)
+        mini_net.run(until=0.002)  # SYN accepted, half-open created
+        assert len(listener.listen_queue) == 1
+        # ...then the queue fills and unfills before its ACK (~4.8 ms)
+        # arrives.
+        _fill_listen(mini_net, listener, 7)
+        mini_net.run(until=0.004)
+        assert listener.under_attack
+        for tcb in list(listener.listen_queue.values()):
+            if tcb.remote_ip != mini_net.client.address:
+                listener.listen_queue.expire(tcb.flow)
+        assert not listener.protection_active
+        mini_net.run(until=1.0)
+        # The plain ACK was refused despite the open slots.
+        assert listener.stats.acks_ignored_queue_full >= 1
+        assert listener.stats.established_normal == 0
+
+    def test_discipline_relaxes_after_quiet_period(self, mini_net):
+        listener = mini_net.server.tcp.listen(80, DefenseConfig(
+            mode=DefenseMode.PUZZLES, backlog=8,
+            ack_discipline_hold=0.5))
+        _fill_listen(mini_net, listener, 8)
+        mini_net.run(until=0.1)
+        for tcb in list(listener.listen_queue.values()):
+            listener.listen_queue.expire(tcb.flow)
+        mini_net.engine.run(until=mini_net.engine.now + 1.0)
+        assert not listener.under_attack
+        # A fresh stock handshake now completes normally.
+        conn = mini_net.client.tcp.connect(mini_net.server.address, 80)
+        mini_net.run(until=mini_net.engine.now + 1.0)
+        assert listener.stats.established_normal == 1
+
+    def test_cookies_mode_has_no_sticky_state(self, mini_net):
+        listener = mini_net.server.tcp.listen(80, DefenseConfig(
+            mode=DefenseMode.SYNCOOKIES, backlog=4))
+        _fill_listen(mini_net, listener, 4)
+        mini_net.run(until=0.1)
+        assert listener.protection_active
+        assert listener.under_attack  # == protection while pressured
+        listener.listen_queue.clear()
+        assert not listener.under_attack

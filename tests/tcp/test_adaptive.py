@@ -1,0 +1,90 @@
+"""Tests for the adaptive difficulty controller (§7 extension)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.puzzles.params import PuzzleParams
+from repro.tcp.adaptive import AdaptiveConfig, AdaptiveDifficultyController
+from repro.tcp.constants import DefenseMode
+from repro.tcp.listener import DefenseConfig
+from tests.conftest import MiniNet
+
+
+def _controlled_listener(net, m=8, **config_kwargs):
+    listener = net.server.tcp.listen(80, DefenseConfig(
+        mode=DefenseMode.PUZZLES, puzzle_params=PuzzleParams(k=1, m=m),
+        always_challenge=True))
+    controller = AdaptiveDifficultyController(
+        net.engine, listener, AdaptiveConfig(**config_kwargs))
+    return listener, controller
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            AdaptiveConfig(interval=0.0)
+        with pytest.raises(ExperimentError):
+            AdaptiveConfig(m_floor=10, m_ceiling=8)
+        with pytest.raises(ExperimentError):
+            AdaptiveConfig(target_inflow=0.0)
+        with pytest.raises(ExperimentError):
+            AdaptiveConfig(low_water=0.9, high_water=0.5)
+
+
+class TestController:
+    def test_raises_m_when_inflow_exceeds_target(self):
+        net = MiniNet()
+        listener, controller = _controlled_listener(
+            net, m=4, interval=1.0, target_inflow=5.0)
+        controller.start()
+        # 20 establishing connections/second >> target 5/s.
+        from repro.sim.process import PeriodicProcess
+
+        flood = PeriodicProcess(
+            net.engine,
+            lambda: net.client.tcp.connect(net.server.address, 80),
+            rate=20.0)
+        flood.start()
+        net.run(until=10.0)
+        flood.stop()
+        controller.stop()
+        assert controller.current_m > 4
+        assert len(controller.history) >= 9
+
+    def test_decays_m_when_idle(self):
+        net = MiniNet()
+        listener, controller = _controlled_listener(
+            net, m=14, interval=1.0, m_floor=8)
+        # Idle: always_challenge keeps protection "active" but inflow is 0
+        # and below low water -> decay toward the floor.
+        controller.start()
+        net.run(until=10.0)
+        controller.stop()
+        assert controller.current_m == 8
+
+    def test_respects_ceiling(self):
+        net = MiniNet()
+        listener, controller = _controlled_listener(
+            net, m=4, interval=0.5, target_inflow=0.1, m_floor=2,
+            m_ceiling=6)
+        controller.start()
+        from repro.sim.process import PeriodicProcess
+
+        flood = PeriodicProcess(
+            net.engine,
+            lambda: net.client.tcp.connect(net.server.address, 80),
+            rate=20.0)
+        flood.start()
+        net.run(until=20.0)
+        controller.stop()
+        flood.stop()
+        assert controller.current_m == 6
+
+    def test_history_records_trajectory(self):
+        net = MiniNet()
+        listener, controller = _controlled_listener(net, interval=2.0)
+        controller.start()
+        net.run(until=6.1)
+        controller.stop()
+        times = [t for t, m, inflow in controller.history]
+        assert times == [2.0, 4.0, 6.0]

@@ -1,0 +1,160 @@
+"""Connection state-machine edge cases."""
+
+import pytest
+
+from repro.net.packet import Packet, TCPFlags, TCPOptions
+from repro.puzzles.params import PuzzleParams
+from repro.tcp.connection import ClientConnConfig
+from repro.tcp.constants import DefenseMode
+from repro.tcp.listener import DefenseConfig
+from repro.tcp.tcb import TCBState
+from tests.conftest import MiniNet
+
+
+class TestClientConnectionEdges:
+    def test_duplicate_synack_ignored_when_established(self, mini_net):
+        listener = mini_net.server.tcp.listen(80)
+        events = []
+        conn = mini_net.client.tcp.connect(mini_net.server.address, 80)
+        conn.on_established = lambda c: events.append("established")
+        mini_net.run(until=0.2)
+        assert events == ["established"]
+        # Server retransmits the SYN-ACK (e.g. our ACK was lost in its
+        # view) — the client must not re-establish.
+        dup = Packet(src_ip=mini_net.server.address,
+                     dst_ip=mini_net.client.address,
+                     src_port=80, dst_port=conn.local_port,
+                     seq=42, ack=conn.isn + 1,
+                     flags=TCPFlags.SYN | TCPFlags.ACK,
+                     options=TCPOptions(mss=1460))
+        mini_net.network.send(mini_net.server, dup)
+        mini_net.run(until=0.4)
+        assert events == ["established"]
+
+    def test_data_before_established_is_dropped(self, mini_net):
+        conn = mini_net.client.tcp.connect(mini_net.server.address, 80)
+        seen = []
+        conn.on_data = lambda c, n, d: seen.append(n)
+        data = Packet(src_ip=mini_net.server.address,
+                      dst_ip=mini_net.client.address,
+                      src_port=80, dst_port=conn.local_port,
+                      flags=TCPFlags.PSH | TCPFlags.ACK,
+                      payload_bytes=100)
+        conn.handle(data)  # state is SYN_SENT
+        assert seen == []
+
+    def test_send_data_noop_unless_established(self, mini_net):
+        mini_net.server.tcp.listen(80)
+        conn = mini_net.client.tcp.connect(mini_net.server.address, 80)
+        conn.send_data(100)  # SYN_SENT: silently ignored
+        conn.abort()
+        conn.send_data(100)  # CLOSED: silently ignored
+        mini_net.run(until=0.2)
+
+    def test_rst_while_solving_aborts_solve_result(self, mini_net):
+        listener = mini_net.server.tcp.listen(80, DefenseConfig(
+            mode=DefenseMode.PUZZLES, puzzle_params=PuzzleParams(k=2,
+                                                                 m=16),
+            always_challenge=True))
+        events = []
+        conn = mini_net.client.tcp.connect(mini_net.server.address, 80)
+        conn.on_established = lambda c: events.append("established")
+        conn.on_reset = lambda c: events.append("reset")
+        mini_net.run(until=0.01)
+        assert conn.state is TCBState.SOLVING
+        rst = Packet(src_ip=mini_net.server.address,
+                     dst_ip=mini_net.client.address,
+                     src_port=80, dst_port=conn.local_port,
+                     flags=TCPFlags.RST)
+        mini_net.network.send(mini_net.server, rst)
+        mini_net.run(until=5.0)
+        assert events == ["reset"]
+        # The queued solve completion must not resurrect the connection.
+        assert conn.state is TCBState.RESET
+        assert listener.stats.established_puzzle == 0
+
+    def test_double_rst_is_idempotent(self, mini_net):
+        events = []
+        conn = mini_net.client.tcp.connect(mini_net.server.address, 81)
+        conn.on_reset = lambda c: events.append("reset")
+        mini_net.run(until=0.2)
+        conn._handle_rst()  # stray second RST after teardown
+        assert events == ["reset"]
+
+    def test_connect_time_none_before_established(self, mini_net):
+        conn = mini_net.client.tcp.connect(mini_net.server.address, 80)
+        assert conn.connect_time is None
+
+    def test_syn_retransmission_backoff(self, mini_net):
+        """SYNs to a blackhole go out at 0, ~1, ~3, ~7 seconds..."""
+        conn = mini_net.client.tcp.connect(
+            0x0B0B0B0B, 80, ClientConnConfig(syn_retries=3))
+        sends = []
+        original = mini_net.client.send
+
+        def spy(packet):
+            if packet.is_syn:
+                sends.append(mini_net.engine.now)
+            original(packet)
+
+        mini_net.client.send = spy
+        mini_net.run(until=10.0)
+        assert len(sends) == 3  # retransmissions (initial SYN pre-dates spy)
+        assert sends[0] == pytest.approx(1.0, abs=0.01)
+        assert sends[1] == pytest.approx(3.0, abs=0.01)
+        assert sends[2] == pytest.approx(7.0, abs=0.01)
+
+
+class TestServerConnectionEdges:
+    def test_close_is_idempotent(self, mini_net):
+        listener = mini_net.server.tcp.listen(80)
+        mini_net.client.tcp.connect(mini_net.server.address, 80)
+        mini_net.run(until=0.2)
+        server_conn = listener.accept()
+        server_conn.close()
+        server_conn.close()  # second close: no-op
+        assert server_conn.state is TCBState.CLOSED
+
+    def test_send_after_close_noop(self, mini_net):
+        listener = mini_net.server.tcp.listen(80)
+        conn = mini_net.client.tcp.connect(mini_net.server.address, 80)
+        seen = []
+        conn.on_data = lambda c, n, d: seen.append(n)
+        mini_net.run(until=0.2)
+        server_conn = listener.accept()
+        server_conn.close()
+        server_conn.send_data(500)
+        mini_net.run(until=0.4)
+        assert seen == []
+
+    def test_rst_from_peer_tears_down(self, mini_net):
+        listener = mini_net.server.tcp.listen(80)
+        conn = mini_net.client.tcp.connect(mini_net.server.address, 80)
+        mini_net.run(until=0.2)
+        server_conn = listener.accept()
+        rst = Packet(src_ip=mini_net.client.address,
+                     dst_ip=mini_net.server.address,
+                     src_port=conn.local_port, dst_port=80,
+                     flags=TCPFlags.RST)
+        mini_net.network.send(mini_net.client, rst)
+        mini_net.run(until=0.4)
+        assert server_conn.state is TCBState.RESET
+        assert mini_net.server.tcp.open_connections == 0
+
+    def test_burst_response_frame_accounting(self, mini_net):
+        """A response bigger than the MSS counts per-segment headers."""
+        listener = mini_net.server.tcp.listen(80)
+        conn = mini_net.client.tcp.connect(mini_net.server.address, 80)
+        received = []
+        conn.on_data = lambda c, n, d: received.append(n)
+        mini_net.run(until=0.2)
+        server_conn = listener.accept()
+        sent = []
+        original = mini_net.server.send
+        mini_net.server.send = lambda p: (sent.append(p), original(p))
+        server_conn.send_data(14_600)  # 10 segments at MSS 1460
+        mini_net.run(until=0.5)
+        assert received == [14_600]
+        burst = sent[0]
+        assert burst.extra_frames == 9
+        assert burst.size_bytes == 10 * 40 + 14_600

@@ -1,0 +1,153 @@
+"""Puzzle Fair Queuing tests (§7 extension)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.puzzles.params import PuzzleParams
+from repro.tcp.constants import DefenseMode
+from repro.tcp.fairness import FairnessConfig, FairQueuingPolicy
+from repro.tcp.listener import DefenseConfig
+from tests.conftest import MiniNet
+
+BASE = PuzzleParams(k=1, m=10)
+
+
+def _policy(**kwargs) -> FairQueuingPolicy:
+    defaults = dict(base_params=BASE, free_allowance=4, window=10.0,
+                    table_size=16, max_extra_bits=6)
+    defaults.update(kwargs)
+    return FairQueuingPolicy(FairnessConfig(**defaults))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            FairnessConfig(max_extra_bits=-1)
+        with pytest.raises(ExperimentError):
+            FairnessConfig(base_params=PuzzleParams(k=1, m=60),
+                           max_extra_bits=8)
+        with pytest.raises(ExperimentError):
+            FairnessConfig(free_allowance=0)
+        with pytest.raises(ExperimentError):
+            FairnessConfig(window=0.0)
+        with pytest.raises(ExperimentError):
+            FairnessConfig(table_size=0)
+
+
+class TestEscalation:
+    def test_light_source_pays_base(self):
+        policy = _policy()
+        for i in range(3):
+            policy.record_established(42, now=float(i))
+        assert policy.difficulty_for(42, now=3.0) == BASE
+
+    def test_unknown_source_pays_base(self):
+        policy = _policy()
+        assert policy.difficulty_for(7, now=0.0) == BASE
+
+    def test_heavy_source_escalates_logarithmically(self):
+        policy = _policy()
+        for _ in range(8):   # 2x the allowance -> +2 bits
+            policy.record_established(42, now=1.0)
+        assert policy.extra_bits(42, now=1.0) == 2
+        for _ in range(24):  # 8x the allowance -> +4 bits
+            policy.record_established(42, now=1.0)
+        assert policy.extra_bits(42, now=1.0) == 4
+
+    def test_escalation_capped(self):
+        policy = _policy(max_extra_bits=3)
+        for _ in range(10_000):
+            policy.record_established(42, now=1.0)
+        assert policy.extra_bits(42, now=1.0) == 3
+        assert policy.difficulty_for(42, now=1.0).m == BASE.m + 3
+
+    def test_window_forgives(self):
+        policy = _policy(window=4.0)
+        for _ in range(64):
+            policy.record_established(42, now=0.0)
+        assert policy.extra_bits(42, now=1.0) > 0
+        # Both half-window buckets have rotated past the activity.
+        assert policy.extra_bits(42, now=10.0) == 0
+
+    def test_sources_are_independent(self):
+        policy = _policy()
+        for _ in range(64):
+            policy.record_established(1, now=0.0)
+        assert policy.extra_bits(1, now=0.0) > 0
+        assert policy.extra_bits(2, now=0.0) == 0
+
+    def test_bounded_state_evicts_lru(self):
+        policy = _policy(table_size=4)
+        for src in range(10):
+            policy.record_established(src, now=0.0)
+        assert policy.tracked_sources() <= 8  # 4 per rotating bucket
+        assert policy.evictions > 0
+
+
+class TestListenerIntegration:
+    def _fair_listener(self, net, base_m=6):
+        policy = _policy(base_params=PuzzleParams(k=1, m=base_m),
+                         free_allowance=2, window=30.0)
+        listener = net.server.tcp.listen(80, DefenseConfig(
+            mode=DefenseMode.PUZZLES,
+            puzzle_params=PuzzleParams(k=1, m=base_m),
+            always_challenge=True, fairness=policy))
+        return listener, policy
+
+    def test_challenges_escalate_for_repeat_source(self, mini_net):
+        listener, policy = self._fair_listener(mini_net)
+        challenged_ms = []
+        original_send = mini_net.server.send
+
+        def spy(packet):
+            if packet.options.challenge is not None:
+                challenged_ms.append(packet.options.challenge.params.m)
+            original_send(packet)
+
+        mini_net.server.send = spy
+
+        done = []
+
+        def connect_next():
+            conn = mini_net.client.tcp.connect(mini_net.server.address,
+                                               80)
+            conn.on_established = lambda c: (done.append(1), c.abort(),
+                                             connect_next()
+                                             if len(done) < 12 else None)
+
+        connect_next()
+        mini_net.run(until=30.0)
+        assert len(done) == 12
+        assert challenged_ms[0] == 6        # first request: base price
+        assert challenged_ms[-1] > 6        # heavy use: escalated
+        assert listener.stats.established_puzzle == 12
+
+    def test_escalated_solution_verifies(self, mini_net):
+        """Solutions to escalated challenges are accepted."""
+        listener, policy = self._fair_listener(mini_net)
+        for _ in range(8):
+            policy.record_established(mini_net.client.address, now=0.0)
+        conn = mini_net.client.tcp.connect(mini_net.server.address, 80)
+        mini_net.run(until=5.0)
+        assert listener.stats.established_puzzle == 1
+        assert listener.stats.solutions_invalid == 0
+
+    def test_under_priced_solution_rejected(self, mini_net):
+        """A solution below the source's current requirement is refused.
+
+        Simulated by escalating the requirement after the challenge was
+        issued but before the solution lands."""
+        listener, policy = self._fair_listener(mini_net)
+        conn = mini_net.client.tcp.connect(mini_net.server.address, 80)
+        # Let the challenge go out at the base price (SYN reaches the
+        # server ~1.6 ms in; the solved ACK lands ~4.7 ms in)...
+        mini_net.run(until=0.0035)
+        assert listener.stats.synacks_challenge == 1
+        # ...then escalate before the solution lands: the client solved
+        # the old, now-insufficient difficulty.
+        for _ in range(64):
+            policy.record_established(mini_net.client.address,
+                                      now=mini_net.engine.now)
+        mini_net.run(until=5.0)
+        assert listener.stats.solutions_invalid == 1
+        assert listener.stats.established_puzzle == 0

