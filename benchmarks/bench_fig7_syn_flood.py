@@ -3,9 +3,10 @@ no defense / SYN cookies / puzzles (1,8) / puzzles (2,17)."""
 
 import pytest
 
-from benchmarks.conftest import bench_scenario_config, emit
+from benchmarks.conftest import bench_scenario_config, emit, record_manifest
 from repro.experiments.exp2_floods import run_syn_flood_suite
 from repro.experiments.report import render_table
+from repro.obs import drop_attribution, established_total, hub_for
 
 
 @pytest.fixture(scope="module")
@@ -39,6 +40,44 @@ def test_fig7_syn_flood_throughput(benchmark, suite):
     assert by_label["challenges-m8"][2] > pre * 0.7
     assert 0 < by_label["challenges-m17"][2] < pre
     assert by_label["challenges-m17"][4] > 90.0
+
+
+def test_fig7_counters_attribute_every_drop(suite):
+    """Observability acceptance: the SNMP counters account for every
+    refused/failed handshake exactly once, and agree with the listener's
+    own statistics. Also persists a ``BENCH_fig7_*.json`` run manifest
+    per defense configuration."""
+    for label, result in suite.items():
+        server = hub_for(result.engine).counters.scope("server")
+        stats = result.listener_stats
+
+        # Counter/stat identities (one increment site per event).
+        assert server.get("SynsRecv") == stats.syns_received
+        assert server.get("SynAcksSent") == stats.synacks_plain
+        assert server.get("PuzzlesIssued") == stats.synacks_challenge
+        assert server.get("SynCookiesSent") == stats.synacks_cookie
+        assert server.get("SynCookiesFailed") == stats.cookies_invalid
+        assert server.get("ListenOverflows") == stats.syn_drops_queue_full
+        assert server.get("HalfOpenExpired") == stats.half_open_expired
+        assert server.get("AcceptOverflows") == stats.accept_drops_full
+        assert (server.get("DeceptionAcksIgnored")
+                == stats.acks_ignored_queue_full)
+        assert (server.get("PuzzlesRejected") + server.get("ReplaysBlocked")
+                + server.get("PlainAcksIgnored")
+                == stats.solutions_invalid)
+        assert established_total(server) == stats.established_total()
+
+        # Exactly-one-cause attribution: the disjoint cause counters sum
+        # to the same total the listener's own books arrive at.
+        drops = drop_attribution(server)
+        assert sum(drops.values()) == (
+            stats.syn_drops_queue_full + stats.half_open_expired
+            + stats.accept_drops_full + stats.acks_ignored_queue_full
+            + stats.solutions_invalid + stats.cookies_invalid
+            + server.get("SynCacheEvictions")
+            + server.get("SynCacheMisses"))
+
+        record_manifest(f"fig7_{label}", result=result)
 
 
 def test_fig7_sparkline_challenged_fraction(benchmark, suite):

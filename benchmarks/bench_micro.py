@@ -87,6 +87,41 @@ def test_codec_roundtrip(benchmark):
     benchmark(roundtrip)
 
 
+def test_handshake_throughput(benchmark):
+    """Stock three-way handshakes/second end to end (tracing off).
+
+    The observability acceptance bar: with tracepoints at their default
+    (disabled), the counters-only instrumentation must cost the hot path
+    <5% — this benchmark is where that shows up.
+    """
+    from repro.hosts.cpu import CPU_CATALOG, SERVER_CPU
+    from repro.hosts.host import Host
+    from repro.net.addresses import AddressAllocator
+    from repro.net.network import Network
+    from repro.net.topology import deter_topology
+    from repro.sim.rng import RngStreams
+
+    def run_handshakes():
+        engine = Engine()
+        streams = RngStreams(7)
+        network = Network(engine, deter_topology(1, 0))
+        allocator = AddressAllocator()
+        server = Host("server", allocator.allocate(), engine, network,
+                      SERVER_CPU, streams.get("server"))
+        client = Host("client0", allocator.allocate(), engine, network,
+                      next(iter(CPU_CATALOG.values())),
+                      streams.get("client0"))
+        listener = server.tcp.listen(80)
+        for i in range(200):
+            engine.schedule_at(i * 0.001, client.tcp.connect,
+                               server.address, 80)
+        engine.run(until=5.0)
+        return listener.stats.established_total()
+
+    established = benchmark(run_handshakes)
+    assert established == 200
+
+
 def test_engine_event_throughput(benchmark):
     """Events/second of the DES core (drives scenario wall time)."""
 

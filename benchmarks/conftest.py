@@ -38,6 +38,42 @@ def emit(name: str, text: str) -> None:
     (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
 
 
+#: Manifests written this session, for the BENCH_session.json roll-up.
+_MANIFESTS_WRITTEN = []
+
+
+def record_manifest(name: str, result=None, extra=None) -> pathlib.Path:
+    """Persist a run manifest as ``benchmarks/output/BENCH_<name>.json``.
+
+    Pass a :class:`~repro.experiments.scenario.ScenarioResult` to capture
+    its counters, drop attribution, engine statistics and (if profiling
+    was on) callback profile; *extra* merges additional keys in.
+    """
+    from repro.obs.manifest import scenario_payload, write_manifest
+
+    payload = scenario_payload(result) if result is not None else {}
+    if extra:
+        payload.update(extra)
+    payload["name"] = name
+    payload["bench_time_scale"] = BENCH_TIME_SCALE
+    path = write_manifest(OUTPUT_DIR / f"BENCH_{name}.json", payload)
+    _MANIFESTS_WRITTEN.append(name)
+    return path
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Roll up which manifests this benchmark session produced."""
+    if not _MANIFESTS_WRITTEN:
+        return
+    from repro.obs.manifest import write_manifest
+
+    write_manifest(OUTPUT_DIR / "BENCH_session.json", {
+        "name": "session",
+        "exit_status": int(exitstatus),
+        "manifests": sorted(_MANIFESTS_WRITTEN),
+    })
+
+
 @pytest.fixture(scope="session")
 def output_dir() -> pathlib.Path:
     OUTPUT_DIR.mkdir(exist_ok=True)

@@ -4,7 +4,9 @@ Subcommands mirror the paper's workflow:
 
 * ``nash``     — compute the Nash difficulty from (w_av, α), §4.4 style;
 * ``profile``  — print the Figure 3(a) / Table 1 hardware profiles;
-* ``run``      — run one evaluation experiment and print its tables.
+* ``run``      — run one evaluation experiment and print its tables;
+* ``trace``    — run a small scenario with handshake tracepoints armed and
+  print per-flow timelines plus the SNMP counter dump.
 """
 
 from __future__ import annotations
@@ -143,6 +145,63 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.experiments.scenario import Scenario, ScenarioConfig
+    from repro.obs import drop_attribution, established_total
+    from repro.obs.export import write_jsonl
+    from repro.tcp.constants import DefenseMode
+
+    config = ScenarioConfig(
+        seed=args.seed,
+        time_scale=args.duration / 600.0,
+        n_clients=args.clients,
+        n_attackers=args.attackers,
+        attack_style=("syn" if args.attack == "none" else args.attack),
+        attack_enabled=(args.attack != "none"),
+        defense=DefenseMode(args.defense),
+        tracing=True,
+        trace_capacity=args.capacity,
+        profile=args.profile)
+    result = Scenario(config).run()
+    obs = result.obs
+    tracer = obs.tracer
+
+    timelines = tracer.timelines()
+    print(f"traced {tracer.emitted} handshake events across "
+          f"{len(timelines)} flows"
+          + (f" ({tracer.dropped} fell off the ring)"
+             if tracer.dropped else ""))
+    print()
+    print(tracer.render(max_flows=args.flows))
+    print()
+    print(obs.counters.render())
+
+    server = obs.counters.scope("server")
+    drops = drop_attribution(server)
+    drop_text = ", ".join(f"{name}={count}"
+                          for name, count in drops.items()) or "none"
+    print()
+    print(f"server handshakes: {established_total(server)} established; "
+          f"drops by cause: {drop_text}")
+
+    stats = result.engine.stats()
+    print(f"engine: {stats['events_processed']} events in "
+          f"{stats['wall_seconds']:.3f}s wall "
+          f"({stats['sim_wall_ratio']:.0f}x real time), "
+          f"{stats['compactions']} heap compactions")
+    if result.profiler is not None:
+        print()
+        print(result.profiler.render())
+
+    if args.jsonl:
+        with open(args.jsonl, "w") as fh:
+            lines = write_jsonl(fh, registry=obs.counters, tracer=tracer,
+                                engine=result.engine,
+                                profiler=result.profiler)
+        print(f"\nwrote {lines} JSON lines to {args.jsonl}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tcp-puzzles",
@@ -182,6 +241,29 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--samples", type=int, default=25,
                      help="samples per cell (connection-time)")
     run.set_defaults(func=_cmd_run)
+
+    trace = sub.add_parser(
+        "trace",
+        help="trace handshakes through a small scenario run")
+    trace.add_argument("--defense", default="puzzles",
+                       choices=["none", "cookies", "syncache", "puzzles"])
+    trace.add_argument("--attack", default="syn",
+                       choices=["none", "syn", "connect", "mixed"])
+    trace.add_argument("--duration", type=float, default=20.0,
+                       help="run length in seconds (attack spans the "
+                       "middle 60%%)")
+    trace.add_argument("--clients", type=int, default=4)
+    trace.add_argument("--attackers", type=int, default=2)
+    trace.add_argument("--flows", type=int, default=8,
+                       help="max per-flow timelines to print")
+    trace.add_argument("--capacity", type=int, default=65536,
+                       help="trace ring buffer capacity")
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--profile", action="store_true",
+                       help="profile the event loop while tracing")
+    trace.add_argument("--jsonl", metavar="PATH",
+                       help="also write counters+trace as JSON lines")
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 

@@ -34,6 +34,7 @@ from repro.net.addresses import AddressAllocator
 from repro.net.network import Network
 from repro.net.pcap import PacketCapture
 from repro.net.topology import Topology, deter_topology
+from repro.obs import EngineProfiler, Observability, hub_for
 from repro.puzzles.juels import JuelsBrainardScheme
 from repro.puzzles.params import PuzzleParams
 from repro.sim.engine import Engine
@@ -92,6 +93,13 @@ class ScenarioConfig:
     bin_width: float = 1.0
     cpu_sample_interval: float = 1.0
     queue_sample_interval: float = 0.5
+    # --- observability ---------------------------------------------------
+    #: Record handshake tracepoints (ring-buffered; off by default so the
+    #: hot path stays a single flag test).
+    tracing: bool = False
+    trace_capacity: int = 65536
+    #: Attach an :class:`~repro.obs.EngineProfiler` to the event loop.
+    profile: bool = False
     # --- hardware --------------------------------------------------------
     client_cpus: Optional[List[CPUProfile]] = None
     attacker_cpus: Optional[List[CPUProfile]] = None
@@ -145,6 +153,10 @@ class ScenarioResult:
     #: by remote address — the ground truth behind Figure 11.
     server_established: Dict[str, BinnedSeries] = field(
         default_factory=dict)
+    #: The engine's observability hub (SNMP counters + handshake tracer).
+    obs: Optional[Observability] = None
+    #: Event-loop profiler, present when ``config.profile`` was set.
+    profiler: Optional[EngineProfiler] = None
 
     # ------------------------------------------------------------------
     # Convenience summaries used across experiments
@@ -242,6 +254,15 @@ class Scenario:
     def build(self) -> ScenarioResult:
         config = self.config
         engine = Engine()
+        # Configure the hub before any Host exists so every host shares
+        # a tracer that is already sized and armed (or not).
+        obs = hub_for(engine)
+        obs.tracer.configure(capacity=config.trace_capacity,
+                             enabled=config.tracing)
+        profiler: Optional[EngineProfiler] = None
+        if config.profile:
+            profiler = EngineProfiler()
+            engine.attach_profiler(profiler)
         streams = RngStreams(config.seed)
         topology = deter_topology(config.n_clients, config.n_attackers)
         network = Network(engine, topology)
@@ -354,7 +375,8 @@ class Scenario:
             client_throughput=client_throughput,
             cpu=cpu, queues=queues, server_app=server_app, botnet=botnet,
             clients=clients, hosts=hosts,
-            server_established=server_established)
+            server_established=server_established,
+            obs=obs, profiler=profiler)
 
     # ------------------------------------------------------------------
     def run(self) -> ScenarioResult:

@@ -17,6 +17,7 @@ from repro.errors import SimulationError
 from repro.hosts.cpu import CPUProfile
 from repro.net.network import Network
 from repro.net.packet import Packet
+from repro.obs import hub_for
 from repro.sim.engine import Engine
 from repro.tcp.stack import TCPStack
 
@@ -100,6 +101,10 @@ class Host:
         self.rng = rng
         self.cpu = CPUResource(engine, cpu_profile)
         self.hash_counter = HashCounter(name)
+        # Observability: every host on one engine shares the engine's hub;
+        # `mib` is this host's own SNMP-style counter scope.
+        self.obs = hub_for(engine)
+        self.mib = self.obs.counters.scope(name)
         self.tcp = TCPStack(self)
         network.register(self)
 

@@ -152,6 +152,7 @@ class _Worker:
         if (not isinstance(app_data, tuple) or len(app_data) != 2
                 or app_data[0] != "gettext"):
             self.server.stats.malformed_requests += 1
+            self.host.mib.incr("MalformedRequests")
             self._finish(reset=True)
             return
         size = int(app_data[1])
@@ -164,6 +165,7 @@ class _Worker:
             return
         self.connection.send_data(size, app_data=("response", size))
         self.server.stats.requests_served += 1
+        self.host.mib.incr("RequestsServed")
         self.server.stats.response_bytes += size
         self._served += 1
         config = self.server.config
@@ -189,6 +191,7 @@ class _Worker:
         if self._done:
             return
         self.server.stats.idle_closed += 1
+        self.host.mib.incr("IdleWorkersShed")
         self._finish(reset=True)
 
     def _finish(self, reset: bool) -> None:

@@ -89,3 +89,20 @@ def series_to_csv_string(
     buffer = io.StringIO()
     write_series_csv(buffer, series, until=until)
     return buffer.getvalue()
+
+
+def write_counters_csv(stream: TextIO, registry) -> int:
+    """Dump a :class:`repro.obs.CounterRegistry` as long-form CSV.
+
+    One ``host,counter,value`` row per touched counter, hosts and counters
+    name-sorted — the join-friendly companion to the JSON-lines exporter.
+    Returns the number of data rows written.
+    """
+    writer = _writer(stream)
+    writer.writerow(["host", "counter", "value"])
+    count = 0
+    for scope in registry.scopes():
+        for counter, value in scope.snapshot().items():
+            writer.writerow([scope.name, counter, value])
+            count += 1
+    return count

@@ -1,0 +1,74 @@
+"""``repro.obs`` — the kernel-style observability layer.
+
+Three pillars, all zero-cost when left at their defaults:
+
+* **Counters** (:mod:`repro.obs.counters`) — per-host SNMP/MIB-style
+  monotonic counters (``SynsRecv``, ``SynCookiesSent``, ``PuzzlesVerified``,
+  …) incremented by the TCP stack, the listener's defense paths, and the
+  puzzle verification code. Always on; an increment is one dict update.
+* **Tracepoints** (:mod:`repro.obs.trace`) — a bounded ring buffer of
+  timestamped handshake events that reconstructs per-connection timelines.
+  Off by default; every emit site gates on ``tracer.enabled``.
+* **Profiling** (:mod:`repro.obs.profile`) — per-callback-kind wall-time
+  accounting inside the simulation engine. Off unless a profiler is
+  attached.
+
+One :class:`Observability` hub exists per engine (``hub_for(engine)``
+creates it on demand and caches it on the engine), so every host built on
+the same engine shares one registry and one tracer without any extra
+plumbing through constructors.
+"""
+
+from __future__ import annotations
+
+from repro.obs.counters import (
+    CATALOGUE,
+    DROP_CAUSES,
+    ESTABLISHED_COUNTERS,
+    CounterRegistry,
+    CounterScope,
+    drop_attribution,
+    established_total,
+)
+from repro.obs.profile import EngineProfiler, callback_kind
+from repro.obs.trace import DEFAULT_CAPACITY, HandshakeTracer, TraceEvent
+
+__all__ = [
+    "CATALOGUE",
+    "DROP_CAUSES",
+    "ESTABLISHED_COUNTERS",
+    "CounterRegistry",
+    "CounterScope",
+    "DEFAULT_CAPACITY",
+    "EngineProfiler",
+    "HandshakeTracer",
+    "Observability",
+    "TraceEvent",
+    "callback_kind",
+    "drop_attribution",
+    "established_total",
+    "hub_for",
+]
+
+
+class Observability:
+    """Counters + tracer for one simulation."""
+
+    def __init__(self, trace_capacity: int = DEFAULT_CAPACITY,
+                 tracing: bool = False) -> None:
+        self.counters = CounterRegistry()
+        self.tracer = HandshakeTracer(capacity=trace_capacity,
+                                      enabled=tracing)
+
+
+def hub_for(engine) -> Observability:
+    """The engine's observability hub, created on first access.
+
+    Stored as ``engine.obs`` — the engine itself stays ignorant of what
+    the hub contains (no import from :mod:`repro.sim`).
+    """
+    hub = getattr(engine, "obs", None)
+    if hub is None:
+        hub = Observability()
+        engine.obs = hub
+    return hub

@@ -1,0 +1,165 @@
+"""Exporters: JSON-lines and Prometheus-style text exposition.
+
+Two consumers, two formats:
+
+* **JSON-lines** — one self-describing object per line (``type`` is
+  ``counter`` / ``trace`` / ``engine`` / ``profile``), for post-run
+  analysis pipelines. All output is deterministically ordered and
+  ``sort_keys``-serialised, so two identical runs produce byte-identical
+  exports (the determinism tests rely on this).
+* **Prometheus text exposition** — ``repro_mib_total{host=...,counter=...}``
+  families with ``# HELP``/``# TYPE`` headers, for scraping a long-running
+  simulation service.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator, Optional, TextIO
+
+from repro.obs.counters import CATALOGUE, CounterRegistry
+from repro.obs.profile import EngineProfiler
+from repro.obs.trace import HandshakeTracer
+
+
+def _dumps(obj: object) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# JSON-lines
+# ----------------------------------------------------------------------
+def counter_lines(registry: CounterRegistry) -> Iterator[str]:
+    for scope_name, counters in registry.snapshot().items():
+        for counter, value in counters.items():
+            yield _dumps({"type": "counter", "host": scope_name,
+                          "counter": counter, "value": value})
+
+
+def trace_lines(tracer: HandshakeTracer) -> Iterator[str]:
+    for event in tracer.events():
+        yield _dumps({"type": "trace", "t": event.t, "host": event.host,
+                      "event": event.event, "flow": list(event.flow),
+                      "detail": event.detail})
+
+
+def engine_lines(engine) -> Iterator[str]:
+    """One line of engine statistics (``engine.stats()``)."""
+    stats = dict(engine.stats())
+    stats["type"] = "engine"
+    yield _dumps(stats)
+
+
+def profile_lines(profiler: EngineProfiler) -> Iterator[str]:
+    for kind, entry in profiler.snapshot().items():
+        yield _dumps({"type": "profile", "kind": kind,
+                      "count": entry["count"],
+                      "wall_seconds": entry["wall_seconds"]})
+
+
+def counters_jsonl(registry: CounterRegistry) -> str:
+    return "".join(line + "\n" for line in counter_lines(registry))
+
+
+def trace_jsonl(tracer: HandshakeTracer) -> str:
+    return "".join(line + "\n" for line in trace_lines(tracer))
+
+
+def write_jsonl(stream: TextIO, registry: Optional[CounterRegistry] = None,
+                tracer: Optional[HandshakeTracer] = None,
+                engine=None,
+                profiler: Optional[EngineProfiler] = None) -> int:
+    """Write every provided source to *stream*; returns lines written."""
+    count = 0
+    if registry is not None:
+        for line in counter_lines(registry):
+            stream.write(line + "\n")
+            count += 1
+    if tracer is not None:
+        for line in trace_lines(tracer):
+            stream.write(line + "\n")
+            count += 1
+    if engine is not None:
+        for line in engine_lines(engine):
+            stream.write(line + "\n")
+            count += 1
+    if profiler is not None:
+        for line in profile_lines(profiler):
+            stream.write(line + "\n")
+            count += 1
+    return count
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace(
+        "\n", "\\n")
+
+
+def prometheus_text(registry: Optional[CounterRegistry] = None,
+                    engine=None,
+                    profiler: Optional[EngineProfiler] = None) -> str:
+    """Render the registry (and optional engine/profiler) as exposition
+    text. Counter HELP strings come from the catalogue."""
+    lines = []
+    if registry is not None:
+        lines.append("# HELP repro_mib_total SNMP-style protocol counter "
+                     "(see repro.obs.counters.CATALOGUE)")
+        lines.append("# TYPE repro_mib_total counter")
+        for scope_name, counters in registry.snapshot().items():
+            host = _escape_label(scope_name)
+            for counter, value in counters.items():
+                name = _escape_label(counter)
+                lines.append(f'repro_mib_total{{host="{host}",'
+                             f'counter="{name}"}} {value}')
+    if engine is not None:
+        stats = engine.stats()
+        gauges = {
+            "repro_engine_events_processed_total":
+                ("counter", "callbacks executed", "events_processed"),
+            "repro_engine_events_cancelled_total":
+                ("counter", "events cancelled before firing",
+                 "events_cancelled"),
+            "repro_engine_heap_compactions_total":
+                ("counter", "lazy-deletion heap compactions",
+                 "compactions"),
+            "repro_engine_heap_high_water":
+                ("gauge", "largest heap size observed", "heap_high_water"),
+            "repro_engine_pending_events":
+                ("gauge", "heap entries still pending", "pending"),
+            "repro_engine_sim_seconds":
+                ("gauge", "simulation clock", "sim_seconds"),
+            "repro_engine_wall_seconds":
+                ("gauge", "wall time spent inside run()", "wall_seconds"),
+            "repro_engine_sim_wall_ratio":
+                ("gauge", "simulated seconds per wall second",
+                 "sim_wall_ratio"),
+        }
+        for metric, (mtype, help_text, key) in gauges.items():
+            lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# TYPE {metric} {mtype}")
+            lines.append(f"{metric} {stats[key]}")
+    if profiler is not None:
+        lines.append("# HELP repro_engine_callback_wall_seconds_total "
+                     "wall time spent in each callback kind")
+        lines.append("# TYPE repro_engine_callback_wall_seconds_total "
+                     "counter")
+        lines.append("# HELP repro_engine_callback_calls_total dispatches "
+                     "of each callback kind")
+        lines.append("# TYPE repro_engine_callback_calls_total counter")
+        for kind, entry in profiler.snapshot().items():
+            label = _escape_label(kind)
+            lines.append(f'repro_engine_callback_wall_seconds_total'
+                         f'{{kind="{label}"}} {entry["wall_seconds"]}')
+            lines.append(f'repro_engine_callback_calls_total'
+                         f'{{kind="{label}"}} {entry["count"]}')
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def catalogue_text() -> str:
+    """The counter catalogue as documentation text (used by the docs)."""
+    width = max(len(name) for name in CATALOGUE)
+    return "\n".join(f"{name:<{width}s}  {desc}"
+                     for name, desc in sorted(CATALOGUE.items()))

@@ -1,0 +1,88 @@
+"""Run manifests: persist a run's counters + profile as ``BENCH_*.json``.
+
+Every benchmark run should leave behind a machine-readable record of what
+the stack actually did — counters, engine statistics, and (when profiling
+was on) the per-callback wall-time table — so the perf trajectory across
+PRs can be read straight from ``benchmarks/output/BENCH_*.json`` instead
+of being reconstructed from printed tables.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import sys
+from typing import Dict, Optional
+
+from repro.obs.counters import drop_attribution, established_total
+from repro.obs.profile import EngineProfiler
+
+
+def environment_info() -> Dict[str, str]:
+    """Toolchain fingerprint stamped into every manifest."""
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+    }
+
+
+def engine_payload(engine) -> Dict[str, object]:
+    """``engine.stats()`` (already JSON-friendly)."""
+    return dict(engine.stats())
+
+
+def hub_payload(hub, engine=None,
+                profiler: Optional[EngineProfiler] = None
+                ) -> Dict[str, object]:
+    """Counters (+ per-listener drop attribution) and optional engine
+    stats / profile from one :class:`~repro.obs.Observability` hub."""
+    payload: Dict[str, object] = {"counters": hub.counters.snapshot()}
+    attribution = {}
+    for scope in hub.counters.scopes():
+        drops = drop_attribution(scope)
+        established = established_total(scope)
+        if drops or established:
+            attribution[scope.name] = {
+                "established": established,
+                "drops": drops,
+                "drops_total": sum(drops.values()),
+            }
+    if attribution:
+        payload["handshake_attribution"] = attribution
+    if engine is not None:
+        payload["engine"] = engine_payload(engine)
+    if profiler is not None:
+        payload["profile"] = profiler.snapshot()
+    return payload
+
+
+def scenario_payload(result) -> Dict[str, object]:
+    """Manifest body for a :class:`~repro.experiments.scenario.ScenarioResult`.
+
+    Duck-typed on purpose (``.engine`` with an ``obs`` hub, plus the
+    listener's stats) so this module never imports the experiments layer.
+    """
+    from repro.obs import hub_for
+
+    engine = result.engine
+    hub = hub_for(engine)
+    profiler = getattr(result, "profiler", None)
+    payload = hub_payload(hub, engine=engine, profiler=profiler)
+    stats = result.server_app.listener.stats
+    payload["listener_stats"] = {
+        field: getattr(stats, field)
+        for field in sorted(vars(stats))
+    }
+    return payload
+
+
+def write_manifest(path, payload: Dict[str, object]) -> pathlib.Path:
+    """Write *payload* (+ environment stamp) as pretty sorted JSON."""
+    path = pathlib.Path(path)
+    body = dict(payload)
+    body.setdefault("environment", environment_info())
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(body, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,173 @@
+"""Handshake tracepoints: a ring buffer of timestamped protocol events.
+
+The counters (:mod:`repro.obs.counters`) say *how many*; tracepoints say
+*what happened to this flow, in order*. Instrumentation sites emit
+:class:`TraceEvent` records (SYN-in → challenge-out → solution-in →
+accept/reject) into one bounded :class:`HandshakeTracer` per simulation;
+grouping events by flow reconstructs a per-connection timeline — the
+in-simulator equivalent of following one 4-tuple through a pcap.
+
+Tracing is **off by default** and every emit site is gated on
+:attr:`HandshakeTracer.enabled`, so the disabled cost is one attribute
+check per would-be event. The buffer is a ``deque(maxlen=capacity)``:
+when full, the oldest events fall off and ``dropped`` counts them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+#: (remote_ip, remote_port, local_port) — the listener-side flow key.
+Flow = Tuple[int, int, int]
+
+#: Default ring capacity: enough for every handshake of a scaled-down
+#: scenario run without growing unbounded under a flood.
+DEFAULT_CAPACITY = 65536
+
+#: The event vocabulary, in rough lifecycle order. Emit sites may attach
+#: free-form detail fields, but the event names come from this set so
+#: renderers and tests can pattern-match.
+EVENTS = (
+    "syn-in",          # SYN arrived at the listener
+    "synack-out",      # plain SYN-ACK sent (detail: retrans)
+    "challenge-out",   # SYN-ACK carrying a puzzle challenge (detail: k, m)
+    "cookie-out",      # SYN-ACK carrying a SYN cookie
+    "ack-in",          # completing ACK arrived (detail: solution, payload)
+    "accept",          # connection installed (detail: path)
+    "reject",          # completion refused, sender learns via RST/silence
+    "ignore",          # completion silently ignored (deception path)
+    "drop",            # SYN dropped (detail: reason)
+    "expire",          # half-open reaped after retry exhaustion
+)
+
+
+class TraceEvent:
+    """One timestamped tracepoint hit."""
+
+    __slots__ = ("t", "host", "event", "flow", "detail")
+
+    def __init__(self, t: float, host: str, event: str, flow: Flow,
+                 detail: Optional[Dict[str, object]] = None) -> None:
+        self.t = t
+        self.host = host
+        self.event = event
+        self.flow = flow
+        self.detail = detail if detail is not None else {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<TraceEvent t={self.t:.6f} {self.event} "
+                f"flow={self.flow}>")
+
+
+class HandshakeTracer:
+    """Bounded, per-simulation trace buffer for handshake events."""
+
+    __slots__ = ("enabled", "_buffer", "emitted", "dropped")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 enabled: bool = False) -> None:
+        if capacity < 1:
+            raise SimulationError(
+                f"trace capacity must be >= 1, got {capacity}")
+        self.enabled = enabled
+        self._buffer: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.emitted = 0
+        self.dropped = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._buffer.maxlen or 0
+
+    def configure(self, capacity: Optional[int] = None,
+                  enabled: Optional[bool] = None) -> None:
+        """Resize and/or toggle the tracer; resizing keeps newest events."""
+        if capacity is not None and capacity != self.capacity:
+            if capacity < 1:
+                raise SimulationError(
+                    f"trace capacity must be >= 1, got {capacity}")
+            self._buffer = deque(self._buffer, maxlen=capacity)
+        if enabled is not None:
+            self.enabled = enabled
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    # ------------------------------------------------------------------
+    # Emission (call sites gate on `tracer.enabled` themselves; emit
+    # re-checks so an unguarded call is still safe)
+    # ------------------------------------------------------------------
+    def emit(self, t: float, host: str, event: str, flow: Flow,
+             **detail: object) -> None:
+        if not self.enabled:
+            return
+        if len(self._buffer) == self._buffer.maxlen:
+            self.dropped += 1
+        self._buffer.append(TraceEvent(t, host, event, flow, detail))
+        self.emitted += 1
+
+    def clear(self) -> None:
+        self._buffer.clear()
+        self.emitted = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def events(self, flow: Optional[Flow] = None) -> Iterator[TraceEvent]:
+        """Events in emission order, optionally filtered to one flow."""
+        for event in self._buffer:
+            if flow is None or event.flow == flow:
+                yield event
+
+    def timelines(self) -> "OrderedDict[Flow, List[TraceEvent]]":
+        """Events grouped per flow, flows ordered by first appearance."""
+        grouped: "OrderedDict[Flow, List[TraceEvent]]" = OrderedDict()
+        for event in self._buffer:
+            grouped.setdefault(event.flow, []).append(event)
+        return grouped
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _format_flow(flow: Flow) -> str:
+        from repro.net.addresses import format_ip
+
+        remote_ip, remote_port, local_port = flow
+        return f"{format_ip(remote_ip)}:{remote_port} -> :{local_port}"
+
+    @staticmethod
+    def _format_detail(detail: Dict[str, object]) -> str:
+        if not detail:
+            return ""
+        inner = " ".join(f"{k}={detail[k]}" for k in sorted(detail))
+        return f"  [{inner}]"
+
+    def render_timeline(self, flow: Flow) -> str:
+        """One flow's handshake as an indented, delta-timed timeline."""
+        events = list(self.events(flow))
+        if not events:
+            return f"{self._format_flow(flow)}: no trace events"
+        t0 = events[0].t
+        lines = [self._format_flow(flow) + ":"]
+        for event in events:
+            delta_us = (event.t - t0) * 1e6
+            lines.append(f"    t={event.t:11.6f}s  (+{delta_us:9.1f}us)  "
+                         f"{event.event:<13s}{self._format_detail(event.detail)}")
+        return "\n".join(lines)
+
+    def render(self, max_flows: Optional[int] = None) -> str:
+        """Timelines for every traced flow (or the first *max_flows*)."""
+        sections = []
+        for i, flow in enumerate(self.timelines()):
+            if max_flows is not None and i >= max_flows:
+                sections.append(f"... ({len(self.timelines()) - max_flows} "
+                                f"more flows)")
+                break
+            sections.append(self.render_timeline(flow))
+        if not sections:
+            return "(no trace events recorded)"
+        return "\n".join(sections)

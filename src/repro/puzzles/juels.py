@@ -40,7 +40,7 @@ from repro.crypto.hashcash import find_partial_preimage, verify_partial_preimage
 from repro.crypto.sha256 import HashCounter, sha256
 from repro.errors import PuzzleError
 from repro.puzzles.params import PuzzleParams
-from repro.puzzles.replay import ExpiryPolicy
+from repro.puzzles.replay import ExpiryPolicy, Freshness
 from repro.puzzles.secrets import SecretKey
 
 
@@ -283,9 +283,10 @@ class JuelsBrainardScheme:
             return VerifyStatus.PARAMS_MISMATCH
 
         issued_at = solution.issued_at_ms / 1000.0
-        if issued_at > now + self.expiry.skew:
+        freshness = self.expiry.classify(issued_at, now)
+        if freshness is Freshness.FUTURE:
             return VerifyStatus.FUTURE_TIMESTAMP
-        if not self.expiry.is_fresh(issued_at, now):
+        if freshness is Freshness.EXPIRED:
             return VerifyStatus.EXPIRED
 
         order = list(range(params.k))

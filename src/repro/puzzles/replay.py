@@ -11,6 +11,7 @@ the original flow. The window is tunable, mirroring the kernel sysctl.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from enum import Enum
 
 from repro.errors import PuzzleError
 
@@ -18,6 +19,20 @@ from repro.errors import PuzzleError
 #: sysctl; the paper does not publish its default, so we pick a window a bit
 #: larger than a worst-case solve-plus-RTT at the Nash difficulty.
 DEFAULT_WINDOW_SECONDS = 8.0
+
+
+class Freshness(Enum):
+    """Why a timestamp passed or failed the replay check.
+
+    Distinguishing FUTURE from EXPIRED matters for the observability
+    counters: both are replay-window rejections (``ReplaysBlocked``), but
+    a future-dated timestamp suggests forgery or clock trouble while an
+    expired one is the ordinary replay/slow-solver case.
+    """
+
+    FRESH = "fresh"
+    FUTURE = "future"
+    EXPIRED = "expired"
 
 
 @dataclass(frozen=True)
@@ -38,8 +53,14 @@ class ExpiryPolicy:
         if self.skew < 0:
             raise PuzzleError(f"skew must be >= 0, got {self.skew!r}")
 
+    def classify(self, issued_at: float, now: float) -> Freshness:
+        """Freshness verdict for a challenge issued at *issued_at*."""
+        if issued_at > now + self.skew:
+            return Freshness.FUTURE
+        if (now - issued_at) > self.window:
+            return Freshness.EXPIRED
+        return Freshness.FRESH
+
     def is_fresh(self, issued_at: float, now: float) -> bool:
         """True iff a challenge issued at *issued_at* is valid at *now*."""
-        if issued_at > now + self.skew:
-            return False
-        return (now - issued_at) <= self.window
+        return self.classify(issued_at, now) is Freshness.FRESH

@@ -8,7 +8,17 @@ Design notes
 * Events can be cancelled in O(1) by flagging the handle; cancelled entries
   are skipped when popped (lazy deletion), which is much cheaper than heap
   surgery for the timer-heavy TCP workload (every half-open connection owns
-  a retransmission timer that is usually cancelled).
+  a retransmission timer that is usually cancelled). To stop cancelled
+  entries from dominating the heap (a long run cancels far more timers than
+  it fires), the engine counts pending cancellations and **compacts** the
+  heap — rebuilds it without the dead entries — whenever they exceed half
+  of it. Compactions are reported via :meth:`Engine.stats`.
+* Observability: :meth:`Engine.stats` exposes processed/cancelled event
+  counts, compactions, the heap high-water mark, and the wall time spent
+  inside :meth:`run` (hence the sim-time/wall-time ratio). Attaching an
+  :class:`~repro.obs.profile.EngineProfiler` via :meth:`attach_profiler`
+  additionally times every dispatched callback; with no profiler attached
+  the dispatch loop takes a branch with no timing calls at all.
 * The engine knows nothing about networks or hosts; higher layers schedule
   plain callbacks.
 """
@@ -16,9 +26,14 @@ Design notes
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import SimulationError
+
+#: Never compact a heap smaller than this — rebuilding a few dozen entries
+#: costs more bookkeeping than the dead entries do.
+COMPACT_MIN_HEAP = 64
 
 
 class Event:
@@ -28,7 +43,7 @@ class Event:
     :meth:`cancel`. Instances are single-use.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "engine")
 
     def __init__(self, time: float, seq: int,
                  callback: Callable[..., None], args: tuple):
@@ -37,10 +52,16 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.engine: Optional["Engine"] = None
 
     def cancel(self) -> None:
         """Prevent the callback from firing. Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        engine = self.engine
+        if engine is not None:
+            engine._note_cancelled()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"
@@ -69,6 +90,12 @@ class Engine:
         self._running = False
         self._stopped = False
         self._events_processed = 0
+        self._events_cancelled = 0
+        self._cancelled_pending = 0
+        self._compactions = 0
+        self._heap_high_water = 0
+        self._wall_seconds = 0.0
+        self._profiler = None
 
     @property
     def now(self) -> float:
@@ -81,9 +108,32 @@ class Engine:
         return self._events_processed
 
     @property
+    def events_cancelled(self) -> int:
+        """Number of events cancelled before they could fire."""
+        return self._events_cancelled
+
+    @property
+    def compactions(self) -> int:
+        """Heap rebuilds that purged lazily-deleted entries."""
+        return self._compactions
+
+    @property
     def pending(self) -> int:
         """Number of heap entries, including lazily-deleted ones."""
         return len(self._heap)
+
+    @property
+    def profiler(self):
+        """The attached :class:`EngineProfiler`, or None."""
+        return self._profiler
+
+    def attach_profiler(self, profiler) -> None:
+        """Attach (or with ``None`` detach) a per-callback profiler.
+
+        Takes effect at the next :meth:`run` call; anything with a
+        ``record(callback, wall_seconds)`` method works.
+        """
+        self._profiler = profiler
 
     def schedule(self, delay: float, callback: Callable[..., None],
                  *args: Any) -> Event:
@@ -105,8 +155,31 @@ class Engine:
                 f"cannot schedule at t={time!r} before now={self._now!r}")
         self._seq += 1
         event = Event(time, self._seq, callback, args)
+        event.engine = self
         heapq.heappush(self._heap, (time, self._seq, event))
+        if len(self._heap) > self._heap_high_water:
+            self._heap_high_water = len(self._heap)
         return event
+
+    # ------------------------------------------------------------------
+    # Lazy-deletion bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` while the entry is still heaped."""
+        self._events_cancelled += 1
+        self._cancelled_pending += 1
+        heap = self._heap
+        if (len(heap) >= COMPACT_MIN_HEAP
+                and self._cancelled_pending * 2 > len(heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries."""
+        live = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(live)
+        self._heap = live
+        self._cancelled_pending = 0
+        self._compactions += 1
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> None:
@@ -123,6 +196,8 @@ class Engine:
         self._running = True
         self._stopped = False
         processed_this_run = 0
+        profiler = self._profiler
+        run_started = perf_counter()
         try:
             while self._heap:
                 if self._stopped:
@@ -132,16 +207,25 @@ class Engine:
                     break
                 heapq.heappop(self._heap)
                 event = entry[2]
+                event.engine = None
                 if event.cancelled:
+                    self._cancelled_pending -= 1
                     continue
                 self._now = event.time
-                event.callback(*event.args)
+                if profiler is None:
+                    event.callback(*event.args)
+                else:
+                    started = perf_counter()
+                    event.callback(*event.args)
+                    profiler.record(event.callback,
+                                    perf_counter() - started)
                 self._events_processed += 1
                 processed_this_run += 1
                 if max_events is not None and processed_this_run >= max_events:
                     break
         finally:
             self._running = False
+            self._wall_seconds += perf_counter() - run_started
         if until is not None and not self._stopped and self._now < until:
             self._now = until
 
@@ -154,6 +238,31 @@ class Engine:
 
         Useful at the end of an experiment to release timer references.
         """
-        count = sum(1 for entry in self._heap if not entry[2].cancelled)
+        count = 0
+        for entry in self._heap:
+            event = entry[2]
+            event.engine = None
+            if not event.cancelled:
+                count += 1
         self._heap.clear()
+        self._cancelled_pending = 0
         return count
+
+    def stats(self) -> Dict[str, float]:
+        """Engine-level observability snapshot (all JSON-friendly).
+
+        ``sim_wall_ratio`` is simulated seconds per wall second spent in
+        :meth:`run` — the "how much faster than real time" figure.
+        """
+        wall = self._wall_seconds
+        return {
+            "events_processed": self._events_processed,
+            "events_cancelled": self._events_cancelled,
+            "cancelled_pending": self._cancelled_pending,
+            "compactions": self._compactions,
+            "heap_high_water": self._heap_high_water,
+            "pending": len(self._heap),
+            "sim_seconds": self._now,
+            "wall_seconds": wall,
+            "sim_wall_ratio": (self._now / wall) if wall > 0 else 0.0,
+        }

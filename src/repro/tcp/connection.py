@@ -103,6 +103,8 @@ class ClientConnection:
                         options=self._syn_options())
         self.host.send(packet)
         self._syn_sent += 1
+        if self._syn_sent > 1:
+            self.host.mib.incr("SynRetrans")
         if self._syn_sent <= self.config.syn_retries:
             timeout = self.config.syn_timeout * (2 ** (self._syn_sent - 1))
             self._syn_timer = self.host.engine.schedule(
@@ -167,10 +169,12 @@ class ClientConnection:
 
     def _begin_solving(self, challenge: Challenge) -> None:
         self.was_challenged = True
+        self.host.mib.incr("ChallengesReceived")
         if (self.host.cpu.backlog_seconds()
                 > self.config.solve_backlog_limit):
             # The solve queue is already deep enough that this solution
             # would go out stale; drop the attempt instead of queueing.
+            self.host.mib.incr("ChallengesAbandoned")
             self.state = TCBState.CLOSED
             self.stack.forget(self)
             if self.on_failed is not None:
@@ -190,6 +194,8 @@ class ClientConnection:
     def _establish(self, solution: Optional[Solution]) -> None:
         if self.state in (TCBState.CLOSED, TCBState.RESET):
             return  # aborted while solving
+        if solution is not None:
+            self.host.mib.incr("PuzzlesSolved")
         options = TCPOptions()
         if self.config.use_timestamps:
             options.ts_val = int(self.host.engine.now * 1000) & 0xFFFFFFFF

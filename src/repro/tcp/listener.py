@@ -23,7 +23,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.net.packet import Packet, TCPFlags, TCPOptions
-from repro.puzzles.juels import FlowBinding, JuelsBrainardScheme
+from repro.puzzles.juels import FlowBinding, JuelsBrainardScheme, \
+    VerifyStatus
 from repro.puzzles.params import PuzzleParams
 from repro.tcp.constants import (
     DEFAULT_ACCEPT_BACKLOG,
@@ -111,6 +112,12 @@ class ListenSocket:
         self.listen_queue = ListenQueue(self.config.backlog)
         self.accept_queue = AcceptQueue(self.config.accept_backlog)
         self.stats = ListenerStats()
+        # Observability: SNMP counters land in the host's MIB scope, and
+        # handshake tracepoints go to the engine-wide tracer (default off).
+        self.mib = self.host.mib
+        self._tracer = self.host.obs.tracer
+        self.listen_queue.mib = self.mib
+        self.accept_queue.mib = self.mib
         if self.config.scheme is None:
             self.config.scheme = JuelsBrainardScheme()
         self._cookie_codec = SynCookieCodec(
@@ -118,6 +125,8 @@ class ListenSocket:
         if (self.config.mode is DefenseMode.SYNCACHE
                 and self.config.syncache is None):
             self.config.syncache = SynCache()
+        if self.config.syncache is not None:
+            self.config.syncache.mib = self.mib
         self._attack_until = 0.0
         #: Called whenever a connection lands in the accept queue.
         self.on_acceptable: Optional[Callable[[], None]] = None
@@ -125,6 +134,15 @@ class ListenSocket:
         #: how experiments measure the server-side effective attack rate.
         self.on_established_hook: Optional[
             Callable[[int, EstablishPath], None]] = None
+
+    # ------------------------------------------------------------------
+    # Tracepoints
+    # ------------------------------------------------------------------
+    def _trace(self, event: str, flow, **detail) -> None:
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(self.host.engine.now, self.host.name, event, flow,
+                        **detail)
 
     # ------------------------------------------------------------------
     # sysctl-style tuning
@@ -183,6 +201,9 @@ class ListenSocket:
     # ------------------------------------------------------------------
     def handle_syn(self, packet: Packet) -> None:
         self.stats.syns_received += 1
+        self.mib.incr("SynsRecv")
+        self._trace("syn-in",
+                    (packet.src_ip, packet.src_port, self.port))
         mode = self.config.mode
 
         if mode is DefenseMode.PUZZLES and self.protection_active:
@@ -198,6 +219,10 @@ class ListenSocket:
         # Stock path: allocate half-open state if the backlog allows.
         if self.listen_queue.full:
             self.stats.syn_drops_queue_full += 1
+            self.mib.incr("ListenOverflows")
+            self._trace("drop",
+                        (packet.src_ip, packet.src_port, self.port),
+                        reason="listen-overflow")
             return
         self._stock_half_open(packet)
 
@@ -216,13 +241,17 @@ class ListenSocket:
             created_at=self.host.engine.now,
             timeout_scale=self.host.rng.uniform(0.7, 1.3))
         if not self.listen_queue.try_add(tcb):
+            # The queue's own mib hook counted the ListenOverflow.
             self.stats.syn_drops_queue_full += 1
+            self._trace("drop", tcb.flow, reason="listen-overflow")
             return
         self._send_plain_synack(tcb)
         self._arm_synack_timer(tcb)
 
     def _send_plain_synack(self, tcb: HalfOpenTCB) -> None:
         self.stats.synacks_plain += 1
+        self.mib.incr("SynAcksSent")
+        self._trace("synack-out", tcb.flow, retrans=tcb.retransmits)
         options = TCPOptions(mss=DEFAULT_MSS, wscale=tcb.wscale)
         packet = Packet(src_ip=self.host.address, dst_ip=tcb.remote_ip,
                         src_port=self.port, dst_port=tcb.remote_port,
@@ -245,10 +274,13 @@ class ListenSocket:
         if self.listen_queue.get(tcb.flow) is not tcb:
             return  # completed or already reaped
         if tcb.retransmits >= self.config.synack_retries:
+            # The queue's mib hook counts HalfOpenExpired.
             self.listen_queue.expire(tcb.flow)
             self.stats.half_open_expired += 1
+            self._trace("expire", tcb.flow, retrans=tcb.retransmits)
             return
         tcb.retransmits += 1
+        self.mib.incr("SynAckRetrans")
         self._send_plain_synack(tcb)
         self._arm_synack_timer(tcb)
 
@@ -266,6 +298,10 @@ class ListenSocket:
             counter=self.host.hash_counter)
         self.host.cpu.consume(1)  # g(p) = 1 hash of server CPU time
         self.stats.synacks_challenge += 1
+        self.mib.incr("PuzzlesIssued")
+        self._trace("challenge-out",
+                    (packet.src_ip, packet.src_port, self.port),
+                    k=params.k, m=params.m)
         options = TCPOptions(mss=DEFAULT_MSS, challenge=challenge)
         response = Packet(src_ip=self.host.address, dst_ip=packet.src_ip,
                           src_port=self.port, dst_port=packet.src_port,
@@ -278,6 +314,9 @@ class ListenSocket:
             self.host.engine.now, packet.src_ip, packet.src_port,
             self.port, packet.seq, packet.options.mss or DEFAULT_MSS)
         self.stats.synacks_cookie += 1
+        self.mib.incr("SynCookiesSent")
+        self._trace("cookie-out",
+                    (packet.src_ip, packet.src_port, self.port))
         options = TCPOptions(mss=DEFAULT_MSS)  # wscale is lost with cookies
         response = Packet(src_ip=self.host.address, dst_ip=packet.src_ip,
                           src_port=self.port, dst_port=packet.src_port,
@@ -314,6 +353,9 @@ class ListenSocket:
         (Figure 10) and limits attackers to the solving path.
         """
         flow = (packet.src_ip, packet.src_port, self.port)
+        self._trace("ack-in", flow,
+                    solution=packet.options.solution is not None,
+                    payload=packet.payload_bytes)
 
         tcb = self.listen_queue.get(flow)
         if tcb is not None:
@@ -323,6 +365,8 @@ class ListenSocket:
                 # Under attack, unverified completions are ignored; the
                 # half-open is left stranded until its timer reaps it.
                 self.stats.acks_ignored_queue_full += 1
+                self.mib.incr("DeceptionAcksIgnored")
+                self._trace("ignore", flow, reason="plain-ack-under-attack")
                 return True
             return self._complete_stock(tcb)
 
@@ -335,6 +379,8 @@ class ListenSocket:
             if entry is not None:
                 return self._install(packet, EstablishPath.SYNCACHE,
                                      entry.mss, entry.wscale)
+            self.mib.incr("SynCacheMisses")
+            self._trace("reject", flow, reason="syncache-miss")
             return False
 
         if self.config.mode is DefenseMode.SYNCOOKIES:
@@ -343,8 +389,11 @@ class ListenSocket:
                 packet.src_ip, packet.src_port, self.port,
                 (packet.seq - 1) & 0xFFFFFFFF)
             if state is not None:
+                self.mib.incr("SynCookiesRecv")
                 return self._complete_cookie(packet, state)
             self.stats.cookies_invalid += 1
+            self.mib.incr("SynCookiesFailed")
+            self._trace("reject", flow, reason="bad-cookie")
             return False
 
         if self.config.mode is DefenseMode.PUZZLES \
@@ -354,6 +403,8 @@ class ListenSocket:
             # host believes it connected; data it sends later carries a
             # payload, falls through here, and draws an RST (§5).
             self.stats.solutions_invalid += 1
+            self.mib.incr("PlainAcksIgnored")
+            self._trace("ignore", flow, reason="plain-ack")
             return True
         return False
 
@@ -362,6 +413,8 @@ class ListenSocket:
             # Stock Linux: leave the connection half-open; the SYN-ACK
             # timer keeps running and may later find room.
             self.stats.accept_drops_full += 1
+            self.mib.incr("AcceptOverflows")
+            self._trace("ignore", tcb.flow, reason="accept-overflow")
             return True
         self.listen_queue.complete(tcb.flow)
         self._install_tcb(tcb.remote_ip, tcb.remote_port,
@@ -369,9 +422,12 @@ class ListenSocket:
         return True
 
     def _complete_puzzle(self, packet: Packet) -> bool:
+        flow = (packet.src_ip, packet.src_port, self.port)
         # §5: verify only when there is room; otherwise ignore the ACK.
         if self.accept_queue.full:
             self.stats.acks_ignored_queue_full += 1
+            self.mib.incr("DeceptionAcksIgnored")
+            self._trace("ignore", flow, reason="accept-full-deception")
             return True
         solution = packet.options.solution
         binding = FlowBinding(src_ip=packet.src_ip, dst_ip=packet.dst_ip,
@@ -392,6 +448,8 @@ class ListenSocket:
                     or solution.params.length_bytes
                     != required.length_bytes):
                 self.stats.solutions_invalid += 1
+                self.mib.incr("PuzzlesRejected")
+                self._trace("reject", flow, reason="fairness-difficulty")
                 return True
             expected = solution.params
         result = scheme.verify(
@@ -401,13 +459,26 @@ class ListenSocket:
         self.host.cpu.consume(result.hashes_spent)
         if not result.ok:
             self.stats.solutions_invalid += 1
+            # Stale/future timestamps are the replay window at work; the
+            # rest are genuinely bad solutions.
+            if result.status in (VerifyStatus.EXPIRED,
+                                 VerifyStatus.FUTURE_TIMESTAMP):
+                self.mib.incr("ReplaysBlocked")
+            else:
+                self.mib.incr("PuzzlesRejected")
+            self._trace("reject", flow, reason=result.status.value)
             return True  # silently dropped, no RST: stateless server
+        self.mib.incr("PuzzlesVerified")
         return self._install(packet, EstablishPath.PUZZLE,
                              solution.mss, solution.wscale)
 
     def _complete_cookie(self, packet: Packet, state) -> bool:
         if self.accept_queue.full:
             self.stats.accept_drops_full += 1
+            self.mib.incr("AcceptOverflows")
+            self._trace("ignore",
+                        (packet.src_ip, packet.src_port, self.port),
+                        reason="accept-overflow")
             return True
         return self._install(packet, EstablishPath.COOKIE, state.mss,
                              state.wscale)
@@ -422,18 +493,26 @@ class ListenSocket:
         connection = ServerConnection(
             self.stack, self.port, remote_ip, remote_port, path, mss,
             wscale)
+        flow = (remote_ip, remote_port, self.port)
         if not self.accept_queue.try_add(connection):
+            # The queue's mib hook counted the AcceptOverflow.
             self.stats.accept_drops_full += 1
+            self._trace("ignore", flow, reason="accept-overflow")
             return True
         self.stack.register_server(connection)
         if path is EstablishPath.NORMAL:
             self.stats.established_normal += 1
+            self.mib.incr("EstabNormal")
         elif path is EstablishPath.COOKIE:
             self.stats.established_cookie += 1
+            self.mib.incr("EstabCookie")
         elif path is EstablishPath.PUZZLE:
             self.stats.established_puzzle += 1
+            self.mib.incr("EstabPuzzle")
         else:
             self.stats.established_syncache += 1
+            self.mib.incr("EstabSynCache")
+        self._trace("accept", flow, path=path.value)
         if self.config.fairness is not None:
             self.config.fairness.record_established(
                 remote_ip, self.host.engine.now)

@@ -36,6 +36,9 @@ class ListenQueue:
         self.drops_full = 0        # SYNs rejected because the queue was full
         self.expired = 0           # half-opens reaped after retry exhaustion
         self.completed = 0         # half-opens promoted to ESTABLISHED
+        #: Optional repro.obs CounterScope; the owning listener attaches
+        #: its host's so queue events land in the SNMP counters too.
+        self.mib = None
 
     def __len__(self) -> int:
         return len(self._table)
@@ -59,6 +62,8 @@ class ListenQueue:
             return True
         if self.full:
             self.drops_full += 1
+            if self.mib is not None:
+                self.mib.incr("ListenOverflows")
             return False
         self._table[tcb.flow] = tcb
         return True
@@ -77,6 +82,8 @@ class ListenQueue:
         if tcb is not None:
             tcb.cancel_timer()
             self.expired += 1
+            if self.mib is not None:
+                self.mib.incr("HalfOpenExpired")
         return tcb
 
     def values(self) -> Iterator[HalfOpenTCB]:
@@ -99,6 +106,7 @@ class AcceptQueue:
         self.drops_full = 0
         self.enqueued = 0
         self.accepted = 0
+        self.mib = None  # see ListenQueue.mib
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -110,6 +118,8 @@ class AcceptQueue:
     def try_add(self, connection: "ServerConnection") -> bool:
         if self.full:
             self.drops_full += 1
+            if self.mib is not None:
+                self.mib.incr("AcceptOverflows")
             return False
         self._queue.append(connection)
         self.enqueued += 1

@@ -39,6 +39,8 @@ class HostLike(Protocol):
     rng: random.Random
     cpu: object
     hash_counter: object
+    obs: object   # repro.obs.Observability hub shared engine-wide
+    mib: object   # this host's repro.obs CounterScope
 
     def send(self, packet: Packet) -> None: ...  # noqa: E704
 
@@ -54,6 +56,7 @@ class TCPStack:
         self._next_ephemeral = EPHEMERAL_BASE
         self.rsts_sent = 0
         self.segments_received = 0
+        self._mib = host.mib
 
     # ------------------------------------------------------------------
     # Socket creation
@@ -121,6 +124,7 @@ class TCPStack:
     # ------------------------------------------------------------------
     def receive(self, packet: Packet) -> None:
         self.segments_received += 1
+        self._mib.incr("InSegs")
         key = (packet.dst_port, packet.src_ip, packet.src_port)
 
         server = self._servers.get(key)
@@ -147,6 +151,7 @@ class TCPStack:
 
     def _send_rst(self, packet: Packet) -> None:
         self.rsts_sent += 1
+        self._mib.incr("OutRsts")
         rst = Packet(src_ip=self.host.address, dst_ip=packet.src_ip,
                      src_port=packet.dst_port, dst_port=packet.src_port,
                      seq=packet.ack, ack=packet.seq + 1,

@@ -51,6 +51,8 @@ class SynCache:
         self.evictions = 0
         self.insertions = 0
         self.completions = 0
+        #: Optional repro.obs CounterScope (attached by the listener).
+        self.mib = None
 
     def _bucket_for(self, flow: Flow) -> "OrderedDict[Flow, CacheEntry]":
         material = (self._secret
@@ -76,8 +78,12 @@ class SynCache:
         if len(bucket) >= self.bucket_limit:
             bucket.popitem(last=False)
             self.evictions += 1
+            if self.mib is not None:
+                self.mib.incr("SynCacheEvictions")
         bucket[entry.flow] = entry
         self.insertions += 1
+        if self.mib is not None:
+            self.mib.incr("SynCacheAdded")
 
     def complete(self, flow: Flow) -> Optional[CacheEntry]:
         """Remove and return the record for a completing ACK."""
@@ -85,6 +91,8 @@ class SynCache:
         entry = bucket.pop(flow, None)
         if entry is not None:
             self.completions += 1
+            if self.mib is not None:
+                self.mib.incr("SynCacheHits")
         return entry
 
     def expire_older_than(self, cutoff: float) -> int:

@@ -1,0 +1,98 @@
+"""Unit tests for the SNMP-style counter registry."""
+
+from repro.obs import (
+    CATALOGUE,
+    DROP_CAUSES,
+    ESTABLISHED_COUNTERS,
+    CounterRegistry,
+    CounterScope,
+    drop_attribution,
+    established_total,
+)
+from repro.obs.counters import describe
+
+
+class TestCounterScope:
+    def test_missing_counter_reads_zero(self):
+        scope = CounterScope("server")
+        assert scope.get("SynsRecv") == 0
+        assert scope["SynsRecv"] == 0
+        assert "SynsRecv" not in scope
+
+    def test_incr_accumulates(self):
+        scope = CounterScope("server")
+        scope.incr("SynsRecv")
+        scope.incr("SynsRecv", 4)
+        assert scope.get("SynsRecv") == 5
+        assert "SynsRecv" in scope
+        assert len(scope) == 1
+
+    def test_ad_hoc_counters_accepted(self):
+        scope = CounterScope("server")
+        scope.incr("MyExperimentThing")
+        assert scope.get("MyExperimentThing") == 1
+
+    def test_snapshot_is_name_sorted_copy(self):
+        scope = CounterScope("server")
+        scope.incr("OutRsts")
+        scope.incr("InSegs")
+        snap = scope.snapshot()
+        assert list(snap) == ["InSegs", "OutRsts"]
+        snap["InSegs"] = 999
+        assert scope.get("InSegs") == 1
+
+    def test_render_uses_catalogue_descriptions(self):
+        scope = CounterScope("server")
+        scope.incr("SynsRecv", 7)
+        text = scope.render()
+        assert "server:" in text
+        assert "7 " + CATALOGUE["SynsRecv"] in text
+
+    def test_render_empty_scope(self):
+        assert "no counters" in CounterScope("idle").render()
+
+
+class TestCounterRegistry:
+    def test_scope_created_on_demand_and_cached(self):
+        registry = CounterRegistry()
+        a = registry.scope("server")
+        assert registry.scope("server") is a
+        assert "server" in registry
+        assert len(registry) == 1
+
+    def test_total_sums_across_scopes(self):
+        registry = CounterRegistry()
+        registry.scope("a").incr("InSegs", 2)
+        registry.scope("b").incr("InSegs", 3)
+        assert registry.total("InSegs") == 5
+        assert registry.total("OutRsts") == 0
+
+    def test_scopes_iterate_name_sorted(self):
+        registry = CounterRegistry()
+        registry.scope("zeta")
+        registry.scope("alpha")
+        assert [s.name for s in registry.scopes()] == ["alpha", "zeta"]
+
+
+class TestHelpers:
+    def test_describe_falls_back_to_raw_name(self):
+        assert describe("SynsRecv") == CATALOGUE["SynsRecv"]
+        assert describe("NotInCatalogue") == "NotInCatalogue"
+
+    def test_drop_causes_and_estab_counters_are_catalogued(self):
+        for name in DROP_CAUSES + ESTABLISHED_COUNTERS:
+            assert name in CATALOGUE
+
+    def test_drop_attribution_filters_zero_causes(self):
+        scope = CounterScope("server")
+        scope.incr("ListenOverflows", 3)
+        scope.incr("ReplaysBlocked", 2)
+        scope.incr("SynsRecv", 100)  # not a drop cause
+        assert drop_attribution(scope) == {
+            "ListenOverflows": 3, "ReplaysBlocked": 2}
+
+    def test_established_total(self):
+        scope = CounterScope("server")
+        scope.incr("EstabNormal", 2)
+        scope.incr("EstabPuzzle", 5)
+        assert established_total(scope) == 7

@@ -1,0 +1,138 @@
+"""Exporter tests: JSON-lines, Prometheus text, and run manifests."""
+
+import io
+import json
+
+from repro.obs import CounterRegistry, EngineProfiler, HandshakeTracer
+from repro.obs.export import (
+    catalogue_text,
+    counters_jsonl,
+    prometheus_text,
+    trace_jsonl,
+    write_jsonl,
+)
+from repro.obs.manifest import (
+    environment_info,
+    hub_payload,
+    write_manifest,
+)
+from repro.sim.engine import Engine
+
+
+def _registry() -> CounterRegistry:
+    registry = CounterRegistry()
+    registry.scope("server").incr("SynsRecv", 10)
+    registry.scope("server").incr("ListenOverflows", 3)
+    registry.scope("client0").incr("InSegs", 4)
+    return registry
+
+
+def _tracer() -> HandshakeTracer:
+    tracer = HandshakeTracer(enabled=True)
+    tracer.emit(0.5, "server", "syn-in", (1, 2, 80))
+    tracer.emit(0.6, "server", "accept", (1, 2, 80), path="normal")
+    return tracer
+
+
+class TestJsonl:
+    def test_counters_jsonl_lines_parse(self):
+        lines = counters_jsonl(_registry()).splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert all(obj["type"] == "counter" for obj in parsed)
+        assert {"host": "server", "counter": "SynsRecv", "value": 10,
+                "type": "counter"} in parsed
+        # Host-sorted, then counter-sorted within a host.
+        assert [obj["host"] for obj in parsed] == [
+            "client0", "server", "server"]
+
+    def test_trace_jsonl_round_trips_flow(self):
+        parsed = [json.loads(line)
+                  for line in trace_jsonl(_tracer()).splitlines()]
+        assert parsed[0]["event"] == "syn-in"
+        assert parsed[0]["flow"] == [1, 2, 80]
+        assert parsed[1]["detail"] == {"path": "normal"}
+
+    def test_write_jsonl_combines_sources(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        profiler = EngineProfiler()
+        profiler.record(lambda: None, 0.001)
+        stream = io.StringIO()
+        count = write_jsonl(stream, registry=_registry(),
+                            tracer=_tracer(), engine=engine,
+                            profiler=profiler)
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == count
+        types = [json.loads(line)["type"] for line in lines]
+        assert types.count("counter") == 3
+        assert types.count("trace") == 2
+        assert types.count("engine") == 1
+        assert types.count("profile") == 1
+
+    def test_export_is_deterministic(self):
+        assert counters_jsonl(_registry()) == counters_jsonl(_registry())
+        assert trace_jsonl(_tracer()) == trace_jsonl(_tracer())
+
+
+class TestPrometheus:
+    def test_counter_families_with_labels(self):
+        text = prometheus_text(registry=_registry())
+        assert "# TYPE repro_mib_total counter" in text
+        assert ('repro_mib_total{host="server",counter="SynsRecv"} 10'
+                in text)
+        assert ('repro_mib_total{host="client0",counter="InSegs"} 4'
+                in text)
+
+    def test_engine_metrics(self):
+        engine = Engine()
+        engine.schedule(2.0, lambda: None)
+        engine.run()
+        text = prometheus_text(engine=engine)
+        assert "repro_engine_events_processed_total 1" in text
+        assert "repro_engine_sim_seconds 2.0" in text
+
+    def test_profiler_metrics_escape_labels(self):
+        profiler = EngineProfiler()
+        profiler.record(lambda: None, 0.25)
+        text = prometheus_text(profiler=profiler)
+        assert "repro_engine_callback_calls_total" in text
+        assert 'kind="' in text
+
+    def test_empty_inputs_render_empty(self):
+        assert prometheus_text() == ""
+
+    def test_catalogue_text_lists_every_counter(self):
+        from repro.obs import CATALOGUE
+
+        text = catalogue_text()
+        for name in CATALOGUE:
+            assert name in text
+
+
+class TestManifest:
+    def test_environment_info_keys(self):
+        info = environment_info()
+        assert set(info) == {"python", "implementation", "platform"}
+
+    def test_hub_payload_attribution(self):
+        from repro.obs import Observability
+
+        hub = Observability()
+        scope = hub.counters.scope("server")
+        scope.incr("EstabNormal", 5)
+        scope.incr("ListenOverflows", 2)
+        payload = hub_payload(hub)
+        attribution = payload["handshake_attribution"]["server"]
+        assert attribution == {"established": 5,
+                               "drops": {"ListenOverflows": 2},
+                               "drops_total": 2}
+
+    def test_write_manifest_stamps_environment(self, tmp_path):
+        path = write_manifest(tmp_path / "sub" / "BENCH_x.json",
+                              {"name": "x", "counters": {}})
+        body = json.loads(path.read_text())
+        assert body["name"] == "x"
+        assert body["environment"]["python"]
+        # Deterministic formatting: sorted keys, trailing newline.
+        assert path.read_text().endswith("}\n")

@@ -1,0 +1,110 @@
+"""Unit tests for the handshake tracepoint ring buffer."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs import HandshakeTracer
+
+FLOW_A = (0x0A000002, 40000, 80)
+FLOW_B = (0x0A000003, 40001, 80)
+
+
+class TestEmission:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = HandshakeTracer()
+        tracer.emit(1.0, "server", "syn-in", FLOW_A)
+        assert len(tracer) == 0
+        assert tracer.emitted == 0
+
+    def test_enabled_tracer_records(self):
+        tracer = HandshakeTracer(enabled=True)
+        tracer.emit(1.0, "server", "syn-in", FLOW_A)
+        tracer.emit(1.1, "server", "accept", FLOW_A, path="normal")
+        assert len(tracer) == 2
+        assert tracer.emitted == 2
+        events = list(tracer.events())
+        assert [e.event for e in events] == ["syn-in", "accept"]
+        assert events[1].detail == {"path": "normal"}
+
+    def test_ring_drops_oldest_and_counts(self):
+        tracer = HandshakeTracer(capacity=2, enabled=True)
+        for i in range(5):
+            tracer.emit(float(i), "server", "syn-in", FLOW_A, i=i)
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+        assert [e.detail["i"] for e in tracer.events()] == [3, 4]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            HandshakeTracer(capacity=0)
+
+    def test_clear_resets_books(self):
+        tracer = HandshakeTracer(capacity=1, enabled=True)
+        tracer.emit(0.0, "s", "syn-in", FLOW_A)
+        tracer.emit(1.0, "s", "syn-in", FLOW_A)
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.emitted == 0
+        assert tracer.dropped == 0
+
+
+class TestConfigure:
+    def test_configure_toggles_enabled(self):
+        tracer = HandshakeTracer()
+        tracer.configure(enabled=True)
+        tracer.emit(0.0, "s", "syn-in", FLOW_A)
+        tracer.configure(enabled=False)
+        tracer.emit(1.0, "s", "syn-in", FLOW_A)
+        assert len(tracer) == 1
+
+    def test_resize_keeps_newest_events(self):
+        tracer = HandshakeTracer(capacity=8, enabled=True)
+        for i in range(6):
+            tracer.emit(float(i), "s", "syn-in", FLOW_A, i=i)
+        tracer.configure(capacity=3)
+        assert tracer.capacity == 3
+        assert [e.detail["i"] for e in tracer.events()] == [3, 4, 5]
+
+    def test_resize_rejects_bad_capacity(self):
+        with pytest.raises(SimulationError):
+            HandshakeTracer().configure(capacity=-1)
+
+
+class TestReading:
+    def _populate(self):
+        tracer = HandshakeTracer(enabled=True)
+        tracer.emit(0.000, "server", "syn-in", FLOW_A)
+        tracer.emit(0.001, "server", "challenge-out", FLOW_A, k=2, m=17)
+        tracer.emit(0.010, "server", "syn-in", FLOW_B)
+        tracer.emit(0.400, "server", "ack-in", FLOW_A, solution=True)
+        tracer.emit(0.400, "server", "accept", FLOW_A, path="puzzle")
+        return tracer
+
+    def test_events_filter_by_flow(self):
+        tracer = self._populate()
+        assert len(list(tracer.events(FLOW_A))) == 4
+        assert len(list(tracer.events(FLOW_B))) == 1
+
+    def test_timelines_group_by_first_appearance(self):
+        timelines = self._populate().timelines()
+        assert list(timelines) == [FLOW_A, FLOW_B]
+        assert [e.event for e in timelines[FLOW_A]] == [
+            "syn-in", "challenge-out", "ack-in", "accept"]
+
+    def test_render_timeline_shows_deltas_and_detail(self):
+        text = self._populate().render_timeline(FLOW_A)
+        assert "10.0.0.2:40000 -> :80" in text
+        assert "challenge-out" in text
+        assert "k=2 m=17" in text
+        assert "+ 400000.0us" in text.replace("  ", " ") or "400000.0" in text
+
+    def test_render_timeline_empty_flow(self):
+        tracer = HandshakeTracer(enabled=True)
+        assert "no trace events" in tracer.render_timeline(FLOW_A)
+
+    def test_render_caps_flow_count(self):
+        text = self._populate().render(max_flows=1)
+        assert "1 more flows" in text
+
+    def test_render_empty(self):
+        assert "no trace events" in HandshakeTracer().render()

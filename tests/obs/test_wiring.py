@@ -1,0 +1,200 @@
+"""Integration tests: the counters and tracepoints the stack actually hits.
+
+Three layers: a single handshake on a two-host net (exact counter values),
+a crafted puzzle-completion packet (rejection cause counters), and full
+scenario runs (counter/listener-stat identities under a SYN flood, plus
+byte-identical trace exports across same-seed runs).
+"""
+
+import random
+
+import pytest
+
+from repro.net.packet import Packet, TCPFlags, TCPOptions
+from repro.obs import established_total, hub_for
+from repro.obs.export import counters_jsonl, trace_jsonl
+from repro.puzzles.juels import FlowBinding, ModeledSolver
+from repro.tcp.constants import DefenseMode
+from repro.tcp.listener import DefenseConfig
+
+
+class TestSingleHandshake:
+    def test_stock_handshake_counters_both_ends(self, mini_net):
+        server, client = mini_net.server, mini_net.client
+        server.tcp.listen(80)
+        client.tcp.connect(server.address, 80)
+        mini_net.run(until=2.0)
+
+        assert server.mib.get("SynsRecv") == 1
+        assert server.mib.get("SynAcksSent") == 1
+        assert server.mib.get("EstabNormal") == 1
+        assert established_total(server.mib) == 1
+        assert server.mib.get("InSegs") == 2      # SYN + ACK
+        assert client.mib.get("InSegs") == 1      # SYN-ACK
+        assert client.mib.get("SynRetrans") == 0
+
+    def test_hosts_share_one_hub(self, mini_net):
+        assert mini_net.server.obs is mini_net.client.obs
+        assert mini_net.server.obs is hub_for(mini_net.engine)
+        assert mini_net.server.mib is not mini_net.client.mib
+
+    def test_trace_reconstructs_handshake_timeline(self, mini_net):
+        tracer = mini_net.server.obs.tracer
+        tracer.configure(enabled=True)
+        server, client = mini_net.server, mini_net.client
+        server.tcp.listen(80)
+        connection = client.tcp.connect(server.address, 80)
+        mini_net.run(until=2.0)
+
+        flow = (client.address, connection.local_port, 80)
+        events = [e.event for e in tracer.events(flow)]
+        assert events == ["syn-in", "synack-out", "ack-in", "accept"]
+        times = [e.t for e in tracer.events(flow)]
+        assert times == sorted(times)
+        rendered = tracer.render_timeline(flow)
+        assert "accept" in rendered and "path=normal" in rendered
+
+    def test_tracing_disabled_by_default(self, mini_net):
+        server, client = mini_net.server, mini_net.client
+        server.tcp.listen(80)
+        client.tcp.connect(server.address, 80)
+        mini_net.run(until=2.0)
+        assert len(mini_net.server.obs.tracer) == 0
+
+    def test_puzzle_handshake_counters(self, mini_net):
+        server, client = mini_net.server, mini_net.client
+        server.tcp.listen(80, DefenseConfig(mode=DefenseMode.PUZZLES,
+                                            always_challenge=True))
+        client.tcp.connect(server.address, 80)
+        mini_net.run(until=5.0)
+
+        assert server.mib.get("PuzzlesIssued") == 1
+        assert server.mib.get("PuzzlesVerified") == 1
+        assert server.mib.get("EstabPuzzle") == 1
+        assert client.mib.get("ChallengesReceived") == 1
+        assert client.mib.get("PuzzlesSolved") == 1
+
+    def test_rst_counter_on_unmatched_segment(self, mini_net):
+        server, client = mini_net.server, mini_net.client
+        stray = Packet(src_ip=client.address, dst_ip=server.address,
+                       src_port=9999, dst_port=81, seq=1, ack=1,
+                       flags=TCPFlags.ACK)
+        server.tcp.receive(stray)
+        assert server.mib.get("OutRsts") == 1
+
+
+class TestRejectionCauses:
+    def _puzzle_listener(self, mini_net):
+        return mini_net.server.tcp.listen(
+            80, DefenseConfig(mode=DefenseMode.PUZZLES,
+                              always_challenge=True))
+
+    def _solution_for(self, listener, mini_net, isn=99, src_port=5555):
+        scheme = listener.config.scheme
+        binding = FlowBinding(src_ip=mini_net.client.address,
+                              dst_ip=mini_net.server.address,
+                              src_port=src_port, dst_port=80, isn=isn)
+        challenge = scheme.make_challenge(
+            listener.config.puzzle_params, binding,
+            mini_net.engine.now)
+        return ModeledSolver().solve(challenge, random.Random(1))
+
+    def _ack_with(self, mini_net, solution, src_port=5555, seq=100):
+        return Packet(src_ip=mini_net.client.address,
+                      dst_ip=mini_net.server.address,
+                      src_port=src_port, dst_port=80, seq=seq, ack=1,
+                      flags=TCPFlags.ACK,
+                      options=TCPOptions(solution=solution))
+
+    def test_stale_solution_counts_as_replay_blocked(self, mini_net):
+        listener = self._puzzle_listener(mini_net)
+        solution = self._solution_for(listener, mini_net)
+        window = listener.config.scheme.expiry.window
+        mini_net.engine.schedule(window + 5.0, lambda: None)
+        mini_net.run(until=window + 5.0)
+        mini_net.server.tcp.receive(self._ack_with(mini_net, solution))
+
+        assert mini_net.server.mib.get("ReplaysBlocked") == 1
+        assert mini_net.server.mib.get("PuzzlesRejected") == 0
+        assert listener.stats.solutions_invalid == 1
+
+    def test_bad_solution_counts_as_rejected(self, mini_net):
+        listener = self._puzzle_listener(mini_net)
+        solution = self._solution_for(listener, mini_net)
+        solution.solutions[0] = bytes(len(solution.solutions[0]))
+        mini_net.server.tcp.receive(self._ack_with(mini_net, solution))
+
+        assert mini_net.server.mib.get("PuzzlesRejected") == 1
+        assert mini_net.server.mib.get("ReplaysBlocked") == 0
+        assert listener.stats.solutions_invalid == 1
+
+    def test_plain_ack_under_attack_is_attributed(self, mini_net):
+        self._puzzle_listener(mini_net)
+        # always_challenge keeps the ACK discipline engaged; a pure plain
+        # ACK is silently ignored and lands in PlainAcksIgnored.
+        syn = Packet(src_ip=mini_net.client.address,
+                     dst_ip=mini_net.server.address,
+                     src_port=5555, dst_port=80, seq=99,
+                     flags=TCPFlags.SYN)
+        mini_net.server.tcp.receive(syn)
+        plain = Packet(src_ip=mini_net.client.address,
+                       dst_ip=mini_net.server.address,
+                       src_port=5555, dst_port=80, seq=100, ack=1,
+                       flags=TCPFlags.ACK)
+        mini_net.server.tcp.receive(plain)
+        assert mini_net.server.mib.get("PlainAcksIgnored") == 1
+
+
+@pytest.mark.slow
+class TestScenarioWiring:
+    def _config(self, **overrides):
+        from repro.experiments.scenario import ScenarioConfig
+
+        defaults = dict(seed=3, time_scale=0.02, n_clients=3,
+                        n_attackers=4, attack_style="syn",
+                        backlog=64, accept_backlog=256)
+        defaults.update(overrides)
+        return ScenarioConfig(**defaults)
+
+    def _run(self, config):
+        from repro.experiments.scenario import Scenario
+
+        return Scenario(config).run()
+
+    def test_syn_flood_counters_match_listener_totals(self):
+        result = self._run(self._config(defense=DefenseMode.NONE))
+        server = result.obs.counters.scope("server")
+        stats = result.listener_stats
+
+        assert stats.syn_drops_queue_full > 0  # the flood bit
+        assert server.get("ListenOverflows") == stats.syn_drops_queue_full
+        assert server.get("SynsRecv") == stats.syns_received
+        assert server.get("HalfOpenExpired") == stats.half_open_expired
+        assert established_total(server) == stats.established_total()
+        # The tracker-facing establishment series agrees with the MIB.
+        series_total = sum(
+            series.window_sum(0.0, result.config.duration + 1.0)
+            for series in result.server_established.values())
+        assert series_total == established_total(server)
+
+    def test_syn_flood_cookie_counters(self):
+        result = self._run(self._config(defense=DefenseMode.SYNCOOKIES))
+        server = result.obs.counters.scope("server")
+        stats = result.listener_stats
+
+        assert stats.synacks_cookie > 0
+        assert server.get("SynCookiesSent") == stats.synacks_cookie
+        assert server.get("SynCookiesFailed") == stats.cookies_invalid
+        assert server.get("EstabCookie") == stats.established_cookie
+
+    def test_same_seed_runs_export_byte_identical_traces(self):
+        config = self._config(seed=11, n_clients=2, n_attackers=2,
+                              defense=DefenseMode.PUZZLES, tracing=True)
+        first = self._run(config)
+        second = self._run(config)
+
+        assert first.obs.tracer.emitted > 0
+        assert (trace_jsonl(first.obs.tracer)
+                == trace_jsonl(second.obs.tracer))
+        assert (counters_jsonl(first.obs.counters)
+                == counters_jsonl(second.obs.counters))

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.errors import SimulationError
-from repro.sim.engine import Engine
+from repro.sim.engine import COMPACT_MIN_HEAP, Engine
 
 
 class TestScheduling:
@@ -130,6 +130,91 @@ class TestRunControl:
         engine.run()
         assert seen == [2]
         assert engine.now == 2.0
+
+
+class TestCompaction:
+    def test_mass_cancellation_compacts_heap(self, engine):
+        handles = [engine.schedule(float(i + 1), lambda: None)
+                   for i in range(4 * COMPACT_MIN_HEAP)]
+        for handle in handles[:-1]:
+            handle.cancel()
+        # More than half the heap was dead at some point: it was rebuilt.
+        assert engine.compactions >= 1
+        assert engine.pending < len(handles)
+        engine.run()
+        assert engine.events_processed == 1
+
+    def test_small_heaps_never_compact(self, engine):
+        handles = [engine.schedule(float(i + 1), lambda: None)
+                   for i in range(COMPACT_MIN_HEAP // 2)]
+        for handle in handles:
+            handle.cancel()
+        assert engine.compactions == 0
+
+    def test_cancel_after_fire_is_not_counted(self, engine):
+        handle = engine.schedule(1.0, lambda: None)
+        engine.run()
+        handle.cancel()  # already popped: must not corrupt the books
+        assert engine.events_cancelled == 0
+        assert engine.stats()["cancelled_pending"] == 0
+
+    def test_compaction_preserves_order(self, engine):
+        n = 4 * COMPACT_MIN_HEAP
+        order = []
+        handles = []
+        for i in range(n):
+            handles.append(engine.schedule(float(i + 1), order.append, i))
+        cutoff = 2 * n // 3
+        for handle in handles[:cutoff]:
+            handle.cancel()
+        assert engine.compactions >= 1
+        engine.run()
+        assert order == list(range(cutoff, n))
+
+
+class TestStats:
+    def test_stats_counts_and_ratio(self, engine):
+        cancelled = engine.schedule(0.5, lambda: None)
+        engine.schedule(1.0, lambda: None)
+        cancelled.cancel()
+        engine.run()
+        stats = engine.stats()
+        assert stats["events_processed"] == 1
+        assert stats["events_cancelled"] == 1
+        assert stats["sim_seconds"] == 1.0
+        assert stats["heap_high_water"] == 2
+        assert stats["pending"] == 0
+        assert stats["wall_seconds"] > 0.0
+        assert stats["sim_wall_ratio"] == pytest.approx(
+            1.0 / stats["wall_seconds"])
+
+    def test_fresh_engine_ratio_is_zero(self):
+        assert Engine().stats()["sim_wall_ratio"] == 0.0
+
+    def test_profiler_buckets_by_callback_kind(self, engine):
+        from repro.obs import EngineProfiler
+
+        profiler = EngineProfiler()
+        engine.attach_profiler(profiler)
+        seen = []
+        for i in range(3):
+            engine.schedule(float(i + 1), seen.append, i)
+        engine.run()
+        assert profiler.events == 3
+        snapshot = profiler.snapshot()
+        assert list(snapshot) == ["list.append"]
+        assert snapshot["list.append"]["count"] == 3
+        assert profiler.wall_seconds >= 0.0
+
+    def test_detached_profiler_sees_nothing(self, engine):
+        from repro.obs import EngineProfiler
+
+        profiler = EngineProfiler()
+        engine.attach_profiler(profiler)
+        engine.attach_profiler(None)
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert profiler.events == 0
 
 
 class TestDeterminism:

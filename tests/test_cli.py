@@ -42,6 +42,30 @@ class TestCommands:
         assert "D4" in out
 
 
+class TestTraceCommand:
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.defense == "puzzles"
+        assert args.attack == "syn"
+        assert args.profile is False
+
+    def test_trace_rejects_unknown_defense(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--defense", "moat"])
+
+    def test_trace_small_run(self, capsys, tmp_path):
+        jsonl = tmp_path / "trace.jsonl"
+        assert main(["trace", "--duration", "4", "--clients", "1",
+                     "--attackers", "0", "--attack", "none",
+                     "--flows", "2", "--jsonl", str(jsonl)]) == 0
+        out = capsys.readouterr().out
+        assert "traced" in out
+        assert "syn-in" in out
+        assert "server handshakes:" in out
+        assert "engine:" in out
+        assert jsonl.read_text().count('"type":"trace"') > 0
+
+
 class TestCostCommand:
     def test_cost_table(self, capsys):
         assert main(["cost"]) == 0
