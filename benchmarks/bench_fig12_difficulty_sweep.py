@@ -3,11 +3,11 @@ the connection flood (the Nash-equilibrium-strategy experiment)."""
 
 import pytest
 
-from benchmarks.conftest import bench_scenario_config, emit
+from benchmarks.conftest import bench_scenario_config, emit, record_manifest
 from repro.experiments.exp3_nash import (
     DEFAULT_K_VALUES,
     DEFAULT_M_VALUES,
-    difficulty_sweep,
+    difficulty_sweep_report,
     in_nash_band,
     rate_limiting_cells,
     stability_ranking,
@@ -19,9 +19,26 @@ SWEEP_SCALE = 0.03
 
 
 @pytest.fixture(scope="module")
-def grid():
+def report():
     base = bench_scenario_config(time_scale=SWEEP_SCALE)
-    return difficulty_sweep(base=base)
+    return difficulty_sweep_report(base=base)
+
+
+@pytest.fixture(scope="module")
+def grid(report):
+    return report[0]
+
+
+def test_fig12_sweep_runner_accounting(report):
+    """The 24-cell sweep ran through the runner; persist its wall-time /
+    events-per-second trajectory as ``BENCH_fig12_sweep.json``."""
+    grid, stats = report
+    assert stats.cells_total == len(grid) == \
+        len(DEFAULT_K_VALUES) * len(DEFAULT_M_VALUES)
+    assert stats.cells_run + stats.cache_hits == stats.cells_total
+    assert stats.events_processed > 0
+    record_manifest("fig12_sweep", runner_stats=stats)
+    emit("fig12_sweep_runner", stats.render())
 
 
 def test_fig12_throughput_boxplots(benchmark, grid):

@@ -4,14 +4,20 @@ no defense / SYN cookies / puzzles (1,8) / puzzles (2,17)."""
 import pytest
 
 from benchmarks.conftest import bench_scenario_config, emit, record_manifest
-from repro.experiments.exp2_floods import run_syn_flood_suite
+from repro.experiments.exp2_floods import run_syn_flood_suite_report
 from repro.experiments.report import render_table
-from repro.obs import drop_attribution, established_total, hub_for
+from repro.obs import drop_attribution, established_total
 
 
 @pytest.fixture(scope="module")
-def suite():
-    return run_syn_flood_suite(bench_scenario_config(attack_style="syn"))
+def report():
+    return run_syn_flood_suite_report(
+        bench_scenario_config(attack_style="syn"))
+
+
+@pytest.fixture(scope="module")
+def suite(report):
+    return report[0]
 
 
 def test_fig7_syn_flood_throughput(benchmark, suite):
@@ -42,28 +48,33 @@ def test_fig7_syn_flood_throughput(benchmark, suite):
     assert by_label["challenges-m17"][4] > 90.0
 
 
-def test_fig7_counters_attribute_every_drop(suite):
+def test_fig7_counters_attribute_every_drop(report):
     """Observability acceptance: the SNMP counters account for every
     refused/failed handshake exactly once, and agree with the listener's
     own statistics. Also persists a ``BENCH_fig7_*.json`` run manifest
-    per defense configuration."""
+    per defense configuration, carrying the sweep runner's accounting."""
+    suite, runner_stats = report
     for label, result in suite.items():
-        server = hub_for(result.engine).counters.scope("server")
+        # Summaries carry the counter snapshot, not the live scope.
+        server = result.counters["server"]
         stats = result.listener_stats
 
+        def count(name):
+            return server.get(name, 0)
+
         # Counter/stat identities (one increment site per event).
-        assert server.get("SynsRecv") == stats.syns_received
-        assert server.get("SynAcksSent") == stats.synacks_plain
-        assert server.get("PuzzlesIssued") == stats.synacks_challenge
-        assert server.get("SynCookiesSent") == stats.synacks_cookie
-        assert server.get("SynCookiesFailed") == stats.cookies_invalid
-        assert server.get("ListenOverflows") == stats.syn_drops_queue_full
-        assert server.get("HalfOpenExpired") == stats.half_open_expired
-        assert server.get("AcceptOverflows") == stats.accept_drops_full
-        assert (server.get("DeceptionAcksIgnored")
+        assert count("SynsRecv") == stats.syns_received
+        assert count("SynAcksSent") == stats.synacks_plain
+        assert count("PuzzlesIssued") == stats.synacks_challenge
+        assert count("SynCookiesSent") == stats.synacks_cookie
+        assert count("SynCookiesFailed") == stats.cookies_invalid
+        assert count("ListenOverflows") == stats.syn_drops_queue_full
+        assert count("HalfOpenExpired") == stats.half_open_expired
+        assert count("AcceptOverflows") == stats.accept_drops_full
+        assert (count("DeceptionAcksIgnored")
                 == stats.acks_ignored_queue_full)
-        assert (server.get("PuzzlesRejected") + server.get("ReplaysBlocked")
-                + server.get("PlainAcksIgnored")
+        assert (count("PuzzlesRejected") + count("ReplaysBlocked")
+                + count("PlainAcksIgnored")
                 == stats.solutions_invalid)
         assert established_total(server) == stats.established_total()
 
@@ -74,10 +85,11 @@ def test_fig7_counters_attribute_every_drop(suite):
             stats.syn_drops_queue_full + stats.half_open_expired
             + stats.accept_drops_full + stats.acks_ignored_queue_full
             + stats.solutions_invalid + stats.cookies_invalid
-            + server.get("SynCacheEvictions")
-            + server.get("SynCacheMisses"))
+            + count("SynCacheEvictions")
+            + count("SynCacheMisses"))
 
-        record_manifest(f"fig7_{label}", result=result)
+        record_manifest(f"fig7_{label}", result=result,
+                        runner_stats=runner_stats)
 
 
 def test_fig7_sparkline_challenged_fraction(benchmark, suite):

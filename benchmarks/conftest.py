@@ -42,23 +42,62 @@ def emit(name: str, text: str) -> None:
 _MANIFESTS_WRITTEN = []
 
 
-def record_manifest(name: str, result=None, extra=None) -> pathlib.Path:
+def record_manifest(name: str, result=None, extra=None,
+                    runner_stats=None) -> pathlib.Path:
     """Persist a run manifest as ``benchmarks/output/BENCH_<name>.json``.
 
-    Pass a :class:`~repro.experiments.scenario.ScenarioResult` to capture
-    its counters, drop attribution, engine statistics and (if profiling
-    was on) callback profile; *extra* merges additional keys in.
+    Pass a :class:`~repro.experiments.scenario.ScenarioResult` or a
+    :class:`~repro.experiments.summary.ScenarioSummary` to capture its
+    counters, engine statistics and (if profiling was on) callback
+    profile; pass a :class:`~repro.runner.RunnerStats` as *runner_stats*
+    to persist the sweep's perf trajectory (per-cell wall time,
+    events/sec, sim_wall_ratio, cache hits); *extra* merges additional
+    keys in.
     """
-    from repro.obs.manifest import scenario_payload, write_manifest
+    from repro.obs.manifest import (
+        runner_payload,
+        scenario_payload,
+        write_manifest,
+    )
 
     payload = scenario_payload(result) if result is not None else {}
+    if runner_stats is not None:
+        payload["runner"] = runner_payload(runner_stats)
     if extra:
         payload.update(extra)
     payload["name"] = name
     payload["bench_time_scale"] = BENCH_TIME_SCALE
+    payload.setdefault("perf", _perf_block(payload))
     path = write_manifest(OUTPUT_DIR / f"BENCH_{name}.json", payload)
     _MANIFESTS_WRITTEN.append(name)
     return path
+
+
+def _perf_block(payload) -> dict:
+    """The manifest's top-level perf figures (the bench trajectory).
+
+    Prefers the sweep runner's aggregate accounting; falls back to the
+    single run's engine statistics.
+    """
+    runner = payload.get("runner")
+    if runner:
+        return {
+            "wall_seconds": runner.get("wall_seconds"),
+            "events_per_second": runner.get("events_per_second"),
+            "sim_wall_ratio": runner.get("sim_wall_ratio"),
+            "cells_run": runner.get("cells_run"),
+            "cache_hits": runner.get("cache_hits"),
+        }
+    engine = payload.get("engine")
+    if engine:
+        wall = engine.get("wall_seconds") or 0.0
+        events = engine.get("events_processed") or 0
+        return {
+            "wall_seconds": wall,
+            "events_per_second": (events / wall) if wall > 0 else 0.0,
+            "sim_wall_ratio": engine.get("sim_wall_ratio", 0.0),
+        }
+    return {}
 
 
 def pytest_sessionfinish(session, exitstatus):

@@ -5,6 +5,9 @@ Subcommands mirror the paper's workflow:
 * ``nash``     — compute the Nash difficulty from (w_av, α), §4.4 style;
 * ``profile``  — print the Figure 3(a) / Table 1 hardware profiles;
 * ``run``      — run one evaluation experiment and print its tables;
+* ``sweep``    — run a parameter sweep through the parallel runner
+  (``--jobs N`` for worker processes, ``--cache`` for the on-disk result
+  cache; see docs/performance.md);
 * ``trace``    — run a small scenario with handshake tracepoints armed and
   print per-flow timelines plus the SNMP counter dump.
 """
@@ -14,6 +17,28 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+
+def _make_runner(args: argparse.Namespace):
+    """A SweepRunner from the shared ``--jobs``/``--cache`` flags."""
+    from repro.runner import ResultCache, SweepRunner
+
+    cache = None
+    if getattr(args, "cache", False) or getattr(args, "cache_dir", None):
+        cache = ResultCache(root=args.cache_dir) if args.cache_dir \
+            else ResultCache()
+    return SweepRunner(jobs=args.jobs, cache=cache)
+
+
+def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="worker processes (default: $REPRO_JOBS or 1 "
+                        "= serial)")
+    parser.add_argument("--cache", action="store_true",
+                        help="cache cell results on disk "
+                        "($REPRO_CACHE_DIR or .repro-cache)")
+    parser.add_argument("--cache-dir", metavar="PATH", default=None,
+                        help="cache directory (implies --cache)")
 
 
 def _cmd_nash(args: argparse.Namespace) -> int:
@@ -81,10 +106,11 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.report import render_table
 
+    runner = _make_runner(args)
     if args.experiment == "syn-flood":
         from repro.experiments.exp2_floods import run_syn_flood_suite
 
-        suite = run_syn_flood_suite()
+        suite = run_syn_flood_suite(runner=runner)
         print(render_table(
             ["defense", "client Mbps (pre)", "client Mbps (attack)",
              "completion %"],
@@ -98,7 +124,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             run_connection_flood_suite
         from repro.experiments.figures import bar_chart, line_chart
 
-        suite = run_connection_flood_suite()
+        suite = run_connection_flood_suite(runner=runner)
         print(render_table(
             ["defense", "client Mbps (pre)", "client Mbps (attack)",
              "attacker cps", "completion %"],
@@ -124,7 +150,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     elif args.experiment == "adoption":
         from repro.experiments.exp5_adoption import adoption_study
 
-        outcomes = adoption_study()
+        outcomes = adoption_study(runner=runner)
         print(render_table(
             ["scenario", "mean completion % during attack"],
             [(label, o.mean_completion_percent)
@@ -142,6 +168,86 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:  # pragma: no cover - argparse restricts choices
         print(f"unknown experiment {args.experiment}", file=sys.stderr)
         return 2
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.report import render_table
+    from repro.experiments.scenario import ScenarioConfig
+
+    runner = _make_runner(args)
+    base = ScenarioConfig(seed=args.seed, time_scale=args.time_scale)
+
+    if args.sweep == "difficulty":
+        from repro.experiments.exp3_nash import (
+            difficulty_sweep_report,
+            stability_ranking,
+        )
+
+        k_values = args.k_values or (1, 2, 3, 4)
+        m_values = args.m_values or (12, 15, 16, 17, 18, 20)
+        grid, stats = difficulty_sweep_report(k_values, m_values, base,
+                                              runner)
+        print(render_table(
+            ["k", "m", "client Mbps (mean)", "Mbps (std)", "attacker cps",
+             "completion %"],
+            [(k, m, cell.throughput.mean, cell.throughput.std,
+              cell.attacker_steady_rate, cell.client_completion_percent)
+             for (k, m), cell in sorted(grid.items())]))
+        ranking = stability_ranking(grid)
+        if ranking:
+            (k, m), score = ranking[0]
+            print(f"\nmost stable cell: (k={k}, m={m}) "
+                  f"[mean - std = {score:.3f} Mbps]")
+    elif args.sweep == "botnet-rate":
+        from repro.experiments.exp4_botnet import per_node_rate_sweep
+
+        points = per_node_rate_sweep(base=base, runner=runner)
+        stats = None
+        print(render_table(
+            ["per-node pps", "measured pps", "effective cps",
+             "steady cps"],
+            [(p.configured_rate_per_node, p.measured_attack_rate,
+              p.completion_rate, p.completion_rate_steady)
+             for p in points]))
+    elif args.sweep == "botnet-size":
+        from repro.experiments.exp4_botnet import botnet_size_sweep
+
+        points = botnet_size_sweep(base=base, runner=runner)
+        stats = None
+        print(render_table(
+            ["bots", "measured pps", "effective cps", "steady cps"],
+            [(p.n_bots, p.measured_attack_rate, p.completion_rate,
+              p.completion_rate_steady) for p in points]))
+    elif args.sweep == "adoption":
+        from repro.experiments.exp5_adoption import adoption_study
+
+        outcomes = adoption_study(base, runner=runner)
+        stats = None
+        print(render_table(
+            ["scenario", "mean completion % during attack"],
+            [(label, o.mean_completion_percent)
+             for label, o in outcomes.items()]))
+    elif args.sweep == "iot":
+        from repro.experiments.exp6_iot import iot_seed_sweep
+
+        seeds = tuple(range(1, args.replicates + 1))
+        summaries = iot_seed_sweep(seeds=seeds, base=base, runner=runner)
+        stats = None
+        print(render_table(
+            ["seed", "attacker steady cps", "completion %"],
+            [(seed, s.attacker_steady_state_rate(),
+              s.client_completion_percent())
+             for seed, s in zip(seeds, summaries)]))
+    else:  # pragma: no cover - argparse restricts choices
+        print(f"unknown sweep {args.sweep}", file=sys.stderr)
+        return 2
+
+    if stats is not None:
+        print(f"\nrunner: {stats.render()}")
+    if runner.cache is not None:
+        print(f"cache: {runner.cache.stats.as_payload()} "
+              f"at {runner.cache.root}")
     return 0
 
 
@@ -240,7 +346,27 @@ def build_parser() -> argparse.ArgumentParser:
                               "connection-time"])
     run.add_argument("--samples", type=int, default=25,
                      help="samples per cell (connection-time)")
+    _add_runner_flags(run)
     run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a parameter sweep through the parallel runner")
+    sweep.add_argument("sweep",
+                       choices=["difficulty", "botnet-rate", "botnet-size",
+                                "adoption", "iot"])
+    sweep.add_argument("--time-scale", type=float, default=0.1,
+                       help="timeline scale factor (1.0 = the paper's "
+                       "600 s)")
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument("--k-values", type=int, nargs="+", default=None,
+                       help="k grid for the difficulty sweep")
+    sweep.add_argument("--m-values", type=int, nargs="+", default=None,
+                       help="m grid for the difficulty sweep")
+    sweep.add_argument("--replicates", type=int, default=3,
+                       help="seed replicates (iot sweep)")
+    _add_runner_flags(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
 
     trace = sub.add_parser(
         "trace",

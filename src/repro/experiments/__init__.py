@@ -14,6 +14,11 @@ from repro.experiments.scenario import (
     ScenarioConfig,
     ScenarioResult,
 )
+from repro.experiments.summary import (
+    ScenarioSummary,
+    run_scenario_summary,
+    summarize,
+)
 from repro.experiments.profiling_fig3 import (
     client_profile_table,
     server_stress_test,
@@ -60,6 +65,9 @@ __all__ = [
     "Scenario",
     "ScenarioConfig",
     "ScenarioResult",
+    "ScenarioSummary",
+    "run_scenario_summary",
+    "summarize",
     "client_profile_table",
     "server_stress_test",
     "ConnectionTimeExperiment",

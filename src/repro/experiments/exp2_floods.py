@@ -7,19 +7,26 @@ Two suites:
 * :func:`run_connection_flood_suite` — Figure 8's three settings: no
   defense, SYN cookies, puzzles at Nash.
 
-Each returns the full :class:`~repro.experiments.scenario.ScenarioResult`
-per setting, which also carries the Figure 9 (CPU), Figure 10 (queues) and
-Figure 11 (effective attack rate) measurements for the same runs.
+Each suite maps labels to picklable
+:class:`~repro.experiments.summary.ScenarioSummary` objects, which also
+carry the Figure 9 (CPU), Figure 10 (queues) and Figure 11 (effective
+attack rate) measurements for the same runs; the cells are sharded across
+a :class:`~repro.runner.SweepRunner` (pass your own to parallelise or
+cache). :meth:`FloodExperiment.run` still returns the live
+:class:`~repro.experiments.scenario.ScenarioResult` for callers that need
+the engine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.experiments.scenario import Scenario, ScenarioConfig, \
     ScenarioResult
+from repro.experiments.summary import ScenarioSummary, run_scenario_summary
 from repro.puzzles.params import PuzzleParams
+from repro.runner import RunnerStats, SweepRunner
 from repro.tcp.constants import DefenseMode
 
 #: The paper's labels for the Figure 7/8 series.
@@ -58,28 +65,57 @@ class FloodExperiment:
     def run(self) -> ScenarioResult:
         return Scenario(self.config()).run()
 
+    def summary(self) -> ScenarioSummary:
+        """Run and distill into the picklable summary form."""
+        return run_scenario_summary(self.config())
 
-def run_syn_flood_suite(base: Optional[ScenarioConfig] = None
-                        ) -> Dict[str, ScenarioResult]:
+
+def _suite_report(labels: Sequence[str], attack_style: str,
+                  base: Optional[ScenarioConfig],
+                  runner: Optional[SweepRunner]
+                  ) -> Tuple[Dict[str, ScenarioSummary], RunnerStats]:
+    if runner is None:
+        runner = SweepRunner()
+    configs = [FloodExperiment(defense=label, attack_style=attack_style,
+                               base=base).config() for label in labels]
+    report = runner.map(run_scenario_summary, configs, labels=list(labels))
+    return dict(zip(labels, report.values)), report.stats
+
+
+def run_syn_flood_suite_report(base: Optional[ScenarioConfig] = None,
+                               runner: Optional[SweepRunner] = None
+                               ) -> Tuple[Dict[str, ScenarioSummary],
+                                          RunnerStats]:
+    """Figure 7 suite plus the runner's execution accounting."""
+    return _suite_report((NODEFENSE, COOKIES, CHALLENGES_M8,
+                          CHALLENGES_M17), "syn", base, runner)
+
+
+def run_syn_flood_suite(base: Optional[ScenarioConfig] = None,
+                        runner: Optional[SweepRunner] = None
+                        ) -> Dict[str, ScenarioSummary]:
     """Figure 7: throughput under a spoofed SYN flood, four defenses."""
-    suite = {}
-    for label in (NODEFENSE, COOKIES, CHALLENGES_M8, CHALLENGES_M17):
-        suite[label] = FloodExperiment(defense=label, attack_style="syn",
-                                       base=base).run()
+    suite, _ = run_syn_flood_suite_report(base, runner)
     return suite
 
 
-def run_connection_flood_suite(base: Optional[ScenarioConfig] = None
-                               ) -> Dict[str, ScenarioResult]:
+def run_connection_flood_suite_report(
+        base: Optional[ScenarioConfig] = None,
+        runner: Optional[SweepRunner] = None
+        ) -> Tuple[Dict[str, ScenarioSummary], RunnerStats]:
+    """Figures 8–11 suite plus the runner's execution accounting."""
+    return _suite_report((NODEFENSE, COOKIES, CHALLENGES_M17), "connect",
+                         base, runner)
+
+
+def run_connection_flood_suite(base: Optional[ScenarioConfig] = None,
+                               runner: Optional[SweepRunner] = None
+                               ) -> Dict[str, ScenarioSummary]:
     """Figures 8–11: connection flood — no defense, cookies, Nash puzzles.
 
     The paper omits the m=8 series here ("TCP puzzles at difficulty of 8
     bits were ineffective at protecting the server's state"); Experiment 3
     sweeps difficulties instead.
     """
-    suite = {}
-    for label in (NODEFENSE, COOKIES, CHALLENGES_M17):
-        suite[label] = FloodExperiment(defense=label,
-                                       attack_style="connect",
-                                       base=base).run()
+    suite, _ = run_connection_flood_suite_report(base, runner)
     return suite

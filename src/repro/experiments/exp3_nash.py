@@ -9,14 +9,17 @@ competitive mean with low variability.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.summary import deterministic_engine_stats, \
+    run_scenario_summary
 from repro.metrics.summary import Summary, describe
 from repro.puzzles.params import PuzzleParams
+from repro.runner import RunnerStats, SweepRunner
 from repro.tcp.constants import DefenseMode
 
 DEFAULT_K_VALUES = (1, 2, 3, 4)
@@ -35,40 +38,78 @@ class DifficultyCell:
     attacker_steady_rate: float        # same, post-engagement transient
     attacker_measured_rate: float      # attacker SYN pps (§6.3 text)
     client_completion_percent: float
+    #: Deterministic engine accounting (timing keys stripped), read by the
+    #: sweep runner for events/sec manifests.
+    engine_stats: Optional[Dict[str, float]] = None
+
+
+@dataclass(frozen=True)
+class DifficultySpec:
+    """Picklable sweep-cell spec: one (k, m) point over a base config."""
+
+    k: int
+    m: int
+    base: ScenarioConfig = field(default_factory=ScenarioConfig)
+
+    def config(self) -> ScenarioConfig:
+        return replace(self.base, defense=DefenseMode.PUZZLES,
+                       puzzle_params=PuzzleParams(k=self.k, m=self.m),
+                       attack_style="connect")
+
+
+def run_difficulty_spec(spec: DifficultySpec) -> DifficultyCell:
+    """Sweep-cell function: one connection-flood run at (spec.k, spec.m)."""
+    config = spec.config()
+    summary = run_scenario_summary(config)
+    start, end = summary.attack_window()
+    times, mbps = summary.client_throughput.rx_mbps(config.duration)
+    mask = (times >= start) & (times < end)
+    bins = mbps[mask]
+    return DifficultyCell(
+        k=spec.k, m=spec.m,
+        throughput=describe(bins),
+        throughput_bins=bins,
+        attacker_established_rate=summary.attacker_established_rate(),
+        attacker_steady_rate=summary.attacker_steady_state_rate(),
+        attacker_measured_rate=summary.attacker_measured_rate(),
+        client_completion_percent=summary.client_completion_percent(),
+        engine_stats=deterministic_engine_stats(summary.engine_stats))
 
 
 def run_difficulty_cell(k: int, m: int,
                         base: Optional[ScenarioConfig] = None
                         ) -> DifficultyCell:
     """One connection-flood run at difficulty (k, m)."""
-    config = base if base is not None else ScenarioConfig()
-    config = replace(config, defense=DefenseMode.PUZZLES,
-                     puzzle_params=PuzzleParams(k=k, m=m),
-                     attack_style="connect")
-    result = Scenario(config).run()
-    start, end = result.attack_window()
-    times, mbps = result.client_throughput.rx_mbps(config.duration)
-    mask = (times >= start) & (times < end)
-    bins = mbps[mask]
-    return DifficultyCell(
-        k=k, m=m,
-        throughput=describe(bins),
-        throughput_bins=bins,
-        attacker_established_rate=result.attacker_established_rate(),
-        attacker_steady_rate=result.attacker_steady_state_rate(),
-        attacker_measured_rate=result.attacker_measured_rate(),
-        client_completion_percent=result.client_completion_percent())
+    return run_difficulty_spec(DifficultySpec(
+        k=k, m=m, base=base if base is not None else ScenarioConfig()))
+
+
+def difficulty_sweep_report(k_values: Sequence[int] = DEFAULT_K_VALUES,
+                            m_values: Sequence[int] = DEFAULT_M_VALUES,
+                            base: Optional[ScenarioConfig] = None,
+                            runner: Optional[SweepRunner] = None
+                            ) -> Tuple[Dict[Tuple[int, int],
+                                            DifficultyCell], RunnerStats]:
+    """The Figure 12 grid plus the runner's execution accounting."""
+    if runner is None:
+        runner = SweepRunner()
+    if base is None:
+        base = ScenarioConfig()
+    specs = [DifficultySpec(k=k, m=m, base=base)
+             for k in k_values for m in m_values]
+    report = runner.map(run_difficulty_spec, specs,
+                        labels=[f"k{s.k}m{s.m}" for s in specs])
+    grid = {(cell.k, cell.m): cell for cell in report.values}
+    return grid, report.stats
 
 
 def difficulty_sweep(k_values: Sequence[int] = DEFAULT_K_VALUES,
                      m_values: Sequence[int] = DEFAULT_M_VALUES,
-                     base: Optional[ScenarioConfig] = None
+                     base: Optional[ScenarioConfig] = None,
+                     runner: Optional[SweepRunner] = None
                      ) -> Dict[Tuple[int, int], DifficultyCell]:
     """The full Figure 12 grid, keyed by (k, m)."""
-    grid: Dict[Tuple[int, int], DifficultyCell] = {}
-    for k in k_values:
-        for m in m_values:
-            grid[(k, m)] = run_difficulty_cell(k, m, base)
+    grid, _ = difficulty_sweep_report(k_values, m_values, base, runner)
     return grid
 
 

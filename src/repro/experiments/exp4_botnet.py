@@ -18,10 +18,13 @@ difficulty:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.summary import deterministic_engine_stats, \
+    run_scenario_summary
 from repro.puzzles.params import PuzzleParams
+from repro.runner import SweepRunner
 from repro.tcp.constants import DefenseMode
 
 
@@ -36,6 +39,9 @@ class BotnetSweepPoint:
     completion_rate: float            # cps accepted by the server (13b/14b)
     completion_rate_steady: float     # same, past the engagement transient
     client_completion_percent: float
+    #: Deterministic engine accounting (timing keys stripped), read by the
+    #: sweep runner for events/sec manifests.
+    engine_stats: Optional[Dict[str, float]] = None
 
 
 def _nash_config(base: Optional[ScenarioConfig]) -> ScenarioConfig:
@@ -45,40 +51,46 @@ def _nash_config(base: Optional[ScenarioConfig]) -> ScenarioConfig:
                    attack_style="connect", attackers_solve=True)
 
 
-def _run_point(config: ScenarioConfig) -> BotnetSweepPoint:
-    result = Scenario(config).run()
+def run_botnet_point(config: ScenarioConfig) -> BotnetSweepPoint:
+    """Sweep-cell function: one flood run at one botnet shape."""
+    summary = run_scenario_summary(config)
     return BotnetSweepPoint(
         n_bots=config.n_attackers,
         configured_rate_per_node=config.attack_rate,
         configured_rate_total=config.attack_rate * config.n_attackers,
-        measured_attack_rate=result.attacker_measured_rate(),
-        completion_rate=result.attacker_established_rate(),
-        completion_rate_steady=result.attacker_steady_state_rate(),
-        client_completion_percent=result.client_completion_percent())
+        measured_attack_rate=summary.attacker_measured_rate(),
+        completion_rate=summary.attacker_established_rate(),
+        completion_rate_steady=summary.attacker_steady_state_rate(),
+        client_completion_percent=summary.client_completion_percent(),
+        engine_stats=deterministic_engine_stats(summary.engine_stats))
 
 
 def per_node_rate_sweep(rates: Sequence[float] = (100, 200, 400, 600, 800,
                                                   1000),
                         n_bots: int = 5,
-                        base: Optional[ScenarioConfig] = None
+                        base: Optional[ScenarioConfig] = None,
+                        runner: Optional[SweepRunner] = None
                         ) -> List[BotnetSweepPoint]:
     """Figure 13: fixed 5-bot fleet, increasing per-node rate."""
-    points = []
-    for rate in rates:
-        config = replace(_nash_config(base), n_attackers=n_bots,
-                         attack_rate=rate)
-        points.append(_run_point(config))
-    return points
+    if runner is None:
+        runner = SweepRunner()
+    configs = [replace(_nash_config(base), n_attackers=n_bots,
+                       attack_rate=rate) for rate in rates]
+    report = runner.map(run_botnet_point, configs,
+                        labels=[f"rate{rate:g}" for rate in rates])
+    return list(report.values)
 
 
 def botnet_size_sweep(sizes: Sequence[int] = (2, 4, 6, 8, 10, 12, 14),
                       total_rate: float = 5000.0,
-                      base: Optional[ScenarioConfig] = None
+                      base: Optional[ScenarioConfig] = None,
+                      runner: Optional[SweepRunner] = None
                       ) -> List[BotnetSweepPoint]:
     """Figure 14: fixed 5000 pps aggregate, increasing fleet size."""
-    points = []
-    for size in sizes:
-        config = replace(_nash_config(base), n_attackers=size,
-                         attack_rate=total_rate / size)
-        points.append(_run_point(config))
-    return points
+    if runner is None:
+        runner = SweepRunner()
+    configs = [replace(_nash_config(base), n_attackers=size,
+                       attack_rate=total_rate / size) for size in sizes]
+    report = runner.map(run_botnet_point, configs,
+                        labels=[f"bots{size}" for size in sizes])
+    return list(report.values)

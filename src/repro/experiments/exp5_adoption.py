@@ -16,14 +16,15 @@ attempts that completed (Figure 15's y-axis).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.experiments.scenario import Scenario, ScenarioConfig, \
-    ScenarioResult
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.summary import ScenarioSummary, run_scenario_summary
 from repro.puzzles.params import PuzzleParams
+from repro.runner import SweepRunner
 from repro.tcp.constants import DefenseMode
 
 #: The paper's scenario labels.
@@ -45,40 +46,70 @@ class AdoptionOutcome:
     times: np.ndarray
     completion_percent: np.ndarray     # per attempt-bin, NaN when no attempts
     mean_completion_percent: float
-    result: ScenarioResult
+    summary: ScenarioSummary
+
+    @property
+    def engine_stats(self):
+        """Runner accounting hook (delegates to the summary)."""
+        return self.summary.engine_stats
 
 
-def run_adoption_scenario(label: str,
-                          base: Optional[ScenarioConfig] = None
-                          ) -> AdoptionOutcome:
-    attacker_solves, client_solves = SCENARIOS[label]
-    config = base if base is not None else ScenarioConfig()
-    config = replace(config,
-                     defense=DefenseMode.PUZZLES,
-                     puzzle_params=PuzzleParams(k=2, m=17),
-                     attack_style="connect",
-                     attackers_solve=attacker_solves,
-                     clients_patched=client_solves,
-                     clients_solve=client_solves)
-    result = Scenario(config).run()
-    start, end = result.attack_window()
-    times, percent = result.tracker.completion_percent_series(
+@dataclass(frozen=True)
+class AdoptionSpec:
+    """Picklable sweep-cell spec: one adoption label over a base config."""
+
+    label: str
+    base: ScenarioConfig = field(default_factory=ScenarioConfig)
+
+    def config(self) -> ScenarioConfig:
+        attacker_solves, client_solves = SCENARIOS[self.label]
+        return replace(self.base,
+                       defense=DefenseMode.PUZZLES,
+                       puzzle_params=PuzzleParams(k=2, m=17),
+                       attack_style="connect",
+                       attackers_solve=attacker_solves,
+                       clients_patched=client_solves,
+                       clients_solve=client_solves)
+
+
+def run_adoption_cell(spec: AdoptionSpec) -> AdoptionOutcome:
+    """Sweep-cell function: one adoption scenario."""
+    attacker_solves, client_solves = SCENARIOS[spec.label]
+    config = spec.config()
+    summary = run_scenario_summary(config)
+    start, end = summary.attack_window()
+    times, percent = summary.connections.completion_percent_series(
         "client", config.duration)
     mask = (times >= start) & (times < end)
     window = percent[mask]
     window = window[~np.isnan(window)]
     mean = float(np.mean(window)) if window.size else float("nan")
-    return AdoptionOutcome(label=label, attacker_solves=attacker_solves,
+    return AdoptionOutcome(label=spec.label,
+                           attacker_solves=attacker_solves,
                            client_solves=client_solves, times=times,
                            completion_percent=percent,
-                           mean_completion_percent=mean, result=result)
+                           mean_completion_percent=mean, summary=summary)
 
 
-def adoption_study(base: Optional[ScenarioConfig] = None
+def run_adoption_scenario(label: str,
+                          base: Optional[ScenarioConfig] = None
+                          ) -> AdoptionOutcome:
+    return run_adoption_cell(AdoptionSpec(
+        label=label, base=base if base is not None else ScenarioConfig()))
+
+
+def adoption_study(base: Optional[ScenarioConfig] = None,
+                   runner: Optional[SweepRunner] = None
                    ) -> Dict[str, AdoptionOutcome]:
     """All four scenarios, keyed by the paper's labels."""
-    return {label: run_adoption_scenario(label, base)
-            for label in SCENARIOS}
+    if runner is None:
+        runner = SweepRunner()
+    if base is None:
+        base = ScenarioConfig()
+    specs = [AdoptionSpec(label=label, base=base) for label in SCENARIOS]
+    report = runner.map(run_adoption_cell, specs,
+                        labels=[spec.label for spec in specs])
+    return {outcome.label: outcome for outcome in report.values}
 
 
 def grouped_series(outcomes: Dict[str, AdoptionOutcome]

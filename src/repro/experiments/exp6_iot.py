@@ -13,11 +13,13 @@ the bots on Raspberry Pi CPUs, for the benches that quantify the
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.profiling import DEFAULT_DELAY_BUDGET_SECONDS
 from repro.experiments.scenario import Scenario, ScenarioConfig, \
     ScenarioResult
+from repro.experiments.summary import ScenarioSummary, run_scenario_summary
+from repro.runner import SweepRunner
 from repro.hosts.cpu import (
     IOT_CATALOG,
     IOT_MEASURED_HASHES_400MS,
@@ -59,14 +61,31 @@ def iot_profile_table(params: Optional[PuzzleParams] = None
     return rows
 
 
+def iot_config(base: Optional[ScenarioConfig] = None) -> ScenarioConfig:
+    """The §6 connection-flood config with Raspberry Pi bots at Nash."""
+    config = base if base is not None else ScenarioConfig()
+    return replace(config,
+                   defense=DefenseMode.PUZZLES,
+                   puzzle_params=PuzzleParams(k=2, m=17),
+                   attack_style="connect",
+                   attackers_solve=True,
+                   attacker_cpus=list(IOT_CATALOG.values()))
+
+
 def iot_botnet_scenario(base: Optional[ScenarioConfig] = None
                         ) -> ScenarioResult:
     """The §6 connection flood with Raspberry Pi bots at Nash difficulty."""
-    config = base if base is not None else ScenarioConfig()
-    config = replace(config,
-                     defense=DefenseMode.PUZZLES,
-                     puzzle_params=PuzzleParams(k=2, m=17),
-                     attack_style="connect",
-                     attackers_solve=True,
-                     attacker_cpus=list(IOT_CATALOG.values()))
-    return Scenario(config).run()
+    return Scenario(iot_config(base)).run()
+
+
+def iot_seed_sweep(seeds: Sequence[int] = (1, 2, 3),
+                   base: Optional[ScenarioConfig] = None,
+                   runner: Optional[SweepRunner] = None
+                   ) -> List[ScenarioSummary]:
+    """The IoT flood repeated over *seeds* — one summary per replicate."""
+    if runner is None:
+        runner = SweepRunner()
+    configs = [replace(iot_config(base), seed=seed) for seed in seeds]
+    report = runner.map(run_scenario_summary, configs,
+                        labels=[f"seed{seed}" for seed in seeds])
+    return list(report.values)

@@ -34,9 +34,15 @@ class BinnedSeries:
         n_bins = max(1, int(np.ceil((until - self.t0) / self.bin_width)))
         times = self.t0 + np.arange(n_bins) * self.bin_width
         values = np.zeros(n_bins)
-        for index, value in self._bins.items():
-            if 0 <= index < n_bins:
-                values[index] = value
+        if self._bins:
+            # Vectorized fill: one fancy-indexed assignment instead of a
+            # Python loop over every bin (sweep post-processing hot path).
+            indices = np.fromiter(self._bins.keys(), dtype=np.int64,
+                                  count=len(self._bins))
+            sums = np.fromiter(self._bins.values(), dtype=np.float64,
+                               count=len(self._bins))
+            mask = (indices >= 0) & (indices < n_bins)
+            values[indices[mask]] = sums[mask]
         return times, values
 
     def rate_series(self, until: float) -> Tuple[np.ndarray, np.ndarray]:

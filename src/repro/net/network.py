@@ -86,7 +86,10 @@ class Network:
         """
         now = self.engine.now
         packet.sent_at = now
-        self._emit(packet, "send")
+        # Guard inlined: with no taps installed (most sweeps) the hot path
+        # skips the _emit call entirely, not just its body.
+        if self._taps:
+            self._emit(packet, "send")
 
         dst_host = self._hosts_by_ip.get(packet.dst_ip)
         if dst_host is None:
@@ -124,5 +127,6 @@ class Network:
 
     def _deliver(self, host: Attachable, packet: Packet) -> None:
         self.packets_delivered += 1
-        self._emit(packet, "deliver")
+        if self._taps:
+            self._emit(packet, "deliver")
         host.receive(packet)

@@ -176,17 +176,22 @@ def describe(counter: str) -> str:
     return CATALOGUE.get(counter, counter)
 
 
-def drop_attribution(scope: CounterScope) -> Dict[str, int]:
+def drop_attribution(scope) -> Dict[str, int]:
     """Nonzero terminal drop causes for a listener host, name -> count.
 
     Because the increment sites are disjoint, summing these gives the
     total number of refused/failed handshake events, each attributed to
-    exactly one cause.
+    exactly one cause. Accepts a live :class:`CounterScope` or a plain
+    snapshot dict (``registry.snapshot()[host]``), whose ``get`` returns
+    ``None`` for untouched counters.
     """
     return {cause: scope.get(cause) for cause in DROP_CAUSES
             if scope.get(cause)}
 
 
-def established_total(scope: CounterScope) -> int:
-    """Accepted handshakes across every establishment path."""
-    return sum(scope.get(name) for name in ESTABLISHED_COUNTERS)
+def established_total(scope) -> int:
+    """Accepted handshakes across every establishment path.
+
+    Accepts a live :class:`CounterScope` or a plain snapshot dict.
+    """
+    return sum(scope.get(name) or 0 for name in ESTABLISHED_COUNTERS)

@@ -63,9 +63,13 @@ def scenario_payload(result) -> Dict[str, object]:
 
     Duck-typed on purpose (``.engine`` with an ``obs`` hub, plus the
     listener's stats) so this module never imports the experiments layer.
+    Picklable :class:`~repro.experiments.summary.ScenarioSummary` objects
+    (no live engine) are detected and routed to :func:`summary_payload`.
     """
     from repro.obs import hub_for
 
+    if not hasattr(result, "engine"):
+        return summary_payload(result)
     engine = result.engine
     hub = hub_for(engine)
     profiler = getattr(result, "profiler", None)
@@ -75,6 +79,50 @@ def scenario_payload(result) -> Dict[str, object]:
         field: getattr(stats, field)
         for field in sorted(vars(stats))
     }
+    return payload
+
+
+def summary_payload(summary) -> Dict[str, object]:
+    """Manifest body for a scenario *summary* (a finished, distilled run).
+
+    Duck-typed like :func:`scenario_payload`: anything carrying
+    ``counters`` / ``engine_stats`` / ``listener_stats`` (and optionally
+    ``profile``) mappings works — the engine statistics here include the
+    wall-time fields, since manifests exist to track them.
+    """
+    payload: Dict[str, object] = {
+        "counters": dict(summary.counters),
+        "engine": dict(summary.engine_stats),
+    }
+    attribution = {}
+    for name, counters in summary.counters.items():
+        drops = drop_attribution(counters)
+        established = established_total(counters)
+        if drops or established:
+            attribution[name] = {
+                "established": established,
+                "drops": drops,
+                "drops_total": sum(drops.values()),
+            }
+    if attribution:
+        payload["handshake_attribution"] = attribution
+    profile = getattr(summary, "profile", None)
+    if profile is not None:
+        payload["profile"] = profile
+    stats = summary.listener_stats
+    payload["listener_stats"] = {
+        field: getattr(stats, field)
+        for field in sorted(vars(stats))
+    }
+    return payload
+
+
+def runner_payload(stats) -> Dict[str, object]:
+    """Manifest block for a :class:`~repro.runner.RunnerStats` (or any
+    object with an ``as_payload()``), under the key conventions the bench
+    trajectory tooling reads."""
+    payload = stats.as_payload() if hasattr(stats, "as_payload") \
+        else dict(stats)
     return payload
 
 

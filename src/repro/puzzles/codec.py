@@ -38,6 +38,7 @@ NOP padding, per standard TCP option conventions.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Optional, Tuple
 
 from repro.errors import CodecError
@@ -193,6 +194,10 @@ def decode_solution(data: bytes, params: PuzzleParams,
                     issued_at_ms=timestamp_ms, mss=mss, wscale=wscale)
 
 
+# Cached: PuzzleParams is frozen/hashable and every packet carrying an
+# option block asks for these sizes; a sweep uses a handful of distinct
+# (params, flag) pairs but millions of packets.
+@lru_cache(maxsize=256)
 def challenge_wire_size(params: PuzzleParams,
                         embed_timestamp: bool = True) -> Tuple[int, int]:
     """(unpadded, padded) byte size of a challenge block."""
@@ -201,6 +206,7 @@ def challenge_wire_size(params: PuzzleParams,
     return length, padded
 
 
+@lru_cache(maxsize=256)
 def solution_wire_size(params: PuzzleParams,
                        embed_timestamp: bool = True) -> Tuple[int, int]:
     """(unpadded, padded) byte size of a solution block."""

@@ -58,14 +58,24 @@ class FlowBinding:
     src_port: int
     dst_port: int
     isn: int
+    #: Memoised :meth:`pack` output. The same binding is packed at
+    #: challenge issue and again (per candidate secret key) at
+    #: verification; underscore-prefixed so fingerprints and exports skip
+    #: it.
+    _packed: Optional[bytes] = field(default=None, repr=False,
+                                     compare=False)
 
     def pack(self) -> bytes:
-        """Canonical byte encoding hashed into the pre-image."""
-        return (self.isn.to_bytes(4, "big")
-                + self.src_ip.to_bytes(4, "big")
-                + self.dst_ip.to_bytes(4, "big")
-                + self.src_port.to_bytes(2, "big")
-                + self.dst_port.to_bytes(2, "big"))
+        """Canonical byte encoding hashed into the pre-image (memoised)."""
+        packed = self._packed
+        if packed is None:
+            packed = (self.isn.to_bytes(4, "big")
+                      + self.src_ip.to_bytes(4, "big")
+                      + self.dst_ip.to_bytes(4, "big")
+                      + self.src_port.to_bytes(2, "big")
+                      + self.dst_port.to_bytes(2, "big"))
+            object.__setattr__(self, "_packed", packed)
+        return packed
 
 
 @dataclass(frozen=True)

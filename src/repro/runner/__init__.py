@@ -1,0 +1,58 @@
+"""``repro.runner`` — the parallel sweep executor with an on-disk cache.
+
+Every paper figure is a sweep of independent ``(ScenarioConfig, seed)``
+cells; nothing about one cell depends on another, so the sweep is
+embarrassingly parallel. This package provides:
+
+* **Stable fingerprints** (:mod:`repro.runner.hashing`) — a canonical,
+  process-independent hash of any configuration dataclass, used both as
+  the cache key and as the deterministic cell identity in exports.
+* **A result cache** (:mod:`repro.runner.cache`) — content-addressed
+  pickles on disk, keyed by ``(cell function, config, package version)``;
+  re-running an unchanged sweep cell is a file read instead of a full
+  simulation.
+* **The sweep runner** (:mod:`repro.runner.runner`) — shards cells across
+  a :class:`~concurrent.futures.ProcessPoolExecutor` (worker count from
+  ``--jobs`` or ``REPRO_JOBS``; ``jobs=1`` is a dependency-free serial
+  fallback) and returns results in deterministic cell order regardless
+  of completion order. Per-cell wall time, cache hits and engine
+  statistics land in a :class:`~repro.runner.runner.RunnerStats` that the
+  benchmark manifest writer persists (``BENCH_*.json``).
+* **Deterministic export** (:mod:`repro.runner.export`) — the key-sorted
+  JSONL renderer used to assert that a parallel run's merged results are
+  byte-identical to a serial run with the same seeds.
+
+Determinism contract: a cell function must be a module-level callable of
+one picklable argument whose output depends only on that argument (all
+randomness seeded from the config). Under that contract serial and
+parallel execution are bit-for-bit identical.
+"""
+
+from __future__ import annotations
+
+from repro.runner.cache import CacheStats, ResultCache, default_cache_dir
+from repro.runner.export import cells_to_jsonl, to_jsonable
+from repro.runner.hashing import cell_key, config_fingerprint, stable_hash
+from repro.runner.runner import (
+    CellStats,
+    RunnerStats,
+    SweepReport,
+    SweepRunner,
+    resolve_jobs,
+)
+
+__all__ = [
+    "CacheStats",
+    "CellStats",
+    "ResultCache",
+    "RunnerStats",
+    "SweepReport",
+    "SweepRunner",
+    "cell_key",
+    "cells_to_jsonl",
+    "config_fingerprint",
+    "default_cache_dir",
+    "resolve_jobs",
+    "stable_hash",
+    "to_jsonable",
+]

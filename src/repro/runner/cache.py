@@ -1,0 +1,127 @@
+"""Content-addressed on-disk result cache for sweep cells.
+
+Layout: ``<root>/<key[:2]>/<key>.pkl`` — one pickle per cell, holding the
+``(value, stats)`` pair the cell produced. Keys are the stable SHA-256
+fingerprints from :mod:`repro.runner.hashing`, so a changed config (or a
+package version bump) simply addresses a different file: invalidation is
+free and stale entries are inert.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or parallel
+writer can never leave a torn entry; racing writers of the same key write
+identical bytes by construction (same key ⇒ same config ⇒ same result).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+#: Environment override for the cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` or ``.repro-cache`` under the working dir."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path(".repro-cache")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one runner invocation."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    errors: int = 0
+
+    def as_payload(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes, "errors": self.errors}
+
+
+@dataclass
+class ResultCache:
+    """Pickle-per-key cache rooted at *root* (created lazily)."""
+
+    root: pathlib.Path = field(default_factory=default_cache_dir)
+
+    def __post_init__(self) -> None:
+        self.root = pathlib.Path(self.root)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Tuple[Any, dict]]:
+        """The cached ``(value, stats)`` pair, or ``None`` on a miss.
+
+        A corrupt entry (torn by an old crash, or written by an
+        incompatible interpreter) counts as a miss and is removed so the
+        next run rewrites it.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                value, stats = pickle.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            self.stats.errors += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return value, stats
+
+    def put(self, key: str, value: Any, stats: Optional[dict] = None
+            ) -> pathlib.Path:
+        """Atomically persist ``(value, stats)`` under *key*."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump((value, dict(stats or {})), fh,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for path in self.root.glob("*/*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,305 @@
+"""The process-pool sweep executor.
+
+A *sweep* is an ordered list of independent cells, each a module-level
+function applied to one picklable spec (typically a
+:class:`~repro.experiments.scenario.ScenarioConfig`). The runner:
+
+* consults the :class:`~repro.runner.cache.ResultCache` (if attached) and
+  only simulates cache misses;
+* shards the misses across a :class:`concurrent.futures.ProcessPoolExecutor`
+  when ``jobs > 1`` (worker count from the ``--jobs`` CLI flag or the
+  ``REPRO_JOBS`` environment variable), or runs them inline at ``jobs=1``
+  — the serial fallback has no pool, no pickling, and no extra processes;
+* returns values in the submission order regardless of completion order,
+  so a parallel sweep is indistinguishable from a serial one;
+* accounts per-cell wall time and (when the value carries an
+  ``engine_stats`` mapping, as :class:`ScenarioSummary` does) simulated
+  seconds and event counts, aggregated into a :class:`RunnerStats` whose
+  :meth:`~RunnerStats.as_payload` feeds the ``BENCH_*.json`` manifests.
+
+Determinism: cells are seeded entirely by their spec, so the merged
+results of a parallel run are byte-identical to a serial run — asserted
+by ``tests/runner/test_determinism.py`` via the key-sorted JSONL export.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.runner.cache import ResultCache
+from repro.runner.hashing import cell_key
+
+#: Environment override for the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """The effective worker count: explicit > ``$REPRO_JOBS`` > 1."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV)
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ExperimentError(
+                    f"{JOBS_ENV}={env!r} is not an integer")
+    if jobs is None:
+        return 1
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+@dataclass(frozen=True)
+class CellStats:
+    """What one sweep cell cost."""
+
+    index: int
+    key: str
+    label: str
+    cached: bool
+    wall_seconds: float
+    sim_seconds: float = 0.0
+    events_processed: int = 0
+
+    def as_payload(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "key": self.key,
+            "label": self.label,
+            "cached": self.cached,
+            "wall_seconds": self.wall_seconds,
+            "sim_seconds": self.sim_seconds,
+            "events_processed": self.events_processed,
+        }
+
+
+@dataclass
+class RunnerStats:
+    """Aggregate accounting for one sweep execution."""
+
+    jobs: int = 1
+    cells_total: int = 0
+    cells_run: int = 0
+    cache_hits: int = 0
+    wall_seconds: float = 0.0          # whole-sweep wall clock
+    cells: List[CellStats] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def cell_wall_seconds(self) -> float:
+        """Sum of per-cell wall time (> wall_seconds when parallel)."""
+        return sum(cell.wall_seconds for cell in self.cells)
+
+    @property
+    def sim_seconds(self) -> float:
+        return sum(cell.sim_seconds for cell in self.cells)
+
+    @property
+    def events_processed(self) -> int:
+        return sum(cell.events_processed for cell in self.cells)
+
+    @property
+    def events_per_second(self) -> float:
+        """Aggregate simulated events per wall second of the sweep."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events_processed / self.wall_seconds
+
+    @property
+    def sim_wall_ratio(self) -> float:
+        """Simulated seconds per wall second, across the whole sweep."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.sim_seconds / self.wall_seconds
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Per-cell wall time over elapsed wall time (≈ worker utilisation)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.cell_wall_seconds / self.wall_seconds
+
+    def as_payload(self) -> Dict[str, object]:
+        """JSON-friendly block for the ``BENCH_*.json`` manifests."""
+        return {
+            "jobs": self.jobs,
+            "cells_total": self.cells_total,
+            "cells_run": self.cells_run,
+            "cache_hits": self.cache_hits,
+            "wall_seconds": self.wall_seconds,
+            "cell_wall_seconds": self.cell_wall_seconds,
+            "sim_seconds": self.sim_seconds,
+            "events_processed": self.events_processed,
+            "events_per_second": self.events_per_second,
+            "sim_wall_ratio": self.sim_wall_ratio,
+            "parallel_speedup": self.parallel_speedup,
+            "cells": [cell.as_payload() for cell in self.cells],
+        }
+
+    def render(self) -> str:
+        """One human line for CLI output."""
+        return (f"{self.cells_total} cells ({self.cache_hits} cached, "
+                f"{self.cells_run} run) in {self.wall_seconds:.2f}s wall "
+                f"at jobs={self.jobs}; {self.events_processed} events, "
+                f"{self.events_per_second:,.0f} events/s, "
+                f"sim/wall {self.sim_wall_ratio:.0f}x")
+
+
+@dataclass
+class SweepReport:
+    """Values (in submission order) plus the execution accounting."""
+
+    values: List[Any]
+    stats: RunnerStats
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, index):
+        return self.values[index]
+
+
+def _cell_sim_stats(value: Any) -> Dict[str, float]:
+    """Pull engine accounting off a cell value, if it exposes any.
+
+    Cell values built on :class:`~repro.experiments.summary.ScenarioSummary`
+    carry the engine's ``stats()`` dict as ``engine_stats``; plain values
+    simply report zeros.
+    """
+    stats = getattr(value, "engine_stats", None)
+    if not isinstance(stats, dict):
+        return {"sim_seconds": 0.0, "events_processed": 0}
+    return {
+        "sim_seconds": float(stats.get("sim_seconds", 0.0)),
+        "events_processed": int(stats.get("events_processed", 0)),
+    }
+
+
+def _execute_cell(fn: Callable[[Any], Any], spec: Any) -> tuple:
+    """Worker-side wrapper: run one cell and time it.
+
+    Module-level so it pickles by reference into pool workers.
+    """
+    started = perf_counter()
+    value = fn(spec)
+    wall = perf_counter() - started
+    stats = _cell_sim_stats(value)
+    stats["wall_seconds"] = wall
+    return value, stats
+
+
+class SweepRunner:
+    """Executes sweeps of ``fn(spec)`` cells, optionally parallel + cached.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes. ``None`` reads ``$REPRO_JOBS`` and falls back
+        to 1; 1 runs serially in-process.
+    cache:
+        A :class:`ResultCache`, or ``None`` to always simulate.
+    key_extra:
+        Additional picklable material folded into every cache key (e.g.
+        a benchmark-scale tag), so distinct harnesses never collide.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None,
+                 key_extra: Any = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
+        self.key_extra = key_extra
+
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[Any], Any], specs: Sequence[Any],
+            labels: Optional[Sequence[str]] = None) -> SweepReport:
+        """Run ``fn(spec)`` for every spec; values keep submission order.
+
+        *labels* (optional, same length) name cells in stats and CLI
+        output; they default to ``cell<i>`` and are **not** part of the
+        cache key.
+        """
+        specs = list(specs)
+        if labels is None:
+            labels = [f"cell{i}" for i in range(len(specs))]
+        labels = list(labels)
+        if len(labels) != len(specs):
+            raise ExperimentError(
+                f"{len(labels)} labels for {len(specs)} specs")
+
+        stats = RunnerStats(jobs=self.jobs, cells_total=len(specs))
+        values: List[Any] = [None] * len(specs)
+        cell_stats: List[Optional[CellStats]] = [None] * len(specs)
+        started = perf_counter()
+
+        keys = [cell_key(fn, spec, extra=self.key_extra) for spec in specs]
+        pending: List[int] = []
+        for i, key in enumerate(keys):
+            hit = self.cache.get(key) if self.cache is not None else None
+            if hit is not None:
+                value, cached_stats = hit
+                values[i] = value
+                stats.cache_hits += 1
+                sim = _cell_sim_stats(value)
+                cell_stats[i] = CellStats(
+                    index=i, key=key, label=labels[i], cached=True,
+                    wall_seconds=float(
+                        cached_stats.get("wall_seconds", 0.0)),
+                    sim_seconds=sim["sim_seconds"],
+                    events_processed=sim["events_processed"])
+            else:
+                pending.append(i)
+
+        if pending and self.jobs == 1:
+            for i in pending:
+                value, run_stats = _execute_cell(fn, specs[i])
+                self._commit(values, cell_stats, stats, labels, keys, i,
+                             value, run_stats)
+        elif pending:
+            self._run_pool(fn, specs, labels, keys, pending, values,
+                           cell_stats, stats)
+
+        stats.cells_run = len(pending)
+        stats.wall_seconds = perf_counter() - started
+        stats.cells = [cs for cs in cell_stats if cs is not None]
+        return SweepReport(values=values, stats=stats)
+
+    # ------------------------------------------------------------------
+    def _commit(self, values, cell_stats, stats, labels, keys, index,
+                value, run_stats) -> None:
+        values[index] = value
+        cell_stats[index] = CellStats(
+            index=index, key=keys[index], label=labels[index],
+            cached=False,
+            wall_seconds=float(run_stats.get("wall_seconds", 0.0)),
+            sim_seconds=float(run_stats.get("sim_seconds", 0.0)),
+            events_processed=int(run_stats.get("events_processed", 0)))
+        if self.cache is not None:
+            self.cache.put(keys[index], value, run_stats)
+
+    def _run_pool(self, fn, specs, labels, keys, pending, values,
+                  cell_stats, stats) -> None:
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute_cell, fn, specs[i]): i
+                for i in pending
+            }
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding,
+                                         return_when=FIRST_COMPLETED)
+                for future in done:
+                    i = futures[future]
+                    value, run_stats = future.result()
+                    self._commit(values, cell_stats, stats, labels, keys,
+                                 i, value, run_stats)

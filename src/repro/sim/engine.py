@@ -174,10 +174,15 @@ class Engine:
             self._compact()
 
     def _compact(self) -> None:
-        """Rebuild the heap without cancelled entries."""
+        """Rebuild the heap without cancelled entries.
+
+        In place (slice assignment) so that :meth:`run`'s local alias of
+        the heap list stays valid when a callback triggers a compaction
+        mid-run.
+        """
         live = [entry for entry in self._heap if not entry[2].cancelled]
         heapq.heapify(live)
-        self._heap = live
+        self._heap[:] = live
         self._cancelled_pending = 0
         self._compactions += 1
 
@@ -198,14 +203,20 @@ class Engine:
         processed_this_run = 0
         profiler = self._profiler
         run_started = perf_counter()
+        # Local aliases: the loop body is the hottest code in the package.
+        # `_compact` rebuilds `self._heap` in place, so `heap` stays valid.
+        heap = self._heap
+        heappop, heappush = heapq.heappop, heapq.heappush
         try:
-            while self._heap:
+            while heap:
                 if self._stopped:
                     break
-                entry = self._heap[0]
+                # Single heappop instead of peek-then-pop; an event past
+                # `until` is pushed back (once per run, not per event).
+                entry = heappop(heap)
                 if until is not None and entry[0] > until:
+                    heappush(heap, entry)
                     break
-                heapq.heappop(self._heap)
                 event = entry[2]
                 event.engine = None
                 if event.cancelled:

@@ -1,0 +1,116 @@
+"""The on-disk result cache: roundtrips, invalidation, corruption."""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+
+import pytest
+
+import repro._version as version_module
+from repro.runner import (
+    ResultCache,
+    SweepRunner,
+    cell_key,
+    default_cache_dir,
+)
+from repro.runner.cache import CACHE_DIR_ENV
+
+
+@dataclass(frozen=True)
+class Spec:
+    x: int
+    scale: float = 1.0
+
+
+def square(spec: Spec) -> dict:
+    return {"x": spec.x, "value": spec.x * spec.x * spec.scale}
+
+
+@pytest.fixture
+def cache(tmp_path) -> ResultCache:
+    return ResultCache(root=tmp_path / "cache")
+
+
+class TestResultCache:
+    def test_roundtrip(self, cache):
+        key = cell_key(square, Spec(x=3))
+        assert cache.get(key) is None
+        assert cache.stats.misses == 1
+        cache.put(key, {"value": 9}, {"wall_seconds": 0.25})
+        value, stats = cache.get(key)
+        assert value == {"value": 9}
+        assert stats == {"wall_seconds": 0.25}
+        assert cache.stats.hits == 1
+        assert cache.stats.writes == 1
+
+    def test_contains_len_clear(self, cache):
+        keys = [cell_key(square, Spec(x=i)) for i in range(3)]
+        for key in keys:
+            cache.put(key, {"ok": True})
+        assert all(key in keys for key in keys)
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+        assert keys[0] not in cache
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, cache):
+        key = cell_key(square, Spec(x=7))
+        cache.put(key, {"value": 49})
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        assert cache.stats.errors == 1
+        assert not path.exists()
+
+    def test_entries_are_value_stats_pairs(self, cache):
+        key = cell_key(square, Spec(x=2))
+        path = cache.put(key, {"value": 4}, {"wall_seconds": 0.1})
+        with open(path, "rb") as fh:
+            value, stats = pickle.load(fh)
+        assert value == {"value": 4}
+        assert stats["wall_seconds"] == 0.1
+
+    def test_default_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert str(default_cache_dir()) == ".repro-cache"
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+
+
+class TestRunnerCaching:
+    def test_second_run_is_all_hits(self, cache):
+        specs = [Spec(x=i) for i in range(4)]
+        runner = SweepRunner(jobs=1, cache=cache)
+        cold = runner.map(square, specs)
+        assert cold.stats.cells_run == 4
+        assert cold.stats.cache_hits == 0
+        assert cache.stats.writes == 4
+
+        warm = SweepRunner(jobs=1, cache=cache).map(square, specs)
+        assert warm.stats.cells_run == 0
+        assert warm.stats.cache_hits == 4
+        assert warm.values == cold.values
+        assert all(cell.cached for cell in warm.stats.cells)
+
+    def test_config_change_misses(self, cache):
+        runner = SweepRunner(jobs=1, cache=cache)
+        runner.map(square, [Spec(x=1)])
+        report = runner.map(square, [Spec(x=1, scale=2.0)])
+        assert report.stats.cells_run == 1
+        assert report.stats.cache_hits == 0
+
+    def test_version_bump_invalidates(self, cache, monkeypatch):
+        runner = SweepRunner(jobs=1, cache=cache)
+        runner.map(square, [Spec(x=5)])
+        monkeypatch.setattr(version_module, "__version__", "999.0.0")
+        report = SweepRunner(jobs=1, cache=cache).map(square, [Spec(x=5)])
+        assert report.stats.cells_run == 1
+        assert report.stats.cache_hits == 0
+
+    def test_key_extra_partitions_the_cache(self, cache):
+        SweepRunner(jobs=1, cache=cache).map(square, [Spec(x=1)])
+        report = SweepRunner(jobs=1, cache=cache,
+                             key_extra="bench").map(square, [Spec(x=1)])
+        assert report.stats.cache_hits == 0
+        assert report.stats.cells_run == 1

@@ -1,0 +1,94 @@
+"""The runner's determinism contract: parallel ≡ serial, byte for byte."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.summary import run_scenario_summary
+from repro.runner import SweepRunner, cells_to_jsonl, resolve_jobs
+from repro.runner.runner import JOBS_ENV
+
+
+@dataclass(frozen=True)
+class Spec:
+    seed: int
+
+
+def seeded_cell(spec: Spec) -> dict:
+    """A toy cell: value is a pure function of the spec, like a real one."""
+    state = spec.seed
+    values = []
+    for _ in range(8):
+        state = (state * 6364136223846793005 + 1442695040888963407) \
+            % (1 << 64)
+        values.append(state >> 33)
+    return {"seed": spec.seed, "values": values}
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_jobs() == 1
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "8")
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs() == 8
+
+    def test_rejects_bad_values(self, monkeypatch):
+        with pytest.raises(ExperimentError):
+            resolve_jobs(0)
+        monkeypatch.setenv(JOBS_ENV, "many")
+        with pytest.raises(ExperimentError):
+            resolve_jobs()
+
+
+class TestOrderAndLabels:
+    def test_values_keep_submission_order(self):
+        specs = [Spec(seed=s) for s in (9, 1, 5, 3)]
+        report = SweepRunner(jobs=2).map(seeded_cell, specs)
+        assert [v["seed"] for v in report.values] == [9, 1, 5, 3]
+
+    def test_label_mismatch_raises(self):
+        with pytest.raises(ExperimentError):
+            SweepRunner().map(seeded_cell, [Spec(seed=1)], labels=["a", "b"])
+
+    def test_default_labels(self):
+        report = SweepRunner().map(seeded_cell, [Spec(seed=1), Spec(seed=2)])
+        assert [c.label for c in report.stats.cells] == ["cell0", "cell1"]
+
+
+class TestParallelEqualsSerial:
+    def test_toy_cells_byte_identical(self):
+        specs = [Spec(seed=s) for s in range(6)]
+        serial = SweepRunner(jobs=1).map(seeded_cell, specs)
+        parallel = SweepRunner(jobs=2).map(seeded_cell, specs)
+        assert cells_to_jsonl(serial.values) == \
+            cells_to_jsonl(parallel.values)
+
+    @pytest.mark.slow
+    def test_scenario_cells_byte_identical(self):
+        """The real contract: two seeded scenario runs sharded across two
+        worker processes export byte-for-byte what the serial run does."""
+        base = ScenarioConfig(time_scale=0.01, n_clients=4, n_attackers=2,
+                              attack_rate=100.0)
+        configs = [replace(base, seed=seed) for seed in (1, 2)]
+        serial = SweepRunner(jobs=1).map(run_scenario_summary, configs)
+        parallel = SweepRunner(jobs=2).map(run_scenario_summary, configs)
+        serial_jsonl = cells_to_jsonl(serial.values)
+        assert serial_jsonl == cells_to_jsonl(parallel.values)
+        # Wall-clock figures never leak into the export.
+        assert "wall_seconds" not in serial_jsonl
+        assert "sim_wall_ratio" not in serial_jsonl
+
+    @pytest.mark.slow
+    def test_repeat_runs_byte_identical(self):
+        config = ScenarioConfig(time_scale=0.01, n_clients=4,
+                                n_attackers=2, attack_rate=100.0)
+        first = SweepRunner().map(run_scenario_summary, [config])
+        second = SweepRunner().map(run_scenario_summary, [config])
+        assert cells_to_jsonl(first.values) == cells_to_jsonl(second.values)

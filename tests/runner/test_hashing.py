@@ -1,0 +1,93 @@
+"""Config fingerprints and cache keys: stable, version-aware, collision-free."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.scenario import ScenarioConfig
+from repro.runner import cell_key, config_fingerprint, stable_hash
+from repro.runner.hashing import canonicalize
+
+
+class Color(enum.Enum):
+    RED = 1
+    BLUE = 2
+
+
+@dataclass(frozen=True)
+class Spec:
+    name: str
+    scale: float
+    color: Color = Color.RED
+    tags: tuple = ()
+    _memo: object = field(default=None, compare=False, repr=False)
+
+
+def cell_fn(spec):
+    return spec
+
+
+class TestCanonicalize:
+    def test_primitives_distinct(self):
+        # 1 vs 1.0 vs True vs "1" must not collide.
+        forms = {canonicalize(v) for v in (1, 1.0, True, "1", None)}
+        assert len(forms) == 5
+
+    def test_dataclass_includes_qualname_and_fields(self):
+        text = canonicalize(Spec(name="a", scale=0.5))
+        assert "Spec" in text
+        assert "name=" in text and "scale=" in text
+
+    def test_underscore_fields_skipped(self):
+        a = Spec(name="a", scale=0.5)
+        b = Spec(name="a", scale=0.5, _memo=object())
+        assert canonicalize(a) == canonicalize(b)
+
+    def test_enum_by_identity_not_position(self):
+        assert canonicalize(Color.RED) != canonicalize(Color.BLUE)
+        assert canonicalize(Color.RED) != canonicalize(1)
+
+    def test_unhashable_payloads(self):
+        text = canonicalize({"k": [1, 2], "s": {3, 1}})
+        assert canonicalize({"s": {1, 3}, "k": [1, 2]}) == text
+
+    def test_rejects_arbitrary_objects(self):
+        with pytest.raises(ExperimentError):
+            canonicalize(object())
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        spec = Spec(name="x", scale=1.25)
+        assert stable_hash(spec) == stable_hash(Spec(name="x", scale=1.25))
+
+    def test_sensitive_to_any_field(self):
+        spec = Spec(name="x", scale=1.25)
+        assert stable_hash(spec) != stable_hash(replace(spec, scale=1.5))
+        assert stable_hash(spec) != stable_hash(replace(spec, name="y"))
+
+    def test_scenario_config_fingerprintable(self):
+        a = config_fingerprint(ScenarioConfig())
+        b = config_fingerprint(ScenarioConfig())
+        assert a == b
+        assert a != config_fingerprint(ScenarioConfig(seed=999))
+
+
+class TestCellKey:
+    def test_key_covers_function_identity(self):
+        spec = Spec(name="x", scale=1.0)
+        assert cell_key(cell_fn, spec) != cell_key(canonicalize, spec)
+
+    def test_key_covers_version(self):
+        spec = Spec(name="x", scale=1.0)
+        assert cell_key(cell_fn, spec, version="1.0.0") != \
+            cell_key(cell_fn, spec, version="1.1.0")
+
+    def test_key_covers_extra(self):
+        spec = Spec(name="x", scale=1.0)
+        assert cell_key(cell_fn, spec) != \
+            cell_key(cell_fn, spec, extra="bench")
