@@ -9,7 +9,9 @@
 #      including modules the tests do not import);
 #   2. the tier-1 pytest suite;
 #   3. an observability smoke run: a tiny traced scenario through the CLI,
-#      checking the SNMP counters are wired end to end.
+#      checking the SNMP counters are wired end to end;
+#   4. a bench-compare smoke: a tiny run's manifest must self-compare
+#      clean, and a perturbed-quantile copy must fail the gate.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -34,5 +36,43 @@ echo "$out" | grep -q "server handshakes:" || {
     echo "smoke run: drop-attribution summary missing" >&2
     exit 1
 }
+
+echo "== bench-compare smoke =="
+smokedir=$(mktemp -d)
+trap 'rm -rf "$smokedir"' EXIT
+# One tiny run -> a baseline manifest, an identical current copy, and a
+# copy with a perturbed latency quantile. Also drops the manifest into
+# benchmarks/output/ so CI always has an artifact to upload.
+python - "$smokedir" <<'PYEOF'
+import json, pathlib, shutil, sys
+
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.summary import run_scenario_summary
+from repro.obs.manifest import summary_payload, write_manifest
+
+root = pathlib.Path(sys.argv[1])
+summary = run_scenario_summary(ScenarioConfig(
+    time_scale=0.01, n_clients=2, n_attackers=2, attack_style="syn"))
+payload = {"name": "smoke", **summary_payload(summary)}
+write_manifest(root / "base" / "BENCH_smoke.json", payload)
+shutil.copytree(root / "base", root / "cur")
+write_manifest(pathlib.Path("benchmarks/output/BENCH_smoke.json"), payload)
+
+bad_path = root / "bad" / "BENCH_smoke.json"
+bad = json.loads((root / "base" / "BENCH_smoke.json").read_text())
+quantiles = bad["histograms"]["handshake_latency.client"]["quantiles"]
+quantiles["p95"] = quantiles["p95"] * 10.0
+bad_path.parent.mkdir(parents=True)
+bad_path.write_text(json.dumps(bad))
+PYEOF
+python -m repro.cli bench-compare "$smokedir/base" "$smokedir/cur" || {
+    echo "bench-compare smoke: self-compare should pass" >&2
+    exit 1
+}
+if python -m repro.cli bench-compare "$smokedir/base" "$smokedir/bad" \
+        > /dev/null; then
+    echo "bench-compare smoke: perturbed quantile should fail" >&2
+    exit 1
+fi
 
 echo "== all checks passed =="

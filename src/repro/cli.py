@@ -9,7 +9,11 @@ Subcommands mirror the paper's workflow:
   (``--jobs N`` for worker processes, ``--cache`` for the on-disk result
   cache; see docs/performance.md);
 * ``trace``    — run a small scenario with handshake tracepoints armed and
-  print per-flow timelines plus the SNMP counter dump.
+  print per-flow timelines plus the SNMP counter dump, or export the
+  handshake spans as Chrome trace-event JSON (``--format=chrome``);
+* ``bench-compare`` — diff two ``BENCH_*.json`` manifest directories
+  (counters, events/s, latency quantiles) inside tolerance bands and
+  exit non-zero on regression — the CI perf gate.
 """
 
 from __future__ import annotations
@@ -158,12 +162,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     elif args.experiment == "connection-time":
         from repro.experiments.exp1_connection_time import \
             connection_time_cdf_grid
+        from repro.metrics.summary import quantile
 
         grid = connection_time_cdf_grid(samples=args.samples)
         print(render_table(
             ["k", "m", "mean (ms)", "median (ms)", "p95 (ms)"],
             [(k, m, 1e3 * r.summary.mean, 1e3 * r.summary.median,
-              1e3 * float(__import__("numpy").percentile(r.times, 95)))
+              1e3 * quantile(r.times, 0.95))
              for (k, m), r in sorted(grid.items())]))
     else:  # pragma: no cover - argparse restricts choices
         print(f"unknown experiment {args.experiment}", file=sys.stderr)
@@ -253,8 +258,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.experiments.scenario import Scenario, ScenarioConfig
-    from repro.obs import drop_attribution, established_total
+    from repro.obs import build_spans, drop_attribution, established_total
     from repro.obs.export import write_jsonl
+    from repro.obs.spans import chrome_trace_json
     from repro.tcp.constants import DefenseMode
 
     config = ScenarioConfig(
@@ -271,6 +277,20 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     result = Scenario(config).run()
     obs = result.obs
     tracer = obs.tracer
+
+    if args.format == "chrome":
+        # One span per traced handshake, as a Chrome trace-event JSON
+        # document (load into Perfetto / chrome://tracing). Nothing else
+        # is printed so stdout stays a valid JSON document.
+        document = chrome_trace_json(build_spans(tracer))
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(document + "\n")
+            print(f"wrote Chrome trace for {len(tracer.timelines())} "
+                  f"spans to {args.output}", file=sys.stderr)
+        else:
+            print(document)
+        return 0
 
     timelines = tracer.timelines()
     print(f"traced {tracer.emitted} handshake events across "
@@ -290,6 +310,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print(f"server handshakes: {established_total(server)} established; "
           f"drops by cause: {drop_text}")
 
+    if len(obs.hist):
+        print()
+        print("latency histograms:")
+        print(obs.hist.render())
+
     stats = result.engine.stats()
     print(f"engine: {stats['events_processed']} events in "
           f"{stats['wall_seconds']:.3f}s wall "
@@ -303,9 +328,22 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         with open(args.jsonl, "w") as fh:
             lines = write_jsonl(fh, registry=obs.counters, tracer=tracer,
                                 engine=result.engine,
-                                profiler=result.profiler)
+                                profiler=result.profiler,
+                                hists=obs.hist,
+                                spans=build_spans(tracer))
         print(f"\nwrote {lines} JSON lines to {args.jsonl}")
     return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.obs.benchcmp import Tolerance, compare_dirs
+
+    tolerance = Tolerance(counters=args.counter_tolerance,
+                          perf=args.perf_tolerance,
+                          quantile=args.quantile_tolerance)
+    report = compare_dirs(args.baseline, args.current, tolerance)
+    print(report.render())
+    return 0 if report.passed else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -387,9 +425,34 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=1)
     trace.add_argument("--profile", action="store_true",
                        help="profile the event loop while tracing")
+    trace.add_argument("--format", default="text",
+                       choices=["text", "chrome"],
+                       help="text timelines, or Chrome trace-event JSON "
+                       "(one span per handshake; open in Perfetto)")
+    trace.add_argument("--output", "-o", metavar="PATH", default=None,
+                       help="write the chrome trace to PATH instead of "
+                       "stdout")
     trace.add_argument("--jsonl", metavar="PATH",
-                       help="also write counters+trace as JSON lines")
+                       help="also write counters+trace+spans+histograms "
+                       "as JSON lines")
     trace.set_defaults(func=_cmd_trace)
+
+    bench = sub.add_parser(
+        "bench-compare",
+        help="diff two BENCH_*.json manifest directories; exit non-zero "
+        "on regression")
+    bench.add_argument("baseline", help="baseline manifest directory")
+    bench.add_argument("current", help="current manifest directory")
+    bench.add_argument("--counter-tolerance", type=float, default=0.0,
+                       help="relative drift allowed on SNMP counters and "
+                       "histogram sample counts (default: exact)")
+    bench.add_argument("--perf-tolerance", type=float, default=0.30,
+                       help="relative wall-clock / events-per-second "
+                       "drift allowed (default: 0.30)")
+    bench.add_argument("--quantile-tolerance", type=float, default=0.25,
+                       help="relative latency-quantile increase allowed "
+                       "(default: 0.25)")
+    bench.set_defaults(func=_cmd_bench_compare)
     return parser
 
 

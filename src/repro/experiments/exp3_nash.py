@@ -18,6 +18,7 @@ from repro.experiments.scenario import ScenarioConfig
 from repro.experiments.summary import deterministic_engine_stats, \
     run_scenario_summary
 from repro.metrics.summary import Summary, describe
+from repro.obs.hist import Histogram
 from repro.puzzles.params import PuzzleParams
 from repro.runner import RunnerStats, SweepRunner
 from repro.tcp.constants import DefenseMode
@@ -41,6 +42,9 @@ class DifficultyCell:
     #: Deterministic engine accounting (timing keys stripped), read by the
     #: sweep runner for events/sec manifests.
     engine_stats: Optional[Dict[str, float]] = None
+    #: The run's duration histograms (handshake latency, solve time, …),
+    #: merged by the sweep runner into the fig12 manifest.
+    histograms: Optional[Dict[str, Histogram]] = None
 
 
 @dataclass(frozen=True)
@@ -73,7 +77,8 @@ def run_difficulty_spec(spec: DifficultySpec) -> DifficultyCell:
         attacker_steady_rate=summary.attacker_steady_state_rate(),
         attacker_measured_rate=summary.attacker_measured_rate(),
         client_completion_percent=summary.client_completion_percent(),
-        engine_stats=deterministic_engine_stats(summary.engine_stats))
+        engine_stats=deterministic_engine_stats(summary.engine_stats),
+        histograms=summary.histograms)
 
 
 def run_difficulty_cell(k: int, m: int,

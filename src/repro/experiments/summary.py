@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.hosts.attacker import AttackStats
 from repro.metrics.connections import ConnectionRecord
+from repro.obs.hist import Histogram
 from repro.metrics.series import BinnedSeries, GaugeSeries
 from repro.metrics.summary import Summary, describe
 from repro.metrics.throughput import HostThroughput
@@ -177,6 +178,10 @@ class ScenarioSummary:
     attack_stats: Optional[AttackStats] = None
     botnet_size: int = 0
     profile: Optional[Dict[str, Dict[str, float]]] = None
+    #: Sim-time duration histograms from the hub registry (handshake
+    #: latency, puzzle solve time, accept-queue wait) — fixed-boundary
+    #: and picklable, so the runner can merge them across workers.
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # ScenarioResult API parity
@@ -286,6 +291,10 @@ class ScenarioSummary:
                 self.client_throughput_during_attack()),
             "server_throughput_during_attack": to_jsonable(
                 self.server_throughput_during_attack()),
+            # Sim-time histograms are as deterministic as the counters:
+            # same seed, same buckets, same quantiles.
+            "histograms": {name: self.histograms[name].as_payload()
+                           for name in sorted(self.histograms)},
         }
         if self.attack_stats is not None:
             payload["attack_stats"] = to_jsonable(self.attack_stats)
@@ -305,8 +314,10 @@ def summarize(result) -> ScenarioSummary:
         completed_series=dict(tracker._completed_series),
         failed_series=dict(tracker._failed_series))
     counters: Dict[str, Dict[str, int]] = {}
+    histograms: Dict[str, Histogram] = {}
     if result.obs is not None:
         counters = result.obs.counters.snapshot()
+        histograms = result.obs.hist.as_dict()
     profile = None
     if result.profiler is not None:
         profile = result.profiler.snapshot()
@@ -329,7 +340,8 @@ def summarize(result) -> ScenarioSummary:
         server_established=dict(result.server_established),
         attack_stats=attack_stats,
         botnet_size=botnet_size,
-        profile=profile)
+        profile=profile,
+        histograms=histograms)
 
 
 def run_scenario_summary(config) -> ScenarioSummary:

@@ -11,6 +11,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.metrics.series import BinnedSeries
+from repro.obs import hub_for
 from repro.sim.engine import Engine
 
 
@@ -56,6 +57,7 @@ class ConnectionTracker:
     def __init__(self, engine: Engine, bin_width: float = 1.0) -> None:
         self.engine = engine
         self.bin_width = bin_width
+        self._hist = hub_for(engine).hist
         self.records: List[ConnectionRecord] = []
         self._attempt_series: Dict[str, BinnedSeries] = {}
         self._established_series: Dict[str, BinnedSeries] = {}
@@ -85,6 +87,8 @@ class ConnectionTracker:
         record.challenged = challenged
         self._series(self._established_series, record.label).add(
             record.t_established)
+        self._hist.record(f"handshake_latency.{record.label}",
+                          record.t_established - record.t_open)
 
     def completed(self, record: ConnectionRecord) -> None:
         record.t_completed = self.engine.now

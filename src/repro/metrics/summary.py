@@ -59,6 +59,27 @@ def describe(values: Sequence[float]) -> Summary:
     )
 
 
+def quantile(values: Sequence[float], q: float) -> float:
+    """Value at quantile *q* in [0, 1]; NaN when *values* is empty.
+
+    The single quantile entry point for tables and reports (Figure 6's
+    p95 column and friends) — callers should route through here instead
+    of reaching for ``np.percentile`` inline.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return float("nan")
+    return float(np.quantile(array, q))
+
+
+def quantiles(values: Sequence[float],
+              qs: Sequence[float] = (0.5, 0.95, 0.99, 0.999)) -> dict:
+    """``{q: value}`` for each requested quantile (NaN-valued if empty)."""
+    return {q: quantile(values, q) for q in qs}
+
+
 def cdf(values: Sequence[float]) -> tuple:
     """Empirical CDF points ``(sorted values, cumulative probabilities)``."""
     array = np.sort(np.asarray(list(values), dtype=float))

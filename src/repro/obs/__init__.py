@@ -8,7 +8,12 @@ Three pillars, all zero-cost when left at their defaults:
   puzzle verification code. Always on; an increment is one dict update.
 * **Tracepoints** (:mod:`repro.obs.trace`) — a bounded ring buffer of
   timestamped handshake events that reconstructs per-connection timelines.
-  Off by default; every emit site gates on ``tracer.enabled``.
+  Off by default; every emit site gates on ``tracer.enabled``. Elevated
+  into structured per-connection spans by :mod:`repro.obs.spans`.
+* **Histograms** (:mod:`repro.obs.hist`) — log-bucketed duration
+  histograms (handshake latency, puzzle solve time, accept-queue wait)
+  with fixed boundaries so they merge across sweep workers. Always on;
+  a record is one dict lookup plus a ``log10``.
 * **Profiling** (:mod:`repro.obs.profile`) — per-callback-kind wall-time
   accounting inside the simulation engine. Off unless a profiler is
   attached.
@@ -30,7 +35,9 @@ from repro.obs.counters import (
     drop_attribution,
     established_total,
 )
+from repro.obs.hist import Histogram, HistogramRegistry
 from repro.obs.profile import EngineProfiler, callback_kind
+from repro.obs.spans import HandshakeSpan, SpanPhase, build_spans
 from repro.obs.trace import DEFAULT_CAPACITY, HandshakeTracer, TraceEvent
 
 __all__ = [
@@ -41,9 +48,14 @@ __all__ = [
     "CounterScope",
     "DEFAULT_CAPACITY",
     "EngineProfiler",
+    "HandshakeSpan",
     "HandshakeTracer",
+    "Histogram",
+    "HistogramRegistry",
     "Observability",
+    "SpanPhase",
     "TraceEvent",
+    "build_spans",
     "callback_kind",
     "drop_attribution",
     "established_total",
@@ -52,13 +64,14 @@ __all__ = [
 
 
 class Observability:
-    """Counters + tracer for one simulation."""
+    """Counters + tracer + histograms for one simulation."""
 
     def __init__(self, trace_capacity: int = DEFAULT_CAPACITY,
                  tracing: bool = False) -> None:
         self.counters = CounterRegistry()
         self.tracer = HandshakeTracer(capacity=trace_capacity,
                                       enabled=tracing)
+        self.hist = HistogramRegistry()
 
 
 def hub_for(engine) -> Observability:

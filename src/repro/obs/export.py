@@ -3,21 +3,28 @@
 Two consumers, two formats:
 
 * **JSON-lines** — one self-describing object per line (``type`` is
-  ``counter`` / ``trace`` / ``engine`` / ``profile``), for post-run
-  analysis pipelines. All output is deterministically ordered and
-  ``sort_keys``-serialised, so two identical runs produce byte-identical
-  exports (the determinism tests rely on this).
+  ``counter`` / ``trace`` / ``span`` / ``hist`` / ``engine`` /
+  ``profile``), for post-run analysis pipelines. All output is
+  deterministically ordered and ``sort_keys``-serialised, so two
+  identical runs produce byte-identical exports (the determinism tests
+  rely on this).
 * **Prometheus text exposition** — ``repro_mib_total{host=...,counter=...}``
-  families with ``# HELP``/``# TYPE`` headers, for scraping a long-running
-  simulation service.
+  counter families plus ``repro_duration_seconds{name=...}`` summary
+  families (histogram quantiles), with ``# HELP``/``# TYPE`` headers,
+  for scraping a long-running simulation service.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Iterator, Optional, TextIO
+from typing import Dict, Iterator, Optional, TextIO, Union
 
 from repro.obs.counters import CATALOGUE, CounterRegistry
+from repro.obs.hist import (
+    QUANTILE_LABELS,
+    Histogram,
+    HistogramRegistry,
+)
 from repro.obs.profile import EngineProfiler
 from repro.obs.trace import HandshakeTracer
 
@@ -57,6 +64,21 @@ def profile_lines(profiler: EngineProfiler) -> Iterator[str]:
                       "wall_seconds": entry["wall_seconds"]})
 
 
+def _hist_map(hists: Union[HistogramRegistry, Dict[str, Histogram]]
+              ) -> Dict[str, Histogram]:
+    if isinstance(hists, HistogramRegistry):
+        return hists.as_dict()
+    return dict(hists)
+
+
+def hist_lines(hists: Union[HistogramRegistry, Dict[str, Histogram]]
+               ) -> Iterator[str]:
+    """One ``type: "hist"`` line per histogram, name-sorted."""
+    table = _hist_map(hists)
+    for name in sorted(table):
+        yield _dumps({"type": "hist", **table[name].as_payload()})
+
+
 def counters_jsonl(registry: CounterRegistry) -> str:
     return "".join(line + "\n" for line in counter_lines(registry))
 
@@ -68,8 +90,11 @@ def trace_jsonl(tracer: HandshakeTracer) -> str:
 def write_jsonl(stream: TextIO, registry: Optional[CounterRegistry] = None,
                 tracer: Optional[HandshakeTracer] = None,
                 engine=None,
-                profiler: Optional[EngineProfiler] = None) -> int:
+                profiler: Optional[EngineProfiler] = None,
+                hists=None, spans=None) -> int:
     """Write every provided source to *stream*; returns lines written."""
+    from repro.obs.spans import span_lines
+
     count = 0
     if registry is not None:
         for line in counter_lines(registry):
@@ -79,12 +104,23 @@ def write_jsonl(stream: TextIO, registry: Optional[CounterRegistry] = None,
         for line in trace_lines(tracer):
             stream.write(line + "\n")
             count += 1
+    if spans is not None:
+        for line in span_lines(spans):
+            stream.write(line + "\n")
+            count += 1
+    if hists is not None:
+        for line in hist_lines(hists):
+            stream.write(line + "\n")
+            count += 1
     if engine is not None:
         for line in engine_lines(engine):
             stream.write(line + "\n")
             count += 1
     if profiler is not None:
         for line in profile_lines(profiler):
+            stream.write(line + "\n")
+            count += 1
+        for line in hist_lines({profiler.hist.name: profiler.hist}):
             stream.write(line + "\n")
             count += 1
     return count
@@ -98,11 +134,31 @@ def _escape_label(value: str) -> str:
         "\n", "\\n")
 
 
+def _summary_lines(lines, table: Dict[str, Histogram]) -> None:
+    """Append one Prometheus summary family covering *table*."""
+    lines.append("# HELP repro_duration_seconds log-bucketed duration "
+                 "histogram quantiles (see repro.obs.hist.CATALOGUE)")
+    lines.append("# TYPE repro_duration_seconds summary")
+    for name in sorted(table):
+        hist = table[name]
+        label = _escape_label(name)
+        if hist.count:
+            for qlabel, q in QUANTILE_LABELS:
+                lines.append(
+                    f'repro_duration_seconds{{name="{label}",'
+                    f'quantile="{q}"}} {hist.quantile(q)}')
+        lines.append(f'repro_duration_seconds_sum{{name="{label}"}} '
+                     f'{hist.total}')
+        lines.append(f'repro_duration_seconds_count{{name="{label}"}} '
+                     f'{hist.count}')
+
+
 def prometheus_text(registry: Optional[CounterRegistry] = None,
                     engine=None,
-                    profiler: Optional[EngineProfiler] = None) -> str:
-    """Render the registry (and optional engine/profiler) as exposition
-    text. Counter HELP strings come from the catalogue."""
+                    profiler: Optional[EngineProfiler] = None,
+                    hists=None) -> str:
+    """Render the registry (and optional engine/profiler/histograms) as
+    exposition text. Counter HELP strings come from the catalogue."""
     lines = []
     if registry is not None:
         lines.append("# HELP repro_mib_total SNMP-style protocol counter "
@@ -155,6 +211,13 @@ def prometheus_text(registry: Optional[CounterRegistry] = None,
                          f'{{kind="{label}"}} {entry["wall_seconds"]}')
             lines.append(f'repro_engine_callback_calls_total'
                          f'{{kind="{label}"}} {entry["count"]}')
+    hist_table: Dict[str, Histogram] = {}
+    if hists is not None:
+        hist_table.update(_hist_map(hists))
+    if profiler is not None and profiler.hist.count:
+        hist_table.setdefault(profiler.hist.name, profiler.hist)
+    if hist_table:
+        _summary_lines(lines, hist_table)
     return "\n".join(lines) + "\n" if lines else ""
 
 

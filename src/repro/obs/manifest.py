@@ -36,9 +36,13 @@ def engine_payload(engine) -> Dict[str, object]:
 def hub_payload(hub, engine=None,
                 profiler: Optional[EngineProfiler] = None
                 ) -> Dict[str, object]:
-    """Counters (+ per-listener drop attribution) and optional engine
-    stats / profile from one :class:`~repro.obs.Observability` hub."""
+    """Counters (+ per-listener drop attribution), histograms, and
+    optional engine stats / profile from one
+    :class:`~repro.obs.Observability` hub."""
     payload: Dict[str, object] = {"counters": hub.counters.snapshot()}
+    hists = getattr(hub, "hist", None)
+    if hists is not None and len(hists):
+        payload["histograms"] = hists.snapshot()
     attribution = {}
     for scope in hub.counters.scopes():
         drops = drop_attribution(scope)
@@ -55,6 +59,10 @@ def hub_payload(hub, engine=None,
         payload["engine"] = engine_payload(engine)
     if profiler is not None:
         payload["profile"] = profiler.snapshot()
+        if profiler.hist.count:
+            payload.setdefault("histograms", {})
+            payload["histograms"][profiler.hist.name] = \
+                profiler.hist.as_payload()
     return payload
 
 
@@ -94,6 +102,10 @@ def summary_payload(summary) -> Dict[str, object]:
         "counters": dict(summary.counters),
         "engine": dict(summary.engine_stats),
     }
+    hists = getattr(summary, "histograms", None)
+    if hists:
+        payload["histograms"] = {name: hists[name].as_payload()
+                                 for name in sorted(hists)}
     attribution = {}
     for name, counters in summary.counters.items():
         drops = drop_attribution(counters)

@@ -16,6 +16,8 @@ from __future__ import annotations
 import functools
 from typing import Callable, Dict, List, Tuple
 
+from repro.obs.hist import Histogram
+
 
 def callback_kind(callback: Callable) -> str:
     """Stable bucket name for a callback.
@@ -36,7 +38,7 @@ def callback_kind(callback: Callable) -> str:
 class EngineProfiler:
     """Accumulates per-kind dispatch counts and wall seconds."""
 
-    __slots__ = ("_kinds", "events", "wall_seconds")
+    __slots__ = ("_kinds", "events", "wall_seconds", "hist")
 
     def __init__(self) -> None:
         # kind -> [count, wall_seconds]; a list so the hot path mutates
@@ -44,6 +46,9 @@ class EngineProfiler:
         self._kinds: Dict[str, List[float]] = {}
         self.events = 0
         self.wall_seconds = 0.0
+        # Per-event dispatch time distribution (wall clock, so never part
+        # of deterministic payload comparisons).
+        self.hist = Histogram("callback_wall")
 
     def record(self, callback: Callable, wall: float) -> None:
         kind = callback_kind(callback)
@@ -55,6 +60,7 @@ class EngineProfiler:
         entry[1] += wall
         self.events += 1
         self.wall_seconds += wall
+        self.hist.record(wall if wall > 0.0 else 0.0)
 
     # ------------------------------------------------------------------
     # Reading

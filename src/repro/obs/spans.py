@@ -1,0 +1,197 @@
+"""Per-connection handshake spans, distilled from tracepoint events.
+
+The tracer (:mod:`repro.obs.trace`) records a flat ring of events; this
+module folds each flow's events into one :class:`HandshakeSpan` — a
+start time, a terminal outcome, and the named **phases** between
+consecutive events (challenge issue → solve → verify …), each carrying
+its sim-time duration. Spans are the structured view the text timeline
+renderer cannot give you: they aggregate, they export as Chrome
+trace-event JSON (``tcp-puzzles trace --format=chrome``, drop the file
+into Perfetto or ``chrome://tracing``), and one span maps to exactly one
+handshake attempt (client connections use a fresh ephemeral port per
+attempt, so the listener-side flow key is unique per attempt).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.obs.trace import Flow, HandshakeTracer, TraceEvent
+
+#: Terminal tracer events → span outcome.
+TERMINAL_OUTCOMES = {
+    "accept": "accepted",
+    "reject": "rejected",
+    "ignore": "ignored",
+    "drop": "dropped",
+    "expire": "expired",
+}
+
+#: Phase names for (previous event, next event) transitions. Anything
+#: not listed falls back to ``"<prev>-><next>"`` so novel emit sites
+#: still produce a well-formed span.
+PHASE_NAMES = {
+    ("syn-in", "challenge-out"): "challenge-issue",
+    ("syn-in", "synack-out"): "synack",
+    ("syn-in", "cookie-out"): "cookie-issue",
+    ("challenge-out", "ack-in"): "solve",
+    ("synack-out", "ack-in"): "ack-wait",
+    ("cookie-out", "ack-in"): "ack-wait",
+    ("synack-out", "synack-out"): "synack-retransmit",
+    ("ack-in", "accept"): "verify-accept",
+    ("ack-in", "reject"): "verify-reject",
+    ("ack-in", "ignore"): "verify-ignore",
+}
+
+
+@dataclass(frozen=True)
+class SpanPhase:
+    """One named segment of a handshake span."""
+
+    name: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class HandshakeSpan:
+    """One connection attempt: phases plus a terminal outcome."""
+
+    flow: Flow
+    host: str
+    start: float
+    end: float
+    outcome: str                      # accepted/rejected/ignored/dropped/
+    phases: Tuple[SpanPhase, ...]     # expired/pending
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def phase(self, name: str) -> Optional[SpanPhase]:
+        """The first phase with *name*, or None."""
+        for phase in self.phases:
+            if phase.name == name:
+                return phase
+        return None
+
+
+def _phase_name(previous: str, following: str) -> str:
+    return PHASE_NAMES.get((previous, following),
+                           f"{previous}->{following}")
+
+
+def build_spans(source: Union[HandshakeTracer, Iterator[TraceEvent],
+                              List[TraceEvent]]) -> List[HandshakeSpan]:
+    """Fold tracer events into one span per flow (= per handshake).
+
+    Accepts a :class:`HandshakeTracer` or any iterable of
+    :class:`TraceEvent`; flows keep their first-appearance order, events
+    within a flow keep emission (= time) order.
+    """
+    if isinstance(source, HandshakeTracer):
+        grouped = source.timelines()
+    else:
+        grouped: Dict[Flow, List[TraceEvent]] = {}
+        for event in source:
+            grouped.setdefault(event.flow, []).append(event)
+    spans: List[HandshakeSpan] = []
+    for flow, events in grouped.items():
+        last = events[-1]
+        phases = tuple(
+            SpanPhase(name=_phase_name(a.event, b.event),
+                      start=a.t, end=b.t)
+            for a, b in zip(events, events[1:]))
+        spans.append(HandshakeSpan(
+            flow=flow,
+            host=last.host,
+            start=events[0].t,
+            end=last.t,
+            outcome=TERMINAL_OUTCOMES.get(last.event, "pending"),
+            phases=phases,
+            detail=dict(last.detail)))
+    return spans
+
+
+def outcome_counts(spans: List[HandshakeSpan]) -> Dict[str, int]:
+    """Span count per terminal outcome, name-sorted."""
+    counts: Dict[str, int] = {}
+    for span in spans:
+        counts[span.outcome] = counts.get(span.outcome, 0) + 1
+    return {name: counts[name] for name in sorted(counts)}
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event export
+# ----------------------------------------------------------------------
+def _json_safe(value: object) -> object:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def chrome_trace_events(spans: List[HandshakeSpan]
+                        ) -> List[Dict[str, object]]:
+    """Spans as Chrome trace-event objects (``ph: "X"`` complete events).
+
+    One thread per span (named after the flow), one top-level event per
+    handshake plus one nested event per phase; ``ts``/``dur`` are
+    microseconds per the trace-event format.
+    """
+    events: List[Dict[str, object]] = []
+    for tid, span in enumerate(spans, start=1):
+        flow_name = HandshakeTracer._format_flow(span.flow)
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": 1, "tid": tid,
+            "args": {"name": flow_name},
+        })
+        events.append({
+            "ph": "X", "cat": "handshake",
+            "name": f"handshake:{span.outcome}",
+            "pid": 1, "tid": tid,
+            "ts": span.start * 1e6, "dur": span.duration * 1e6,
+            "args": {
+                "flow": flow_name,
+                "host": span.host,
+                "outcome": span.outcome,
+                **{key: _json_safe(value)
+                   for key, value in sorted(span.detail.items())},
+            },
+        })
+        for phase in span.phases:
+            events.append({
+                "ph": "X", "cat": "phase", "name": phase.name,
+                "pid": 1, "tid": tid,
+                "ts": phase.start * 1e6, "dur": phase.duration * 1e6,
+            })
+    return events
+
+
+def chrome_trace_json(spans: List[HandshakeSpan]) -> str:
+    """The full Chrome trace JSON document (Perfetto-loadable)."""
+    return json.dumps(
+        {"traceEvents": chrome_trace_events(spans),
+         "displayTimeUnit": "ms"},
+        sort_keys=True)
+
+
+def span_lines(spans: List[HandshakeSpan]) -> Iterator[str]:
+    """Spans as deterministic JSONL (``type: "span"``), one per line."""
+    for span in spans:
+        yield json.dumps({
+            "type": "span",
+            "flow": list(span.flow),
+            "host": span.host,
+            "start": span.start,
+            "end": span.end,
+            "outcome": span.outcome,
+            "phases": [{"name": phase.name, "start": phase.start,
+                        "end": phase.end} for phase in span.phases],
+        }, sort_keys=True, separators=(",", ":"))

@@ -32,7 +32,12 @@ from __future__ import annotations
 
 from repro.runner.cache import CacheStats, ResultCache, default_cache_dir
 from repro.runner.export import cells_to_jsonl, to_jsonable
-from repro.runner.hashing import cell_key, config_fingerprint, stable_hash
+from repro.runner.hashing import (
+    SCHEMA_VERSION,
+    cell_key,
+    config_fingerprint,
+    stable_hash,
+)
 from repro.runner.runner import (
     CellStats,
     RunnerStats,
@@ -46,6 +51,7 @@ __all__ = [
     "CellStats",
     "ResultCache",
     "RunnerStats",
+    "SCHEMA_VERSION",
     "SweepReport",
     "SweepRunner",
     "cell_key",

@@ -22,6 +22,14 @@ from typing import Any, Callable, Optional
 from repro import _version
 from repro.errors import ExperimentError
 
+#: Version of the *result schema* — the pickled shape of cached cell
+#: values (ScenarioSummary fields, histogram layouts). Folded into every
+#: fingerprint and cell key alongside the package version, so a cache
+#: entry pickled under an older shape addresses a different key and is
+#: never unpickled into newer code. Bump whenever ScenarioSummary (or
+#: anything it contains) gains, loses, or re-types a field.
+SCHEMA_VERSION = 2
+
 
 def _qualname(obj: Any) -> str:
     cls = obj if isinstance(obj, type) else type(obj)
@@ -75,27 +83,36 @@ def stable_hash(obj: Any) -> str:
 
 
 def config_fingerprint(config: Any, *, version: Optional[str] = None,
-                       extra: Any = None) -> str:
+                       extra: Any = None,
+                       schema: Optional[int] = None) -> str:
     """Cache fingerprint of one configuration value.
 
-    The package version is folded in by default so that results computed
-    by older code are never served for newer code — a version bump is a
-    whole-cache invalidation.
+    The package version and the result-schema version are folded in by
+    default so that results computed by older code — or pickled under an
+    older summary shape — are never served for newer code; bumping
+    either is a whole-cache invalidation.
     """
     if version is None:
         version = _version.__version__
-    material = f"v={version};extra={canonicalize(extra)};" \
+    if schema is None:
+        schema = SCHEMA_VERSION
+    material = f"v={version};schema={schema};" \
+               f"extra={canonicalize(extra)};" \
                f"config={canonicalize(config)}"
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
 def cell_key(fn: Callable, spec: Any, *, version: Optional[str] = None,
-             extra: Any = None) -> str:
-    """Cache key of one sweep cell: function identity + config + version."""
+             extra: Any = None, schema: Optional[int] = None) -> str:
+    """Cache key of one sweep cell: function identity + config +
+    package version + result-schema version."""
     fn_id = f"{getattr(fn, '__module__', '?')}." \
             f"{getattr(fn, '__qualname__', repr(fn))}"
     if version is None:
         version = _version.__version__
-    material = f"fn={fn_id};v={version};extra={canonicalize(extra)};" \
+    if schema is None:
+        schema = SCHEMA_VERSION
+    material = f"fn={fn_id};v={version};schema={schema};" \
+               f"extra={canonicalize(extra)};" \
                f"spec={canonicalize(spec)}"
     return hashlib.sha256(material.encode("utf-8")).hexdigest()

@@ -31,6 +31,7 @@ from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ExperimentError
+from repro.obs.hist import HistogramRegistry
 from repro.runner.cache import ResultCache
 from repro.runner.hashing import cell_key
 
@@ -89,6 +90,11 @@ class RunnerStats:
     cache_hits: int = 0
     wall_seconds: float = 0.0          # whole-sweep wall clock
     cells: List[CellStats] = field(default_factory=list)
+    #: Fixed-boundary histograms merged across every cell value that
+    #: carries a ``histograms`` mapping (ScenarioSummary, DifficultyCell);
+    #: order-independent, so parallel merges equal serial ones.
+    histograms: HistogramRegistry = field(
+        default_factory=HistogramRegistry)
 
     # ------------------------------------------------------------------
     @property
@@ -139,6 +145,7 @@ class RunnerStats:
             "events_per_second": self.events_per_second,
             "sim_wall_ratio": self.sim_wall_ratio,
             "parallel_speedup": self.parallel_speedup,
+            "histograms": self.histograms.snapshot(),
             "cells": [cell.as_payload() for cell in self.cells],
         }
 
@@ -271,6 +278,13 @@ class SweepRunner:
         stats.cells_run = len(pending)
         stats.wall_seconds = perf_counter() - started
         stats.cells = [cs for cs in cell_stats if cs is not None]
+        # Merge duration histograms across cells in submission order
+        # (fixed boundaries make the merge order-independent anyway, so
+        # parallel and serial sweeps produce identical aggregates).
+        for value in values:
+            hists = getattr(value, "histograms", None)
+            if hists:
+                stats.histograms.merge(hists)
         return SweepReport(values=values, stats=stats)
 
     # ------------------------------------------------------------------

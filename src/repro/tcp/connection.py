@@ -72,6 +72,7 @@ class ClientConnection:
         self.established_at: Optional[float] = None
         self.was_challenged = False
         self.solve_attempts = 0
+        self._solve_started: Optional[float] = None
         self._syn_timer = None
         self._syn_sent = 0
         # Application callbacks.
@@ -181,6 +182,7 @@ class ClientConnection:
                 self.on_failed(self, "challenge-abandoned")
             return
         self.state = TCBState.SOLVING
+        self._solve_started = self.host.engine.now
         solution = self.config.solver.solve(
             challenge, self.host.rng, counter=self.host.hash_counter)
         self.solve_attempts = solution.attempts
@@ -196,6 +198,10 @@ class ClientConnection:
             return  # aborted while solving
         if solution is not None:
             self.host.mib.incr("PuzzlesSolved")
+            if self._solve_started is not None:
+                self.host.obs.hist.record(
+                    "puzzle_solve",
+                    self.host.engine.now - self._solve_started)
         options = TCPOptions()
         if self.config.use_timestamps:
             options.ts_val = int(self.host.engine.now * 1000) & 0xFFFFFFFF

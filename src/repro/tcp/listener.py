@@ -527,4 +527,9 @@ class ListenSocket:
     # ------------------------------------------------------------------
     def accept(self) -> Optional[ServerConnection]:
         """Dequeue the oldest established connection, or None."""
-        return self.accept_queue.pop()
+        connection = self.accept_queue.pop()
+        if connection is not None:
+            self.host.obs.hist.record(
+                "accept_wait",
+                self.host.engine.now - connection.established_at)
+        return connection

@@ -7,10 +7,12 @@ from repro.obs import CounterRegistry, EngineProfiler, HandshakeTracer
 from repro.obs.export import (
     catalogue_text,
     counters_jsonl,
+    hist_lines,
     prometheus_text,
     trace_jsonl,
     write_jsonl,
 )
+from repro.obs.hist import Histogram, HistogramRegistry
 from repro.obs.manifest import (
     environment_info,
     hub_payload,
@@ -24,6 +26,14 @@ def _registry() -> CounterRegistry:
     registry.scope("server").incr("SynsRecv", 10)
     registry.scope("server").incr("ListenOverflows", 3)
     registry.scope("client0").incr("InSegs", 4)
+    return registry
+
+
+def _hists() -> HistogramRegistry:
+    registry = HistogramRegistry()
+    registry.record("handshake_latency.client", 0.010)
+    registry.record("handshake_latency.client", 0.020)
+    registry.record("accept_wait", 0.001)
     return registry
 
 
@@ -73,6 +83,46 @@ class TestJsonl:
     def test_export_is_deterministic(self):
         assert counters_jsonl(_registry()) == counters_jsonl(_registry())
         assert trace_jsonl(_tracer()) == trace_jsonl(_tracer())
+        assert list(hist_lines(_hists())) == list(hist_lines(_hists()))
+
+    def test_hist_lines_carry_buckets_and_quantiles(self):
+        parsed = [json.loads(line) for line in hist_lines(_hists())]
+        assert [obj["name"] for obj in parsed] == [
+            "accept_wait", "handshake_latency.client"]
+        latency = parsed[1]
+        assert latency["type"] == "hist"
+        assert latency["count"] == 2
+        assert latency["quantiles"]["p95"] > 0
+        assert sum(latency["buckets"].values()) == 2
+        assert latency["layout"]["buckets_per_decade"] == 20
+
+    def test_hist_lines_accept_plain_dict(self):
+        hist = Histogram("solve")
+        hist.record(0.5)
+        (line,) = hist_lines({"solve": hist})
+        assert json.loads(line)["name"] == "solve"
+
+    def test_empty_histogram_line_is_strict_json(self):
+        (line,) = hist_lines({"empty": Histogram("empty")})
+        obj = json.loads(line)
+        assert obj["count"] == 0
+        assert obj["min"] is None and obj["max"] is None
+        assert all(v is None for v in obj["quantiles"].values())
+        # No NaN/Infinity tokens may leak into the JSONL stream.
+        json.loads(line, parse_constant=lambda _:
+                   (_ for _ in ()).throw(AssertionError("non-finite")))
+
+    def test_write_jsonl_includes_hists_and_spans(self):
+        from repro.obs.spans import build_spans
+
+        stream = io.StringIO()
+        count = write_jsonl(stream, hists=_hists(),
+                            spans=build_spans(_tracer()))
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == count
+        types = [json.loads(line)["type"] for line in lines]
+        assert types.count("hist") == 2
+        assert types.count("span") == 1
 
 
 class TestPrometheus:
@@ -101,6 +151,28 @@ class TestPrometheus:
 
     def test_empty_inputs_render_empty(self):
         assert prometheus_text() == ""
+
+    def test_summary_family_for_histograms(self):
+        text = prometheus_text(hists=_hists())
+        assert "# TYPE repro_duration_seconds summary" in text
+        assert ('repro_duration_seconds{name="handshake_latency.client",'
+                'quantile="0.95"}' in text)
+        assert ('repro_duration_seconds_count'
+                '{name="handshake_latency.client"} 2' in text)
+        assert ('repro_duration_seconds_sum{name="accept_wait"} 0.001'
+                in text)
+
+    def test_empty_histogram_has_sum_count_but_no_quantiles(self):
+        text = prometheus_text(hists={"empty": Histogram("empty")})
+        assert 'repro_duration_seconds_count{name="empty"} 0' in text
+        assert 'name="empty",quantile=' not in text
+
+    def test_profiler_callback_hist_joins_summary_family(self):
+        profiler = EngineProfiler()
+        profiler.record(lambda: None, 0.25)
+        text = prometheus_text(profiler=profiler, hists=_hists())
+        assert text.count("# TYPE repro_duration_seconds summary") == 1
+        assert 'name="callback_wall"' in text
 
     def test_catalogue_text_lists_every_counter(self):
         from repro.obs import CATALOGUE

@@ -1,0 +1,120 @@
+"""Span tests: event folding, phase naming, and Chrome trace export."""
+
+import json
+
+from repro.obs import HandshakeTracer
+from repro.obs.spans import (
+    HandshakeSpan,
+    build_spans,
+    chrome_trace_events,
+    chrome_trace_json,
+    outcome_counts,
+    span_lines,
+)
+
+
+def _puzzle_tracer() -> HandshakeTracer:
+    """Two flows: one full puzzle handshake, one rejected attempt."""
+    tracer = HandshakeTracer(enabled=True)
+    flow_a = (10, 40000, 80)
+    tracer.emit(1.0, "server", "syn-in", flow_a)
+    tracer.emit(1.0, "server", "challenge-out", flow_a, k=2, m=17)
+    tracer.emit(3.5, "server", "ack-in", flow_a)
+    tracer.emit(3.5, "server", "accept", flow_a, path="puzzle")
+    flow_b = (11, 40001, 80)
+    tracer.emit(2.0, "server", "syn-in", flow_b)
+    tracer.emit(2.0, "server", "challenge-out", flow_b)
+    tracer.emit(2.8, "server", "ack-in", flow_b)
+    tracer.emit(2.8, "server", "reject", flow_b, reason="bad-solution")
+    return tracer
+
+
+class TestBuildSpans:
+    def test_one_span_per_flow(self):
+        spans = build_spans(_puzzle_tracer())
+        assert len(spans) == 2
+        assert [span.flow for span in spans] == [
+            (10, 40000, 80), (11, 40001, 80)]
+
+    def test_phase_names_and_durations(self):
+        span = build_spans(_puzzle_tracer())[0]
+        assert [phase.name for phase in span.phases] == [
+            "challenge-issue", "solve", "verify-accept"]
+        solve = span.phase("solve")
+        assert solve.duration == 2.5
+        assert span.duration == 2.5
+        assert span.start == 1.0 and span.end == 3.5
+
+    def test_outcomes_and_detail(self):
+        spans = build_spans(_puzzle_tracer())
+        assert spans[0].outcome == "accepted"
+        assert spans[0].detail == {"path": "puzzle"}
+        assert spans[1].outcome == "rejected"
+        assert spans[1].detail == {"reason": "bad-solution"}
+        assert outcome_counts(spans) == {"accepted": 1, "rejected": 1}
+
+    def test_pending_when_no_terminal_event(self):
+        tracer = HandshakeTracer(enabled=True)
+        tracer.emit(0.0, "server", "syn-in", (1, 2, 80))
+        tracer.emit(0.0, "server", "synack-out", (1, 2, 80))
+        (span,) = build_spans(tracer)
+        assert span.outcome == "pending"
+        assert span.phases[0].name == "synack"
+
+    def test_unknown_transition_gets_fallback_name(self):
+        tracer = HandshakeTracer(enabled=True)
+        tracer.emit(0.0, "server", "syn-in", (1, 2, 80))
+        tracer.emit(0.1, "server", "drop", (1, 2, 80))
+        (span,) = build_spans(tracer)
+        assert span.outcome == "dropped"
+        assert span.phases[0].name == "syn-in->drop"
+
+    def test_accepts_plain_event_list(self):
+        tracer = _puzzle_tracer()
+        assert len(build_spans(list(tracer.events()))) == 2
+
+
+class TestChromeExport:
+    def test_document_is_valid_chrome_trace(self):
+        body = json.loads(chrome_trace_json(build_spans(_puzzle_tracer())))
+        assert set(body) == {"traceEvents", "displayTimeUnit"}
+        for event in body["traceEvents"]:
+            assert event["ph"] in ("X", "M")
+            assert event["pid"] == 1
+            if event["ph"] == "X":
+                assert event["ts"] >= 0 and event["dur"] >= 0
+
+    def test_one_handshake_event_per_span(self):
+        spans = build_spans(_puzzle_tracer())
+        events = chrome_trace_events(spans)
+        handshakes = [e for e in events if e.get("cat") == "handshake"]
+        assert len(handshakes) == len(spans)
+        # Each span gets its own thread, named after the flow.
+        assert len({e["tid"] for e in handshakes}) == len(spans)
+
+    def test_timestamps_in_microseconds(self):
+        span = build_spans(_puzzle_tracer())[0]
+        event = [e for e in chrome_trace_events([span])
+                 if e.get("cat") == "handshake"][0]
+        assert event["ts"] == span.start * 1e6
+        assert event["dur"] == span.duration * 1e6
+        assert event["args"]["outcome"] == "accepted"
+
+    def test_empty_span_list(self):
+        body = json.loads(chrome_trace_json([]))
+        assert body["traceEvents"] == []
+
+
+class TestSpanLines:
+    def test_jsonl_round_trips(self):
+        spans = build_spans(_puzzle_tracer())
+        parsed = [json.loads(line) for line in span_lines(spans)]
+        assert len(parsed) == 2
+        assert all(obj["type"] == "span" for obj in parsed)
+        assert parsed[0]["outcome"] == "accepted"
+        assert parsed[0]["phases"][1]["name"] == "solve"
+
+    def test_deterministic(self):
+        a = list(span_lines(build_spans(_puzzle_tracer())))
+        b = list(span_lines(build_spans(_puzzle_tracer())))
+        assert a == b

@@ -29,6 +29,24 @@ def seeded_cell(spec: Spec) -> dict:
     return {"seed": spec.seed, "values": values}
 
 
+@dataclass(frozen=True)
+class HistValue:
+    """A toy cell value carrying histograms, like ScenarioSummary does."""
+
+    seed: int
+    histograms: dict
+
+
+def hist_cell(spec: Spec) -> HistValue:
+    from repro.obs.hist import HistogramRegistry
+
+    registry = HistogramRegistry()
+    for i in range(spec.seed + 1):
+        registry.record("handshake_latency.client",
+                        0.001 * (spec.seed + 1) * (i + 1))
+    return HistValue(seed=spec.seed, histograms=registry.as_dict())
+
+
 class TestResolveJobs:
     def test_default_is_serial(self, monkeypatch):
         monkeypatch.delenv(JOBS_ENV, raising=False)
@@ -69,6 +87,20 @@ class TestParallelEqualsSerial:
         parallel = SweepRunner(jobs=2).map(seeded_cell, specs)
         assert cells_to_jsonl(serial.values) == \
             cells_to_jsonl(parallel.values)
+
+    def test_merged_histograms_byte_identical(self):
+        """The runner folds every cell's histograms into its stats; the
+        merged registry must not depend on worker count."""
+        import json
+
+        specs = [Spec(seed=s) for s in range(5)]
+        serial = SweepRunner(jobs=1).map(hist_cell, specs)
+        parallel = SweepRunner(jobs=2).map(hist_cell, specs)
+        dump = lambda report: json.dumps(  # noqa: E731
+            report.stats.histograms.snapshot(), sort_keys=True)
+        assert dump(serial) == dump(parallel)
+        merged = serial.stats.histograms.hist("handshake_latency.client")
+        assert merged.count == sum(s.seed + 1 for s in specs)
 
     @pytest.mark.slow
     def test_scenario_cells_byte_identical(self):

@@ -91,3 +91,19 @@ class TestCellKey:
         spec = Spec(name="x", scale=1.0)
         assert cell_key(cell_fn, spec) != \
             cell_key(cell_fn, spec, extra="bench")
+
+    def test_key_covers_schema_version(self):
+        # Bumping the payload schema must invalidate cached results even
+        # when the code version and spec are unchanged.
+        from repro.runner import SCHEMA_VERSION
+
+        spec = Spec(name="x", scale=1.0)
+        assert cell_key(cell_fn, spec, schema=SCHEMA_VERSION + 1) != \
+            cell_key(cell_fn, spec)
+        assert cell_key(cell_fn, spec, schema=SCHEMA_VERSION) == \
+            cell_key(cell_fn, spec)
+
+    def test_fingerprint_covers_schema_version(self):
+        config = ScenarioConfig()
+        assert config_fingerprint(config, schema=99) != \
+            config_fingerprint(config)

@@ -1,5 +1,7 @@
 """CLI tests (argument parsing and the cheap subcommands)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -48,6 +50,12 @@ class TestTraceCommand:
         assert args.defense == "puzzles"
         assert args.attack == "syn"
         assert args.profile is False
+        assert args.format == "text"
+        assert args.output is None
+
+    def test_trace_rejects_unknown_format(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--format", "svg"])
 
     def test_trace_rejects_unknown_defense(self):
         with pytest.raises(SystemExit):
@@ -63,7 +71,71 @@ class TestTraceCommand:
         assert "syn-in" in out
         assert "server handshakes:" in out
         assert "engine:" in out
-        assert jsonl.read_text().count('"type":"trace"') > 0
+        assert "latency histograms:" in out
+        text = jsonl.read_text()
+        assert text.count('"type":"trace"') > 0
+        assert text.count('"type":"hist"') > 0
+        assert text.count('"type":"span"') > 0
+
+    def test_trace_chrome_format_emits_valid_trace_json(self, capsys):
+        assert main(["trace", "--duration", "4", "--clients", "1",
+                     "--attackers", "0", "--attack", "none",
+                     "--flows", "2", "--format", "chrome"]) == 0
+        body = json.loads(capsys.readouterr().out)
+        assert set(body) == {"traceEvents", "displayTimeUnit"}
+        spans = [e for e in body["traceEvents"]
+                 if e.get("cat") == "handshake"]
+        assert spans
+        assert all(e["ph"] == "X" for e in spans)
+
+    def test_trace_chrome_output_file(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(["trace", "--duration", "4", "--clients", "1",
+                     "--attackers", "0", "--attack", "none",
+                     "--flows", "2", "--format", "chrome",
+                     "--output", str(path)]) == 0
+        body = json.loads(path.read_text())
+        assert body["traceEvents"]
+        # stdout stays clean when writing to a file.
+        assert capsys.readouterr().out == ""
+
+
+class TestBenchCompareCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["bench-compare", "a", "b"])
+        assert args.baseline == "a"
+        assert args.current == "b"
+        assert args.counter_tolerance == 0.0
+        assert args.perf_tolerance == 0.30
+        assert args.quantile_tolerance == 0.25
+
+    def test_requires_both_directories(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench-compare", "onlyone"])
+
+    def test_self_compare_passes(self, capsys, tmp_path):
+        body = {"name": "smoke",
+                "counters": {"server": {"SynsRecv": 10}}}
+        for sub in ("base", "cur"):
+            (tmp_path / sub).mkdir()
+            (tmp_path / sub / "BENCH_smoke.json").write_text(
+                json.dumps(body))
+        assert main(["bench-compare", str(tmp_path / "base"),
+                     str(tmp_path / "cur")]) == 0
+        assert "bench-compare: PASS" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, capsys, tmp_path):
+        base = {"name": "smoke", "counters": {"server": {"SynsRecv": 10}}}
+        bad = {"name": "smoke", "counters": {"server": {"SynsRecv": 11}}}
+        (tmp_path / "base").mkdir()
+        (tmp_path / "cur").mkdir()
+        (tmp_path / "base" / "BENCH_smoke.json").write_text(
+            json.dumps(base))
+        (tmp_path / "cur" / "BENCH_smoke.json").write_text(
+            json.dumps(bad))
+        assert main(["bench-compare", str(tmp_path / "base"),
+                     str(tmp_path / "cur")]) == 1
+        assert "[FAIL]" in capsys.readouterr().out
 
 
 class TestCostCommand:
