@@ -11,7 +11,10 @@
 #   3. an observability smoke run: a tiny traced scenario through the CLI,
 #      checking the SNMP counters are wired end to end;
 #   4. a bench-compare smoke: a tiny run's manifest must self-compare
-#      clean, and a perturbed-quantile copy must fail the gate.
+#      clean, and a perturbed-quantile copy must fail the gate;
+#   5. a chaos smoke: a small fault matrix with the runtime invariant
+#      checker attached must pass, and a deliberately corrupted queue
+#      accounting must make the checker raise (the negative control).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -74,5 +77,41 @@ if python -m repro.cli bench-compare "$smokedir/base" "$smokedir/bad" \
     echo "bench-compare smoke: perturbed quantile should fail" >&2
     exit 1
 fi
+
+echo "== chaos smoke =="
+# A small fault matrix with invariants on every cell. --output drops the
+# resilience manifest where CI picks up benchmark artifacts.
+chaos_out=$(python -m repro.cli chaos --time-scale 0.01 --clients 2 \
+      --attackers 1 --faults loss-burst corruption \
+      --output benchmarks/output)
+echo "$chaos_out" | tail -n 4
+echo "$chaos_out" | grep -q "zero violations" || {
+    echo "chaos smoke: invariant summary line missing" >&2
+    exit 1
+}
+# Negative control: seeded queue-accounting corruption must be *caught*.
+python - <<'PYEOF'
+import sys
+
+sys.path.insert(0, ".")
+from tests.conftest import MiniNet
+
+from repro.faults import InvariantChecker, InvariantViolation
+from repro.tcp.listener import DefenseConfig
+
+net = MiniNet()
+listener = net.server.tcp.listen(80, DefenseConfig())
+net.client.tcp.connect(net.server.address, 80)
+net.run(until=1.0)
+checker = InvariantChecker(listener)
+checker.check_now()                      # clean state must audit clean
+listener.listen_queue.admitted += 1      # seed a bookkeeping bug
+try:
+    checker.check_now()
+except InvariantViolation as exc:
+    print(f"negative control: caught {exc.invariant!r} as expected")
+else:
+    sys.exit("chaos smoke: checker missed seeded queue corruption")
+PYEOF
 
 echo "== all checks passed =="

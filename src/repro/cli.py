@@ -7,7 +7,12 @@ Subcommands mirror the paper's workflow:
 * ``run``      — run one evaluation experiment and print its tables;
 * ``sweep``    — run a parameter sweep through the parallel runner
   (``--jobs N`` for worker processes, ``--cache`` for the on-disk result
-  cache; see docs/performance.md);
+  cache, ``--resume`` to continue an interrupted sweep from its
+  checkpoint; see docs/performance.md);
+* ``chaos``    — run the fault-injection matrix (loss bursts, link
+  flaps, option corruption, clock skew, memory pressure, secret
+  rotation) with the runtime invariant checker armed, and print the
+  resilience report (see docs/robustness.md);
 * ``trace``    — run a small scenario with handshake tracepoints armed and
   print per-flow timelines plus the SNMP counter dump, or export the
   handshake spans as Chrome trace-event JSON (``--format=chrome``);
@@ -23,15 +28,36 @@ import sys
 from typing import List, Optional
 
 
-def _make_runner(args: argparse.Namespace):
-    """A SweepRunner from the shared ``--jobs``/``--cache`` flags."""
-    from repro.runner import ResultCache, SweepRunner
+def _make_runner(args: argparse.Namespace,
+                 identity: Optional[str] = None):
+    """A SweepRunner from the shared ``--jobs``/``--cache`` flags.
 
+    With ``--resume`` (and an *identity* hash for the invocation), the
+    runner gets a crash-safe checkpoint under the cache directory and a
+    result cache is attached implicitly — resumed values come from it.
+    """
+    from repro.runner import (ResultCache, RetryPolicy, SweepCheckpoint,
+                              SweepRunner, checkpoint_path)
+
+    resume = bool(getattr(args, "resume", False))
     cache = None
-    if getattr(args, "cache", False) or getattr(args, "cache_dir", None):
+    if (getattr(args, "cache", False) or getattr(args, "cache_dir", None)
+            or resume):
         cache = ResultCache(root=args.cache_dir) if args.cache_dir \
             else ResultCache()
-    return SweepRunner(jobs=args.jobs, cache=cache)
+    checkpoint = None
+    if resume and identity is not None:
+        checkpoint = SweepCheckpoint(
+            checkpoint_path(identity, root=cache.root))
+        if checkpoint.count:
+            print(f"resuming: checkpoint lists {checkpoint.count} "
+                  f"completed cells", file=sys.stderr)
+    retry = None
+    timeout = getattr(args, "cell_timeout", None)
+    if timeout is not None:
+        retry = RetryPolicy(cell_timeout=timeout)
+    return SweepRunner(jobs=args.jobs, cache=cache, retry=retry,
+                       checkpoint=checkpoint)
 
 
 def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
@@ -43,6 +69,10 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
                         "($REPRO_CACHE_DIR or .repro-cache)")
     parser.add_argument("--cache-dir", metavar="PATH", default=None,
                         help="cache directory (implies --cache)")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="abandon and retry any cell running longer "
+                        "than this (parallel runs only)")
 
 
 def _cmd_nash(args: argparse.Namespace) -> int:
@@ -179,8 +209,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.report import render_table
     from repro.experiments.scenario import ScenarioConfig
+    from repro.runner import stable_hash
 
-    runner = _make_runner(args)
+    # The checkpoint identity covers everything that shapes the cell
+    # list, so `--resume` can never replay a different sweep's file.
+    identity = stable_hash((
+        "sweep", args.sweep, args.seed, args.time_scale,
+        tuple(args.k_values or ()), tuple(args.m_values or ()),
+        args.replicates))
+    runner = _make_runner(args, identity=identity)
     base = ScenarioConfig(seed=args.seed, time_scale=args.time_scale)
 
     if args.sweep == "difficulty":
@@ -253,6 +290,76 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if runner.cache is not None:
         print(f"cache: {runner.cache.stats.as_payload()} "
               f"at {runner.cache.root}")
+    if runner.checkpoint is not None:
+        print(f"checkpoint: {runner.checkpoint.count} cells recorded at "
+              f"{runner.checkpoint.path}")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.scenario import ScenarioConfig
+    from repro.faults.chaos import (ChaosSpec, default_fault_matrix,
+                                    render_resilience, resilience_report,
+                                    run_chaos_summary)
+    from repro.faults.invariants import InvariantViolation
+    from repro.tcp.constants import DefenseMode
+
+    config = ScenarioConfig(
+        seed=args.seed,
+        time_scale=args.time_scale,
+        n_clients=args.clients,
+        n_attackers=args.attackers,
+        attack_style=("syn" if args.attack == "none" else args.attack),
+        attack_enabled=(args.attack != "none"),
+        defense=DefenseMode(args.defense),
+        always_challenge=args.always_challenge)
+    matrix = default_fault_matrix(config)
+    if args.faults:
+        unknown = [name for name in args.faults if name not in matrix]
+        if unknown:
+            print(f"unknown fault class(es): {', '.join(unknown)} "
+                  f"(choose from {', '.join(matrix)})", file=sys.stderr)
+            return 2
+        # The baseline always runs — degradation is measured against it.
+        matrix = {label: schedule for label, schedule in matrix.items()
+                  if label == "baseline" or label in args.faults}
+    labels = list(matrix)
+    specs = [ChaosSpec(config, matrix[label],
+                       invariant_interval=args.invariant_interval)
+             for label in labels]
+
+    runner = _make_runner(args)
+    try:
+        report = runner.map(run_chaos_summary, specs, labels=labels)
+    except InvariantViolation as violation:
+        print(f"INVARIANT VIOLATION\n{violation}", file=sys.stderr)
+        return 1
+
+    rows = resilience_report(labels, report.values)
+    print(f"chaos matrix: {len(labels)} cells, defense={args.defense}, "
+          f"attack={args.attack}, seed={args.seed}")
+    print(render_resilience(rows))
+    checks = sum(row["invariant_checks"] for row in rows)
+    print(f"\ninvariants: {checks} checker ticks across the matrix, "
+          f"zero violations")
+    print(f"runner: {report.stats.render()}")
+
+    if args.output:
+        import pathlib
+
+        from repro.obs.manifest import runner_payload, write_manifest
+
+        path = write_manifest(
+            pathlib.Path(args.output) / "BENCH_chaos.json",
+            {
+                "schedule_fingerprints": {
+                    label: matrix[label].fingerprint()
+                    for label in labels
+                },
+                "resilience": rows,
+                "runner": runner_payload(report.stats),
+            })
+        print(f"wrote {path}")
     return 0
 
 
@@ -403,8 +510,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="m grid for the difficulty sweep")
     sweep.add_argument("--replicates", type=int, default=3,
                        help="seed replicates (iot sweep)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="resume an interrupted sweep from its "
+                       "checkpoint (implies --cache); completed cells "
+                       "replay from the result cache")
     _add_runner_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the fault-injection matrix with invariant checking "
+        "and print a resilience report")
+    chaos.add_argument("--faults", nargs="+", default=None,
+                       metavar="CLASS",
+                       help="subset of fault classes to run (default: "
+                       "all); the baseline always runs")
+    chaos.add_argument("--defense", default="puzzles",
+                       choices=["none", "cookies", "syncache", "puzzles"])
+    chaos.add_argument("--attack", default="connect",
+                       choices=["none", "syn", "connect", "mixed"])
+    chaos.add_argument("--clients", type=int, default=6)
+    chaos.add_argument("--attackers", type=int, default=4)
+    chaos.add_argument("--time-scale", type=float, default=0.05,
+                       help="timeline scale factor (default 0.05 = 30 s)")
+    chaos.add_argument("--seed", type=int, default=1)
+    chaos.add_argument("--invariant-interval", type=float, default=0.25,
+                       help="sim-seconds between invariant checks "
+                       "(0 disables the checker)")
+    chaos.add_argument("--always-challenge", action="store_true",
+                       default=True,
+                       help="challenge every SYN so puzzle options ride "
+                       "every handshake (default on; "
+                       "--no-always-challenge for opportunistic mode)")
+    chaos.add_argument("--no-always-challenge", action="store_false",
+                       dest="always_challenge")
+    chaos.add_argument("--output", "-o", metavar="DIR", default=None,
+                       help="also write a BENCH_chaos.json manifest "
+                       "under DIR")
+    _add_runner_flags(chaos)
+    chaos.set_defaults(func=_cmd_chaos)
 
     trace = sub.add_parser(
         "trace",

@@ -84,6 +84,10 @@ class ScenarioConfig:
     #: (actual SHA-256 brute force end to end; keep m small). Both modes
     #: share the binding/expiry semantics.
     crypto_mode: str = "modeled"
+    #: Challenge every SYN regardless of queue pressure (DefenseConfig
+    #: passthrough). The chaos corruption fault needs puzzle options on
+    #: the wire even before the queues fill.
+    always_challenge: bool = False
     backlog: int = 1024
     accept_backlog: int = 1024
     service_rate: float = 1100.0
@@ -157,6 +161,11 @@ class ScenarioResult:
     obs: Optional[Observability] = None
     #: Event-loop profiler, present when ``config.profile`` was set.
     profiler: Optional[EngineProfiler] = None
+    #: The fault injector, present when the scenario ran with a
+    #: non-empty :class:`~repro.faults.schedule.FaultSchedule`.
+    fault_injector: Optional[object] = None
+    #: The runtime invariant checker, when one was attached.
+    invariants: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Convenience summaries used across experiments
@@ -247,8 +256,17 @@ class ScenarioResult:
 class Scenario:
     """Builds and runs one instance of the §6 testbed."""
 
-    def __init__(self, config: Optional[ScenarioConfig] = None) -> None:
+    def __init__(self, config: Optional[ScenarioConfig] = None,
+                 faults: Optional[object] = None,
+                 invariant_interval: float = 0.0) -> None:
         self.config = config if config is not None else ScenarioConfig()
+        #: Optional :class:`~repro.faults.schedule.FaultSchedule`; the
+        #: injector shares the scenario seed, so ``(seed, schedule)``
+        #: fully determines the perturbed run.
+        self.faults = faults
+        #: Run the :class:`~repro.faults.invariants.InvariantChecker`
+        #: every this many sim-seconds (0 = off).
+        self.invariant_interval = invariant_interval
 
     # ------------------------------------------------------------------
     def build(self) -> ScenarioResult:
@@ -279,6 +297,7 @@ class Scenario:
             scheme=scheme,
             backlog=config.backlog,
             accept_backlog=config.accept_backlog,
+            always_challenge=config.always_challenge,
             fairness=(FairQueuingPolicy(config.fairness)
                       if config.fairness is not None else None))
         server_config = ServerConfig(
@@ -383,6 +402,26 @@ class Scenario:
         """Build, run to the configured duration, and return the result."""
         result = self.build()
         config = self.config
+        # Fault injection and invariant checking are imported lazily so
+        # the plain scenario path never pays for (or depends on) them.
+        if self.faults is not None and not self.faults.is_empty():
+            from repro.faults.injectors import FaultInjector
+
+            injector = FaultInjector(self.faults, seed=config.seed)
+            injector.install(result.engine,
+                             result.hosts["server"].network,
+                             result.server_app.listener)
+            result.fault_injector = injector
+        checker = None
+        if self.invariant_interval > 0:
+            from repro.faults.invariants import InvariantChecker
+
+            tracer = result.obs.tracer if result.obs is not None else None
+            checker = InvariantChecker(result.server_app.listener,
+                                       interval=self.invariant_interval,
+                                       tracer=tracer)
+            checker.start()
+            result.invariants = checker
         for client in result.clients:
             client.start()
         result.cpu.start()
@@ -400,5 +439,9 @@ class Scenario:
             client.stop()
         result.cpu.stop()
         result.queues.stop()
+        if checker is not None:
+            # Audit once more while timer state is still live — drain()
+            # would discard the evidence a leaked TCB leaves behind.
+            checker.final_check()
         result.engine.drain()
         return result

@@ -182,6 +182,11 @@ class ScenarioSummary:
     #: latency, puzzle solve time, accept-queue wait) — fixed-boundary
     #: and picklable, so the runner can merge them across workers.
     histograms: Dict[str, Histogram] = field(default_factory=dict)
+    #: Fault-injection event counts (``repro.faults``), present when the
+    #: run carried a non-empty :class:`FaultSchedule`.
+    fault_stats: Optional[Dict[str, int]] = None
+    #: Ticks the runtime invariant checker completed (0 = not attached).
+    invariant_checks: int = 0
 
     # ------------------------------------------------------------------
     # ScenarioResult API parity
@@ -299,6 +304,10 @@ class ScenarioSummary:
         if self.attack_stats is not None:
             payload["attack_stats"] = to_jsonable(self.attack_stats)
             payload["botnet_size"] = self.botnet_size
+        if self.fault_stats is not None:
+            payload["fault_stats"] = dict(sorted(self.fault_stats.items()))
+        if self.invariant_checks:
+            payload["invariant_checks"] = self.invariant_checks
         return payload
 
 
@@ -326,6 +335,12 @@ def summarize(result) -> ScenarioSummary:
     if result.botnet is not None:
         attack_stats = result.botnet.aggregate_stats()
         botnet_size = result.botnet.size
+    fault_stats = None
+    injector = getattr(result, "fault_injector", None)
+    if injector is not None:
+        fault_stats = injector.snapshot()
+    checker = getattr(result, "invariants", None)
+    invariant_checks = checker.checks_run if checker is not None else 0
     return ScenarioSummary(
         config=result.config,
         engine_stats=result.engine.stats(),
@@ -341,7 +356,9 @@ def summarize(result) -> ScenarioSummary:
         attack_stats=attack_stats,
         botnet_size=botnet_size,
         profile=profile,
-        histograms=histograms)
+        histograms=histograms,
+        fault_stats=fault_stats,
+        invariant_checks=invariant_checks)
 
 
 def run_scenario_summary(config) -> ScenarioSummary:

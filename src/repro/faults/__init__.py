@@ -1,0 +1,37 @@
+"""Deterministic fault injection and runtime invariant checking.
+
+The package splits into three layers:
+
+* :mod:`repro.faults.schedule` — the declarative, hashable fault plan
+  (:class:`FaultSchedule` and its per-class entries);
+* :mod:`repro.faults.injectors` — :class:`FaultInjector`, which wires a
+  schedule into a built scenario's links, network, engine clock, queues,
+  and puzzle secret;
+* :mod:`repro.faults.invariants` — :class:`InvariantChecker`, the
+  periodic engine tap that audits queue accounting and the handshake
+  state machine mid-run, raising :class:`InvariantViolation`.
+
+:mod:`repro.faults.chaos` (imported on demand, not here — it pulls in
+the full experiments stack) packages the canonical fault matrix behind
+``tcp-puzzles chaos``.
+"""
+
+from repro.faults.injectors import FaultInjector, FaultStats
+from repro.faults.invariants import InvariantChecker, InvariantViolation
+from repro.faults.schedule import (ClockSkew, FaultSchedule, LinkFlap,
+                                   LossBurst, MemoryPressure,
+                                   OptionCorruption, SecretRotation)
+
+__all__ = [
+    "ClockSkew",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultStats",
+    "InvariantChecker",
+    "InvariantViolation",
+    "LinkFlap",
+    "LossBurst",
+    "MemoryPressure",
+    "OptionCorruption",
+    "SecretRotation",
+]

@@ -1,0 +1,142 @@
+"""The chaos harness: a canonical fault matrix and its resilience report.
+
+``tcp-puzzles chaos`` runs the same scenario once per fault class (plus a
+fault-free baseline), with the runtime invariant checker attached to
+every cell, and reports how much each degraded condition costs in client
+goodput, handshake completion, and latency. The cells are ordinary
+:class:`~repro.runner.SweepRunner` cells — cached, parallel-safe, and
+keyed by ``(config, schedule)`` — so re-running a matrix after a code
+change only recomputes what the change invalidated.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.faults.schedule import (ClockSkew, FaultSchedule, LinkFlap,
+                                   LossBurst, MemoryPressure,
+                                   OptionCorruption, SecretRotation)
+
+#: Histogram the latency column reads (recorded by the benign clients).
+LATENCY_HIST = "handshake_latency.client"
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One chaos cell: a scenario config plus the faults to inject.
+
+    Frozen and built from hashable parts, so it canonicalizes into a
+    sweep cache key exactly like a plain config does.
+    """
+
+    config: object                      # ScenarioConfig
+    schedule: FaultSchedule
+    invariant_interval: float = 0.25
+
+
+def run_chaos_summary(spec: ChaosSpec):
+    """The chaos sweep cell: one faulted scenario run, summarized.
+
+    Module-level and driven entirely by the picklable spec, per the
+    :mod:`repro.runner` determinism contract. An invariant violation
+    propagates — a chaos matrix with broken bookkeeping must fail loud,
+    not average the corruption into a summary row.
+    """
+    from repro.experiments.scenario import Scenario
+    from repro.experiments.summary import summarize
+
+    scenario = Scenario(spec.config, faults=spec.schedule,
+                        invariant_interval=spec.invariant_interval)
+    return summarize(scenario.run())
+
+
+def default_fault_matrix(config) -> "OrderedDict[str, FaultSchedule]":
+    """One schedule per fault class, windowed to the attack interval.
+
+    The baseline (empty schedule) comes first — the report computes
+    degradation relative to it.
+    """
+    start, end = config.attack_start, config.attack_end
+    if end <= start:
+        start, end = 0.0, config.duration
+    span = end - start
+    mid = (start + end) / 2.0
+    matrix: "OrderedDict[str, FaultSchedule]" = OrderedDict()
+    matrix["baseline"] = FaultSchedule()
+    matrix["loss-burst"] = FaultSchedule(
+        loss_bursts=(LossBurst(start, end),))
+    matrix["link-flap"] = FaultSchedule(
+        link_flaps=(LinkFlap(mid - span / 8, mid + span / 8,
+                             links="server->r1"),))
+    matrix["corruption"] = FaultSchedule(
+        corruption=(OptionCorruption(start, end, probability=0.3),))
+    # A +5 s wall-clock step dwarfs the scheme's replay window, so every
+    # in-flight challenge goes stale at the step; jitter keeps it noisy.
+    matrix["clock-skew"] = FaultSchedule(
+        clock_skews=(ClockSkew(host="server", at=mid, offset=5.0,
+                               jitter=0.5),))
+    matrix["memory-pressure"] = FaultSchedule(
+        memory_pressure=(MemoryPressure(start, end, listen_factor=0.25,
+                                        accept_factor=0.5),))
+    matrix["secret-rotation"] = FaultSchedule(
+        secret_rotations=(SecretRotation(times=(start, mid, end)),))
+    return matrix
+
+
+# ----------------------------------------------------------------------
+def _latency_p95_ms(summary) -> float:
+    hist = summary.histograms.get(LATENCY_HIST)
+    if hist is None or not hist.count:
+        return float("nan")
+    return hist.quantile(0.95) * 1000.0
+
+
+def resilience_report(labels: Sequence[str],
+                      summaries: Sequence) -> List[Dict[str, object]]:
+    """Per-fault-class degradation rows; ``labels[0]`` is the baseline."""
+    rows: List[Dict[str, object]] = []
+    baseline_goodput: Optional[float] = None
+    baseline_p95: Optional[float] = None
+    for label, summary in zip(labels, summaries):
+        goodput = summary.client_throughput_during_attack().mean
+        p95_ms = _latency_p95_ms(summary)
+        if baseline_goodput is None:
+            baseline_goodput, baseline_p95 = goodput, p95_ms
+        goodput_drop = float("nan")
+        if baseline_goodput and not math.isnan(goodput):
+            goodput_drop = 100.0 * (1.0 - goodput / baseline_goodput)
+        latency_increase = float("nan")
+        if (baseline_p95 and not math.isnan(p95_ms)
+                and not math.isnan(baseline_p95)):
+            latency_increase = 100.0 * (p95_ms / baseline_p95 - 1.0)
+        fault_stats = summary.fault_stats or {}
+        rows.append({
+            "fault": label,
+            "goodput_mbps": goodput,
+            "goodput_drop_pct": goodput_drop,
+            "completion_pct": summary.client_completion_percent(),
+            "latency_p95_ms": p95_ms,
+            "latency_increase_pct": latency_increase,
+            "invariant_checks": summary.invariant_checks,
+            "fault_events": sum(fault_stats.values()),
+            "fault_stats": fault_stats,
+        })
+    return rows
+
+
+def render_resilience(rows: Sequence[Dict[str, object]]) -> str:
+    """Monospace resilience table for terminal output."""
+    from repro.experiments.report import render_table
+
+    headers = ("fault", "goodput Mb/s", "drop %", "completion %",
+               "p95 ms", "p95 +%", "inv checks", "fault events")
+    return render_table(headers, [
+        (row["fault"], row["goodput_mbps"], row["goodput_drop_pct"],
+         row["completion_pct"], row["latency_p95_ms"],
+         row["latency_increase_pct"], row["invariant_checks"],
+         row["fault_events"])
+        for row in rows
+    ])

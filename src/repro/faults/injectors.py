@@ -1,0 +1,245 @@
+"""Seeded fault injectors — turning a :class:`FaultSchedule` into events.
+
+One :class:`FaultInjector` owns the whole schedule. ``install()`` wires
+each fault class into the layer it perturbs:
+
+* loss bursts / link flaps attach a classifier to matching
+  :class:`~repro.net.link.Link` objects (consulted per offered frame);
+* option corruption hooks :attr:`Network.packet_fault` and rewrites
+  puzzle option blocks in flight (byte lengths preserved, so wire-size
+  accounting stays exact);
+* clock skews schedule engine events that move one host's wall-clock
+  offset (:meth:`Engine.set_clock_offset`);
+* memory pressure schedules capacity shrinks/restores through
+  :meth:`Listener.apply_memory_pressure`;
+* secret rotations call :meth:`SecretKey.rotate` mid-run.
+
+Determinism: every random decision draws from ``RngStreams(seed)``
+streams named ``faults/...`` — disjoint from the host streams by
+construction — so the same ``(seed, schedule)`` pair replays the exact
+fault sequence, and an empty schedule leaves the simulation untouched
+(no stream is even created).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from fnmatch import fnmatch
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.schedule import (FaultSchedule, LinkFlap, LossBurst,
+                                   OptionCorruption)
+from repro.net.packet import Packet, flip_bit
+from repro.sim.rng import RngStreams
+
+
+class FaultStats:
+    """Counter bag shared by every injector of one run."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values: Dict[str, int] = {}
+
+    def incr(self, name: str, n: int = 1) -> None:
+        values = self._values
+        values[name] = values.get(name, 0) + n
+
+    def get(self, name: str) -> int:
+        return self._values.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(sorted(self._values.items()))
+
+
+class LinkFault:
+    """Per-link flap/burst classifier (duck-typed ``link.fault``).
+
+    The link consults :meth:`classify` once per offered frame *before*
+    queueing. ``"down"`` models an interface outage (the frame vanishes,
+    no airtime), ``"loss"`` models wire loss (the frame burns its
+    serialization slot, then dies) — matching how a real NIC versus a
+    noisy medium would behave.
+    """
+
+    __slots__ = ("flaps", "bursts", "rng", "stats", "_bad")
+
+    def __init__(self, flaps: Tuple[LinkFlap, ...],
+                 bursts: Tuple[LossBurst, ...], rng,
+                 stats: FaultStats) -> None:
+        self.flaps = flaps
+        self.bursts = bursts
+        self.rng = rng
+        self.stats = stats
+        self._bad = False  # Gilbert–Elliott state, shared across bursts
+
+    def classify(self, now: float) -> Optional[str]:
+        for flap in self.flaps:
+            if flap.start <= now < flap.end:
+                self.stats.incr("link_flap_drops")
+                return "down"
+        for burst in self.bursts:
+            if burst.start <= now < burst.end:
+                rng = self.rng
+                if self._bad:
+                    if rng.random() < burst.p_bad_good:
+                        self._bad = False
+                elif rng.random() < burst.p_good_bad:
+                    self._bad = True
+                loss = burst.loss_bad if self._bad else burst.loss_good
+                if loss > 0.0 and rng.random() < loss:
+                    self.stats.incr("link_burst_losses")
+                    return "loss"
+                return None
+        return None
+
+
+class OptionCorruptor:
+    """Bit-flips puzzle option blocks on packets entering the network."""
+
+    __slots__ = ("windows", "rng", "stats")
+
+    def __init__(self, windows: Tuple[OptionCorruption, ...], rng,
+                 stats: FaultStats) -> None:
+        self.windows = windows
+        self.rng = rng
+        self.stats = stats
+
+    def __call__(self, now: float, packet: Packet) -> None:
+        options = packet.options
+        if options.challenge is None and options.solution is None:
+            return
+        for window in self.windows:
+            if window.start <= now < window.end:
+                if self.rng.random() < window.probability:
+                    self._corrupt(packet)
+                return
+
+    def _corrupt(self, packet: Packet) -> None:
+        options = packet.options
+        bit = self.rng.getrandbits(16)
+        if options.solution is not None:
+            solution = options.solution
+            flipped = list(solution.solutions)
+            flipped[0] = flip_bit(flipped[0], bit)
+            options.solution = dc_replace(solution, solutions=flipped)
+            self.stats.incr("corrupted_solutions")
+        else:
+            challenge = options.challenge
+            options.challenge = dc_replace(
+                challenge, preimage=flip_bit(challenge.preimage, bit))
+            self.stats.incr("corrupted_challenges")
+
+
+class FaultInjector:
+    """Installs a :class:`FaultSchedule` into a built scenario."""
+
+    def __init__(self, schedule: FaultSchedule, seed: int = 0) -> None:
+        self.schedule = schedule
+        self.seed = seed
+        self.stats = FaultStats()
+        self._streams = RngStreams(seed)
+        self._pressure_originals: Dict[int, Tuple] = {}
+
+    # ------------------------------------------------------------------
+    def install(self, engine, network, listener=None) -> None:
+        """Wire every scheduled fault into the given layers.
+
+        *listener* may be None when only network-level faults are wanted
+        (memory pressure and secret rotation are then skipped).
+        """
+        schedule = self.schedule
+        if schedule.loss_bursts or schedule.link_flaps:
+            self._install_link_faults(network)
+        if schedule.corruption:
+            network.packet_fault = OptionCorruptor(
+                schedule.corruption,
+                self._streams.get("faults/corruption"), self.stats)
+        for skew in schedule.clock_skews:
+            engine.schedule_at(skew.at, self._apply_skew, engine, skew)
+        if listener is not None:
+            for index, pressure in enumerate(schedule.memory_pressure):
+                engine.schedule_at(pressure.start, self._apply_pressure,
+                                   listener, pressure, index)
+                engine.schedule_at(pressure.end, self._restore_pressure,
+                                   listener, index)
+            for rotation in schedule.secret_rotations:
+                for at in rotation.times:
+                    engine.schedule_at(at, self._rotate_secret,
+                                       listener, at)
+
+    # ------------------------------------------------------------------
+    def _install_link_faults(self, network) -> None:
+        schedule = self.schedule
+        for link in network.topology.all_links():
+            flaps = tuple(f for f in schedule.link_flaps
+                          if fnmatch(link.name, f.links))
+            bursts = tuple(b for b in schedule.loss_bursts
+                           if fnmatch(link.name, b.links))
+            if not flaps and not bursts:
+                continue
+            link.fault = LinkFault(
+                flaps, bursts,
+                self._streams.get(f"faults/link/{link.name}"), self.stats)
+
+    # ------------------------------------------------------------------
+    def _apply_skew(self, engine, skew) -> None:
+        engine.set_clock_offset(skew.host, skew.offset)
+        self.stats.incr("clock_skew_steps")
+        if skew.jitter > 0:
+            rng = self._streams.get(f"faults/clock/{skew.host}")
+            engine.schedule(skew.interval, self._rejitter_skew,
+                            engine, skew, rng)
+
+    def _rejitter_skew(self, engine, skew, rng) -> None:
+        offset = skew.offset + rng.uniform(-skew.jitter, skew.jitter)
+        engine.set_clock_offset(skew.host, offset)
+        self.stats.incr("clock_jitter_redraws")
+        engine.schedule(skew.interval, self._rejitter_skew,
+                        engine, skew, rng)
+
+    # ------------------------------------------------------------------
+    def _apply_pressure(self, listener, pressure, index: int) -> None:
+        listen_queue = listener.listen_queue
+        accept_queue = listener.accept_queue
+        syncache = listener.config.syncache
+        self._pressure_originals[index] = (
+            listen_queue.backlog, accept_queue.backlog,
+            syncache.bucket_limit if syncache is not None else None)
+        kwargs = {}
+        if pressure.listen_factor < 1.0:
+            kwargs["listen_backlog"] = max(
+                1, int(listen_queue.backlog * pressure.listen_factor))
+        if pressure.accept_factor < 1.0:
+            kwargs["accept_backlog"] = max(
+                1, int(accept_queue.backlog * pressure.accept_factor))
+        if pressure.syncache_factor < 1.0 and syncache is not None:
+            kwargs["syncache_limit"] = max(
+                1, int(syncache.bucket_limit * pressure.syncache_factor))
+        if not kwargs:
+            return
+        evicted = listener.apply_memory_pressure(**kwargs)
+        self.stats.incr("pressure_events")
+        for queue_name, count in evicted.items():
+            if count:
+                self.stats.incr(f"pressure_evicted_{queue_name}", count)
+
+    def _restore_pressure(self, listener, index: int) -> None:
+        original = self._pressure_originals.pop(index, None)
+        if original is None:
+            return
+        listen_backlog, accept_backlog, bucket_limit = original
+        listener.apply_memory_pressure(
+            listen_backlog=listen_backlog, accept_backlog=accept_backlog,
+            syncache_limit=bucket_limit)
+        self.stats.incr("pressure_restores")
+
+    # ------------------------------------------------------------------
+    def _rotate_secret(self, listener, at: float) -> None:
+        listener.config.scheme.secret.rotate(now=at)
+        self.stats.incr("secret_rotations")
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, int]:
+        """Name-sorted fault event counts (what the summary exports)."""
+        return self.stats.snapshot()

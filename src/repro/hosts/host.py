@@ -108,6 +108,17 @@ class Host:
         self.tcp = TCPStack(self)
         network.register(self)
 
+    @property
+    def now(self) -> float:
+        """This host's wall-clock reading: engine time plus injected skew.
+
+        Timestamp generation/verification (puzzle challenges, SYN
+        cookies) reads this; internal timers stay on the engine's
+        monotonic clock, matching how real clock drift perturbs wall
+        reads but not jiffies.
+        """
+        return self.engine.now_for(self.name)
+
     def send(self, packet: Packet) -> None:
         self.network.send(self, packet)
 

@@ -60,6 +60,14 @@ class Link:
     packets_dropped: int = field(default=0, repr=False)
     packets_lost: int = field(default=0, repr=False)
     bytes_sent: int = field(default=0, repr=False)
+    #: Optional fault-injection hook (duck-typed; see
+    #: ``repro.faults.injectors``). When set, ``classify(now)`` is asked
+    #: for a verdict per offered packet: ``None`` passes the packet
+    #: through, ``"down"`` drops it outright (link flap — the frame never
+    #: transmits), ``"loss"`` burns airtime then loses the frame
+    #: (Gilbert–Elliott burst corruption).
+    fault: Optional[object] = field(default=None, repr=False)
+    packets_faulted: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         if self.rate_bps <= 0:
@@ -90,6 +98,18 @@ class Link:
         if size_bytes <= 0:
             raise NetworkError(f"size_bytes must be positive, got "
                                f"{size_bytes!r}")
+        fault = self.fault
+        if fault is not None:
+            verdict = fault.classify(now)
+            if verdict is not None:
+                self.packets_faulted += 1
+                if verdict == "loss":
+                    # Burst corruption: the frame occupies airtime and is
+                    # then lost, like the independent loss_rate path.
+                    start = max(now, self._next_free)
+                    self._next_free = start + self.serialization_delay(
+                        size_bytes)
+                return None
         if self.backlog_bytes(now) + size_bytes > self.buffer_bytes:
             self.packets_dropped += 1
             return None
@@ -117,3 +137,4 @@ class Link:
         self.packets_dropped = 0
         self.packets_lost = 0
         self.bytes_sent = 0
+        self.packets_faulted = 0

@@ -44,6 +44,11 @@ class Network:
         self._hosts_by_ip: Dict[int, Attachable] = {}
         self._hosts_by_name: Dict[str, Attachable] = {}
         self._taps: List[Tap] = []
+        #: Optional fault-injection hook called as ``(now, packet)`` on
+        #: every send before path folding. Unlike taps (pure observers)
+        #: it may mutate the packet's *options* in place — the bit-flip
+        #: corruption injector rewrites challenge/solution blocks here.
+        self.packet_fault: Optional[Callable[[float, Packet], None]] = None
         self.packets_delivered = 0
         self.packets_dropped = 0
         self.packets_blackholed = 0
@@ -86,6 +91,8 @@ class Network:
         """
         now = self.engine.now
         packet.sent_at = now
+        if self.packet_fault is not None:
+            self.packet_fault(now, packet)
         # Guard inlined: with no taps installed (most sweeps) the hot path
         # skips the _emit call entirely, not just its body.
         if self._taps:

@@ -87,6 +87,18 @@ class TCPOptions:
         return size
 
 
+def flip_bit(data: bytes, bit: int) -> bytes:
+    """*data* with one bit inverted — the fault-injection corruption
+    primitive. The bit index wraps, so any non-negative *bit* is valid;
+    the length is preserved so size accounting and codec framing hold."""
+    if not data:
+        return data
+    index, shift = divmod(bit % (len(data) * 8), 8)
+    corrupted = bytearray(data)
+    corrupted[index] ^= 1 << shift
+    return bytes(corrupted)
+
+
 _packet_counter = 0
 
 

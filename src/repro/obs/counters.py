@@ -58,6 +58,14 @@ CATALOGUE: Dict[str, str] = {
     "SynCacheEvictions": "cache records evicted by bucket overflow",
     "SynCacheHits": "completing ACKs that found their cache record",
     "SynCacheMisses": "completing ACKs whose cache record was gone",
+    "SynCacheExpired": "cache records reaped by timeout expiry",
+    # -- fault injection ------------------------------------------------
+    "MemoryPressureReclaims":
+        "queue/cache entries reclaimed by injected memory pressure",
+    # -- tooling ---------------------------------------------------------
+    "cache_corrupt_entries":
+        "result-cache entries dropped because their pickle was corrupt "
+        "or truncated",
     # -- client side ----------------------------------------------------
     "SynRetrans": "client SYN retransmissions",
     "ChallengesReceived": "challenges this host started solving",
@@ -72,7 +80,9 @@ CATALOGUE: Dict[str, str] = {
 
 #: Terminal causes a failed/refused handshake can be attributed to. The
 #: instrumentation keeps these disjoint: one refused handshake event
-#: increments exactly one of them.
+#: increments exactly one of them. ``MemoryPressureReclaims`` is
+#: deliberately excluded — accept-queue reclaim kills connections that
+#: already counted as established, so including it would double-book.
 DROP_CAUSES: Tuple[str, ...] = (
     "ListenOverflows",
     "HalfOpenExpired",

@@ -32,6 +32,7 @@ class SecretKey:
                 f"repro-secret/{seed}".encode("utf-8")).digest()
         self._previous: Optional[bytes] = None
         self._generation = 0
+        self.last_rotated_at: Optional[float] = None
 
     @property
     def current(self) -> bytes:
@@ -48,9 +49,14 @@ class SecretKey:
             keys.append(self._previous)
         return keys
 
-    def rotate(self) -> None:
-        """Derive a fresh key; the old one stays valid for one grace window."""
+    def rotate(self, now: Optional[float] = None) -> None:
+        """Derive a fresh key; the old one stays valid for one grace window.
+
+        *now* (simulation time) is recorded for diagnostics when given —
+        the fault injector stamps mid-flight rotations with it.
+        """
         self._previous = self._current
         self._generation += 1
         self._current = hashlib.sha256(
             self._current + b"/rotate").digest()
+        self.last_rotated_at = now

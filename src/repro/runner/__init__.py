@@ -30,7 +30,9 @@ parallel execution are bit-for-bit identical.
 
 from __future__ import annotations
 
-from repro.runner.cache import CacheStats, ResultCache, default_cache_dir
+from repro.runner.cache import (CACHE_COUNTERS, CacheStats, ResultCache,
+                                default_cache_dir)
+from repro.runner.checkpoint import SweepCheckpoint, checkpoint_path
 from repro.runner.export import cells_to_jsonl, to_jsonable
 from repro.runner.hashing import (
     SCHEMA_VERSION,
@@ -40,6 +42,7 @@ from repro.runner.hashing import (
 )
 from repro.runner.runner import (
     CellStats,
+    RetryPolicy,
     RunnerStats,
     SweepReport,
     SweepRunner,
@@ -47,14 +50,18 @@ from repro.runner.runner import (
 )
 
 __all__ = [
+    "CACHE_COUNTERS",
     "CacheStats",
     "CellStats",
     "ResultCache",
+    "RetryPolicy",
     "RunnerStats",
     "SCHEMA_VERSION",
+    "SweepCheckpoint",
     "SweepReport",
     "SweepRunner",
     "cell_key",
+    "checkpoint_path",
     "cells_to_jsonl",
     "config_fingerprint",
     "default_cache_dir",

@@ -17,11 +17,19 @@ import os
 import pathlib
 import pickle
 import tempfile
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Optional, Tuple
 
+from repro.obs.counters import CounterScope
+
 #: Environment override for the cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Process-wide observability scope for cache tooling events; the
+#: ``cache_corrupt_entries`` counter lives here so tests (and manifests)
+#: can assert corrupt pickles were noticed rather than silently eaten.
+CACHE_COUNTERS = CounterScope("result-cache")
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -74,9 +82,14 @@ class ResultCache:
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except Exception:
+        except Exception as exc:
             self.stats.errors += 1
             self.stats.misses += 1
+            CACHE_COUNTERS.incr("cache_corrupt_entries")
+            warnings.warn(
+                f"result cache: dropping corrupt entry {path.name} "
+                f"({exc.__class__.__name__}: {exc}); it will be "
+                f"recomputed", RuntimeWarning, stacklevel=2)
             try:
                 path.unlink()
             except OSError:

@@ -1,0 +1,109 @@
+"""Crash-safe sweep checkpointing (``tcp-puzzles sweep --resume``).
+
+A checkpoint is an append-only JSONL file under the cache directory: one
+line per completed cell, written (and flushed) the moment the cell
+commits. If the sweep process dies — OOM killer, ^C, a worker taking the
+parent down — the file survives with at worst one torn trailing line,
+which the loader skips. On resume, completed cells are already in the
+:class:`~repro.runner.cache.ResultCache`, so the runner replays them as
+cache hits and only simulates what the crash interrupted.
+
+The checkpoint stores cache *keys*, not values: the cache remains the
+single source of truth for results, and a checkpoint against a cold
+cache degrades gracefully (the cells simply rerun).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Set, Union
+
+from repro.runner.cache import default_cache_dir
+
+
+def checkpoint_path(identity: str,
+                    root: Union[str, Path, None] = None) -> Path:
+    """Where the checkpoint for a sweep with this identity hash lives."""
+    base = Path(root) if root is not None else default_cache_dir()
+    return base / "checkpoints" / f"{identity[:32]}.jsonl"
+
+
+class SweepCheckpoint:
+    """Append-only record of which sweep cells have committed."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._done: Set[str] = set()
+        self._handle = None
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                # A crash mid-append leaves at most one torn line; it
+                # carries no information beyond "this cell didn't finish".
+                continue
+            key = entry.get("key") if isinstance(entry, dict) else None
+            if key:
+                self._done.add(key)
+
+    # ------------------------------------------------------------------
+    def done(self, key: str) -> bool:
+        return key in self._done
+
+    @property
+    def count(self) -> int:
+        """How many distinct cells have committed."""
+        return len(self._done)
+
+    def record(self, key: str, index: int = 0, label: str = "") -> None:
+        """Mark a cell complete; appends one flushed JSONL line."""
+        if key in self._done:
+            return
+        self._done.add(key)
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+            # A crash mid-append can leave the file without a trailing
+            # newline; terminate the torn line so this record does not
+            # merge into it (and vanish on the next load).
+            if self._handle.tell() > 0:
+                with open(self.path, "rb") as fh:
+                    fh.seek(-1, os.SEEK_END)
+                    torn = fh.read(1) != b"\n"
+                if torn:
+                    self._handle.write("\n")
+        self._handle.write(json.dumps(
+            {"key": key, "index": index, "label": label},
+            sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def clear(self) -> None:
+        """Forget everything and delete the file (sweep finished clean)."""
+        self.close()
+        self._done.clear()
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SweepCheckpoint":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

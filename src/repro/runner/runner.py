@@ -24,15 +24,18 @@ by ``tests/runner/test_determinism.py`` via the key-sorted JSONL export.
 
 from __future__ import annotations
 
+import hashlib
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from time import perf_counter
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from time import perf_counter, sleep
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
 from repro.errors import ExperimentError
 from repro.obs.hist import HistogramRegistry
 from repro.runner.cache import ResultCache
+from repro.runner.checkpoint import SweepCheckpoint
 from repro.runner.hashing import cell_key
 
 #: Environment override for the default worker count.
@@ -54,6 +57,51 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     if jobs < 1:
         raise ExperimentError(f"jobs must be >= 1, got {jobs}")
     return jobs
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the pool treats crashed, hung, and flaky cells.
+
+    Timeouts and retries only apply to *infrastructure* failures — a
+    worker process dying (:class:`BrokenProcessPool`) or a cell
+    exceeding ``cell_timeout``. An exception raised by the cell function
+    itself propagates immediately: cells are deterministic, so rerunning
+    one would fail identically.
+
+    Backoff between retry rounds is exponential with deterministic
+    jitter — the jitter fraction is derived from the cell key and the
+    attempt number, so two runs of the same sweep back off identically
+    (no wall-clock or PRNG state leaks into scheduling).
+    """
+
+    max_attempts: int = 3
+    #: Seconds a cell may *run* (queue time excluded) before the round
+    #: is abandoned and the cell retried. None = never time out.
+    cell_timeout: Optional[float] = None
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ExperimentError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            raise ExperimentError(
+                f"cell_timeout must be positive, got {self.cell_timeout}")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ExperimentError("backoff bounds must be >= 0")
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Deterministically jittered backoff before retry *attempt*."""
+        raw = min(self.backoff_base
+                  * self.backoff_factor ** max(attempt - 1, 0),
+                  self.backoff_max)
+        digest = hashlib.sha256(
+            f"{key}/{attempt}".encode("utf-8")).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+        return raw * (0.75 + 0.5 * fraction)
 
 
 @dataclass(frozen=True)
@@ -88,6 +136,14 @@ class RunnerStats:
     cells_total: int = 0
     cells_run: int = 0
     cache_hits: int = 0
+    #: Cell executions beyond each cell's first attempt.
+    retries: int = 0
+    #: Cells abandoned because they exceeded the per-cell timeout.
+    cell_timeouts: int = 0
+    #: Process pools torn down early (worker crash or hung cell).
+    pool_restarts: int = 0
+    #: Cells a ``--resume`` checkpoint marked as already complete.
+    resumed_cells: int = 0
     wall_seconds: float = 0.0          # whole-sweep wall clock
     cells: List[CellStats] = field(default_factory=list)
     #: Fixed-boundary histograms merged across every cell value that
@@ -138,6 +194,10 @@ class RunnerStats:
             "cells_total": self.cells_total,
             "cells_run": self.cells_run,
             "cache_hits": self.cache_hits,
+            "retries": self.retries,
+            "cell_timeouts": self.cell_timeouts,
+            "pool_restarts": self.pool_restarts,
+            "resumed_cells": self.resumed_cells,
             "wall_seconds": self.wall_seconds,
             "cell_wall_seconds": self.cell_wall_seconds,
             "sim_seconds": self.sim_seconds,
@@ -151,11 +211,18 @@ class RunnerStats:
 
     def render(self) -> str:
         """One human line for CLI output."""
-        return (f"{self.cells_total} cells ({self.cache_hits} cached, "
+        line = (f"{self.cells_total} cells ({self.cache_hits} cached, "
                 f"{self.cells_run} run) in {self.wall_seconds:.2f}s wall "
                 f"at jobs={self.jobs}; {self.events_processed} events, "
                 f"{self.events_per_second:,.0f} events/s, "
                 f"sim/wall {self.sim_wall_ratio:.0f}x")
+        if self.resumed_cells:
+            line += f"; resumed past {self.resumed_cells} completed cells"
+        if self.retries or self.pool_restarts:
+            line += (f"; {self.retries} retries, "
+                     f"{self.cell_timeouts} timeouts, "
+                     f"{self.pool_restarts} pool restarts")
+        return line
 
 
 @dataclass
@@ -217,14 +284,24 @@ class SweepRunner:
     key_extra:
         Additional picklable material folded into every cache key (e.g.
         a benchmark-scale tag), so distinct harnesses never collide.
+    retry:
+        A :class:`RetryPolicy` governing worker crashes, hung cells, and
+        backoff. ``None`` uses the defaults (3 attempts, no timeout).
+    checkpoint:
+        A :class:`~repro.runner.checkpoint.SweepCheckpoint`; every
+        committed cell is recorded so an interrupted sweep can resume.
     """
 
     def __init__(self, jobs: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
-                 key_extra: Any = None) -> None:
+                 key_extra: Any = None,
+                 retry: Optional[RetryPolicy] = None,
+                 checkpoint: Optional[SweepCheckpoint] = None) -> None:
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
         self.key_extra = key_extra
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.checkpoint = checkpoint
 
     # ------------------------------------------------------------------
     def map(self, fn: Callable[[Any], Any], specs: Sequence[Any],
@@ -249,6 +326,9 @@ class SweepRunner:
         started = perf_counter()
 
         keys = [cell_key(fn, spec, extra=self.key_extra) for spec in specs]
+        if self.checkpoint is not None:
+            stats.resumed_cells = sum(
+                1 for key in keys if self.checkpoint.done(key))
         pending: List[int] = []
         for i, key in enumerate(keys):
             hit = self.cache.get(key) if self.cache is not None else None
@@ -263,6 +343,8 @@ class SweepRunner:
                         cached_stats.get("wall_seconds", 0.0)),
                     sim_seconds=sim["sim_seconds"],
                     events_processed=sim["events_processed"])
+                if self.checkpoint is not None:
+                    self.checkpoint.record(key, i, labels[i])
             else:
                 pending.append(i)
 
@@ -299,21 +381,133 @@ class SweepRunner:
             events_processed=int(run_stats.get("events_processed", 0)))
         if self.cache is not None:
             self.cache.put(keys[index], value, run_stats)
+        # Checkpoint *after* the cache write: a crash between the two
+        # reruns the cell on resume rather than trusting a missing value.
+        if self.checkpoint is not None:
+            self.checkpoint.record(keys[index], index, labels[index])
 
     def _run_pool(self, fn, specs, labels, keys, pending, values,
                   cell_stats, stats) -> None:
+        """Run pending cells in rounds, surviving crashes and hangs.
+
+        Each round gets a fresh :class:`ProcessPoolExecutor`. A round
+        ends cleanly when every cell committed, or early when a worker
+        dies (:class:`BrokenProcessPool`) or a cell overruns the retry
+        policy's ``cell_timeout`` — the pool is then torn down and the
+        uncommitted cells retried, up to ``max_attempts`` each, with
+        deterministic exponential backoff between rounds.
+        """
+        retry = self.retry
+        attempts: Dict[int, int] = {i: 0 for i in pending}
+        remaining = list(pending)
+        while remaining:
+            exhausted = [i for i in remaining
+                         if attempts[i] + 1 > retry.max_attempts]
+            if exhausted:
+                i = exhausted[0]
+                raise ExperimentError(
+                    f"sweep cell {labels[i]!r} failed "
+                    f"{retry.max_attempts} attempts "
+                    f"(worker crashes or timeouts); giving up")
+            retrying = [i for i in remaining if attempts[i] > 0]
+            if retrying:
+                stats.retries += len(retrying)
+                backoff = max(retry.delay(keys[i], attempts[i])
+                              for i in retrying)
+                if backoff > 0:
+                    sleep(backoff)
+            for i in remaining:
+                attempts[i] += 1
+            committed = self._pool_round(fn, specs, labels, keys,
+                                         remaining, values, cell_stats,
+                                         stats)
+            remaining = [i for i in remaining if i not in committed]
+
+    def _pool_round(self, fn, specs, labels, keys, pending, values,
+                    cell_stats, stats) -> Set[int]:
+        """One pool lifetime; returns the set of committed cell indices."""
+        retry = self.retry
+        committed: Set[int] = set()
         workers = min(self.jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        clean = True
+        try:
             futures = {
                 pool.submit(_execute_cell, fn, specs[i]): i
                 for i in pending
             }
+            #: perf_counter() at which each future was first seen
+            #: *running* — queue time must not count against the cell
+            #: timeout, or a deep queue at low jobs times out unstarted
+            #: cells.
+            started: Dict[Any, float] = {}
             outstanding = set(futures)
             while outstanding:
-                done, outstanding = wait(outstanding,
-                                         return_when=FIRST_COMPLETED)
+                now = perf_counter()
+                for future in outstanding:
+                    if future not in started and future.running():
+                        started[future] = now
+                if retry.cell_timeout is None:
+                    timeout = None
+                else:
+                    running = [started[f] for f in outstanding
+                               if f in started]
+                    if running:
+                        deadline = min(running) + retry.cell_timeout
+                        timeout = max(deadline - now, 0.0)
+                    else:
+                        timeout = 0.05  # poll until a worker picks one up
+                done, _ = wait(outstanding, timeout=timeout,
+                               return_when=FIRST_COMPLETED)
                 for future in done:
+                    outstanding.discard(future)
                     i = futures[future]
                     value, run_stats = future.result()
                     self._commit(values, cell_stats, stats, labels, keys,
                                  i, value, run_stats)
+                    committed.add(i)
+                if retry.cell_timeout is not None and not done:
+                    now = perf_counter()
+                    hung = [f for f in outstanding if f in started
+                            and now - started[f] >= retry.cell_timeout]
+                    if hung:
+                        # Can't kill one worker's task without killing
+                        # the pool; abandon the round — committed cells
+                        # stay committed, the rest retry.
+                        stats.cell_timeouts += len(hung)
+                        stats.pool_restarts += 1
+                        clean = False
+                        return committed
+        except BrokenProcessPool:
+            stats.pool_restarts += 1
+            clean = False
+            return committed
+        except BaseException:
+            # A cell function raised: propagate, but tear the pool down
+            # hard first — cells are deterministic, waiting on siblings
+            # buys nothing.
+            clean = False
+            raise
+        finally:
+            if clean:
+                pool.shutdown(wait=True)
+            else:
+                self._terminate_pool(pool)
+        return committed
+
+    @staticmethod
+    def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down without waiting on in-flight cells.
+
+        ``shutdown(cancel_futures=True)`` only cancels *queued* work; a
+        hung or orphaned worker must be terminated directly. `_processes`
+        is private but has been stable across CPython 3.7–3.13, and the
+        fallback is merely a slower shutdown.
+        """
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)

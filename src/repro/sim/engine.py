@@ -96,11 +96,43 @@ class Engine:
         self._heap_high_water = 0
         self._wall_seconds = 0.0
         self._profiler = None
+        # Per-key clock offsets for fault injection (empty in normal runs;
+        # the read path special-cases the empty dict so un-faulted
+        # simulations never pay for the lookup).
+        self._clock_offsets: Dict[str, float] = {}
 
     @property
     def now(self) -> float:
         """Current simulation time in seconds."""
         return self._now
+
+    # ------------------------------------------------------------------
+    # Per-key clock views (fault injection: clock skew)
+    # ------------------------------------------------------------------
+    def set_clock_offset(self, key: str, offset: float) -> None:
+        """Skew the clock view of *key* (a host name) by *offset* seconds.
+
+        Engine scheduling is unaffected — offsets only change what
+        :meth:`now_for` reports, modelling a host whose wall clock reads
+        (puzzle timestamps, cookie timestamps) have drifted while its
+        monotonic timers keep firing on schedule. ``offset=0`` removes
+        the entry.
+        """
+        if offset:
+            self._clock_offsets[key] = offset
+        else:
+            self._clock_offsets.pop(key, None)
+
+    def clock_offset(self, key: str) -> float:
+        """The current clock offset for *key* (0.0 when unskewed)."""
+        return self._clock_offsets.get(key, 0.0)
+
+    def now_for(self, key: str) -> float:
+        """*key*'s view of the current time: ``now`` plus any skew."""
+        offsets = self._clock_offsets
+        if not offsets:
+            return self._now
+        return self._now + offsets.get(key, 0.0)
 
     @property
     def events_processed(self) -> int:

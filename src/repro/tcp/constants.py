@@ -14,6 +14,11 @@ DEFAULT_SYNACK_TIMEOUT = 1.0    # initial SYN-ACK retransmission timeout (s)
 #: puzzle protection) locked for an entire attack. Lowering this weakens
 #: the defense: strands expire, openings leak unchallenged attackers.
 DEFAULT_SYNACK_RETRIES = 5
+#: Cap on the exponential SYN-ACK retransmission backoff, mirroring
+#: Linux's TCP_RTO_MAX (60 s). Without the clamp, a raised
+#: ``synack_retries`` lets ``timeout * 2**retransmits`` grow without
+#: bound and half-open state outlives any plausible peer.
+MAX_SYNACK_TIMEOUT = 60.0
 DEFAULT_SYN_TIMEOUT = 1.0       # client SYN retransmission timeout (s)
 DEFAULT_SYN_RETRIES = 4         # client SYN retransmissions before failing
 DEFAULT_MSS = 1460

@@ -32,6 +32,7 @@ from repro.tcp.constants import (
     DEFAULT_MSS,
     DEFAULT_SYNACK_RETRIES,
     DEFAULT_SYNACK_TIMEOUT,
+    MAX_SYNACK_TIMEOUT,
     DefenseMode,
 )
 from repro.tcp.connection import ServerConnection
@@ -74,6 +75,12 @@ class DefenseConfig:
     #: completion churn create, or in-flight plain ACKs chain through the
     #: transient gaps at the accept-drain rate (see DESIGN.md).
     ack_discipline_hold: float = 2.0
+    #: Reap SYN-cache records older than this many seconds (BSD reaps a
+    #: syncache entry once its SYN-ACK retries are exhausted). ``None``
+    #: (the default) keeps the churn-only baseline the paper discusses;
+    #: the chaos harness sets it so the "cache entries always expire"
+    #: invariant is enforceable.
+    syncache_lifetime: Optional[float] = None
 
 
 @dataclass
@@ -127,6 +134,10 @@ class ListenSocket:
             self.config.syncache = SynCache()
         if self.config.syncache is not None:
             self.config.syncache.mib = self.mib
+        self._syncache_reaper = None
+        if (self.config.syncache is not None
+                and self.config.syncache_lifetime is not None):
+            self._arm_syncache_reaper()
         self._attack_until = 0.0
         #: Called whenever a connection lands in the accept queue.
         self.on_acceptable: Optional[Callable[[], None]] = None
@@ -266,9 +277,12 @@ class ListenSocket:
         # so the listen queue's strand lock erodes as a trickle of
         # individually-refilled openings instead of periodic mass waves.
         jitter = tcb.timeout_scale * self.host.rng.uniform(0.9, 1.1)
-        timeout = self.config.synack_timeout * (2 ** tcb.retransmits) * jitter
+        # Exponential backoff clamped at MAX_SYNACK_TIMEOUT (TCP_RTO_MAX):
+        # past the cap every further retry waits the cap, not 2x more.
+        base = min(self.config.synack_timeout * (2 ** tcb.retransmits),
+                   MAX_SYNACK_TIMEOUT)
         tcb.timer = self.host.engine.schedule(
-            timeout, self._synack_timeout, tcb)
+            base * jitter, self._synack_timeout, tcb)
 
     def _synack_timeout(self, tcb: HalfOpenTCB) -> None:
         if self.listen_queue.get(tcb.flow) is not tcb:
@@ -284,6 +298,18 @@ class ListenSocket:
         self._send_plain_synack(tcb)
         self._arm_synack_timer(tcb)
 
+    def _arm_syncache_reaper(self) -> None:
+        # Sweep at a quarter of the lifetime: entries overstay by at most
+        # one sweep interval, which the invariant checker's bound allows.
+        interval = self.config.syncache_lifetime / 4.0
+        self._syncache_reaper = self.host.engine.schedule(
+            interval, self._syncache_reap)
+
+    def _syncache_reap(self) -> None:
+        cutoff = self.host.engine.now - self.config.syncache_lifetime
+        self.config.syncache.expire_older_than(cutoff)
+        self._arm_syncache_reaper()
+
     def _send_challenge(self, packet: Packet) -> None:
         scheme = self.config.scheme
         binding = FlowBinding(src_ip=packet.src_ip, dst_ip=packet.dst_ip,
@@ -293,8 +319,10 @@ class ListenSocket:
         if self.config.fairness is not None:
             params = self.config.fairness.difficulty_for(
                 packet.src_ip, self.host.engine.now)
+        # Timestamp reads go through the host's wall-clock view (engine
+        # time plus injected skew) — timers elsewhere stay monotonic.
         challenge = scheme.make_challenge(
-            params, binding, self.host.engine.now,
+            params, binding, self.host.now,
             counter=self.host.hash_counter)
         self.host.cpu.consume(1)  # g(p) = 1 hash of server CPU time
         self.stats.synacks_challenge += 1
@@ -311,7 +339,7 @@ class ListenSocket:
 
     def _send_cookie_synack(self, packet: Packet) -> None:
         cookie = self._cookie_codec.encode(
-            self.host.engine.now, packet.src_ip, packet.src_port,
+            self.host.now, packet.src_ip, packet.src_port,
             self.port, packet.seq, packet.options.mss or DEFAULT_MSS)
         self.stats.synacks_cookie += 1
         self.mib.incr("SynCookiesSent")
@@ -385,7 +413,7 @@ class ListenSocket:
 
         if self.config.mode is DefenseMode.SYNCOOKIES:
             state = self._cookie_codec.decode(
-                self.host.engine.now, (packet.ack - 1) & 0xFFFFFFFF,
+                self.host.now, (packet.ack - 1) & 0xFFFFFFFF,
                 packet.src_ip, packet.src_port, self.port,
                 (packet.seq - 1) & 0xFFFFFFFF)
             if state is not None:
@@ -453,7 +481,7 @@ class ListenSocket:
                 return True
             expected = solution.params
         result = scheme.verify(
-            solution, binding, self.host.engine.now,
+            solution, binding, self.host.now,
             expected, rng=self.host.rng,
             counter=self.host.hash_counter)
         self.host.cpu.consume(result.hashes_spent)
@@ -521,6 +549,33 @@ class ListenSocket:
         if self.on_acceptable is not None:
             self.on_acceptable()
         return True
+
+    # ------------------------------------------------------------------
+    # Fault injection: memory pressure
+    # ------------------------------------------------------------------
+    def apply_memory_pressure(self, listen_backlog: Optional[int] = None,
+                              accept_backlog: Optional[int] = None,
+                              syncache_limit: Optional[int] = None
+                              ) -> dict:
+        """Resize queue capacities mid-run, reclaiming overflow.
+
+        Passing a smaller bound evicts entries immediately (oldest
+        half-opens, newest un-accepted connections, oldest cache records);
+        a larger bound restores headroom without creating state. Returns
+        ``{"listen": n, "accept": n, "syncache": n}`` eviction counts.
+        """
+        evicted = {"listen": 0, "accept": 0, "syncache": 0}
+        if listen_backlog is not None:
+            evicted["listen"] = self.listen_queue.resize(listen_backlog)
+        if accept_backlog is not None:
+            shed = self.accept_queue.resize(accept_backlog)
+            for connection in shed:
+                self.stack.forget_server(connection)
+            evicted["accept"] = len(shed)
+        if syncache_limit is not None and self.config.syncache is not None:
+            evicted["syncache"] = self.config.syncache.set_bucket_limit(
+                syncache_limit)
+        return evicted
 
     # ------------------------------------------------------------------
     # App interface

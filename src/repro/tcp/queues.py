@@ -36,6 +36,8 @@ class ListenQueue:
         self.drops_full = 0        # SYNs rejected because the queue was full
         self.expired = 0           # half-opens reaped after retry exhaustion
         self.completed = 0         # half-opens promoted to ESTABLISHED
+        self.admitted = 0          # half-opens actually inserted
+        self.pressure_evicted = 0  # reclaimed by injected memory pressure
         #: Optional repro.obs CounterScope; the owning listener attaches
         #: its host's so queue events land in the SNMP counters too.
         self.mib = None
@@ -66,6 +68,7 @@ class ListenQueue:
                 self.mib.incr("ListenOverflows")
             return False
         self._table[tcb.flow] = tcb
+        self.admitted += 1
         return True
 
     def complete(self, flow: Flow) -> Optional[HalfOpenTCB]:
@@ -73,6 +76,10 @@ class ListenQueue:
         tcb = self._table.pop(flow, None)
         if tcb is not None:
             tcb.cancel_timer()
+            # The backoff schedule is per-handshake: a retransmission
+            # count carried past completion would inflate the timeout of
+            # any code path that reuses the TCB.
+            tcb.retransmits = 0
             self.completed += 1
         return tcb
 
@@ -85,6 +92,26 @@ class ListenQueue:
             if self.mib is not None:
                 self.mib.incr("HalfOpenExpired")
         return tcb
+
+    def resize(self, backlog: int) -> int:
+        """Change the backlog bound, evicting oldest-first on shrink.
+
+        Models memory-pressure reclaim (``tcp_syn_retries`` pruning under
+        ``tcp_mem`` pressure): entries beyond the new bound are reaped
+        immediately, their timers cancelled. Returns the eviction count.
+        """
+        if backlog < 1:
+            raise SimulationError(f"backlog must be >= 1, got {backlog}")
+        evicted = 0
+        while len(self._table) > backlog:
+            _, tcb = self._table.popitem(last=False)
+            tcb.cancel_timer()
+            evicted += 1
+        self.pressure_evicted += evicted
+        if evicted and self.mib is not None:
+            self.mib.incr("MemoryPressureReclaims", evicted)
+        self.backlog = backlog
+        return evicted
 
     def values(self) -> Iterator[HalfOpenTCB]:
         return iter(self._table.values())
@@ -106,6 +133,7 @@ class AcceptQueue:
         self.drops_full = 0
         self.enqueued = 0
         self.accepted = 0
+        self.pressure_evicted = 0  # reclaimed by injected memory pressure
         self.mib = None  # see ListenQueue.mib
 
     def __len__(self) -> int:
@@ -131,6 +159,24 @@ class AcceptQueue:
             return None
         self.accepted += 1
         return self._queue.popleft()
+
+    def resize(self, backlog: int) -> list:
+        """Change the backlog bound; returns connections evicted on shrink.
+
+        Newest entries go first — they are the ones the application has
+        never seen, so shedding them is the least-surprising reclaim. The
+        caller must deregister the returned connections from the stack.
+        """
+        if backlog < 1:
+            raise SimulationError(f"backlog must be >= 1, got {backlog}")
+        evicted = []
+        while len(self._queue) > backlog:
+            evicted.append(self._queue.pop())
+        self.pressure_evicted += len(evicted)
+        if evicted and self.mib is not None:
+            self.mib.incr("MemoryPressureReclaims", len(evicted))
+        self.backlog = backlog
+        return evicted
 
     def clear(self) -> None:
         self._queue.clear()

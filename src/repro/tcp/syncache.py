@@ -51,6 +51,7 @@ class SynCache:
         self.evictions = 0
         self.insertions = 0
         self.completions = 0
+        self.expired = 0
         #: Optional repro.obs CounterScope (attached by the listener).
         self.mib = None
 
@@ -104,4 +105,39 @@ class SynCache:
             for flow in stale:
                 del bucket[flow]
                 reaped += 1
+        self.expired += reaped
+        if reaped and self.mib is not None:
+            self.mib.incr("SynCacheExpired", reaped)
+        return reaped
+
+    def oldest_created_at(self) -> Optional[float]:
+        """Creation time of the oldest live record (None when empty).
+
+        O(n); used by the runtime invariant checker to assert that the
+        reaper keeps every record younger than its lifetime bound.
+        """
+        oldest: Optional[float] = None
+        for bucket in self._buckets:
+            for entry in bucket.values():
+                if oldest is None or entry.created_at < oldest:
+                    oldest = entry.created_at
+        return oldest
+
+    def set_bucket_limit(self, limit: int) -> int:
+        """Retune the per-bucket bound, evicting oldest-first on shrink.
+
+        The memory-pressure injector uses this to model the cache losing
+        pages mid-attack. Returns how many records were evicted.
+        """
+        if limit < 1:
+            raise SimulationError(f"bucket_limit must be >= 1, got {limit}")
+        reaped = 0
+        for bucket in self._buckets:
+            while len(bucket) > limit:
+                bucket.popitem(last=False)
+                reaped += 1
+        self.evictions += reaped
+        if reaped and self.mib is not None:
+            self.mib.incr("SynCacheEvictions", reaped)
+        self.bucket_limit = limit
         return reaped

@@ -1,0 +1,79 @@
+"""The fault layer's determinism contract.
+
+Same ``(seed, FaultSchedule)`` ⇒ byte-identical exports, whether the
+cells run serially or across pool workers; a changed schedule addresses
+a different cache key. This is what makes chaos cells cacheable at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scenario import ScenarioConfig
+from repro.faults.chaos import ChaosSpec, run_chaos_summary
+from repro.faults.schedule import FaultSchedule, LossBurst, OptionCorruption
+from repro.runner import SweepRunner, cells_to_jsonl
+from repro.runner.hashing import cell_key
+
+
+def _config(seed=3):
+    return ScenarioConfig(seed=seed, time_scale=0.01, n_clients=2,
+                          n_attackers=1, attack_style="connect",
+                          always_challenge=True)
+
+
+def _specs():
+    config = _config()
+    return [
+        ChaosSpec(config=config, schedule=FaultSchedule()),
+        ChaosSpec(config=config, schedule=FaultSchedule(
+            loss_bursts=(LossBurst(1.0, 4.0, loss_bad=0.5),))),
+        ChaosSpec(config=config, schedule=FaultSchedule(
+            corruption=(OptionCorruption(1.0, 4.0, probability=0.5),))),
+    ]
+
+
+class TestByteIdentical:
+    @pytest.mark.slow
+    def test_parallel_equals_serial(self):
+        serial = SweepRunner(jobs=1).map(run_chaos_summary, _specs())
+        parallel = SweepRunner(jobs=2).map(run_chaos_summary, _specs())
+        assert cells_to_jsonl(serial.values) == \
+            cells_to_jsonl(parallel.values)
+
+    def test_repeat_runs_are_byte_identical(self):
+        spec = _specs()[1]
+        first = cells_to_jsonl([run_chaos_summary(spec)])
+        second = cells_to_jsonl([run_chaos_summary(spec)])
+        assert first == second
+
+    def test_faults_actually_perturb_the_run(self):
+        baseline, lossy, _ = _specs()
+        clean = run_chaos_summary(baseline)
+        faulted = run_chaos_summary(lossy)
+        assert clean.fault_stats is None
+        assert faulted.fault_stats is not None
+        assert faulted.fault_stats.get("link_burst_losses", 0) > 0
+        assert cells_to_jsonl([clean]) != cells_to_jsonl([faulted])
+
+
+class TestCacheKeys:
+    def test_schedule_is_part_of_the_key(self):
+        specs = _specs()
+        keys = {cell_key(run_chaos_summary, spec) for spec in specs}
+        assert len(keys) == len(specs)
+
+    def test_equal_schedules_share_a_key(self):
+        a = ChaosSpec(config=_config(), schedule=FaultSchedule(
+            loss_bursts=[LossBurst(1.0, 4.0)]))
+        b = ChaosSpec(config=_config(), schedule=FaultSchedule(
+            loss_bursts=(LossBurst(1.0, 4.0),)))
+        assert cell_key(run_chaos_summary, a) == \
+            cell_key(run_chaos_summary, b)
+
+    def test_seed_is_part_of_the_key(self):
+        schedule = FaultSchedule(loss_bursts=(LossBurst(1.0, 4.0),))
+        a = ChaosSpec(config=_config(seed=3), schedule=schedule)
+        b = ChaosSpec(config=_config(seed=4), schedule=schedule)
+        assert cell_key(run_chaos_summary, a) != \
+            cell_key(run_chaos_summary, b)

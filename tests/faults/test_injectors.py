@@ -1,0 +1,209 @@
+"""Fault injectors: determinism, wiring, and per-layer behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    ClockSkew,
+    FaultInjector,
+    FaultSchedule,
+    LinkFlap,
+    LossBurst,
+    MemoryPressure,
+    OptionCorruption,
+    SecretRotation,
+)
+from repro.faults.injectors import FaultStats, LinkFault, OptionCorruptor
+from repro.net.packet import Packet, TCPFlags, TCPOptions
+from repro.puzzles.juels import Challenge, FlowBinding, Solution
+from repro.puzzles.params import PuzzleParams
+from repro.sim.rng import RngStreams
+from repro.tcp.listener import DefenseConfig
+
+
+def _classify_sequence(seed, times):
+    fault = LinkFault(
+        flaps=(), bursts=(LossBurst(0.0, 100.0, loss_bad=0.5,
+                                    loss_good=0.1),),
+        rng=RngStreams(seed).get("faults/link/x"), stats=FaultStats())
+    return [fault.classify(t) for t in times]
+
+
+class TestLinkFault:
+    def test_flap_window_reports_down(self):
+        stats = FaultStats()
+        fault = LinkFault(flaps=(LinkFlap(1.0, 2.0),), bursts=(),
+                          rng=None, stats=stats)
+        assert fault.classify(0.5) is None
+        assert fault.classify(1.5) == "down"
+        assert fault.classify(2.5) is None
+        assert stats.get("link_flap_drops") == 1
+
+    def test_burst_losses_only_inside_window(self):
+        stats = FaultStats()
+        fault = LinkFault(
+            flaps=(),
+            bursts=(LossBurst(1.0, 2.0, p_good_bad=1.0, loss_bad=1.0),),
+            rng=RngStreams(3).get("faults/link/x"), stats=stats)
+        assert fault.classify(0.5) is None
+        assert fault.classify(1.5) == "loss"  # chain forced into bad
+        assert fault.classify(5.0) is None
+        assert stats.get("link_burst_losses") == 1
+
+    def test_same_seed_replays_the_same_verdicts(self):
+        times = [0.1 * i for i in range(200)]
+        assert _classify_sequence(9, times) == _classify_sequence(9, times)
+
+    def test_different_seed_diverges(self):
+        times = [0.1 * i for i in range(200)]
+        assert _classify_sequence(9, times) != _classify_sequence(10, times)
+
+
+def _solution_packet(params):
+    solution = Solution(params=params,
+                        solutions=[bytes(params.length_bytes)] * params.k,
+                        issued_at_ms=0)
+    return Packet(src_ip=1, dst_ip=2, src_port=1000, dst_port=80, seq=1,
+                  flags=TCPFlags.ACK,
+                  options=TCPOptions(mss=1460, solution=solution))
+
+
+def _challenge_packet(params):
+    binding = FlowBinding(src_ip=1, dst_ip=2, src_port=1000, dst_port=80,
+                          isn=7)
+    challenge = Challenge(params=params,
+                          preimage=bytes(params.length_bytes),
+                          issued_at_ms=0, binding=binding)
+    return Packet(src_ip=2, dst_ip=1, src_port=80, dst_port=1000, seq=1,
+                  flags=TCPFlags.SYN | TCPFlags.ACK,
+                  options=TCPOptions(mss=1460, challenge=challenge))
+
+
+class TestOptionCorruptor:
+    PARAMS = PuzzleParams(k=2, m=8)
+
+    def _corruptor(self, probability=1.0, seed=1):
+        stats = FaultStats()
+        return OptionCorruptor(
+            (OptionCorruption(0.0, 10.0, probability=probability),),
+            RngStreams(seed).get("faults/corruption"), stats), stats
+
+    def test_flips_one_bit_of_a_solution_keeping_length(self):
+        corruptor, stats = self._corruptor()
+        packet = _solution_packet(self.PARAMS)
+        original = list(packet.options.solution.solutions)
+        corruptor(0.5, packet)
+        mutated = packet.options.solution.solutions
+        assert stats.get("corrupted_solutions") == 1
+        assert [len(s) for s in mutated] == [len(s) for s in original]
+        diff = [(a, b) for a, b in zip(original, mutated) if a != b]
+        assert len(diff) == 1
+        a, b = diff[0]
+        assert sum(bin(x ^ y).count("1") for x, y in zip(a, b)) == 1
+
+    def test_flips_challenge_preimage_keeping_length(self):
+        corruptor, stats = self._corruptor()
+        packet = _challenge_packet(self.PARAMS)
+        original = packet.options.challenge.preimage
+        corruptor(0.5, packet)
+        mutated = packet.options.challenge.preimage
+        assert stats.get("corrupted_challenges") == 1
+        assert len(mutated) == len(original)
+        assert mutated != original
+
+    def test_ignores_packets_without_puzzle_options(self):
+        corruptor, stats = self._corruptor()
+        plain = Packet(src_ip=1, dst_ip=2, src_port=1, dst_port=80, seq=1,
+                      flags=TCPFlags.SYN, options=TCPOptions(mss=1460))
+        corruptor(0.5, plain)
+        assert stats.snapshot() == {}
+
+    def test_respects_window_and_probability(self):
+        corruptor, stats = self._corruptor(probability=0.0)
+        corruptor(0.5, _solution_packet(self.PARAMS))
+        corruptor(99.0, _solution_packet(self.PARAMS))  # outside window
+        assert stats.snapshot() == {}
+
+
+class TestInstall:
+    def test_link_faults_attach_only_to_matching_links(self, mini_net):
+        schedule = FaultSchedule(
+            link_flaps=(LinkFlap(0.0, 1.0, links="server->r1"),))
+        FaultInjector(schedule, seed=2).install(
+            mini_net.engine, mini_net.network)
+        faulted = {link.name for link in mini_net.topology.all_links()
+                   if link.fault is not None}
+        assert faulted == {"server->r1"}
+
+    def test_wildcard_matches_every_link(self, mini_net):
+        schedule = FaultSchedule(loss_bursts=(LossBurst(0.0, 1.0),))
+        FaultInjector(schedule, seed=2).install(
+            mini_net.engine, mini_net.network)
+        assert all(link.fault is not None
+                   for link in mini_net.topology.all_links())
+
+    def test_corruption_hooks_the_network(self, mini_net):
+        schedule = FaultSchedule(corruption=(OptionCorruption(0.0, 1.0),))
+        FaultInjector(schedule, seed=2).install(
+            mini_net.engine, mini_net.network)
+        assert isinstance(mini_net.network.packet_fault, OptionCorruptor)
+
+    def test_empty_schedule_touches_nothing(self, mini_net):
+        FaultInjector(FaultSchedule(), seed=2).install(
+            mini_net.engine, mini_net.network)
+        assert mini_net.network.packet_fault is None
+        assert all(link.fault is None
+                   for link in mini_net.topology.all_links())
+
+    def test_clock_skew_moves_one_hosts_wall_clock(self, mini_net):
+        schedule = FaultSchedule(
+            clock_skews=(ClockSkew(host="server", at=0.5, offset=5.0),))
+        injector = FaultInjector(schedule, seed=2)
+        injector.install(mini_net.engine, mini_net.network)
+        mini_net.run(until=1.0)
+        engine = mini_net.engine
+        assert engine.now_for("server") == pytest.approx(engine.now + 5.0)
+        assert engine.now_for("client0") == pytest.approx(engine.now)
+        assert injector.stats.get("clock_skew_steps") == 1
+
+    def test_jittered_skew_redraws_around_offset(self, mini_net):
+        schedule = FaultSchedule(
+            clock_skews=(ClockSkew(host="server", at=0.1, offset=5.0,
+                                   jitter=0.5, interval=0.2),))
+        injector = FaultInjector(schedule, seed=2)
+        injector.install(mini_net.engine, mini_net.network)
+        mini_net.run(until=2.0)
+        engine = mini_net.engine
+        offset = engine.now_for("server") - engine.now
+        assert 4.5 <= offset <= 5.5
+        assert injector.stats.get("clock_jitter_redraws") >= 5
+
+    def test_memory_pressure_shrinks_then_restores(self, mini_net):
+        listener = mini_net.server.tcp.listen(80, DefenseConfig())
+        schedule = FaultSchedule(
+            memory_pressure=(MemoryPressure(0.5, 1.0,
+                                            listen_factor=0.25),))
+        injector = FaultInjector(schedule, seed=2)
+        injector.install(mini_net.engine, mini_net.network, listener)
+        original = listener.listen_queue.backlog
+        mini_net.run(until=0.75)
+        assert listener.listen_queue.backlog == max(1, original // 4)
+        mini_net.run(until=1.5)
+        assert listener.listen_queue.backlog == original
+        assert injector.stats.get("pressure_events") == 1
+        assert injector.stats.get("pressure_restores") == 1
+
+    def test_secret_rotation_changes_the_server_key(self, mini_net):
+        listener = mini_net.server.tcp.listen(80, DefenseConfig())
+        schedule = FaultSchedule(
+            secret_rotations=(SecretRotation(times=(0.25, 0.75)),))
+        injector = FaultInjector(schedule, seed=2)
+        injector.install(mini_net.engine, mini_net.network, listener)
+        before = listener.config.scheme.secret.current
+        mini_net.run(until=0.5)
+        after_one = listener.config.scheme.secret.current
+        mini_net.run(until=1.0)
+        after_two = listener.config.scheme.secret.current
+        assert len({before, after_one, after_two}) == 3
+        assert injector.stats.get("secret_rotations") == 2

@@ -14,7 +14,7 @@ from repro.runner import (
     cell_key,
     default_cache_dir,
 )
-from repro.runner.cache import CACHE_DIR_ENV
+from repro.runner.cache import CACHE_COUNTERS, CACHE_DIR_ENV
 
 
 @dataclass(frozen=True)
@@ -59,9 +59,27 @@ class TestResultCache:
         cache.put(key, {"value": 49})
         path = cache._path(key)
         path.write_bytes(b"not a pickle")
-        assert cache.get(key) is None
+        before = CACHE_COUNTERS.get("cache_corrupt_entries")
+        with pytest.warns(RuntimeWarning, match="corrupt entry"):
+            assert cache.get(key) is None
         assert cache.stats.errors == 1
         assert not path.exists()
+        assert CACHE_COUNTERS.get("cache_corrupt_entries") == before + 1
+        # the next lookup is a quiet miss, then the cell is recomputable
+        assert cache.get(key) is None
+        assert cache.stats.errors == 1
+
+    def test_torn_pickle_from_a_crashed_writer_warns_once(self, cache):
+        key = cell_key(square, Spec(x=8))
+        full = cache.put(key, {"value": 64}).read_bytes()
+        cache._path(key).write_bytes(full[:len(full) // 2])
+        before = CACHE_COUNTERS.get("cache_corrupt_entries")
+        with pytest.warns(RuntimeWarning, match="recomputed"):
+            assert cache.get(key) is None
+        assert CACHE_COUNTERS.get("cache_corrupt_entries") == before + 1
+        cache.put(key, {"value": 64})
+        value, _ = cache.get(key)
+        assert value == {"value": 64}
 
     def test_entries_are_value_stats_pairs(self, cache):
         key = cell_key(square, Spec(x=2))

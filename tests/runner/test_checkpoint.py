@@ -1,0 +1,146 @@
+"""Crash-safe sweep checkpoints: the append-only journal and --resume."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.runner import (
+    ResultCache,
+    SweepCheckpoint,
+    SweepRunner,
+    checkpoint_path,
+)
+
+
+@dataclass(frozen=True)
+class Spec:
+    x: int
+
+
+def square(spec: Spec) -> dict:
+    return {"value": spec.x * spec.x}
+
+
+class TestJournal:
+    def test_record_done_count(self, tmp_path):
+        ckpt = SweepCheckpoint(tmp_path / "sweep.jsonl")
+        assert not ckpt.done("k1")
+        ckpt.record("k1", 0, "cell0")
+        ckpt.record("k2", 1, "cell1")
+        assert ckpt.done("k1") and ckpt.done("k2")
+        assert ckpt.count == 2
+
+    def test_records_are_deduplicated(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        ckpt = SweepCheckpoint(path)
+        for _ in range(3):
+            ckpt.record("k1", 0, "cell0")
+        ckpt.close()
+        assert ckpt.count == 1
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with SweepCheckpoint(path) as ckpt:
+            ckpt.record("k1", 0, "a")
+            ckpt.record("k2", 1, "b")
+        reopened = SweepCheckpoint(path)
+        assert reopened.done("k1") and reopened.done("k2")
+        assert reopened.count == 2
+
+    def test_lines_are_sorted_json(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with SweepCheckpoint(path) as ckpt:
+            ckpt.record("k1", 3, "label")
+        record = json.loads(path.read_text())
+        assert record == {"index": 3, "key": "k1", "label": "label"}
+        assert list(record) == sorted(record)
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        good = json.dumps({"key": "k1", "index": 0, "label": "a"})
+        path.write_text(good + "\n" + '{"key": "k2", "ind')  # torn write
+        ckpt = SweepCheckpoint(path)
+        assert ckpt.done("k1")
+        assert not ckpt.done("k2")
+        assert ckpt.count == 1
+        # and the journal still accepts appends afterwards
+        ckpt.record("k3", 1, "b")
+        ckpt.close()
+        assert SweepCheckpoint(path).done("k3")
+
+    def test_garbage_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        path.write_text('null\n[1, 2]\n\n'
+                        + json.dumps({"key": "k9", "index": 0,
+                                      "label": ""}) + "\n")
+        ckpt = SweepCheckpoint(path)
+        assert ckpt.done("k9")
+        assert ckpt.count == 1
+
+    def test_clear_removes_the_journal(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with SweepCheckpoint(path) as ckpt:
+            ckpt.record("k1", 0, "a")
+        ckpt = SweepCheckpoint(path)
+        ckpt.clear()
+        assert not path.exists()
+        assert SweepCheckpoint(path).count == 0
+
+
+class TestCheckpointPath:
+    def test_deterministic_and_namespaced(self, tmp_path):
+        identity = "f" * 64
+        a = checkpoint_path(identity, root=tmp_path)
+        b = checkpoint_path(identity, root=tmp_path)
+        assert a == b
+        assert a.parent == tmp_path / "checkpoints"
+        assert a.name == f"{identity[:32]}.jsonl"
+        other = checkpoint_path("e" * 64, root=tmp_path)
+        assert other != a
+
+
+class TestResume:
+    def test_resume_skips_completed_cells(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        path = tmp_path / "sweep.jsonl"
+        specs = [Spec(x=i) for i in range(4)]
+
+        with SweepCheckpoint(path) as ckpt:
+            first = SweepRunner(jobs=1, cache=cache,
+                                checkpoint=ckpt).map(square, specs)
+        assert first.stats.cells_run == 4
+        assert SweepCheckpoint(path).count == 4
+
+        with SweepCheckpoint(path) as ckpt:
+            resumed = SweepRunner(jobs=1, cache=cache,
+                                  checkpoint=ckpt).map(square, specs)
+        assert resumed.stats.resumed_cells == 4
+        assert resumed.stats.cache_hits == 4
+        assert resumed.stats.cells_run == 0
+        assert resumed.values == first.values
+
+    def test_partial_checkpoint_reruns_only_the_rest(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        path = tmp_path / "sweep.jsonl"
+        specs = [Spec(x=i) for i in range(4)]
+
+        with SweepCheckpoint(path) as ckpt:
+            SweepRunner(jobs=1, cache=cache,
+                        checkpoint=ckpt).map(square, specs[:2])
+
+        with SweepCheckpoint(path) as ckpt:
+            report = SweepRunner(jobs=1, cache=cache,
+                                 checkpoint=ckpt).map(square, specs)
+        assert report.stats.resumed_cells == 2
+        assert report.stats.cache_hits == 2
+        assert report.stats.cells_run == 2
+        assert SweepCheckpoint(path).count == 4
+
+    def test_checkpoint_without_cache_still_records(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with SweepCheckpoint(path) as ckpt:
+            SweepRunner(jobs=1, checkpoint=ckpt).map(square,
+                                                     [Spec(x=1)])
+        assert SweepCheckpoint(path).count == 1

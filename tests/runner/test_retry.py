@@ -1,0 +1,136 @@
+"""The runner's fault tolerance: crashes, hangs, retries, backoff."""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.runner import RetryPolicy, SweepRunner
+
+
+@dataclass(frozen=True)
+class Spec:
+    """Cell spec carrying a sentinel path (first attempt creates it)."""
+
+    sentinel: str
+    x: int = 0
+
+
+def crash_unless_marked(spec: Spec) -> dict:
+    """Dies hard on the first attempt, succeeds on the retry."""
+    marker = pathlib.Path(spec.sentinel)
+    if marker.exists():
+        return {"x": spec.x, "attempt": 2}
+    marker.write_text("seen")
+    os._exit(13)  # SIGKILL-like: the pool sees a vanished worker
+
+
+def hang_unless_marked(spec: Spec) -> dict:
+    """Hangs past any sane cell timeout on the first attempt only."""
+    marker = pathlib.Path(spec.sentinel)
+    if marker.exists():
+        return {"x": spec.x, "attempt": 2}
+    marker.write_text("seen")
+    time.sleep(120.0)
+    return {"x": spec.x, "attempt": 1}  # pragma: no cover
+
+
+def always_crash(spec: Spec) -> dict:
+    os._exit(13)
+
+
+def raise_value_error(spec: Spec) -> dict:
+    raise ValueError("deterministic cell bug")
+
+
+def well_behaved(spec: Spec) -> dict:
+    return {"x": spec.x}
+
+
+class TestRetryPolicyValidation:
+    def test_bounds(self):
+        with pytest.raises(ExperimentError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ExperimentError):
+            RetryPolicy(cell_timeout=0.0)
+        with pytest.raises(ExperimentError):
+            RetryPolicy(backoff_base=-1.0)
+
+    def test_delay_is_deterministic_and_jittered(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=2.0,
+                             backoff_max=30.0)
+        assert policy.delay("key", 2) == policy.delay("key", 2)
+        assert policy.delay("key", 2) != policy.delay("other", 2)
+        for attempt in (1, 2, 3):
+            raw = min(1.0 * 2.0 ** (attempt - 1), 30.0)
+            assert 0.75 * raw <= policy.delay("key", attempt) <= 1.25 * raw
+
+    def test_delay_respects_the_cap(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=10.0,
+                             backoff_max=2.0)
+        assert policy.delay("key", 9) <= 2.0 * 1.25
+
+
+class TestCrashRecovery:
+    def test_worker_crash_is_retried_and_succeeds(self, tmp_path):
+        runner = SweepRunner(jobs=2, retry=RetryPolicy(
+            max_attempts=3, backoff_base=0.0))
+        spec = Spec(sentinel=str(tmp_path / "crash-marker"), x=7)
+        report = runner.map(crash_unless_marked, [spec])
+        assert report.values == [{"x": 7, "attempt": 2}]
+        assert report.stats.pool_restarts >= 1
+        assert report.stats.retries >= 1
+
+    def test_survivors_of_a_crashed_round_are_not_rerun(self, tmp_path):
+        runner = SweepRunner(jobs=2, retry=RetryPolicy(
+            max_attempts=3, backoff_base=0.0))
+        specs = [Spec(sentinel=str(tmp_path / "m"), x=1),
+                 Spec(sentinel=str(tmp_path / "n"), x=2)]
+        crashed = Spec(sentinel=str(tmp_path / "crash"), x=3)
+        report = runner.map(well_behaved, specs[:1])
+        assert report.values == [{"x": 1}]
+        mixed = runner.map(crash_unless_marked, [crashed])
+        assert mixed.values == [{"x": 3, "attempt": 2}]
+
+    def test_exhausted_retries_raise(self, tmp_path):
+        runner = SweepRunner(jobs=2, retry=RetryPolicy(
+            max_attempts=2, backoff_base=0.0))
+        spec = Spec(sentinel=str(tmp_path / "unused"), x=1)
+        with pytest.raises(ExperimentError,
+                           match="failed 2 attempts"):
+            runner.map(always_crash, [spec], labels=["doomed"])
+
+    def test_cell_exception_propagates_immediately(self, tmp_path):
+        runner = SweepRunner(jobs=2, retry=RetryPolicy(
+            max_attempts=3, backoff_base=0.0))
+        spec = Spec(sentinel=str(tmp_path / "unused"), x=1)
+        with pytest.raises(ValueError, match="deterministic cell bug"):
+            runner.map(raise_value_error, [spec])
+
+
+class TestTimeouts:
+    def test_hung_cell_is_abandoned_and_retried(self, tmp_path):
+        runner = SweepRunner(jobs=2, retry=RetryPolicy(
+            max_attempts=3, cell_timeout=1.0, backoff_base=0.0))
+        spec = Spec(sentinel=str(tmp_path / "hang-marker"), x=9)
+        started = time.monotonic()
+        report = runner.map(hang_unless_marked, [spec])
+        assert report.values == [{"x": 9, "attempt": 2}]
+        assert report.stats.cell_timeouts >= 1
+        assert report.stats.pool_restarts >= 1
+        # the 120 s sleep must have been cut short, not waited out
+        assert time.monotonic() - started < 60.0
+
+    def test_fast_cells_never_hit_the_timeout(self):
+        runner = SweepRunner(jobs=2, retry=RetryPolicy(
+            max_attempts=2, cell_timeout=30.0))
+        report = runner.map(well_behaved,
+                            [Spec(sentinel="-", x=i) for i in range(4)])
+        assert [v["x"] for v in report.values] == [0, 1, 2, 3]
+        assert report.stats.cell_timeouts == 0
+        assert report.stats.retries == 0

@@ -1,0 +1,77 @@
+"""SYN-ACK retransmission backoff: the RTO clamp and counter reset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.packet import Packet, TCPFlags, TCPOptions
+from repro.tcp.constants import MAX_SYNACK_TIMEOUT
+from repro.tcp.listener import DefenseConfig
+
+
+def _half_open(mini_net, **kwargs):
+    kwargs.setdefault("synack_retries", 8)
+    listener = mini_net.server.tcp.listen(80, DefenseConfig(**kwargs))
+    packet = Packet(src_ip=0xAC100001, dst_ip=mini_net.server.address,
+                    src_port=999, dst_port=80, seq=1,
+                    flags=TCPFlags.SYN, options=TCPOptions(mss=1460))
+    mini_net.network.send(mini_net.client, packet)
+    mini_net.run(until=0.05)
+    tcb = next(listener.listen_queue.values())
+    return listener, tcb
+
+
+def _armed_delay(mini_net, tcb):
+    assert tcb.timer is not None and not tcb.timer.cancelled
+    return tcb.timer.time - mini_net.engine.now
+
+
+class TestBackoffClamp:
+    def test_early_retries_double(self, mini_net):
+        listener, tcb = _half_open(mini_net, synack_timeout=1.0)
+        delays = []
+        for retransmits in (0, 1, 2):
+            tcb.cancel_timer()
+            tcb.retransmits = retransmits
+            listener._arm_synack_timer(tcb)
+            delays.append(_armed_delay(mini_net, tcb))
+        # jitter is timeout_scale (0.7–1.3) × uniform(0.9, 1.1): each
+        # doubling dominates the jitter band, so the ordering is strict.
+        assert delays[0] < delays[1] < delays[2]
+        assert delays[1] > delays[0] * 1.2
+        assert delays[2] > delays[1] * 1.2
+
+    def test_deep_retries_clamp_at_rto_max(self, mini_net):
+        listener, tcb = _half_open(mini_net, synack_timeout=30.0)
+        worst = MAX_SYNACK_TIMEOUT * 1.3 * 1.1 + 1e-9
+        for retransmits in (2, 6, 20):
+            tcb.cancel_timer()
+            tcb.retransmits = retransmits
+            listener._arm_synack_timer(tcb)
+            # without the clamp retransmits=20 would be 30 * 2^20 seconds
+            assert _armed_delay(mini_net, tcb) <= worst
+
+    def test_clamped_arms_still_expire(self, mini_net):
+        """The expiry path works even when every arm hits the clamp."""
+        listener, tcb = _half_open(mini_net, synack_timeout=100.0,
+                                   synack_retries=1)
+        mini_net.run(until=3 * MAX_SYNACK_TIMEOUT * 1.43 + 5.0)
+        assert len(listener.listen_queue) == 0
+        assert listener.stats.half_open_expired == 1
+
+
+class TestRetransmitReset:
+    def test_completion_resets_the_counter(self, mini_net):
+        listener, tcb = _half_open(mini_net)
+        tcb.retransmits = 5
+        done = listener.listen_queue.complete(tcb.flow)
+        assert done is tcb
+        assert done.retransmits == 0
+        assert done.timer is None
+
+    def test_expiry_leaves_the_counter_for_diagnostics(self, mini_net):
+        listener, tcb = _half_open(mini_net)
+        tcb.retransmits = 3
+        gone = listener.listen_queue.expire(tcb.flow)
+        assert gone is tcb
+        assert gone.retransmits == 3
