@@ -3,6 +3,17 @@
 Not paper figures — these keep the simulator's performance visible (§7's
 solution-flood analysis turns on the server's hashes/second, benchmarked
 here for real).
+
+The substrate workloads (timer churn, codec roundtrips, syncache churn,
+packet construction, histogram recording, engine dispatch) are defined
+once in :mod:`repro.obs.microbench` and shared with ``tcp-puzzles perf
+micro``: the pytest-benchmark tests below time the *registered* workload
+functions, and :func:`test_micro_manifests` runs the whole registry
+through the self-timing harness so the numbers land as versioned
+``benchmarks/output/BENCH_micro_*.json`` manifests instead of staying
+pytest-only terminal output. The raw-crypto benchmarks (hash rate,
+real solve/verify) stay local — they measure the machine, not the
+package's hot paths.
 """
 
 import random
@@ -11,16 +22,16 @@ import pytest
 
 from repro.crypto.hashcash import find_partial_preimage
 from repro.crypto.sha256 import sha256
-from repro.puzzles.codec import (
-    decode_challenge,
-    decode_solution,
-    encode_challenge,
-    encode_solution,
+from repro.obs.microbench import (
+    REGISTRY,
+    render_results,
+    run_micro,
+    self_check,
+    write_micro_manifests,
 )
 from repro.puzzles.juels import (
     FlowBinding,
     JuelsBrainardScheme,
-    ModeledSolver,
     RealSolver,
 )
 from repro.puzzles.params import PuzzleParams
@@ -29,7 +40,22 @@ from repro.sim.engine import Engine
 BINDING = FlowBinding(src_ip=0x0A000002, dst_ip=0x0A000001,
                       src_port=43210, dst_port=80, isn=7)
 
+#: pytest-benchmark iteration counts per registered workload — small
+#: enough to keep the benchmark session quick; ``perf micro`` runs the
+#: full default_iterations.
+BENCH_ITERATIONS = {
+    "timer_churn": 20_000,
+    "engine_dispatch": 30_000,
+    "puzzle_codec": 5_000,
+    "syncache_churn": 10_000,
+    "packet_churn": 5_000,
+    "hist_record": 40_000,
+}
 
+
+# ----------------------------------------------------------------------
+# Raw crypto (machine-level rates; not registry workloads)
+# ----------------------------------------------------------------------
 def test_sha256_rate(benchmark):
     """Raw hash rate of this machine (cf. Figure 3(a) and §7's 10.8 M/s)."""
     payload = b"\x5a" * 64
@@ -63,28 +89,27 @@ def test_real_verification(benchmark):
     assert result.ok
 
 
-def test_modeled_solve(benchmark):
-    """The simulator's per-connection solve cost (sampling, no hashing)."""
-    scheme = JuelsBrainardScheme(mode="modeled")
-    challenge = scheme.make_challenge(PuzzleParams(k=2, m=17), BINDING,
-                                      1.0)
-    rng = random.Random(5)
-    benchmark(ModeledSolver().solve, challenge, rng)
+def test_brute_force_hash_rate(benchmark):
+    """Sustained hashcash search rate (the attacker's real-world cost)."""
+    puzzle = b"\x42" * 8
+
+    def solve():
+        return find_partial_preimage(puzzle, 0, 10, 8)
+
+    solution, attempts = benchmark(solve)
+    assert attempts >= 1
 
 
-def test_codec_roundtrip(benchmark):
-    scheme = JuelsBrainardScheme(mode="modeled")
-    params = PuzzleParams(k=2, m=17)
-    challenge = scheme.make_challenge(params, BINDING, 1.0)
-    solution = ModeledSolver().solve(challenge, random.Random(5))
-
-    def roundtrip():
-        blob = encode_challenge(challenge)
-        decode_challenge(blob, BINDING)
-        sblob = encode_solution(solution)
-        decode_solution(sblob, params)
-
-    benchmark(roundtrip)
+# ----------------------------------------------------------------------
+# Registered substrate workloads, timed by pytest-benchmark
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(BENCH_ITERATIONS))
+def test_registered_workload(benchmark, name):
+    """pytest-benchmark view of each registry workload (same code path
+    ``perf micro`` manifests; numbers here are for interactive runs)."""
+    bench = REGISTRY[name]
+    counters = benchmark(bench.fn, BENCH_ITERATIONS[name])
+    assert counters, f"workload {name} returned no work counters"
 
 
 def test_handshake_throughput(benchmark):
@@ -122,30 +147,20 @@ def test_handshake_throughput(benchmark):
     assert established == 200
 
 
-def test_engine_event_throughput(benchmark):
-    """Events/second of the DES core (drives scenario wall time)."""
+# ----------------------------------------------------------------------
+# The manifest leg: registry -> BENCH_micro_*.json
+# ----------------------------------------------------------------------
+def test_micro_manifests(output_dir):
+    """Run the full registry through the self-timing harness and persist
+    one ``BENCH_micro_<name>.json`` per benchmark — the files the
+    ``tcp-puzzles perf compare`` / CI gate diff."""
+    from benchmarks.conftest import emit
 
-    def run_10k():
-        engine = Engine()
-
-        def chain(remaining: int):
-            if remaining:
-                engine.schedule(0.001, chain, remaining - 1)
-
-        chain(10_000)
-        engine.run()
-        return engine.events_processed
-
-    count = benchmark(run_10k)
-    assert count == 10_000
-
-
-def test_brute_force_hash_rate(benchmark):
-    """Sustained hashcash search rate (the attacker's real-world cost)."""
-    puzzle = b"\x42" * 8
-
-    def solve():
-        return find_partial_preimage(puzzle, 0, 10, 8)
-
-    solution, attempts = benchmark(solve)
-    assert attempts >= 1
+    results = run_micro(repeats=3, scale=0.25)
+    for result in results:
+        self_check(result)
+    paths = write_micro_manifests(results, output_dir)
+    assert len(paths) == len(REGISTRY)
+    assert any(path.name == "BENCH_micro_timer_churn.json"
+               for path in paths)
+    emit("micro_suite", render_results(results))

@@ -12,7 +12,11 @@
 #      checking the SNMP counters are wired end to end;
 #   4. a bench-compare smoke: a tiny run's manifest must self-compare
 #      clean, and a perturbed-quantile copy must fail the gate;
-#   5. a chaos smoke: a small fault matrix with the runtime invariant
+#   5. a micro-bench smoke: the `perf micro` harness at a tiny scale must
+#      self-compare clean through `perf compare`, and a perturbed per-op
+#      p95 must fail the gate; the manifests land in benchmarks/output/
+#      for the CI artifact upload;
+#   6. a chaos smoke: a small fault matrix with the runtime invariant
 #      checker attached must pass, and a deliberately corrupted queue
 #      accounting must make the checker raise (the negative control).
 
@@ -77,6 +81,46 @@ if python -m repro.cli bench-compare "$smokedir/base" "$smokedir/bad" \
     echo "bench-compare smoke: perturbed quantile should fail" >&2
     exit 1
 fi
+
+echo "== micro-bench smoke =="
+# A tiny full-registry run -> micro manifests. The gate compares an
+# identical copy (self-compare must pass regardless of wall noise), then
+# a perturbed per-op p95 copy (must fail). The manifests also land in
+# benchmarks/output/ so CI uploads them next to the scenario manifests.
+python -m repro.cli perf micro --scale 0.05 --repeats 2 \
+    --output "$smokedir/micro/base" > /dev/null
+cp -r "$smokedir/micro/base" "$smokedir/micro/cur"
+cp "$smokedir/micro/base"/BENCH_micro_*.json benchmarks/output/
+python -m repro.cli perf compare "$smokedir/micro/base" \
+    "$smokedir/micro/cur" || {
+    echo "micro smoke: self-compare should pass" >&2
+    exit 1
+}
+cp -r "$smokedir/micro/base" "$smokedir/micro/bad"
+python - "$smokedir/micro/bad/BENCH_micro_timer_churn.json" <<'PYEOF'
+import json, pathlib, sys
+
+path = pathlib.Path(sys.argv[1])
+body = json.loads(path.read_text())
+body["histograms"]["micro_op.timer_churn"]["quantiles"]["p95"] *= 10.0
+path.write_text(json.dumps(body))
+PYEOF
+if python -m repro.cli perf compare "$smokedir/micro/base" \
+        "$smokedir/micro/bad" > /dev/null; then
+    echo "micro smoke: perturbed per-op p95 should fail" >&2
+    exit 1
+fi
+# Attribution profiler + flamegraph smoke on a tiny flood.
+perf_out=$(python -m repro.cli perf profile --time-scale 0.01 \
+    --clients 2 --attackers 1 --flame "$smokedir/flame.txt")
+echo "$perf_out" | grep -q "per-component attribution:" || {
+    echo "perf smoke: component attribution table missing" >&2
+    exit 1
+}
+[ -s "$smokedir/flame.txt" ] || {
+    echo "perf smoke: flamegraph export is empty" >&2
+    exit 1
+}
 
 echo "== chaos smoke =="
 # A small fault matrix with invariants on every cell. --output drops the

@@ -18,7 +18,14 @@ Subcommands mirror the paper's workflow:
   handshake spans as Chrome trace-event JSON (``--format=chrome``);
 * ``bench-compare`` — diff two ``BENCH_*.json`` manifest directories
   (counters, events/s, latency quantiles) inside tolerance bands and
-  exit non-zero on regression — the CI perf gate.
+  exit non-zero on regression — the CI perf gate;
+* ``perf``     — the performance-observability toolkit:
+  ``perf micro`` runs the deterministic micro-benchmark registry and
+  writes ``BENCH_micro_*.json`` manifests, ``perf profile`` runs a
+  flood scenario under the attribution profiler (per-component wall
+  table, heap churn, optional tracemalloc/GC accounting, collapsed-
+  stack flamegraph + Chrome trace export), and ``perf compare`` gates
+  two micro-manifest directories (see docs/performance.md).
 """
 
 from __future__ import annotations
@@ -442,6 +449,114 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf_micro(args: argparse.Namespace) -> int:
+    from repro.obs.microbench import (REGISTRY, render_results, run_micro,
+                                      self_check, write_micro_manifests)
+
+    if args.list:
+        for name in sorted(REGISTRY):
+            bench = REGISTRY[name]
+            print(f"{name:>16s}  {bench.default_iterations:>9d} iters  "
+                  f"{bench.description}")
+        return 0
+    names = args.benchmarks or None
+    if names:
+        unknown = [name for name in names if name not in REGISTRY]
+        if unknown:
+            print(f"unknown micro-benchmark(s): {', '.join(unknown)} "
+                  f"(choose from {', '.join(sorted(REGISTRY))})",
+                  file=sys.stderr)
+            return 2
+    results = run_micro(names, repeats=args.repeats, scale=args.scale)
+    for result in results:
+        self_check(result)
+    print(render_results(results))
+    if args.output:
+        paths = write_micro_manifests(results, args.output)
+        print(f"wrote {len(paths)} manifest(s) to {args.output}")
+    return 0
+
+
+def _cmd_perf_profile(args: argparse.Namespace) -> int:
+    from repro.experiments.scenario import Scenario, ScenarioConfig
+    from repro.obs.perf import (AttributionProfiler, heap_churn,
+                                profile_payload, render_heap_churn,
+                                write_flamegraph)
+    from repro.tcp.constants import DefenseMode
+
+    config = ScenarioConfig(
+        seed=args.seed,
+        time_scale=args.time_scale,
+        n_clients=args.clients,
+        n_attackers=args.attackers,
+        attack_style=("syn" if args.attack == "none" else args.attack),
+        attack_enabled=(args.attack != "none"),
+        defense=DefenseMode(args.defense),
+        tracing=bool(args.chrome),
+        profile=("attribution+mem" if args.memory else "attribution"))
+    result = Scenario(config).run()
+    profiler = result.profiler
+    assert isinstance(profiler, AttributionProfiler)
+
+    stats = result.engine.stats()
+    print(f"profiled {args.attack} flood, defense={args.defense}: "
+          f"{stats['events_processed']:,.0f} events in "
+          f"{stats['wall_seconds']:.3f}s wall "
+          f"({stats['sim_wall_ratio']:.0f}x real time)")
+    print()
+    print("per-component attribution:")
+    print(profiler.render_components())
+    print()
+    print(f"hottest callback kinds (top {args.top}):")
+    print(profiler.render(top=args.top))
+    print()
+    print(render_heap_churn(heap_churn(result.engine)))
+    memory_lines = profiler.render_memory()
+    if memory_lines:
+        print(memory_lines)
+
+    if args.flame:
+        lines = write_flamegraph(profiler, args.flame)
+        print(f"wrote {lines} collapsed-stack line(s) to {args.flame} "
+              f"(speedscope / flamegraph.pl loadable)")
+    if args.chrome:
+        from repro.obs import build_spans
+        from repro.obs.spans import chrome_trace_json
+
+        document = chrome_trace_json(build_spans(result.obs.tracer))
+        with open(args.chrome, "w") as fh:
+            fh.write(document + "\n")
+        print(f"wrote Chrome trace for "
+              f"{len(result.obs.tracer.timelines())} spans to "
+              f"{args.chrome}")
+    if args.output:
+        import pathlib
+
+        from repro.obs.manifest import hub_payload, write_manifest
+
+        payload = hub_payload(result.obs, engine=result.engine)
+        payload["name"] = f"profile_{args.attack}_{args.defense}"
+        payload["profile"] = profile_payload(profiler, result.engine)
+        path = write_manifest(
+            pathlib.Path(args.output)
+            / f"BENCH_{payload['name']}.json", payload)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_perf_compare(args: argparse.Namespace) -> int:
+    from repro.obs.benchcmp import Tolerance, compare_dirs
+    from repro.obs.microbench import MICRO_PREFIX
+
+    tolerance = Tolerance(counters=args.counter_tolerance,
+                          perf=args.perf_tolerance,
+                          quantile=args.quantile_tolerance)
+    report = compare_dirs(args.baseline, args.current, tolerance,
+                          prefix=MICRO_PREFIX)
+    print(report.render())
+    return 0 if report.passed else 1
+
+
 def _cmd_bench_compare(args: argparse.Namespace) -> int:
     from repro.obs.benchcmp import Tolerance, compare_dirs
 
@@ -580,6 +695,79 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write counters+trace+spans+histograms "
                        "as JSON lines")
     trace.set_defaults(func=_cmd_trace)
+
+    perf = sub.add_parser(
+        "perf",
+        help="performance observability: micro-benchmarks, attribution "
+        "profiling, flamegraphs")
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+
+    micro = perf_sub.add_parser(
+        "micro",
+        help="run the deterministic micro-benchmark registry and write "
+        "BENCH_micro_*.json manifests")
+    micro.add_argument("benchmarks", nargs="*", metavar="NAME",
+                       help="subset of registered benchmarks "
+                       "(default: all; see --list)")
+    micro.add_argument("--list", action="store_true",
+                       help="list registered micro-benchmarks and exit")
+    micro.add_argument("--repeats", type=int, default=3,
+                       help="timed repeats per benchmark; the best "
+                       "(minimum) wall time is reported (default 3)")
+    micro.add_argument("--scale", type=float, default=1.0,
+                       help="iteration-count multiplier (default 1.0; "
+                       "use e.g. 0.05 for a smoke run)")
+    micro.add_argument("--output", "-o", metavar="DIR", default=None,
+                       help="write BENCH_micro_<name>.json manifests "
+                       "under DIR")
+    micro.set_defaults(func=_cmd_perf_micro)
+
+    pprof = perf_sub.add_parser(
+        "profile",
+        help="run a flood scenario under the attribution profiler "
+        "(per-component wall table, heap churn, flamegraph export)")
+    pprof.add_argument("--defense", default="puzzles",
+                       choices=["none", "cookies", "syncache", "puzzles"])
+    pprof.add_argument("--attack", default="syn",
+                       choices=["none", "syn", "connect", "mixed"],
+                       help="attack style (default: the fig7 SYN flood)")
+    pprof.add_argument("--time-scale", type=float, default=0.05,
+                       help="timeline scale factor (default 0.05 = 30 s)")
+    pprof.add_argument("--clients", type=int, default=15)
+    pprof.add_argument("--attackers", type=int, default=10)
+    pprof.add_argument("--seed", type=int, default=1)
+    pprof.add_argument("--top", type=int, default=15,
+                       help="callback kinds to print (default 15)")
+    pprof.add_argument("--memory", action="store_true",
+                       help="also account allocations (tracemalloc) and "
+                       "GC pauses around the run")
+    pprof.add_argument("--flame", metavar="PATH", default=None,
+                       help="write a collapsed-stack flamegraph "
+                       "(speedscope / flamegraph.pl loadable)")
+    pprof.add_argument("--chrome", metavar="PATH", default=None,
+                       help="also write handshake spans as Chrome "
+                       "trace-event JSON (enables tracing)")
+    pprof.add_argument("--output", "-o", metavar="DIR", default=None,
+                       help="also write a BENCH_profile_*.json manifest "
+                       "under DIR")
+    pprof.set_defaults(func=_cmd_perf_profile)
+
+    pcmp = perf_sub.add_parser(
+        "compare",
+        help="bench-compare restricted to BENCH_micro_* manifests; "
+        "exit non-zero on regression")
+    pcmp.add_argument("baseline", help="baseline manifest directory")
+    pcmp.add_argument("current", help="current manifest directory")
+    pcmp.add_argument("--counter-tolerance", type=float, default=0.0,
+                      help="relative drift allowed on work counters "
+                      "(default: exact — the determinism gate)")
+    pcmp.add_argument("--perf-tolerance", type=float, default=0.30,
+                      help="relative wall/ops-per-second drift allowed "
+                      "(default: 0.30)")
+    pcmp.add_argument("--quantile-tolerance", type=float, default=0.25,
+                      help="relative per-op latency-quantile increase "
+                      "allowed (default: 0.25)")
+    pcmp.set_defaults(func=_cmd_perf_compare)
 
     bench = sub.add_parser(
         "bench-compare",

@@ -102,8 +102,11 @@ class ScenarioConfig:
     #: hot path stays a single flag test).
     tracing: bool = False
     trace_capacity: int = 65536
-    #: Attach an :class:`~repro.obs.EngineProfiler` to the event loop.
-    profile: bool = False
+    #: Attach a profiler to the event loop: ``True``/``"basic"`` for the
+    #: per-kind :class:`~repro.obs.EngineProfiler`, ``"attribution"``
+    #: (or ``"attribution+mem"``) for the per-component
+    #: :class:`~repro.obs.AttributionProfiler`.
+    profile: object = False
     # --- hardware --------------------------------------------------------
     client_cpus: Optional[List[CPUProfile]] = None
     attacker_cpus: Optional[List[CPUProfile]] = None
@@ -279,7 +282,9 @@ class Scenario:
                              enabled=config.tracing)
         profiler: Optional[EngineProfiler] = None
         if config.profile:
-            profiler = EngineProfiler()
+            from repro.obs.perf import make_profiler
+
+            profiler = make_profiler(config.profile)
             engine.attach_profiler(profiler)
         streams = RngStreams(config.seed)
         topology = deter_topology(config.n_clients, config.n_attackers)
@@ -434,7 +439,17 @@ class Scenario:
                                    * max(1, config.n_attackers))))
             result.engine.schedule_at(config.attack_end,
                                       result.botnet.stop)
+        if result.profiler is not None:
+            # Memory/GC bracketing (no-op on the plain profiler and on
+            # attribution profilers without the opt-in flags).
+            start = getattr(result.profiler, "start", None)
+            if start is not None:
+                start()
         result.engine.run(until=config.duration)
+        if result.profiler is not None:
+            finish = getattr(result.profiler, "finish", None)
+            if finish is not None:
+                finish()
         for client in result.clients:
             client.stop()
         result.cpu.stop()

@@ -36,11 +36,21 @@ from repro.obs.counters import (
     established_total,
 )
 from repro.obs.hist import Histogram, HistogramRegistry
+from repro.obs.perf import (
+    AttributionProfiler,
+    callback_module,
+    collapsed_stacks,
+    component_of,
+    heap_churn,
+    make_profiler,
+    write_flamegraph,
+)
 from repro.obs.profile import EngineProfiler, callback_kind
 from repro.obs.spans import HandshakeSpan, SpanPhase, build_spans
 from repro.obs.trace import DEFAULT_CAPACITY, HandshakeTracer, TraceEvent
 
 __all__ = [
+    "AttributionProfiler",
     "CATALOGUE",
     "DROP_CAUSES",
     "ESTABLISHED_COUNTERS",
@@ -57,9 +67,15 @@ __all__ = [
     "TraceEvent",
     "build_spans",
     "callback_kind",
+    "callback_module",
+    "collapsed_stacks",
+    "component_of",
     "drop_attribution",
     "established_total",
+    "heap_churn",
     "hub_for",
+    "make_profiler",
+    "write_flamegraph",
 ]
 
 

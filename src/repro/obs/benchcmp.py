@@ -102,8 +102,14 @@ class CompareReport:
 # ----------------------------------------------------------------------
 # Loading
 # ----------------------------------------------------------------------
-def load_manifests(directory) -> Dict[str, dict]:
-    """``BENCH_<name>.json`` bodies keyed by name, roll-ups skipped."""
+def load_manifests(directory,
+                   prefix: Optional[str] = None) -> Dict[str, dict]:
+    """``BENCH_<name>.json`` bodies keyed by name, roll-ups skipped.
+
+    With *prefix*, only manifests whose name starts with it load —
+    ``tcp-puzzles perf compare`` uses ``prefix="micro_"`` to gate the
+    micro-benchmark suite in isolation.
+    """
     directory = pathlib.Path(directory)
     if not directory.is_dir():
         raise ExperimentError(
@@ -112,6 +118,8 @@ def load_manifests(directory) -> Dict[str, dict]:
     for path in sorted(directory.glob("BENCH_*.json")):
         name = path.stem[len("BENCH_"):]
         if name in SKIPPED_MANIFESTS:
+            continue
+        if prefix is not None and not name.startswith(prefix):
             continue
         try:
             manifests[name] = json.loads(path.read_text())
@@ -246,11 +254,16 @@ def compare_manifest(name: str, base: dict, current: dict,
 
 
 def compare_dirs(baseline_dir, current_dir,
-                 tolerance: Optional[Tolerance] = None) -> CompareReport:
-    """Compare two manifest directories; missing coverage is a failure."""
+                 tolerance: Optional[Tolerance] = None,
+                 prefix: Optional[str] = None) -> CompareReport:
+    """Compare two manifest directories; missing coverage is a failure.
+
+    *prefix* restricts both sides to manifests whose name starts with it
+    (see :func:`load_manifests`).
+    """
     tolerance = tolerance if tolerance is not None else Tolerance()
-    baseline = load_manifests(baseline_dir)
-    current = load_manifests(current_dir)
+    baseline = load_manifests(baseline_dir, prefix=prefix)
+    current = load_manifests(current_dir, prefix=prefix)
     findings: List[Finding] = []
     shared = sorted(set(baseline) & set(current))
     for name in sorted(set(baseline) - set(current)):

@@ -57,6 +57,9 @@ CATALOGUE = {
     "callback_wall":
         "wall-clock seconds per dispatched engine callback "
         "(profiler-gated; not deterministic)",
+    "micro_op":
+        "wall-clock seconds per micro-benchmark operation, one sample "
+        "per timed repeat (same-machine comparisons only)",
 }
 
 #: Histogram families measuring *wall* time — excluded from deterministic

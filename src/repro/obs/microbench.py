@@ -1,0 +1,405 @@
+"""Micro-benchmark harness: deterministic hot-path yardsticks as manifests.
+
+The ROADMAP's engine-speed era ("10× the event engine", ≥500k events/s)
+needs per-hot-path yardsticks that are **versioned, diffable, and
+CI-gated** — pytest-benchmark tables printed to a terminal are none of
+those. This module is a registry of *deterministic, self-timing*
+micro-benchmarks whose results land as ``BENCH_micro_<name>.json``
+manifests in the exact shape :mod:`repro.obs.benchcmp` already gates:
+
+* a ``perf`` block (``wall_seconds``, ``events_per_second``) compared
+  direction-aware inside the perf tolerance band;
+* a ``counters`` block proving the benchmark did exactly the same
+  *work* as the baseline (schedule/cancel/fire counts, bytes encoded,
+  cache evictions …) — compared exactly, so a micro-benchmark whose
+  workload silently changed fails the gate even if it got faster;
+* a per-operation wall-time histogram (``micro_op.<name>``) whose
+  quantiles catch latency-shape regressions that survive a mean.
+
+Each registered benchmark is a plain function ``fn(iterations) ->
+Dict[str, int]``: it performs ``iterations`` units of deterministic work
+(fixed seeds, fixed mixes — no wall-clock-dependent control flow) and
+returns its work counters. The harness times the call, repeats it, and
+keeps the **best** wall time (minimum — the standard micro-benchmark
+noise filter), so ``events_per_second`` is the machine's demonstrated
+capability, not its scheduling luck.
+
+The built-in suite covers the hot paths the optimization PRs will touch:
+
+* ``timer_churn`` — schedule/cancel/pop mixes against
+  :class:`~repro.sim.engine.Engine` mimicking SYN-ACK RTO patterns
+  (most handshake timers are cancelled, some fire) — the ROADMAP's
+  ``BENCH_micro_timer_churn.json`` yardstick;
+* ``engine_dispatch`` — pure callback-chain dispatch throughput;
+* ``puzzle_codec`` — challenge/solution option-block encode/decode;
+* ``syncache_churn`` — SYN cache insert/complete/expire under bucket
+  pressure;
+* ``packet_churn`` — handshake packet construction + size accounting;
+* ``hist_record`` — histogram record + quantile read throughput.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.obs.hist import Histogram
+
+#: Manifest-name prefix every harness manifest carries: the file for
+#: benchmark ``timer_churn`` is ``BENCH_micro_timer_churn.json``.
+MICRO_PREFIX = "micro_"
+
+#: The histogram family micro manifests use for per-op wall time.
+MICRO_HIST_FAMILY = "micro_op"
+
+#: The counters scope micro manifests put their work proof under.
+MICRO_SCOPE = "micro"
+
+
+@dataclass(frozen=True)
+class MicroBenchmark:
+    """One registered micro-benchmark."""
+
+    name: str
+    description: str
+    #: Iteration count at ``scale=1.0`` — sized so one repeat lands in
+    #: the hundreds of milliseconds on the seed machine.
+    default_iterations: int
+    fn: Callable[[int], Dict[str, int]]
+
+
+REGISTRY: Dict[str, MicroBenchmark] = {}
+
+
+def register(name: str, description: str, default_iterations: int):
+    """Decorator: add ``fn(iterations) -> counters`` to the registry."""
+    def decorator(fn: Callable[[int], Dict[str, int]]):
+        if name in REGISTRY:
+            raise ExperimentError(f"micro-benchmark {name!r} registered "
+                                  f"twice")
+        REGISTRY[name] = MicroBenchmark(name=name, description=description,
+                                        default_iterations=default_iterations,
+                                        fn=fn)
+        return fn
+    return decorator
+
+
+@dataclass
+class MicroResult:
+    """One benchmark's timed runs plus its deterministic work counters."""
+
+    name: str
+    description: str
+    iterations: int
+    repeats: int
+    #: Wall seconds of every repeat, in run order.
+    walls: List[float]
+    #: Work counters from the final repeat (identical across repeats —
+    #: the harness asserts it).
+    counters: Dict[str, int]
+    #: Per-operation wall time, one sample per repeat.
+    hist: Histogram = field(default=None)  # type: ignore[assignment]
+
+    @property
+    def best_wall(self) -> float:
+        return min(self.walls)
+
+    @property
+    def ops_per_second(self) -> float:
+        best = self.best_wall
+        return self.iterations / best if best > 0 else 0.0
+
+    @property
+    def per_op_seconds(self) -> float:
+        return self.best_wall / self.iterations if self.iterations else 0.0
+
+    def payload(self) -> Dict[str, object]:
+        """Manifest body in the shape ``bench-compare`` gates.
+
+        ``counters`` compare exactly (deterministic work), ``perf``
+        direction-aware, and the ``micro_op.<name>`` histogram's
+        quantiles catch per-op latency regressions.
+        """
+        return {
+            "name": f"{MICRO_PREFIX}{self.name}",
+            "micro": {
+                "description": self.description,
+                "iterations": self.iterations,
+                "repeats": self.repeats,
+                "wall_seconds_all": list(self.walls),
+                "per_op_seconds": self.per_op_seconds,
+            },
+            "counters": {MICRO_SCOPE: dict(self.counters)},
+            "perf": {
+                "wall_seconds": self.best_wall,
+                "events_per_second": self.ops_per_second,
+            },
+            "histograms": {self.hist.name: self.hist.as_payload()},
+        }
+
+    def render(self) -> str:
+        per_op = self.per_op_seconds
+        return (f"{self.name:>16s}  {self.iterations:>9d} ops  "
+                f"{self.best_wall:8.4f}s best of {self.repeats}  "
+                f"{self.ops_per_second:>12,.0f} ops/s  "
+                f"{per_op * 1e6:9.3f} us/op")
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+def run_benchmark(name: str, repeats: int = 3,
+                  scale: float = 1.0) -> MicroResult:
+    """Run one registered benchmark; repeats must agree on counters."""
+    bench = REGISTRY.get(name)
+    if bench is None:
+        raise ExperimentError(
+            f"unknown micro-benchmark {name!r} "
+            f"(registered: {', '.join(sorted(REGISTRY))})")
+    if repeats < 1:
+        raise ExperimentError(f"repeats must be >= 1, got {repeats}")
+    if scale <= 0:
+        raise ExperimentError(f"scale must be > 0, got {scale}")
+    iterations = max(1, int(bench.default_iterations * scale))
+    walls: List[float] = []
+    counters: Optional[Dict[str, int]] = None
+    hist = Histogram(f"{MICRO_HIST_FAMILY}.{name}")
+    for _ in range(repeats):
+        started = perf_counter()
+        produced = bench.fn(iterations)
+        wall = perf_counter() - started
+        walls.append(wall)
+        hist.record(wall / iterations)
+        if counters is not None and produced != counters:
+            raise ExperimentError(
+                f"micro-benchmark {name!r} is not deterministic: "
+                f"repeat counters {produced} != {counters}")
+        counters = produced
+    return MicroResult(name=name, description=bench.description,
+                       iterations=iterations, repeats=repeats,
+                       walls=walls, counters=dict(counters or {}),
+                       hist=hist)
+
+
+def run_micro(names: Optional[Sequence[str]] = None, repeats: int = 3,
+              scale: float = 1.0) -> List[MicroResult]:
+    """Run a subset (default: all) of the registry, name-sorted."""
+    selected = sorted(REGISTRY) if names is None else list(names)
+    return [run_benchmark(name, repeats=repeats, scale=scale)
+            for name in selected]
+
+
+def write_micro_manifests(results: Sequence[MicroResult],
+                          directory) -> List:
+    """Persist each result as ``<dir>/BENCH_micro_<name>.json``."""
+    from repro.obs.manifest import write_manifest
+
+    paths = []
+    for result in results:
+        payload = result.payload()
+        paths.append(write_manifest(
+            f"{directory}/BENCH_{payload['name']}.json", payload))
+    return paths
+
+
+def render_results(results: Sequence[MicroResult]) -> str:
+    header = (f"{'benchmark':>16s}  {'iterations':>13s}  "
+              f"{'wall':>18s}  {'throughput':>14s}  {'per-op':>12s}")
+    return "\n".join([header] + [result.render() for result in results])
+
+
+# ----------------------------------------------------------------------
+# The built-in suite
+# ----------------------------------------------------------------------
+@register("timer_churn",
+          "Engine schedule/cancel/pop mix mimicking SYN-ACK RTO churn "
+          "(6 of 8 timers cancelled before firing)",
+          default_iterations=200_000)
+def _bench_timer_churn(iterations: int) -> Dict[str, int]:
+    from repro.sim.engine import Engine
+
+    engine = Engine()
+    fired = [0]
+
+    def on_rto() -> None:
+        fired[0] += 1
+
+    window: deque = deque()
+    # Every iteration arms one retransmission timer ~an RTO out; every
+    # 8 arrivals, 6 handshakes "complete" (their timers cancel) and the
+    # engine advances so due timers pop — the cancel-heavy pattern that
+    # makes lazy deletion + compaction (and later the timer wheel) matter.
+    for i in range(iterations):
+        window.append(engine.schedule(0.057 + (i & 7) * 1e-4, on_rto))
+        if len(window) >= 8:
+            for _ in range(6):
+                window.popleft().cancel()
+            engine.run(until=engine.now + 2e-3)
+    engine.run()
+    stats = engine.stats()
+    return {
+        "scheduled": int(stats["events_scheduled"]),
+        "fired": fired[0],
+        "cancelled": int(stats["events_cancelled"]),
+        "processed": int(stats["events_processed"]),
+        "compactions": int(stats["compactions"]),
+        "heap_high_water": int(stats["heap_high_water"]),
+    }
+
+
+@register("engine_dispatch",
+          "pure callback-chain dispatch throughput of the DES core",
+          default_iterations=300_000)
+def _bench_engine_dispatch(iterations: int) -> Dict[str, int]:
+    from repro.sim.engine import Engine
+
+    engine = Engine()
+
+    def chain(remaining: int) -> None:
+        if remaining:
+            engine.schedule(0.001, chain, remaining - 1)
+
+    # Several shorter chains rather than one deep one: keeps a few
+    # events resident so the heap is never trivially empty.
+    chains = 4
+    per_chain = iterations // chains
+    for _ in range(chains):
+        chain(per_chain)
+    engine.run()
+    return {
+        "processed": engine.events_processed,
+        "scheduled": int(engine.stats()["events_scheduled"]),
+    }
+
+
+@register("puzzle_codec",
+          "challenge + solution option-block encode/decode roundtrip",
+          default_iterations=60_000)
+def _bench_puzzle_codec(iterations: int) -> Dict[str, int]:
+    from repro.puzzles.codec import (decode_challenge, decode_solution,
+                                     encode_challenge, encode_solution)
+    from repro.puzzles.juels import (FlowBinding, JuelsBrainardScheme,
+                                     ModeledSolver)
+    from repro.puzzles.params import PuzzleParams
+
+    binding = FlowBinding(src_ip=0x0A000002, dst_ip=0x0A000001,
+                          src_port=43210, dst_port=80, isn=7)
+    scheme = JuelsBrainardScheme(mode="modeled")
+    params = PuzzleParams(k=2, m=17)
+    challenge = scheme.make_challenge(params, binding, 1.0)
+    solution = ModeledSolver().solve(challenge, random.Random(5))
+    wire_bytes = 0
+    for _ in range(iterations):
+        blob = encode_challenge(challenge)
+        decode_challenge(blob, binding)
+        sblob = encode_solution(solution)
+        decode_solution(sblob, params)
+        wire_bytes += len(blob) + len(sblob)
+    return {"roundtrips": iterations, "wire_bytes": wire_bytes}
+
+
+@register("syncache_churn",
+          "SYN cache insert/complete/expire under bucket pressure",
+          default_iterations=120_000)
+def _bench_syncache_churn(iterations: int) -> Dict[str, int]:
+    from repro.tcp.syncache import CacheEntry, SynCache
+
+    # Small table so the eviction path (the attack-relevant branch) is
+    # actually exercised, not just the happy path.
+    cache = SynCache(bucket_count=64, bucket_limit=8)
+    completed = 0
+    for i in range(iterations):
+        flow = (0x0A000000 + (i % 4096), 1024 + (i % 60000), 80)
+        cache.insert(CacheEntry(flow=flow, remote_isn=i, local_isn=i ^ 7,
+                                mss=1460, wscale=7,
+                                created_at=i * 1e-4))
+        # Half the handshakes complete (ACK arrives) ...
+        if i & 1:
+            if cache.complete(flow) is not None:
+                completed += 1
+        # ... and the reaper sweeps periodically.
+        if (i & 0x3FF) == 0x3FF:
+            cache.expire_older_than((i - 2048) * 1e-4)
+    return {
+        "insertions": cache.insertions,
+        "completions": completed,
+        "evictions": cache.evictions,
+        "expired": cache.expired,
+        "resident": len(cache),
+    }
+
+
+@register("packet_churn",
+          "handshake packet construction + on-wire size accounting",
+          default_iterations=80_000)
+def _bench_packet_churn(iterations: int) -> Dict[str, int]:
+    from repro.net.packet import Packet, TCPFlags, TCPOptions
+    from repro.puzzles.juels import (FlowBinding, JuelsBrainardScheme,
+                                     ModeledSolver)
+    from repro.puzzles.params import PuzzleParams
+
+    binding = FlowBinding(src_ip=0x0A000002, dst_ip=0x0A000001,
+                          src_port=43210, dst_port=80, isn=7)
+    scheme = JuelsBrainardScheme(mode="modeled")
+    params = PuzzleParams(k=2, m=17)
+    challenge = scheme.make_challenge(params, binding, 1.0)
+    solution = ModeledSolver().solve(challenge, random.Random(5))
+    total_bytes = 0
+    for i in range(iterations):
+        syn = Packet(src_ip=binding.src_ip, dst_ip=binding.dst_ip,
+                     src_port=binding.src_port, dst_port=80, seq=i,
+                     flags=TCPFlags.SYN,
+                     options=TCPOptions(mss=1460, wscale=7))
+        synack = Packet(src_ip=binding.dst_ip, dst_ip=binding.src_ip,
+                        src_port=80, dst_port=binding.src_port,
+                        seq=i ^ 5, ack=i + 1,
+                        flags=TCPFlags.SYN | TCPFlags.ACK,
+                        options=TCPOptions(challenge=challenge))
+        ack = Packet(src_ip=binding.src_ip, dst_ip=binding.dst_ip,
+                     src_port=binding.src_port, dst_port=80, seq=i + 1,
+                     ack=(i ^ 5) + 1, flags=TCPFlags.ACK,
+                     options=TCPOptions(solution=solution))
+        total_bytes += syn.size_bytes + synack.size_bytes + ack.size_bytes
+    return {"packets": 3 * iterations, "wire_bytes": total_bytes}
+
+
+@register("hist_record",
+          "histogram record + quantile read throughput",
+          default_iterations=400_000)
+def _bench_hist_record(iterations: int) -> Dict[str, int]:
+    from repro.obs.hist import HistogramRegistry
+
+    registry = HistogramRegistry()
+    record = registry.record
+    # A deterministic latency-ish sweep across several decades, so the
+    # log-bucketing path sees realistic spread rather than one bucket.
+    for i in range(iterations):
+        record("handshake_latency.bench",
+               1e-5 * (1.0 + (i % 997)) * (1 + (i % 7)))
+        if (i & 0xFFF) == 0xFFF:
+            registry.hist("handshake_latency.bench").quantile(0.95)
+    hist = registry.hist("handshake_latency.bench")
+    checksum = sum(index * count for index, count
+                   in sorted(hist.counts.items()))
+    return {
+        "records": hist.count,
+        "buckets_hit": len(hist.counts),
+        "bucket_checksum": checksum,
+        "p95_bucket": hist.bucket_index(hist.quantile(0.95)),
+    }
+
+
+def self_check(result: MicroResult) -> None:
+    """Sanity bounds every freshly-run result must satisfy."""
+    if result.best_wall <= 0.0 or not math.isfinite(result.best_wall):
+        raise ExperimentError(
+            f"micro-benchmark {result.name!r} produced a non-positive "
+            f"wall time {result.best_wall!r}")
+    if not result.counters:
+        raise ExperimentError(
+            f"micro-benchmark {result.name!r} returned no work counters")

@@ -1,0 +1,360 @@
+"""Attribution profiling: where the wall time (and memory) actually goes.
+
+:class:`~repro.obs.profile.EngineProfiler` answers "which callback kind
+is hot"; this module answers the next three questions an optimization PR
+gets asked:
+
+* **which component** — per-callback wall seconds rolled up to the
+  package layer (``tcp`` / ``net`` / ``puzzles`` / ``hosts`` / ``obs`` /
+  ``engine``) via the callback's defining module, so "the codec is 18%
+  of the run" is one table row instead of a grep over qualnames;
+* **how much churn** — engine heap traffic (schedules, pops,
+  cancellations, compactions) normalised per simulated second, the
+  number the timer-wheel rework must move;
+* **what it allocates** — opt-in :mod:`tracemalloc` snapshots and GC
+  pause accounting around a profiled run (both off by default; the
+  profiler adds nothing to runs that do not ask for them).
+
+Everything here is opt-in on top of an opt-in profiler: the engine's
+no-profiler dispatch branch is untouched, and attaching the plain
+:class:`EngineProfiler` still does exactly what it did before.
+
+Export: :func:`collapsed_stacks` renders the attribution as
+``component;module;qualname wall_us`` lines — the Brendan Gregg
+collapsed-stack format that ``flamegraph.pl`` and speedscope load
+directly (``tcp-puzzles perf profile --flame out.txt``).
+"""
+
+from __future__ import annotations
+
+import functools
+import gc
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.obs.profile import EngineProfiler, callback_kind
+
+#: Module-prefix → component mapping, first match wins (most specific
+#: prefixes first). Anything unmatched lands in ``other``.
+COMPONENT_PREFIXES: Tuple[Tuple[str, str], ...] = (
+    ("repro.tcp", "tcp"),
+    ("repro.net", "net"),
+    ("repro.puzzles", "puzzles"),
+    ("repro.crypto", "puzzles"),
+    ("repro.obs", "obs"),
+    ("repro.metrics", "obs"),
+    ("repro.sim", "engine"),
+    ("repro.hosts", "hosts"),
+    ("repro.experiments", "experiments"),
+    ("repro.faults", "faults"),
+    ("repro.runner", "runner"),
+)
+
+_UNKNOWN_MODULE = "<unknown>"
+
+
+def component_of(module: str) -> str:
+    """The component a module name belongs to (``other`` when unmapped)."""
+    for prefix, component in COMPONENT_PREFIXES:
+        if module == prefix or module.startswith(prefix + "."):
+            return component
+    return "other"
+
+
+def callback_module(callback: Callable) -> str:
+    """The defining module of a callback, partials unwrapped.
+
+    Bound methods report their function's module; callable instances
+    without ``__module__`` fall back to their type's module; anything
+    else reports ``<unknown>``.
+    """
+    if isinstance(callback, functools.partial):
+        return callback_module(callback.func)
+    module = getattr(callback, "__module__", None)
+    if module:
+        return module
+    module = getattr(type(callback), "__module__", None)
+    return module if module else _UNKNOWN_MODULE
+
+
+class AttributionProfiler(EngineProfiler):
+    """An :class:`EngineProfiler` that also attributes by frame.
+
+    Per-dispatch accounting is keyed ``(module, qualname)``; component
+    rollups and flamegraph stacks are derived views. Optional memory
+    and GC accounting bracket the run via :meth:`start` / :meth:`finish`
+    (both no-ops unless the matching flag was set).
+    """
+
+    __slots__ = ("_frames", "_component_cache", "track_memory", "track_gc",
+                 "memory", "gc_stats", "_gc_started", "_gc_hook",
+                 "_started_tracemalloc")
+
+    def __init__(self, track_memory: bool = False,
+                 track_gc: bool = False) -> None:
+        super().__init__()
+        # (module, qualname) -> [count, wall_seconds]
+        self._frames: Dict[Tuple[str, str], List[float]] = {}
+        self._component_cache: Dict[str, str] = {}
+        self.track_memory = track_memory
+        self.track_gc = track_gc
+        #: Filled by :meth:`finish` when ``track_memory`` was set.
+        self.memory: Optional[Dict[str, float]] = None
+        #: Filled live by the GC hook when ``track_gc`` was set.
+        self.gc_stats: Dict[str, float] = {"collections": 0,
+                                           "pause_seconds": 0.0}
+        self._gc_started = 0.0
+        self._gc_hook = None
+        self._started_tracemalloc = False
+
+    # ------------------------------------------------------------------
+    # Hot path
+    # ------------------------------------------------------------------
+    def record(self, callback: Callable, wall: float) -> None:
+        super().record(callback, wall)
+        key = (callback_module(callback), callback_kind(callback))
+        entry = self._frames.get(key)
+        if entry is None:
+            entry = [0, 0.0]
+            self._frames[key] = entry
+        entry[0] += 1
+        entry[1] += wall
+
+    # ------------------------------------------------------------------
+    # Memory + GC bracketing
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin memory/GC accounting (no-op without the flags)."""
+        if self.track_memory:
+            import tracemalloc
+
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._started_tracemalloc = True
+            tracemalloc.reset_peak()
+        if self.track_gc and self._gc_hook is None:
+            def hook(phase: str, info: dict) -> None:
+                if phase == "start":
+                    self._gc_started = perf_counter()
+                else:
+                    self.gc_stats["collections"] += 1
+                    self.gc_stats["pause_seconds"] += \
+                        perf_counter() - self._gc_started
+            self._gc_hook = hook
+            gc.callbacks.append(hook)
+
+    def finish(self) -> None:
+        """Stop accounting and snapshot the results (idempotent)."""
+        if self.track_memory:
+            import tracemalloc
+
+            if tracemalloc.is_tracing():
+                current, peak = tracemalloc.get_traced_memory()
+                self.memory = {"current_bytes": float(current),
+                               "peak_bytes": float(peak)}
+                if self._started_tracemalloc:
+                    tracemalloc.stop()
+                    self._started_tracemalloc = False
+        if self._gc_hook is not None:
+            try:
+                gc.callbacks.remove(self._gc_hook)
+            except ValueError:  # pragma: no cover - already removed
+                pass
+            self._gc_hook = None
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def _component(self, module: str) -> str:
+        component = self._component_cache.get(module)
+        if component is None:
+            component = component_of(module)
+            self._component_cache[module] = component
+        return component
+
+    def component_rows(self) -> List[Tuple[str, int, float, float]]:
+        """(component, count, wall_seconds, wall_fraction), wall-sorted."""
+        rollup: Dict[str, List[float]] = {}
+        for (module, _kind), (count, wall) in self._frames.items():
+            entry = rollup.setdefault(self._component(module), [0, 0.0])
+            entry[0] += count
+            entry[1] += wall
+        total = self.wall_seconds or 1.0
+        rows = [(component, int(count), wall, wall / total)
+                for component, (count, wall) in rollup.items()]
+        rows.sort(key=lambda row: (-row[2], row[0]))
+        return rows
+
+    def frame_rows(self) -> List[Tuple[str, str, str, int, float]]:
+        """(component, module, qualname, count, wall), wall-sorted."""
+        rows = [(self._component(module), module, kind, int(count), wall)
+                for (module, kind), (count, wall) in self._frames.items()]
+        rows.sort(key=lambda row: (-row[4], row[0], row[1], row[2]))
+        return rows
+
+    def components_payload(self) -> Dict[str, Dict[str, float]]:
+        """JSON-friendly per-component accounting, name-sorted."""
+        return {component: {"count": count, "wall_seconds": wall,
+                            "wall_fraction": fraction}
+                for component, count, wall, fraction
+                in sorted(self.component_rows())}
+
+    def render_components(self) -> str:
+        """A per-component rollup table (the attribution summary)."""
+        lines = [f"{'wall %':>7s}  {'wall s':>9s}  {'calls':>9s}  "
+                 f"component"]
+        for component, count, wall, fraction in self.component_rows():
+            lines.append(f"{100.0 * fraction:6.1f}%  {wall:9.4f}  "
+                         f"{count:9d}  {component}")
+        if len(lines) == 1:
+            lines.append("(no callbacks profiled)")
+        return "\n".join(lines)
+
+    def render_memory(self) -> str:
+        """One line each for memory and GC accounting (when tracked)."""
+        lines = []
+        if self.memory is not None:
+            lines.append(
+                f"memory: {self.memory['current_bytes'] / 1024.0:,.1f} KiB "
+                f"live, {self.memory['peak_bytes'] / 1024.0:,.1f} KiB peak "
+                f"(tracemalloc)")
+        if self.track_gc:
+            lines.append(
+                f"gc: {int(self.gc_stats['collections'])} collections, "
+                f"{self.gc_stats['pause_seconds'] * 1e3:.2f} ms total "
+                f"pause")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Engine heap churn
+# ----------------------------------------------------------------------
+def heap_churn(engine) -> Dict[str, float]:
+    """Engine heap traffic, absolute and per simulated second.
+
+    ``schedules`` counts every :meth:`Engine.schedule_at` push,
+    ``pops`` every heap pop (fired + lazily-deleted entries),
+    ``cancellations`` every :meth:`Event.cancel`. The per-sim-second
+    rates are the yardstick the timer-wheel rework must move.
+    """
+    stats = engine.stats()
+    sim = stats.get("sim_seconds") or 0.0
+    schedules = stats.get("events_scheduled", 0)
+    processed = stats.get("events_processed", 0)
+    cancelled = stats.get("events_cancelled", 0)
+    pending = stats.get("pending", 0)
+    # Everything scheduled either fired, is still pending, or was popped/
+    # compacted away as a cancelled entry.
+    pops = schedules - pending
+    churn = {
+        "schedules": float(schedules),
+        "pops": float(pops),
+        "cancellations": float(cancelled),
+        "compactions": float(stats.get("compactions", 0)),
+        "heap_high_water": float(stats.get("heap_high_water", 0)),
+        "events_processed": float(processed),
+    }
+    if sim > 0:
+        churn["schedules_per_sim_second"] = schedules / sim
+        churn["pops_per_sim_second"] = pops / sim
+        churn["cancellations_per_sim_second"] = cancelled / sim
+    return churn
+
+
+def render_heap_churn(churn: Dict[str, float]) -> str:
+    line = (f"heap churn: {churn['schedules']:,.0f} schedules, "
+            f"{churn['pops']:,.0f} pops, "
+            f"{churn['cancellations']:,.0f} cancellations, "
+            f"{churn['compactions']:,.0f} compactions "
+            f"(high water {churn['heap_high_water']:,.0f})")
+    if "schedules_per_sim_second" in churn:
+        line += (f"; per sim-second: "
+                 f"{churn['schedules_per_sim_second']:,.0f} sched, "
+                 f"{churn['cancellations_per_sim_second']:,.0f} cancel")
+    return line
+
+
+# ----------------------------------------------------------------------
+# Flamegraph export
+# ----------------------------------------------------------------------
+def collapsed_stacks(profiler: EngineProfiler) -> List[str]:
+    """Collapsed-stack lines (``frame;frame value``), wall-sorted.
+
+    Values are integer microseconds (collapsed-stack tools expect
+    integer sample counts; 1 sample = 1 µs of wall time). An
+    :class:`AttributionProfiler` yields three-deep stacks
+    ``component;module;qualname``; a plain :class:`EngineProfiler`
+    yields one frame per callback kind.
+    """
+    lines = []
+    if isinstance(profiler, AttributionProfiler):
+        for component, module, kind, _count, wall in profiler.frame_rows():
+            micros = int(round(wall * 1e6))
+            if micros > 0:
+                lines.append(f"{component};{module};{kind} {micros}")
+    else:
+        for kind, _count, wall, _mean in profiler.rows():
+            micros = int(round(wall * 1e6))
+            if micros > 0:
+                lines.append(f"{kind} {micros}")
+    return lines
+
+
+def write_flamegraph(profiler: EngineProfiler, path) -> int:
+    """Write collapsed stacks to *path*; returns the line count.
+
+    The output loads directly in speedscope (https://speedscope.app) and
+    ``flamegraph.pl``.
+    """
+    import pathlib
+
+    lines = collapsed_stacks(profiler)
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return len(lines)
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+def make_profiler(spec) -> Optional[EngineProfiler]:
+    """Build a profiler from a config flag.
+
+    ``True``/``"basic"`` → plain :class:`EngineProfiler`;
+    ``"attribution"`` → :class:`AttributionProfiler`;
+    ``"attribution+mem"`` → attribution with tracemalloc + GC accounting;
+    falsy → ``None``. An already-constructed profiler passes through.
+    """
+    if not spec:
+        return None
+    if isinstance(spec, EngineProfiler):
+        return spec
+    if spec is True or spec == "basic":
+        return EngineProfiler()
+    if spec == "attribution":
+        return AttributionProfiler()
+    if spec == "attribution+mem":
+        return AttributionProfiler(track_memory=True, track_gc=True)
+    from repro.errors import ExperimentError
+
+    raise ExperimentError(
+        f"unknown profiler spec {spec!r} (use True, 'basic', "
+        f"'attribution', or 'attribution+mem')")
+
+
+def profile_payload(profiler: EngineProfiler,
+                    engine=None) -> Dict[str, object]:
+    """Manifest block for a profiled run: per-kind table plus, for
+    attribution profilers, component rollups, heap churn, and any
+    memory/GC accounting."""
+    payload: Dict[str, object] = {"kinds": profiler.snapshot()}
+    if isinstance(profiler, AttributionProfiler):
+        payload["components"] = profiler.components_payload()
+        if profiler.memory is not None:
+            payload["memory"] = dict(profiler.memory)
+        if profiler.track_gc:
+            payload["gc"] = dict(profiler.gc_stats)
+    if engine is not None:
+        payload["heap_churn"] = heap_churn(engine)
+    return payload

@@ -135,6 +135,11 @@ class Engine:
         return self._now + offsets.get(key, 0.0)
 
     @property
+    def events_scheduled(self) -> int:
+        """Number of events ever pushed onto the heap (= heap pushes)."""
+        return self._seq
+
+    @property
     def events_processed(self) -> int:
         """Number of callbacks executed so far (cancelled events excluded)."""
         return self._events_processed
@@ -299,6 +304,7 @@ class Engine:
         """
         wall = self._wall_seconds
         return {
+            "events_scheduled": self._seq,
             "events_processed": self._events_processed,
             "events_cancelled": self._events_cancelled,
             "cancelled_pending": self._cancelled_pending,

@@ -1,0 +1,183 @@
+"""The micro-benchmark harness: determinism, manifests, and the gate."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.obs.benchcmp import compare_dirs
+from repro.obs.microbench import (
+    MICRO_PREFIX,
+    REGISTRY,
+    MicroBenchmark,
+    register,
+    render_results,
+    run_benchmark,
+    run_micro,
+    self_check,
+    write_micro_manifests,
+)
+
+#: Tiny but non-trivial scale for test runs.
+SCALE = 0.002
+
+
+class TestRegistry:
+    def test_builtin_suite_present(self):
+        # The ROADMAP names timer_churn as the yardstick; the acceptance
+        # bar wants >= 5 manifests total.
+        assert "timer_churn" in REGISTRY
+        assert len(REGISTRY) >= 5
+        for name, bench in REGISTRY.items():
+            assert isinstance(bench, MicroBenchmark)
+            assert bench.name == name
+            assert bench.default_iterations >= 1
+            assert bench.description
+
+    def test_double_registration_rejected(self):
+        with pytest.raises(ExperimentError, match="registered twice"):
+            register("timer_churn", "dup", 1)(lambda n: {"ops": n})
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown micro"):
+            run_benchmark("no_such_bench")
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ExperimentError, match="repeats"):
+            run_benchmark("timer_churn", repeats=0)
+        with pytest.raises(ExperimentError, match="scale"):
+            run_benchmark("timer_churn", scale=0.0)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(REGISTRY))
+    def test_counters_reproduce_across_runs(self, name):
+        """Same iterations -> byte-identical work counters, twice over.
+
+        This is what lets bench-compare hold micro counters to the exact
+        tolerance: any drift means the workload itself changed.
+        """
+        first = run_benchmark(name, repeats=2, scale=SCALE)
+        second = run_benchmark(name, repeats=1, scale=SCALE)
+        assert first.counters == second.counters
+        assert first.counters, f"{name} returned no work counters"
+        self_check(first)
+
+    def test_nondeterministic_workload_is_caught(self):
+        ticks = []
+
+        def flaky(iterations):
+            ticks.append(None)
+            return {"ops": iterations + len(ticks)}
+
+        try:
+            register("_flaky", "nondeterministic on purpose", 10)(flaky)
+            with pytest.raises(ExperimentError, match="not deterministic"):
+                run_benchmark("_flaky", repeats=2)
+        finally:
+            REGISTRY.pop("_flaky", None)
+
+
+class TestResults:
+    def test_result_shape_and_render(self):
+        result = run_benchmark("timer_churn", repeats=2, scale=SCALE)
+        assert result.repeats == 2
+        assert len(result.walls) == 2
+        assert result.best_wall == min(result.walls)
+        assert result.ops_per_second > 0
+        assert result.hist.count == 2          # one sample per repeat
+        assert result.name in result.render()
+        table = render_results([result])
+        assert "ops/s" in table and "timer_churn" in table
+
+    def test_timer_churn_counters_cover_the_mix(self):
+        """The RTO mimic must exercise schedule, cancel, AND fire."""
+        counters = REGISTRY["timer_churn"].fn(4000)
+        assert counters["scheduled"] == 4000
+        assert counters["cancelled"] > 0
+        assert counters["fired"] > 0
+        assert counters["fired"] + counters["cancelled"] \
+            + (counters["processed"] - counters["fired"]) >= 0
+        # Most timers cancel (the handshake completes) — the pattern
+        # that makes lazy deletion matter.
+        assert counters["cancelled"] > counters["fired"]
+
+    def test_payload_carries_the_gated_blocks(self):
+        payload = run_benchmark("puzzle_codec", repeats=1,
+                                scale=SCALE).payload()
+        assert payload["name"] == f"{MICRO_PREFIX}puzzle_codec"
+        assert payload["perf"]["wall_seconds"] > 0
+        assert payload["perf"]["events_per_second"] > 0
+        assert payload["counters"]["micro"]["roundtrips"] >= 1
+        assert "micro_op.puzzle_codec" in payload["histograms"]
+        assert payload["micro"]["iterations"] >= 1
+
+
+class TestManifestGate:
+    def _write(self, directory, repeats=2):
+        results = run_micro(["timer_churn", "puzzle_codec"],
+                            repeats=repeats, scale=SCALE)
+        return write_micro_manifests(results, directory)
+
+    def test_manifests_self_compare_clean(self, tmp_path):
+        from repro.obs.benchcmp import Tolerance
+
+        self._write(tmp_path / "base")
+        self._write(tmp_path / "cur")
+        # Two separate tiny runs: counters must agree exactly (the
+        # determinism gate); wall times are noisy at this scale, so the
+        # perf/quantile bands are opened wide — they get their own
+        # negative tests below on perturbed copies.
+        report = compare_dirs(tmp_path / "base", tmp_path / "cur",
+                              Tolerance(counters=0.0, perf=100.0,
+                                        quantile=100.0),
+                              prefix=MICRO_PREFIX)
+        assert report.passed, report.render()
+        assert "micro_timer_churn" in report.manifests
+
+    def test_perturbed_p95_fails_the_gate(self, tmp_path):
+        self._write(tmp_path / "base")
+        path = None
+        for path in self._write(tmp_path / "bad"):
+            if path.name.endswith("timer_churn.json"):
+                break
+        body = json.loads(path.read_text())
+        quantiles = body["histograms"]["micro_op.timer_churn"]["quantiles"]
+        quantiles["p95"] *= 10.0
+        path.write_text(json.dumps(body))
+        report = compare_dirs(tmp_path / "base", tmp_path / "bad",
+                              prefix=MICRO_PREFIX)
+        assert not report.passed
+        assert any("micro_op.timer_churn.p95" in finding.metric
+                   for finding in report.regressions)
+
+    def test_perturbed_counters_fail_the_gate(self, tmp_path):
+        self._write(tmp_path / "base")
+        for path in self._write(tmp_path / "bad"):
+            if path.name.endswith("puzzle_codec.json"):
+                break
+        body = json.loads(path.read_text())
+        body["counters"]["micro"]["roundtrips"] += 1
+        path.write_text(json.dumps(body))
+        report = compare_dirs(tmp_path / "base", tmp_path / "bad",
+                              prefix=MICRO_PREFIX)
+        assert not report.passed
+
+    def test_prefix_filter_ignores_other_manifests(self, tmp_path):
+        self._write(tmp_path / "base")
+        self._write(tmp_path / "cur")
+        # A non-micro manifest present on only one side must not count
+        # as lost coverage when comparing with the micro prefix.
+        (tmp_path / "base" / "BENCH_fig12_sweep.json").write_text(
+            json.dumps({"name": "fig12_sweep",
+                        "perf": {"wall_seconds": 1.0}}))
+        report = compare_dirs(tmp_path / "base", tmp_path / "cur",
+                              prefix=MICRO_PREFIX)
+        assert report.passed, report.render()
+        assert "fig12_sweep" not in report.manifests
+
+    def test_environment_stamp_present(self, tmp_path):
+        paths = self._write(tmp_path)
+        body = json.loads(paths[0].read_text())
+        assert "environment" in body
+        assert body["environment"]["implementation"]

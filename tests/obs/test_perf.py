@@ -1,0 +1,277 @@
+"""Attribution profiler, heap churn, flamegraph export, make_profiler."""
+
+import functools
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.obs.perf import (
+    AttributionProfiler,
+    callback_module,
+    collapsed_stacks,
+    component_of,
+    heap_churn,
+    make_profiler,
+    profile_payload,
+    render_heap_churn,
+    write_flamegraph,
+)
+from repro.obs.profile import EngineProfiler
+from repro.sim.engine import Engine
+
+
+class TestComponentMapping:
+    @pytest.mark.parametrize("module,component", [
+        ("repro.tcp.listener", "tcp"),
+        ("repro.tcp", "tcp"),
+        ("repro.net.network", "net"),
+        ("repro.puzzles.codec", "puzzles"),
+        ("repro.crypto.sha256", "puzzles"),
+        ("repro.obs.trace", "obs"),
+        ("repro.metrics.series", "obs"),
+        ("repro.sim.engine", "engine"),
+        ("repro.sim.process", "engine"),
+        ("repro.hosts.server", "hosts"),
+        ("repro.experiments.scenario", "experiments"),
+        ("repro.faults.injectors", "faults"),
+        ("repro.runner.runner", "runner"),
+        ("builtins", "other"),
+        ("repro.tcpdump", "other"),   # prefix must match at a dot
+    ])
+    def test_component_of(self, module, component):
+        assert component_of(module) == component
+
+    def test_callback_module_unwraps_partials(self):
+        def f():
+            pass
+
+        nested = functools.partial(functools.partial(f, 1), 2)
+        assert callback_module(nested) == __name__
+
+    def test_callback_module_on_callable_instance(self):
+        class Callable:
+            __module__ = "some.module"
+
+            def __call__(self):
+                pass
+
+        assert callback_module(Callable()) == "some.module"
+
+    def test_callback_module_falls_back_to_type(self):
+        class NoModule:
+            def __call__(self):
+                pass
+
+        instance = NoModule()
+        # Instances report their class's __module__ either way; strip
+        # the attribute path entirely to hit the type fallback.
+        assert callback_module(instance) == __name__
+
+
+class TestAttributionProfiler:
+    def _profiled_engine(self, **kwargs):
+        engine = Engine()
+        profiler = AttributionProfiler(**kwargs)
+        engine.attach_profiler(profiler)
+        return engine, profiler
+
+    def test_component_rollup_sums_match_per_kind(self):
+        engine, profiler = self._profiled_engine()
+        seen = []
+        for i in range(5):
+            engine.schedule(float(i + 1), seen.append, i)
+        engine.schedule(9.0, engine.stop)
+        engine.run()
+        rows = profiler.component_rows()
+        assert rows
+        assert sum(count for _, count, _, _ in rows) == profiler.events
+        total_wall = sum(wall for _, _, wall, _ in rows)
+        assert total_wall == pytest.approx(profiler.wall_seconds)
+        # Fractions sum to ~1 over a non-empty profile.
+        assert sum(f for _, _, _, f in rows) == pytest.approx(1.0)
+
+    def test_engine_methods_attribute_to_engine_component(self):
+        engine, profiler = self._profiled_engine()
+        engine.schedule(1.0, engine.stop)
+        engine.run()
+        components = profiler.components_payload()
+        assert "engine" in components
+        assert components["engine"]["count"] == 1
+
+    def test_render_components_table(self):
+        engine, profiler = self._profiled_engine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        table = profiler.render_components()
+        assert "component" in table
+        assert "wall %" in table
+        assert profiler.render_components().count("\n") >= 1
+
+    def test_empty_profile_renders(self):
+        profiler = AttributionProfiler()
+        assert "(no callbacks profiled)" in profiler.render_components()
+        assert collapsed_stacks(profiler) == []
+
+    def test_memory_and_gc_accounting(self):
+        engine, profiler = self._profiled_engine(track_memory=True,
+                                                 track_gc=True)
+
+        def churn():
+            # Allocate something measurable.
+            return [bytearray(1024) for _ in range(64)]
+
+        engine.schedule(1.0, churn)
+        profiler.start()
+        engine.run()
+        profiler.finish()
+        assert profiler.memory is not None
+        assert profiler.memory["peak_bytes"] > 0
+        assert profiler.gc_stats["collections"] >= 0
+        rendered = profiler.render_memory()
+        assert "tracemalloc" in rendered
+        assert "gc:" in rendered
+        import gc
+
+        assert profiler._gc_hook is None or profiler._gc_hook \
+            not in gc.callbacks
+
+    def test_finish_without_start_is_safe(self):
+        profiler = AttributionProfiler(track_memory=True, track_gc=True)
+        profiler.finish()     # no tracemalloc running: stays None
+        assert profiler.memory is None
+
+    def test_plain_profiler_untouched(self):
+        """The attribution layer must not change EngineProfiler's view."""
+        engine = Engine()
+        plain, attributed = EngineProfiler(), AttributionProfiler()
+        engine.attach_profiler(attributed)
+        seen = []
+        for i in range(4):
+            engine.schedule(float(i + 1), seen.append, i)
+        engine.run()
+        assert attributed.events == 4
+        assert list(attributed.snapshot()) == ["list.append"]
+        assert plain.events == 0
+
+
+class TestHeapChurn:
+    def test_churn_accounting(self):
+        engine = Engine()
+        events = [engine.schedule(float(i + 1), lambda: None)
+                  for i in range(10)]
+        events[0].cancel()
+        engine.run(until=5.0)
+        churn = heap_churn(engine)
+        assert churn["schedules"] == 10
+        assert churn["cancellations"] == 1
+        assert churn["pops"] == churn["schedules"] - engine.pending
+        assert churn["schedules_per_sim_second"] == pytest.approx(10 / 5.0)
+        assert "sched" in render_heap_churn(churn)
+
+    def test_fresh_engine_has_no_rates(self):
+        churn = heap_churn(Engine())
+        assert churn["schedules"] == 0
+        assert "schedules_per_sim_second" not in churn
+        render_heap_churn(churn)   # must not raise
+
+
+class TestFlamegraph:
+    def _run_profiled(self):
+        engine = Engine()
+        profiler = AttributionProfiler()
+        engine.attach_profiler(profiler)
+        seen = []
+        for i in range(50):
+            engine.schedule(float(i + 1), seen.append, i)
+        engine.schedule(99.0, engine.stop)
+        engine.run()
+        return profiler
+
+    def test_collapsed_stack_format(self):
+        profiler = self._run_profiled()
+        lines = collapsed_stacks(profiler)
+        assert lines
+        for line in lines:
+            stack, _, value = line.rpartition(" ")
+            frames = stack.split(";")
+            # component;module;qualname — the three-deep speedscope view.
+            assert len(frames) == 3
+            assert int(value) > 0
+
+    def test_plain_profiler_single_frame_stacks(self):
+        engine = Engine()
+        profiler = EngineProfiler()
+        engine.attach_profiler(profiler)
+        seen = []
+        engine.schedule(1.0, seen.append, 0)
+        engine.run()
+        lines = collapsed_stacks(profiler)
+        if lines:     # sub-µs dispatch can legitimately round to zero
+            assert all(";" not in line.rpartition(" ")[0] or
+                       "append" in line for line in lines)
+
+    def test_write_flamegraph(self, tmp_path):
+        profiler = self._run_profiled()
+        target = tmp_path / "deep" / "flame.txt"
+        count = write_flamegraph(profiler, target)
+        text = target.read_text()
+        assert count == len([l for l in text.splitlines() if l])
+        assert "list.append" in text
+
+
+class TestMakeProfiler:
+    def test_specs(self):
+        assert make_profiler(False) is None
+        assert make_profiler(None) is None
+        assert type(make_profiler(True)) is EngineProfiler
+        assert type(make_profiler("basic")) is EngineProfiler
+        assert type(make_profiler("attribution")) is AttributionProfiler
+        full = make_profiler("attribution+mem")
+        assert isinstance(full, AttributionProfiler)
+        assert full.track_memory and full.track_gc
+
+    def test_passthrough_and_rejection(self):
+        profiler = AttributionProfiler()
+        assert make_profiler(profiler) is profiler
+        with pytest.raises(ExperimentError, match="unknown profiler"):
+            make_profiler("turbo")
+
+
+class TestProfilePayload:
+    def test_payload_blocks(self):
+        engine = Engine()
+        profiler = AttributionProfiler()
+        engine.attach_profiler(profiler)
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        payload = profile_payload(profiler, engine)
+        assert "kinds" in payload
+        assert "components" in payload
+        assert "heap_churn" in payload
+        assert payload["heap_churn"]["schedules"] == 1
+
+    def test_plain_profiler_payload_has_no_components(self):
+        profiler = EngineProfiler()
+        payload = profile_payload(profiler)
+        assert "kinds" in payload
+        assert "components" not in payload
+        assert "heap_churn" not in payload
+
+
+class TestScenarioIntegration:
+    @pytest.mark.slow
+    def test_scenario_attribution_profile(self):
+        from repro.experiments.scenario import Scenario, ScenarioConfig
+
+        config = ScenarioConfig(time_scale=0.01, n_clients=2,
+                                n_attackers=1, attack_style="syn",
+                                profile="attribution")
+        result = Scenario(config).run()
+        profiler = result.profiler
+        assert isinstance(profiler, AttributionProfiler)
+        assert profiler.events > 0
+        components = {name for name, _, _, _
+                      in profiler.component_rows()}
+        # A flood run must attribute work to the network and TCP layers.
+        assert "net" in components
+        assert "tcp" in components

@@ -1,0 +1,135 @@
+"""callback_kind edge cases and the zero-overhead dispatch guarantee."""
+
+import functools
+
+from repro.obs.profile import EngineProfiler, callback_kind
+from repro.sim.engine import Engine
+
+
+class TestCallbackKind:
+    def test_plain_function(self):
+        def timeout_handler():
+            pass
+
+        assert callback_kind(timeout_handler).endswith("timeout_handler")
+
+    def test_bound_method_uses_qualname(self):
+        assert callback_kind([].append) == "list.append"
+
+    def test_partial_unwraps(self):
+        def f(a, b):
+            pass
+
+        assert callback_kind(functools.partial(f, 1)) == \
+            callback_kind(f)
+
+    def test_nested_partials_unwrap_recursively(self):
+        def f(a, b, c):
+            pass
+
+        nested = functools.partial(
+            functools.partial(functools.partial(f, 1), 2), 3)
+        assert callback_kind(nested) == callback_kind(f)
+
+    def test_lambda_keeps_its_definition_bucket(self):
+        callback = lambda: None  # noqa: E731
+        kind = callback_kind(callback)
+        assert "<lambda>" in kind
+        # Two dispatches of the same lambda land in the same bucket.
+        assert callback_kind(callback) == kind
+
+    def test_callable_without_qualname_uses_type_name(self):
+        class Dispatcher:
+            def __call__(self):
+                pass
+
+        instance = Dispatcher()
+        # Instances have no __qualname__ of their own.
+        assert not hasattr(instance, "__qualname__")
+        assert callback_kind(instance) == "Dispatcher"
+
+    def test_partial_of_callable_instance(self):
+        class Dispatcher:
+            def __call__(self, arg):
+                pass
+
+        assert callback_kind(functools.partial(Dispatcher(), 1)) == \
+            "Dispatcher"
+
+    def test_empty_qualname_falls_back_to_type(self):
+        class Weird:
+            __qualname__ = ""
+
+            def __call__(self):
+                pass
+
+        # An empty qualname is falsy -> the type-name fallback.
+        assert callback_kind(Weird()) == "Weird"
+
+
+class TestProfilerBucketsEdgeCases:
+    def test_mixed_callback_zoo_profiles_cleanly(self):
+        engine = Engine()
+        profiler = EngineProfiler()
+        engine.attach_profiler(profiler)
+
+        class Dispatcher:
+            def __call__(self):
+                pass
+
+        seen = []
+        engine.schedule(1.0, seen.append, 1)
+        engine.schedule(2.0, functools.partial(seen.append, 2))
+        engine.schedule(3.0, lambda: seen.append(3))
+        engine.schedule(4.0, Dispatcher())
+        engine.run()
+        snapshot = profiler.snapshot()
+        assert profiler.events == 4
+        # append + partial(append) share a bucket; lambda and the
+        # callable instance get their own.
+        assert snapshot["list.append"]["count"] == 2
+        assert snapshot["Dispatcher"]["count"] == 1
+        assert sum(entry["count"] for entry in snapshot.values()) == 4
+
+
+class TestZeroOverheadBranch:
+    def _count_perf_counter_calls(self, monkeypatch, events, profiler):
+        import repro.sim.engine as engine_module
+
+        real = engine_module.perf_counter
+        calls = [0]
+
+        def counting():
+            calls[0] += 1
+            return real()
+
+        monkeypatch.setattr(engine_module, "perf_counter", counting)
+        engine = Engine()
+        if profiler is not None:
+            engine.attach_profiler(profiler)
+        seen = []
+        for i in range(events):
+            engine.schedule(float(i + 1), seen.append, i)
+        engine.run()
+        assert len(seen) == events
+        return calls[0]
+
+    def test_detached_engine_makes_zero_timing_calls_per_event(
+            self, monkeypatch):
+        """The regression gate for the zero-overhead-when-detached
+        branch: without a profiler, `run` calls perf_counter exactly
+        twice per run (start/stop bookkeeping) — never per event."""
+        for events in (1, 10, 100):
+            calls = self._count_perf_counter_calls(monkeypatch, events,
+                                                   profiler=None)
+            assert calls == 2, (
+                f"{calls} perf_counter calls for {events} events — the "
+                f"no-profiler branch must not time dispatches")
+
+    def test_attached_profiler_times_each_event(self, monkeypatch):
+        profiler = EngineProfiler()
+        calls = self._count_perf_counter_calls(monkeypatch, 10,
+                                               profiler=profiler)
+        # 2 run-level calls + 2 per dispatched event.
+        assert calls == 2 + 2 * 10
+        assert profiler.events == 10

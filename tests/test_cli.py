@@ -138,6 +138,90 @@ class TestBenchCompareCommand:
         assert "[FAIL]" in capsys.readouterr().out
 
 
+class TestPerfCommand:
+    def test_micro_parser_defaults(self):
+        args = build_parser().parse_args(["perf", "micro"])
+        assert args.repeats == 3
+        assert args.scale == 1.0
+        assert args.output is None
+        assert args.benchmarks == []
+
+    def test_perf_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["perf"])
+
+    def test_micro_list(self, capsys):
+        assert main(["perf", "micro", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "timer_churn" in out
+        assert "puzzle_codec" in out
+
+    def test_micro_unknown_benchmark(self, capsys):
+        assert main(["perf", "micro", "warp_drive"]) == 2
+        assert "unknown micro-benchmark" in capsys.readouterr().err
+
+    def test_micro_writes_manifests(self, capsys, tmp_path):
+        assert main(["perf", "micro", "timer_churn", "--scale", "0.002",
+                     "--repeats", "2", "-o", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "timer_churn" in out and "ops/s" in out
+        body = json.loads(
+            (tmp_path / "BENCH_micro_timer_churn.json").read_text())
+        assert body["name"] == "micro_timer_churn"
+        assert body["perf"]["events_per_second"] > 0
+        assert body["counters"]["micro"]["scheduled"] > 0
+
+    def test_perf_compare_round_trip(self, capsys, tmp_path):
+        assert main(["perf", "micro", "timer_churn", "--scale", "0.002",
+                     "--repeats", "1", "-o",
+                     str(tmp_path / "base")]) == 0
+        import shutil
+
+        shutil.copytree(tmp_path / "base", tmp_path / "cur")
+        assert main(["perf", "compare", str(tmp_path / "base"),
+                     str(tmp_path / "cur")]) == 0
+        capsys.readouterr()
+        # Perturb the work counters: the determinism gate must fire.
+        path = tmp_path / "cur" / "BENCH_micro_timer_churn.json"
+        body = json.loads(path.read_text())
+        body["counters"]["micro"]["scheduled"] += 1
+        path.write_text(json.dumps(body))
+        assert main(["perf", "compare", str(tmp_path / "base"),
+                     str(tmp_path / "cur")]) == 1
+        assert "[FAIL]" in capsys.readouterr().out
+
+    def test_profile_small_run(self, capsys, tmp_path):
+        flame = tmp_path / "flame.txt"
+        manifest_dir = tmp_path / "manifests"
+        assert main(["perf", "profile", "--time-scale", "0.01",
+                     "--clients", "2", "--attackers", "1",
+                     "--flame", str(flame),
+                     "-o", str(manifest_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "per-component attribution:" in out
+        assert "heap churn:" in out
+        assert "hottest callback kinds" in out
+        text = flame.read_text()
+        assert text.strip()
+        # Collapsed-stack lines: component;module;qualname <int>
+        first = text.splitlines()[0]
+        stack, _, value = first.rpartition(" ")
+        assert len(stack.split(";")) == 3
+        assert int(value) > 0
+        body = json.loads(
+            (manifest_dir / "BENCH_profile_syn_puzzles.json").read_text())
+        assert "components" in body["profile"]
+        assert "heap_churn" in body["profile"]
+
+    def test_profile_chrome_export(self, tmp_path):
+        chrome = tmp_path / "trace.json"
+        assert main(["perf", "profile", "--time-scale", "0.01",
+                     "--clients", "1", "--attackers", "1",
+                     "--chrome", str(chrome)]) == 0
+        body = json.loads(chrome.read_text())
+        assert body["traceEvents"]
+
+
 class TestCostCommand:
     def test_cost_table(self, capsys):
         assert main(["cost"]) == 0
