@@ -16,7 +16,12 @@
 #      self-compare clean through `perf compare`, and a perturbed per-op
 #      p95 must fail the gate; the manifests land in benchmarks/output/
 #      for the CI artifact upload;
-#   6. a chaos smoke: a small fault matrix with the runtime invariant
+#   6. a scheduler regression guard: the two engine micro-benchmarks
+#      (timer_churn, engine_dispatch) run at full scale and are compared
+#      direction-aware against the committed baseline — a throughput
+#      collapse back toward heap-era numbers fails the gate, while
+#      improvements only print notes;
+#   7. a chaos smoke: a small fault matrix with the runtime invariant
 #      checker attached must pass, and a deliberately corrupted queue
 #      accounting must make the checker raise (the negative control).
 
@@ -121,6 +126,37 @@ echo "$perf_out" | grep -q "per-component attribution:" || {
     echo "perf smoke: flamegraph export is empty" >&2
     exit 1
 }
+
+echo "== scheduler regression guard =="
+# Full-scale run of the two engine micro-benchmarks, compared against
+# the committed baseline. `perf compare` is direction-aware on the perf
+# block (events_per_second down / wall_seconds up fails; improvements
+# are notes), so a regression toward the heap-era scheduler fails here
+# even though the deterministic work counters still match. The wide-ish
+# bands absorb same-machine noise while still catching anything in the
+# "lost the wheel" class (the rewrite moved these micros 7-10x).
+# The committed baseline was measured with the compiled core active; a
+# host without a working C toolchain falls back to the pure-Python wheel
+# (~8x slower on these micros, deliberately), so the throughput band is
+# only meaningful when the compiled core actually loaded.
+if python -c "from repro.sim.engine import CEngine; import sys; \
+sys.exit(0 if CEngine is not None else 1)"; then
+    mkdir -p "$smokedir/sched/base"
+    cp benchmarks/output/baseline/BENCH_micro_timer_churn.json \
+       benchmarks/output/baseline/BENCH_micro_engine_dispatch.json \
+       "$smokedir/sched/base/"
+    python -m repro.cli perf micro timer_churn engine_dispatch \
+        --output "$smokedir/sched/cur" > /dev/null
+    python -m repro.cli perf compare "$smokedir/sched/base" \
+        "$smokedir/sched/cur" --perf-tolerance 0.6 \
+        --quantile-tolerance 0.8 || {
+        echo "scheduler guard: engine micro throughput regressed below baseline" >&2
+        exit 1
+    }
+else
+    echo "scheduler guard: compiled engine unavailable, skipping" \
+         "throughput band (counters still gated by the CI baseline step)"
+fi
 
 echo "== chaos smoke =="
 # A small fault matrix with invariants on every cell. --output drops the

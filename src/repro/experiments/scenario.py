@@ -369,8 +369,8 @@ class Scenario:
                                            config.bin_width)
         client_throughput = HostThroughput(hosts["client0"].address,
                                            config.bin_width)
-        network.add_tap(server_throughput.tap)
-        network.add_tap(client_throughput.tap)
+        network.add_throughput_tap(server_throughput)
+        network.add_throughput_tap(client_throughput)
 
         attacker_ips = {host.address for name, host in hosts.items()
                         if name.startswith("attacker")}

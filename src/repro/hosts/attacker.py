@@ -20,7 +20,8 @@ from typing import Dict, Optional
 from repro.hosts.host import Host
 from repro.metrics.connections import ConnectionTracker
 from repro.net.addresses import SpoofingPool
-from repro.net.packet import Packet, TCPFlags, TCPOptions
+from repro.net.packet import (FLAG_ACK, FLAG_SYN, Packet, TCPOptions,
+                              mss_options)
 from repro.sim.process import PeriodicProcess
 from repro.tcp.connection import ClientConnConfig, ClientConnection
 from repro.tcp.constants import DEFAULT_MSS
@@ -76,15 +77,25 @@ class SynFlooder:
         self._process.stop()
 
     def _fire(self) -> None:
+        host = self.host
+        grb = host.rng.getrandbits
+        src_ip = self._pool.draw()
+        # Inlined random.randrange(1024, 65536): the rejection loop below
+        # consumes exactly the same getrandbits(16) draws as the stdlib's
+        # _randbelow(64512), so the RNG stream — and every downstream
+        # counter — is unchanged while skipping two Python frames per SYN.
+        port = grb(16)
+        while port >= 64512:
+            port = grb(16)
         packet = Packet(
-            src_ip=self._pool.draw(),
+            src_ip=src_ip,
             dst_ip=self.config.server_ip,
-            src_port=self.host.rng.randrange(1024, 65536),
+            src_port=1024 + port,
             dst_port=self.config.server_port,
-            seq=self.host.rng.getrandbits(32),
-            flags=TCPFlags.SYN,
-            options=TCPOptions(mss=DEFAULT_MSS))
-        self.host.send(packet)
+            seq=grb(32),
+            flags=FLAG_SYN,
+            options=mss_options(DEFAULT_MSS))
+        host.send(packet)
         self.stats.syns_sent += 1
 
 
@@ -231,7 +242,7 @@ class SolutionFlooder:
             src_port=self.host.rng.randrange(1024, 65536),
             dst_port=self.config.server_port,
             seq=self.host.rng.getrandbits(32),
-            flags=TCPFlags.ACK,
+            flags=FLAG_ACK,
             options=TCPOptions(solution=bogus))
         self.host.send(packet)
         self.stats.syns_sent += 1

@@ -30,13 +30,22 @@ class HostThroughput:
         """Fast-path network tap (register via ``Network.add_tap``)."""
         if event == "deliver":
             if packet.dst_ip == self.address:
-                self.rx.add(time, packet.size_bytes)
-                if packet.payload_bytes:
-                    self.rx_goodput.add(time, packet.payload_bytes)
+                self.on_rx(time, packet)
         elif event == "send" and packet.src_ip == self.address:
-            self.tx.add(time, packet.size_bytes)
-            if packet.payload_bytes:
-                self.tx_goodput.add(time, packet.payload_bytes)
+            self.on_tx(time, packet)
+
+    def on_rx(self, time: float, packet) -> None:
+        """A packet was delivered to this host (pre-matched on address —
+        the ``Network.add_throughput_tap`` fast path)."""
+        self.rx.add(time, packet.size_bytes)
+        if packet.payload_bytes:
+            self.rx_goodput.add(time, packet.payload_bytes)
+
+    def on_tx(self, time: float, packet) -> None:
+        """A packet left this host (pre-matched on address)."""
+        self.tx.add(time, packet.size_bytes)
+        if packet.payload_bytes:
+            self.tx_goodput.add(time, packet.payload_bytes)
 
     def sink(self, record: CaptureRecord) -> None:
         """CaptureRecord-style entry point (PacketCapture subscription)."""

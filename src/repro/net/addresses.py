@@ -72,6 +72,16 @@ class SpoofingPool:
         self._rng = rng
         self._base = parse_ip(base)
         self._span = span
+        self._span_bits = span.bit_length()  # _randbelow's k
 
     def draw(self) -> int:
-        return self._base + self._rng.randrange(self._span)
+        # Inlined random.randrange(span): identical getrandbits rejection
+        # sampling to the stdlib's _randbelow, so the RNG stream (and every
+        # spoofed address) is unchanged — minus two Python frames per SYN.
+        grb = self._rng.getrandbits
+        span = self._span
+        bits = self._span_bits
+        value = grb(bits)
+        while value >= span:
+            value = grb(bits)
+        return self._base + value

@@ -94,7 +94,13 @@ class Link:
 
     def offer(self, now: float, size_bytes: int) -> Optional[float]:
         """Offer a packet; returns its arrival time at the far end, or
-        ``None`` if the droptail queue rejects it."""
+        ``None`` if the droptail queue rejects it.
+
+        This is the fabric's innermost loop (one call per packet per path
+        link), so the backlog/serialization helpers are inlined — with the
+        exact same arithmetic, so drop decisions and arrival times are
+        bit-identical to the helper formulation.
+        """
         if size_bytes <= 0:
             raise NetworkError(f"size_bytes must be positive, got "
                                f"{size_bytes!r}")
@@ -110,20 +116,24 @@ class Link:
                     self._next_free = start + self.serialization_delay(
                         size_bytes)
                 return None
-        if self.backlog_bytes(now) + size_bytes > self.buffer_bytes:
+        rate = self.rate_bps
+        next_free = self._next_free
+        waiting = next_free - now
+        if waiting < 0.0:
+            waiting = 0.0
+        if waiting * rate / 8.0 + size_bytes > self.buffer_bytes:
             self.packets_dropped += 1
             return None
+        start = now if now > next_free else next_free
         if self.loss_rate > 0 and self.rng.random() < self.loss_rate:
             # The frame still occupies air time before being lost.
             self.packets_lost += 1
-            start = max(now, self._next_free)
-            self._next_free = start + self.serialization_delay(size_bytes)
+            self._next_free = start + size_bytes * 8.0 / rate
             return None
-        start = max(now, self._next_free)
-        self._next_free = start + self.serialization_delay(size_bytes)
+        self._next_free = next_free = start + size_bytes * 8.0 / rate
         self.packets_sent += 1
         self.bytes_sent += size_bytes
-        return self._next_free + self.delay
+        return next_free + self.delay
 
     def utilization(self, now: float, since: float = 0.0) -> float:
         """Approximate long-run utilization: bytes sent over elapsed time."""

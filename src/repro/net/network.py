@@ -41,9 +41,20 @@ class Network:
     def __init__(self, engine: Engine, topology: Topology) -> None:
         self.engine = engine
         self.topology = topology
+        # Bound-method cache: ``send`` schedules one delivery per packet
+        # and the engine never changes after construction.
+        self._schedule_at = engine.schedule_at
         self._hosts_by_ip: Dict[int, Attachable] = {}
         self._hosts_by_name: Dict[str, Attachable] = {}
         self._taps: List[Tap] = []
+        # Hot-path caches over the (static-after-setup) topology — the
+        # same assumption Topology's own path cache already makes. Keyed
+        # by host *names* so they survive re-registration in tests.
+        self._paths: Dict[tuple, list] = {}
+        self._blackhole_paths: Dict[str, list] = {}
+        # Address-indexed throughput accounting (see add_throughput_tap).
+        self._tx_taps: Dict[int, list] = {}
+        self._rx_taps: Dict[int, list] = {}
         #: Optional fault-injection hook called as ``(now, packet)`` on
         #: every send before path folding. Unlike taps (pure observers)
         #: it may mutate the packet's *options* in place — the bit-flip
@@ -74,6 +85,21 @@ class Network:
         """Install a tcpdump-like observer over all fabric events."""
         self._taps.append(tap)
 
+    def add_throughput_tap(self, throughput) -> None:
+        """Install a :class:`~repro.metrics.throughput.HostThroughput`
+        on its host's address.
+
+        Equivalent to ``add_tap(throughput.tap)`` but dispatched through
+        an address-indexed table: packets for other hosts cost one dict
+        miss instead of a Python call per tap per fabric event — the
+        difference is measurable at flood rates with several hosts
+        instrumented.
+        """
+        self._tx_taps.setdefault(throughput.address, []).append(
+            throughput.on_tx)
+        self._rx_taps.setdefault(throughput.address, []).append(
+            throughput.on_rx)
+
     def _emit(self, packet: Packet, event: str) -> None:
         if self._taps:
             now = self.engine.now
@@ -93,38 +119,57 @@ class Network:
         packet.sent_at = now
         if self.packet_fault is not None:
             self.packet_fault(now, packet)
-        # Guard inlined: with no taps installed (most sweeps) the hot path
-        # skips the _emit call entirely, not just its body.
-        if self._taps:
-            self._emit(packet, "send")
+        # Tap loops inlined: with no taps installed (most sweeps) the hot
+        # path is one truthiness check; with taps it skips the _emit frame.
+        taps = self._taps
+        if taps:
+            for tap in taps:
+                tap(now, packet, "send")
+        tx = self._tx_taps.get(packet.src_ip)
+        if tx is not None:
+            for on_tx in tx:
+                on_tx(now, packet)
 
+        size = packet.size_bytes
         dst_host = self._hosts_by_ip.get(packet.dst_ip)
         if dst_host is None:
             # Replies to spoofed sources: consume the sender's uplink, then
             # vanish in the backbone.
-            uplink = self.topology.path_links(src.name, "server")[:1] \
-                if src.name != "server" else \
-                self.topology.path_links("server",
-                                         self._any_other_host(src.name))[:1]
+            uplink = self._blackhole_paths.get(src.name)
+            if uplink is None:
+                uplink = self.topology.path_links(src.name, "server")[:1] \
+                    if src.name != "server" else \
+                    self.topology.path_links(
+                        "server", self._any_other_host(src.name))[:1]
+                self._blackhole_paths[src.name] = uplink
             arrival = now
             for link in uplink:
-                offered = link.offer(arrival, packet.size_bytes)
+                offered = link.offer(arrival, size)
                 if offered is None:
                     break
                 arrival = offered
             self.packets_blackholed += 1
-            self._emit(packet, "blackhole")
+            if taps:
+                for tap in taps:
+                    tap(now, packet, "blackhole")
             return
 
+        key = (src.name, dst_host.name)
+        path = self._paths.get(key)
+        if path is None:
+            path = self.topology.path_links(*key)
+            self._paths[key] = path
         arrival = now
-        for link in self.topology.path_links(src.name, dst_host.name):
-            offered = link.offer(arrival, packet.size_bytes)
+        for link in path:
+            offered = link.offer(arrival, size)
             if offered is None:
                 self.packets_dropped += 1
-                self._emit(packet, "drop")
+                if taps:
+                    for tap in taps:
+                        tap(now, packet, "drop")
                 return
             arrival = offered
-        self.engine.schedule_at(arrival, self._deliver, dst_host, packet)
+        self._schedule_at(arrival, self._deliver, dst_host, packet)
 
     def _any_other_host(self, not_this: str) -> str:
         for name in self.topology.host_names():
@@ -134,6 +179,14 @@ class Network:
 
     def _deliver(self, host: Attachable, packet: Packet) -> None:
         self.packets_delivered += 1
-        if self._taps:
-            self._emit(packet, "deliver")
+        taps = self._taps
+        if taps:
+            now = self.engine.now
+            for tap in taps:
+                tap(now, packet, "deliver")
+        rx = self._rx_taps.get(packet.dst_ip)
+        if rx is not None:
+            now = self.engine.now
+            for on_rx in rx:
+                on_rx(now, packet)
         host.receive(packet)

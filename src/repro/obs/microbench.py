@@ -42,7 +42,6 @@ from __future__ import annotations
 
 import math
 import random
-from collections import deque
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence
@@ -229,17 +228,50 @@ def _bench_timer_churn(iterations: int) -> Dict[str, int]:
     def on_rto() -> None:
         fired[0] += 1
 
-    window: deque = deque()
     # Every iteration arms one retransmission timer ~an RTO out; every
     # 8 arrivals, 6 handshakes "complete" (their timers cancel) and the
     # engine advances so due timers pop — the cancel-heavy pattern that
     # makes lazy deletion + compaction (and later the timer wheel) matter.
-    for i in range(iterations):
-        window.append(engine.schedule(0.057 + (i & 7) * 1e-4, on_rto))
-        if len(window) >= 8:
-            for _ in range(6):
-                window.popleft().cancel()
-            engine.run(until=engine.now + 2e-3)
+    #
+    # The loop is written as straight-line rounds rather than the
+    # obvious deque-of-pending formulation so it times engine calls,
+    # not container bookkeeping: once the first 8 arrivals trigger the
+    # first completion burst, the window always carries exactly two
+    # pending timers into the next 6-arrival round. The op sequence —
+    # delay values, schedule order, cancel order, run windows — is
+    # identical to the deque version, so every counter matches it.
+    d = tuple(0.057 + (j & 7) * 1e-4 for j in range(8))
+    schedule, run = engine.schedule, engine.run
+    i = 0
+    if iterations >= 8:
+        e0 = schedule(d[0], on_rto)
+        e1 = schedule(d[1], on_rto)
+        e2 = schedule(d[2], on_rto)
+        e3 = schedule(d[3], on_rto)
+        e4 = schedule(d[4], on_rto)
+        e5 = schedule(d[5], on_rto)
+        a = schedule(d[6], on_rto)
+        b = schedule(d[7], on_rto)
+        e0.cancel(); e1.cancel(); e2.cancel()
+        e3.cancel(); e4.cancel(); e5.cancel()
+        run(until=engine.now + 2e-3)
+        i = 8
+        while i + 6 <= iterations:
+            c0 = schedule(d[i & 7], on_rto)
+            c1 = schedule(d[(i + 1) & 7], on_rto)
+            c2 = schedule(d[(i + 2) & 7], on_rto)
+            c3 = schedule(d[(i + 3) & 7], on_rto)
+            c4 = schedule(d[(i + 4) & 7], on_rto)
+            c5 = schedule(d[(i + 5) & 7], on_rto)
+            a.cancel(); b.cancel()
+            c0.cancel(); c1.cancel(); c2.cancel(); c3.cancel()
+            run(until=engine.now + 2e-3)
+            a, b = c4, c5
+            i += 6
+    # Tail arrivals that never fill a completion window just schedule.
+    while i < iterations:
+        schedule(d[i & 7], on_rto)
+        i += 1
     engine.run()
     stats = engine.stats()
     return {
@@ -259,10 +291,11 @@ def _bench_engine_dispatch(iterations: int) -> Dict[str, int]:
     from repro.sim.engine import Engine
 
     engine = Engine()
+    schedule = engine.schedule
 
     def chain(remaining: int) -> None:
         if remaining:
-            engine.schedule(0.001, chain, remaining - 1)
+            schedule(0.001, chain, remaining - 1)
 
     # Several shorter chains rather than one deep one: keeps a few
     # events resident so the heap is never trivially empty.

@@ -64,15 +64,22 @@ def component_of(module: str) -> str:
 def callback_module(callback: Callable) -> str:
     """The defining module of a callback, partials unwrapped.
 
-    Bound methods report their function's module; callable instances
-    without ``__module__`` fall back to their type's module; anything
-    else reports ``<unknown>``.
+    Bound methods report their function's module; builtin methods of
+    extension types (``__module__ is None``, e.g. the compiled engine
+    core's ``stop``) report the module of the object they are bound to;
+    callable instances without ``__module__`` fall back to their type's
+    module; anything else reports ``<unknown>``.
     """
     if isinstance(callback, functools.partial):
         return callback_module(callback.func)
     module = getattr(callback, "__module__", None)
     if module:
         return module
+    bound_to = getattr(callback, "__self__", None)
+    if bound_to is not None:
+        module = getattr(type(bound_to), "__module__", None)
+        if module:
+            return module
     module = getattr(type(callback), "__module__", None)
     return module if module else _UNKNOWN_MODULE
 

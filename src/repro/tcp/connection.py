@@ -16,7 +16,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Optional, TYPE_CHECKING
 
-from repro.net.packet import Packet, TCPFlags, TCPOptions
+from repro.net.packet import (FLAG_ACK, FLAG_PSHACK, FLAG_RST,
+                              FLAG_SYN, Packet, TCPOptions)
 from repro.puzzles.juels import Challenge, ModeledSolver, Solution
 from repro.tcp.constants import (
     DEFAULT_MSS,
@@ -100,7 +101,7 @@ class ClientConnection:
     def _send_syn(self) -> None:
         packet = Packet(src_ip=self.host.address, dst_ip=self.remote_ip,
                         src_port=self.local_port, dst_port=self.remote_port,
-                        seq=self.isn, flags=TCPFlags.SYN,
+                        seq=self.isn, flags=FLAG_SYN,
                         options=self._syn_options())
         self.host.send(packet)
         self._syn_sent += 1
@@ -211,7 +212,7 @@ class ClientConnection:
             src_port=self.local_port, dst_port=self.remote_port,
             seq=self.isn + 1,
             ack=(self.remote_isn or 0) + 1,
-            flags=TCPFlags.ACK, options=options)
+            flags=FLAG_ACK, options=options)
         self.host.send(ack_packet)
         # TCP enters ESTABLISHED on sending the ACK — even when the server
         # silently ignores it (the paper's deception mechanism, §5).
@@ -229,7 +230,7 @@ class ClientConnection:
         packet = Packet(src_ip=self.host.address, dst_ip=self.remote_ip,
                         src_port=self.local_port, dst_port=self.remote_port,
                         seq=self.isn + 1, ack=(self.remote_isn or 0) + 1,
-                        flags=TCPFlags.PSH | TCPFlags.ACK,
+                        flags=FLAG_PSHACK,
                         payload_bytes=payload_bytes)
         packet.app_data = app_data
         self.host.send(packet)
@@ -305,7 +306,7 @@ class ServerConnection:
         frames = max(1, math.ceil(payload_bytes / max(1, self.mss)))
         packet = Packet(src_ip=self.host.address, dst_ip=self.remote_ip,
                         src_port=self.local_port, dst_port=self.remote_port,
-                        flags=TCPFlags.PSH | TCPFlags.ACK,
+                        flags=FLAG_PSHACK,
                         payload_bytes=payload_bytes,
                         extra_frames=frames - 1)
         packet.app_data = app_data
@@ -322,5 +323,5 @@ class ServerConnection:
             packet = Packet(src_ip=self.host.address, dst_ip=self.remote_ip,
                             src_port=self.local_port,
                             dst_port=self.remote_port,
-                            flags=TCPFlags.RST)
+                            flags=FLAG_RST)
             self.host.send(packet)

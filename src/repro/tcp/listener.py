@@ -22,7 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional, TYPE_CHECKING
 
-from repro.net.packet import Packet, TCPFlags, TCPOptions
+from repro.net.packet import (FLAG_SYNACK, Packet, TCPOptions,
+                              mss_options)
 from repro.puzzles.juels import FlowBinding, JuelsBrainardScheme, \
     VerifyStatus
 from repro.puzzles.params import PuzzleParams
@@ -213,8 +214,13 @@ class ListenSocket:
     def handle_syn(self, packet: Packet) -> None:
         self.stats.syns_received += 1
         self.mib.incr("SynsRecv")
-        self._trace("syn-in",
-                    (packet.src_ip, packet.src_port, self.port))
+        # Tracer guard inlined on the flood-rate sites: when tracing is
+        # off (the default) this skips building the flow tuple and the
+        # _trace call frame for every SYN.
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(self.host.engine.now, self.host.name, "syn-in",
+                        (packet.src_ip, packet.src_port, self.port))
         mode = self.config.mode
 
         if mode is DefenseMode.PUZZLES and self.protection_active:
@@ -262,12 +268,15 @@ class ListenSocket:
     def _send_plain_synack(self, tcb: HalfOpenTCB) -> None:
         self.stats.synacks_plain += 1
         self.mib.incr("SynAcksSent")
-        self._trace("synack-out", tcb.flow, retrans=tcb.retransmits)
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(self.host.engine.now, self.host.name, "synack-out",
+                        tcb.flow, retrans=tcb.retransmits)
         options = TCPOptions(mss=DEFAULT_MSS, wscale=tcb.wscale)
         packet = Packet(src_ip=self.host.address, dst_ip=tcb.remote_ip,
                         src_port=self.port, dst_port=tcb.remote_port,
                         seq=tcb.local_isn, ack=tcb.remote_isn + 1,
-                        flags=TCPFlags.SYN | TCPFlags.ACK, options=options)
+                        flags=FLAG_SYNACK, options=options)
         self.host.send(packet)
 
     def _arm_synack_timer(self, tcb: HalfOpenTCB) -> None:
@@ -327,14 +336,17 @@ class ListenSocket:
         self.host.cpu.consume(1)  # g(p) = 1 hash of server CPU time
         self.stats.synacks_challenge += 1
         self.mib.incr("PuzzlesIssued")
-        self._trace("challenge-out",
-                    (packet.src_ip, packet.src_port, self.port),
-                    k=params.k, m=params.m)
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(self.host.engine.now, self.host.name,
+                        "challenge-out",
+                        (packet.src_ip, packet.src_port, self.port),
+                        k=params.k, m=params.m)
         options = TCPOptions(mss=DEFAULT_MSS, challenge=challenge)
         response = Packet(src_ip=self.host.address, dst_ip=packet.src_ip,
                           src_port=self.port, dst_port=packet.src_port,
                           seq=self.stack.new_isn(), ack=packet.seq + 1,
-                          flags=TCPFlags.SYN | TCPFlags.ACK, options=options)
+                          flags=FLAG_SYNACK, options=options)
         self.host.send(response)
 
     def _send_cookie_synack(self, packet: Packet) -> None:
@@ -343,13 +355,16 @@ class ListenSocket:
             self.port, packet.seq, packet.options.mss or DEFAULT_MSS)
         self.stats.synacks_cookie += 1
         self.mib.incr("SynCookiesSent")
-        self._trace("cookie-out",
-                    (packet.src_ip, packet.src_port, self.port))
-        options = TCPOptions(mss=DEFAULT_MSS)  # wscale is lost with cookies
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(self.host.engine.now, self.host.name, "cookie-out",
+                        (packet.src_ip, packet.src_port, self.port))
+        # wscale is lost with cookies; the MSS-only shape is interned.
+        options = mss_options(DEFAULT_MSS)
         response = Packet(src_ip=self.host.address, dst_ip=packet.src_ip,
                           src_port=self.port, dst_port=packet.src_port,
                           seq=cookie, ack=packet.seq + 1,
-                          flags=TCPFlags.SYN | TCPFlags.ACK, options=options)
+                          flags=FLAG_SYNACK, options=options)
         self.host.send(response)
 
     def _syncache_insert(self, packet: Packet) -> None:
@@ -381,9 +396,12 @@ class ListenSocket:
         (Figure 10) and limits attackers to the solving path.
         """
         flow = (packet.src_ip, packet.src_port, self.port)
-        self._trace("ack-in", flow,
-                    solution=packet.options.solution is not None,
-                    payload=packet.payload_bytes)
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(self.host.engine.now, self.host.name, "ack-in",
+                        flow,
+                        solution=packet.options.solution is not None,
+                        payload=packet.payload_bytes)
 
         tcb = self.listen_queue.get(flow)
         if tcb is not None:

@@ -19,7 +19,7 @@ from typing import Dict, Optional, Protocol, Tuple
 import random
 
 from repro.errors import NetworkError
-from repro.net.packet import Packet, TCPFlags
+from repro.net.packet import FLAG_RST, Packet
 from repro.tcp.connection import ClientConnConfig, ClientConnection, \
     ServerConnection
 from repro.tcp.listener import DefenseConfig, ListenSocket
@@ -155,5 +155,5 @@ class TCPStack:
         rst = Packet(src_ip=self.host.address, dst_ip=packet.src_ip,
                      src_port=packet.dst_port, dst_port=packet.src_port,
                      seq=packet.ack, ack=packet.seq + 1,
-                     flags=TCPFlags.RST)
+                     flags=FLAG_RST)
         self.host.send(rst)

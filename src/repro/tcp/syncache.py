@@ -22,7 +22,7 @@ from repro.errors import SimulationError
 Flow = Tuple[int, int, int]  # (remote_ip, remote_port, local_port)
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheEntry:
     """Compact half-open record (a fraction of a full TCB)."""
 

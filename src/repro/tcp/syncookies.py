@@ -18,13 +18,23 @@ reports ``wscale=None``.
 from __future__ import annotations
 
 import hashlib
+import struct
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.errors import NetworkError
 
 #: The classic 8-entry MSS approximation table.
 MSS_TABLE = (536, 1300, 1440, 1460, 4312, 8960, 536, 536)
+
+_sha256 = hashlib.sha256
+#: Same byte layout as the original per-field ``to_bytes`` concatenation:
+#: 4-byte src_ip, 2-byte ports, 4-byte ISN, 8-byte unsigned t, big-endian.
+_pack_material = struct.Struct(">IHHIQ").pack
+
+#: ``_mss_index`` results per client MSS — floods echo one MSS value
+#: millions of times, so the table scan runs once per distinct value.
+_MSS_INDEX_CACHE: Dict[int, int] = {}
 
 #: Seconds per cookie time-counter tick.
 COOKIE_TICK_SECONDS = 64.0
@@ -57,23 +67,23 @@ class SynCookieCodec:
     @staticmethod
     def _mss_index(mss: int) -> int:
         """Largest table entry not exceeding the client's MSS."""
+        index = _MSS_INDEX_CACHE.get(mss)
+        if index is not None:
+            return index
         best_index = 0
         best_value = -1
         for i, value in enumerate(MSS_TABLE):
             if value <= mss and value > best_value:
                 best_value = value
                 best_index = i
+        _MSS_INDEX_CACHE[mss] = best_index
         return best_index
 
     def _hash24(self, src_ip: int, src_port: int, dst_port: int,
                 client_isn: int, t: int) -> int:
-        material = (self._secret
-                    + src_ip.to_bytes(4, "big")
-                    + src_port.to_bytes(2, "big")
-                    + dst_port.to_bytes(2, "big")
-                    + (client_isn & 0xFFFFFFFF).to_bytes(4, "big")
-                    + t.to_bytes(8, "big", signed=False))
-        digest = hashlib.sha256(material).digest()
+        material = self._secret + _pack_material(
+            src_ip, src_port, dst_port, client_isn & 0xFFFFFFFF, t)
+        digest = _sha256(material).digest()
         return int.from_bytes(digest[:3], "big")
 
     def encode(self, now: float, src_ip: int, src_port: int, dst_port: int,

@@ -35,7 +35,7 @@ class EstablishPath(enum.Enum):
     PUZZLE = "puzzle"        # verified challenge solution
 
 
-@dataclass
+@dataclass(slots=True)
 class HalfOpenTCB:
     """Server-side state for a half-open (SYN_RECEIVED) connection.
 

@@ -1,0 +1,270 @@
+"""Differential tests: the timer-wheel engine vs the reference heap.
+
+The wheel engine (:mod:`repro.sim.engine`, Python and compiled cores)
+must be observationally identical to the pre-wheel binary-heap engine
+preserved in :mod:`repro.sim.reference` — same fire order, same
+``(time, seq)`` tie-breaking, same run/stop/drain semantics, same
+public bookkeeping. These tests drive randomized mixed workloads
+through every implementation and diff the outcomes.
+
+Engine-internal counters (``compactions``, ``heap_high_water``,
+``pending``) are *excluded* from the diff: the wheel's overflow tier
+compacts on a different cadence than a monolithic heap and counts raw
+entries differently, so those legitimately diverge while every
+externally visible behaviour stays fixed.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import CEngine, PyEngine
+from repro.sim.reference import ReferenceHeapEngine
+
+#: Delays spanning every scheduler tier: same-instant ties, sub-slot,
+#: single-slot, mid-wheel, the wheel horizon boundary (256 slots of
+#: 1 ms), and deep overflow-heap territory.
+DELAYS = (0.0, 0.0, 1e-05, 2.5e-4, 1e-3, 3.3e-3, 0.05, 0.254, 0.256,
+          1.0, 7.0, 42.0)
+
+#: Stats keys that must agree across implementations.
+STAT_KEYS = ("events_scheduled", "events_processed", "events_cancelled",
+             "pending_live", "sim_seconds")
+
+ENGINES = [pytest.param(PyEngine, id="py")]
+if CEngine is not None:
+    ENGINES.append(pytest.param(CEngine, id="c"))
+
+
+def drive_workload(engine_cls, seed: int, steps: int = 60):
+    """Run one seeded mixed workload; return (fire_log, stats, drained).
+
+    The workload exercises scheduling at every tier, O(1) cancellation
+    (including cancel-from-callback), rescheduling from inside
+    callbacks, windowed runs with ``until``/``max_events``, ``stop()``,
+    and a final drain — everything the simulator does, compressed.
+    """
+    rng = random.Random(seed)
+    engine = engine_cls()
+    fired = []
+    handles = []
+    tag = 0
+
+    def make_cb(label):
+        def cb():
+            fired.append((label, round(engine.now, 12)))
+            roll = rng.random()
+            if roll < 0.10 and handles:
+                handles.pop(rng.randrange(len(handles))).cancel()
+            elif roll < 0.18:
+                nested = rng.choice(DELAYS)
+                handles.append(engine.schedule(nested,
+                                               make_cb((label, "nested"))))
+            elif roll < 0.20:
+                engine.stop()
+        return cb
+
+    for _ in range(steps):
+        for _ in range(rng.randint(1, 6)):
+            tag += 1
+            delay = rng.choice(DELAYS) + rng.random() * rng.choice(
+                (0.0, 1e-4, 0.01, 0.4))
+            handles.append(engine.schedule(delay, make_cb(tag)))
+        if rng.random() < 0.3 and handles:
+            handles.pop(rng.randrange(len(handles))).cancel()
+        if rng.random() < 0.2:
+            tag += 1
+            engine.schedule_at(engine.now + rng.choice(DELAYS),
+                               make_cb(("at", tag)))
+        mode = rng.random()
+        if mode < 0.45:
+            engine.run(until=engine.now + rng.choice((5e-4, 0.01, 0.3, 2.0)))
+        elif mode < 0.8:
+            engine.run(until=engine.now + rng.choice((0.02, 1.0, 10.0)),
+                       max_events=rng.randint(1, 40))
+        # else: keep scheduling without running — deepens the backlog.
+    engine.run()
+    stats = engine.stats()
+    drained = engine.drain()
+    return fired, {key: stats[key] for key in STAT_KEYS}, drained
+
+
+class TestAgainstReferenceHeap:
+    """Wheel engines vs the verbatim pre-wheel heap implementation."""
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    @pytest.mark.parametrize("seed", [1, 7, 99, 20260808])
+    def test_mixed_workload_identical(self, engine_cls, seed):
+        expected = drive_workload(ReferenceHeapEngine, seed)
+        actual = drive_workload(engine_cls, seed)
+        assert actual[0] == expected[0], "fire order diverged"
+        assert actual[1] == expected[1], "stats diverged"
+        assert actual[2] == expected[2], "drain count diverged"
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_tie_break_is_insertion_order_across_tiers(self, engine_cls):
+        """Same-time events fire in schedule order even when one landed
+        in the wheel and another in the overflow heap first."""
+        for cls in (engine_cls, ReferenceHeapEngine):
+            engine = cls()
+            order = []
+            engine.schedule(7.0, order.append, "overflow-first")
+            engine.run(until=6.9)
+            engine.schedule_at(7.0, order.append, "wheel-second")
+            engine.schedule_at(7.0, order.append, "wheel-third")
+            engine.run()
+            assert order == ["overflow-first", "wheel-second", "wheel-third"]
+
+    @given(delays=st.lists(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        min_size=1, max_size=40),
+        cancel_mask=st.lists(st.booleans(), min_size=40, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_property_fire_order_matches_reference(self, delays,
+                                                   cancel_mask):
+        def run_with(engine_cls):
+            engine = engine_cls()
+            fired = []
+            handles = [engine.schedule(delay, fired.append, i)
+                       for i, delay in enumerate(delays)]
+            for handle, dead in zip(handles, cancel_mask):
+                if dead:
+                    handle.cancel()
+            engine.run()
+            return fired, engine.events_processed, engine.events_cancelled
+
+        expected = run_with(ReferenceHeapEngine)
+        assert run_with(PyEngine) == expected
+        if CEngine is not None:
+            assert run_with(CEngine) == expected
+
+
+@pytest.mark.skipif(CEngine is None,
+                    reason="compiled engine unavailable on this host")
+class TestCompiledMatchesPython:
+    """The C core vs the pure-Python wheel, head to head."""
+
+    @pytest.mark.parametrize("seed", [3, 12345, 777])
+    def test_mixed_workload_identical(self, seed):
+        assert drive_workload(CEngine, seed) == drive_workload(PyEngine,
+                                                               seed)
+
+    def test_stats_dict_shape_identical(self):
+        py_stats = PyEngine().stats()
+        c_stats = CEngine().stats()
+        assert set(c_stats) == set(py_stats)
+
+    def test_compiled_engine_accepts_extra_attributes(self):
+        """The C type carries a ``__dict__`` so hosts can hang
+        observability objects off the engine exactly like the Python one
+        (e.g. ``engine.obs``)."""
+        engine = CEngine()
+        engine.obs = {"marker": 1}
+        assert engine.obs == {"marker": 1}
+
+
+class TestWheelSpecificBehaviour:
+    """Invariants introduced by the wheel that the heap never had."""
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_mass_cancel_is_o1_and_books_balance(self, engine_cls):
+        engine = engine_cls()
+        handles = [engine.schedule(0.001 * (i % 200), lambda: None)
+                   for i in range(5000)]
+        for handle in handles:
+            handle.cancel()
+        stats = engine.stats()
+        assert stats["events_cancelled"] == 5000
+        assert stats["pending_live"] == 0
+        engine.run()
+        assert engine.events_processed == 0
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_pending_live_tracks_mixed_tiers(self, engine_cls):
+        engine = engine_cls()
+        near = engine.schedule(0.001, lambda: None)   # wheel tier
+        far = engine.schedule(60.0, lambda: None)     # overflow tier
+        assert engine.stats()["pending_live"] == 2
+        near.cancel()
+        assert engine.stats()["pending_live"] == 1
+        far.cancel()
+        assert engine.stats()["pending_live"] == 0
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_gc_state_restored_after_run(self, engine_cls):
+        """``run`` holds the generational GC while dispatching but must
+        restore the caller's setting on every exit path."""
+        engine = engine_cls()
+        engine.schedule(0.1, lambda: None)
+        assert gc.isenabled()
+        engine.run()
+        assert gc.isenabled()
+
+        gc.disable()
+        try:
+            engine.schedule(0.2, lambda: None)
+            engine.run()
+            assert not gc.isenabled()  # caller's choice is preserved
+        finally:
+            gc.enable()
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_gc_restored_when_callback_raises(self, engine_cls):
+        engine = engine_cls()
+
+        def boom():
+            raise RuntimeError("callback failure")
+
+        engine.schedule(0.1, boom)
+        assert gc.isenabled()
+        with pytest.raises(RuntimeError):
+            engine.run()
+        assert gc.isenabled()
+
+
+_SCENARIO_PROBE = r"""
+import hashlib, json, sys
+from repro.experiments.exp2_floods import FloodExperiment
+from repro.experiments.scenario import ScenarioConfig
+from repro.runner.export import cells_to_jsonl
+
+label = sys.argv[1]
+summary = FloodExperiment(defense=label, attack_style="syn",
+                          base=ScenarioConfig(time_scale=0.02)).summary()
+engine_keys = ("events_scheduled", "events_processed", "events_cancelled",
+               "sim_seconds")
+jsonl = cells_to_jsonl([summary])
+print(json.dumps({
+    "counters": summary.counters,
+    "engine": {k: summary.engine_stats[k] for k in engine_keys},
+    "connections": {lbl: summary.connections.counts(lbl)
+                    for lbl in summary.connections.labels()},
+    "jsonl_sha256": hashlib.sha256(jsonl.encode()).hexdigest(),
+}, sort_keys=True))
+"""
+
+
+@pytest.mark.skipif(CEngine is None,
+                    reason="compiled engine unavailable on this host")
+@pytest.mark.parametrize("label", ["nodefense", "challenges-m8"])
+def test_full_scenario_counters_identical_across_cores(label):
+    """End-to-end: a complete fig7 flood cell produces byte-identical
+    counters, engine accounting, and connection outcomes whether the
+    simulator runs on the Python wheel or the compiled core."""
+    outputs = {}
+    for mode in ("py", "c"):
+        env = dict(os.environ, REPRO_ENGINE=mode)
+        proc = subprocess.run(
+            [sys.executable, "-c", _SCENARIO_PROBE, label],
+            capture_output=True, text=True, env=env, timeout=300)
+        assert proc.returncode == 0, proc.stderr
+        outputs[mode] = json.loads(proc.stdout)
+    assert outputs["py"] == outputs["c"]
