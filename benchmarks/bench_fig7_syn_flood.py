@@ -6,13 +6,17 @@ import pytest
 from benchmarks.conftest import bench_scenario_config, emit, record_manifest
 from repro.experiments.exp2_floods import run_syn_flood_suite_report
 from repro.experiments.report import render_table
-from repro.obs import drop_attribution, established_total
+from repro.obs import TelemetrySpec, drop_attribution, established_total
 
 
 @pytest.fixture(scope="module")
 def report():
+    # Streaming telemetry rides the flood benchmark: the manifests gain
+    # a deterministic "timeseries" block (rates/gauges per defense) and
+    # a bounded-memory per-source "attribution" block.
     return run_syn_flood_suite_report(
-        bench_scenario_config(attack_style="syn"))
+        bench_scenario_config(attack_style="syn",
+                              telemetry=TelemetrySpec(attribution=True)))
 
 
 @pytest.fixture(scope="module")
@@ -90,6 +94,22 @@ def test_fig7_counters_attribute_every_drop(report):
 
         record_manifest(f"fig7_{label}", result=result,
                         runner_stats=runner_stats)
+
+
+def test_fig7_manifests_carry_streaming_telemetry(suite):
+    """Telemetry acceptance: every fig7 defense summary carries the
+    sim-time series (so its manifest gains the ``timeseries`` block) and
+    the bounded-memory per-source attribution digest."""
+    for label, result in suite.items():
+        assert result.timeseries, label
+        syn_rate = result.timeseries.get("rate.SynsRecv")
+        assert syn_rate is not None and len(syn_rate) > 0
+        # Samples land on exact cadence multiples (mergeable alignment).
+        cadence = syn_rate.cadence
+        for t, _value in syn_rate.samples():
+            assert t == round(t / cadence) * cadence
+        assert result.attribution is not None
+        assert result.attribution["syns"]["top"], label
 
 
 def test_fig7_sparkline_challenged_fraction(benchmark, suite):

@@ -23,7 +23,12 @@
 #      improvements only print notes;
 #   7. a chaos smoke: a small fault matrix with the runtime invariant
 #      checker attached must pass, and a deliberately corrupted queue
-#      accounting must make the checker raise (the negative control).
+#      accounting must make the checker raise (the negative control);
+#   8. a streaming-telemetry smoke: two same-seed scenarios with the
+#      sim-time sampler attached must produce byte-identical series
+#      snapshots, a tiny `sweep --live` must leave a parseable status
+#      file in benchmarks/output/ (the CI artifact), and `top --once`
+#      must render it.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -193,5 +198,55 @@ except InvariantViolation as exc:
 else:
     sys.exit("chaos smoke: checker missed seeded queue corruption")
 PYEOF
+
+echo "== streaming telemetry smoke =="
+# Two same-seed runs with the sampler and the attribution sketches
+# attached must produce byte-identical telemetry snapshots — the
+# determinism contract the manifests and the sweep cache both rely on.
+python - <<'PYEOF'
+import json
+import sys
+
+from repro.experiments.scenario import ScenarioConfig
+from repro.obs import TelemetrySpec
+
+from repro.experiments.summary import run_scenario_summary
+
+config = ScenarioConfig(
+    seed=11, time_scale=0.02, n_clients=2, n_attackers=2,
+    attack_style="syn",
+    telemetry=TelemetrySpec(attribution=True))
+snapshots = []
+for _ in range(2):
+    summary = run_scenario_summary(config)
+    snapshots.append(json.dumps(
+        {"timeseries": {name: summary.timeseries[name].as_payload()
+                        for name in sorted(summary.timeseries)},
+         "attribution": summary.attribution},
+        sort_keys=True))
+if not snapshots[0]:
+    sys.exit("telemetry smoke: sampler produced no series")
+if snapshots[0] != snapshots[1]:
+    sys.exit("telemetry smoke: same-seed runs disagree — the sampler "
+             "is not deterministic")
+print("telemetry smoke: same-seed snapshots byte-identical "
+     f"({len(snapshots[0])} bytes)")
+PYEOF
+# A tiny monitored sweep writes the live status file where CI picks up
+# artifacts, then `top --once` must render it (plain, exit 0).
+python -m repro.cli sweep iot --time-scale 0.01 --replicates 2 \
+    --quiet --status-file benchmarks/output/sweep_status.json \
+    > /dev/null
+top_out=$(python -m repro.cli top --once \
+    --status-file benchmarks/output/sweep_status.json)
+echo "$top_out" | head -n 3
+echo "$top_out" | grep -q "tcp-puzzles sweep" || {
+    echo "telemetry smoke: top --once did not render the sweep header" >&2
+    exit 1
+}
+echo "$top_out" | grep -q "cells 2/2 done" || {
+    echo "telemetry smoke: top --once shows an unfinished sweep" >&2
+    exit 1
+}
 
 echo "== all checks passed =="

@@ -8,7 +8,12 @@ Subcommands mirror the paper's workflow:
 * ``sweep``    — run a parameter sweep through the parallel runner
   (``--jobs N`` for worker processes, ``--cache`` for the on-disk result
   cache, ``--resume`` to continue an interrupted sweep from its
-  checkpoint; see docs/performance.md);
+  checkpoint, ``--live`` to keep an atomic JSON status file fresh,
+  ``--quiet`` to silence the per-cell progress lines;
+  see docs/performance.md);
+* ``top``      — the live monitor: self-refreshing terminal rendering of
+  the status file a ``sweep --live`` (or ``run --live``) keeps updating
+  (``--once`` for a single plain render, e.g. in CI);
 * ``chaos``    — run the fault-injection matrix (loss bursts, link
   flaps, option corruption, clock skew, memory pressure, secret
   rotation) with the runtime invariant checker armed, and print the
@@ -35,8 +40,27 @@ import sys
 from typing import List, Optional
 
 
+def _make_monitor(args: argparse.Namespace, kind: str = "sweep"):
+    """A SweepMonitor from the shared ``--live``/``--quiet`` flags.
+
+    Always attached (the per-cell progress lines on stderr are the
+    default, ``--quiet`` silences them); ``--live`` / ``--status-file``
+    additionally write the atomic status document ``tcp-puzzles top``
+    renders.
+    """
+    from repro.runner import DEFAULT_STATUS_PATH, SweepMonitor
+
+    status_path = getattr(args, "status_file", None)
+    if status_path is None and getattr(args, "live", False):
+        status_path = DEFAULT_STATUS_PATH
+    return SweepMonitor(status_path=status_path,
+                        quiet=bool(getattr(args, "quiet", False)),
+                        kind=kind)
+
+
 def _make_runner(args: argparse.Namespace,
-                 identity: Optional[str] = None):
+                 identity: Optional[str] = None,
+                 monitor=None):
     """A SweepRunner from the shared ``--jobs``/``--cache`` flags.
 
     With ``--resume`` (and an *identity* hash for the invocation), the
@@ -64,7 +88,7 @@ def _make_runner(args: argparse.Namespace,
     if timeout is not None:
         retry = RetryPolicy(cell_timeout=timeout)
     return SweepRunner(jobs=args.jobs, cache=cache, retry=retry,
-                       checkpoint=checkpoint)
+                       checkpoint=checkpoint, monitor=monitor)
 
 
 def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
@@ -80,6 +104,18 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
                         metavar="SECONDS",
                         help="abandon and retry any cell running longer "
                         "than this (parallel runs only)")
+
+
+def _add_monitor_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--quiet", "-q", action="store_true",
+                        help="suppress the per-cell progress lines on "
+                        "stderr")
+    parser.add_argument("--live", action="store_true",
+                        help="write an atomic JSON status file for "
+                        "`tcp-puzzles top` (default path: "
+                        "benchmarks/output/sweep_status.json)")
+    parser.add_argument("--status-file", metavar="PATH", default=None,
+                        help="status file path (implies --live)")
 
 
 def _cmd_nash(args: argparse.Namespace) -> int:
@@ -147,7 +183,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.report import render_table
 
-    runner = _make_runner(args)
+    runner = _make_runner(args, monitor=_make_monitor(args, kind="run"))
     if args.experiment == "syn-flood":
         from repro.experiments.exp2_floods import run_syn_flood_suite
 
@@ -224,7 +260,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         "sweep", args.sweep, args.seed, args.time_scale,
         tuple(args.k_values or ()), tuple(args.m_values or ()),
         args.replicates))
-    runner = _make_runner(args, identity=identity)
+    runner = _make_runner(args, identity=identity,
+                          monitor=_make_monitor(args, kind="sweep"))
     base = ScenarioConfig(seed=args.seed, time_scale=args.time_scale)
 
     if args.sweep == "difficulty":
@@ -370,13 +407,49 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.runner import DEFAULT_STATUS_PATH, StatusFile, \
+        render_status
+
+    path = args.status_file or DEFAULT_STATUS_PATH
+    if args.once:
+        payload = StatusFile.read(path)
+        if payload is None:
+            print(f"no status file at {path} — start a sweep with "
+                  f"`tcp-puzzles sweep ... --live`", file=sys.stderr)
+            return 1
+        print(render_status(payload))
+        return 0
+    try:
+        while True:
+            payload = StatusFile.read(path)
+            # Clear + home, then redraw — a self-refreshing terminal view.
+            print("\x1b[2J\x1b[H", end="")
+            if payload is None:
+                print(f"waiting for {path} ...")
+            else:
+                print(render_status(payload), flush=True)
+                if payload.get("state") == "completed":
+                    return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.experiments.scenario import Scenario, ScenarioConfig
-    from repro.obs import build_spans, drop_attribution, established_total
+    from repro.obs import (TelemetrySpec, build_spans, drop_attribution,
+                           established_total)
     from repro.obs.export import write_jsonl
     from repro.obs.spans import chrome_trace_json
     from repro.tcp.constants import DefenseMode
 
+    telemetry = None
+    if args.telemetry:
+        telemetry = TelemetrySpec(cadence=args.cadence)
     config = ScenarioConfig(
         seed=args.seed,
         time_scale=args.duration / 600.0,
@@ -387,16 +460,20 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         defense=DefenseMode(args.defense),
         tracing=True,
         trace_capacity=args.capacity,
-        profile=args.profile)
+        profile=args.profile,
+        telemetry=telemetry)
     result = Scenario(config).run()
     obs = result.obs
     tracer = obs.tracer
+    series = result.sampler.as_dict() if result.sampler is not None \
+        else None
 
     if args.format == "chrome":
-        # One span per traced handshake, as a Chrome trace-event JSON
-        # document (load into Perfetto / chrome://tracing). Nothing else
-        # is printed so stdout stays a valid JSON document.
-        document = chrome_trace_json(build_spans(tracer))
+        # One span per traced handshake (plus telemetry counter tracks
+        # when --telemetry is on), as a Chrome trace-event JSON document
+        # (load into Perfetto / chrome://tracing). Nothing else is
+        # printed so stdout stays a valid JSON document.
+        document = chrome_trace_json(build_spans(tracer), series=series)
         if args.output:
             with open(args.output, "w") as fh:
                 fh.write(document + "\n")
@@ -429,6 +506,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print("latency histograms:")
         print(obs.hist.render())
 
+    if series:
+        print()
+        print(f"telemetry: {len(series)} series, "
+              f"{result.sampler.samples_taken} samples at "
+              f"{config.telemetry.cadence:g}s cadence "
+              f"({', '.join(sorted(series))})")
+
     stats = result.engine.stats()
     print(f"engine: {stats['events_processed']} events in "
           f"{stats['wall_seconds']:.3f}s wall "
@@ -444,7 +528,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                                 engine=result.engine,
                                 profiler=result.profiler,
                                 hists=obs.hist,
-                                spans=build_spans(tracer))
+                                spans=build_spans(tracer),
+                                series=series)
         print(f"\nwrote {lines} JSON lines to {args.jsonl}")
     return 0
 
@@ -607,6 +692,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--samples", type=int, default=25,
                      help="samples per cell (connection-time)")
     _add_runner_flags(run)
+    _add_monitor_flags(run)
     run.set_defaults(func=_cmd_run)
 
     sweep = sub.add_parser(
@@ -630,7 +716,22 @@ def build_parser() -> argparse.ArgumentParser:
                        "checkpoint (implies --cache); completed cells "
                        "replay from the result cache")
     _add_runner_flags(sweep)
+    _add_monitor_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    top = sub.add_parser(
+        "top",
+        help="live monitor: render the status file a `sweep --live` "
+        "run keeps updating")
+    top.add_argument("--status-file", metavar="PATH", default=None,
+                     help="status file to watch (default: "
+                     "benchmarks/output/sweep_status.json)")
+    top.add_argument("--once", action="store_true",
+                     help="render the current status once (plain, no "
+                     "screen clearing) and exit")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="refresh interval in seconds (default 1.0)")
+    top.set_defaults(func=_cmd_top)
 
     chaos = sub.add_parser(
         "chaos",
@@ -684,6 +785,13 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=1)
     trace.add_argument("--profile", action="store_true",
                        help="profile the event loop while tracing")
+    trace.add_argument("--telemetry", action="store_true",
+                       help="attach the sim-time telemetry sampler; "
+                       "chrome exports gain counter tracks, JSONL gains "
+                       "type=series lines")
+    trace.add_argument("--cadence", type=float, default=0.5,
+                       help="telemetry sampling cadence in sim-seconds "
+                       "(default 0.5)")
     trace.add_argument("--format", default="text",
                        choices=["text", "chrome"],
                        help="text timelines, or Chrome trace-event JSON "

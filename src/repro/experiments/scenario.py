@@ -34,7 +34,8 @@ from repro.net.addresses import AddressAllocator
 from repro.net.network import Network
 from repro.net.pcap import PacketCapture
 from repro.net.topology import Topology, deter_topology
-from repro.obs import EngineProfiler, Observability, hub_for
+from repro.obs import (EngineProfiler, Observability, SimSampler,
+                       SourceAttribution, TelemetrySpec, hub_for)
 from repro.puzzles.juels import JuelsBrainardScheme
 from repro.puzzles.params import PuzzleParams
 from repro.sim.engine import Engine
@@ -107,6 +108,12 @@ class ScenarioConfig:
     #: (or ``"attribution+mem"``) for the per-component
     #: :class:`~repro.obs.AttributionProfiler`.
     profile: object = False
+    #: Streaming telemetry (:class:`~repro.obs.TelemetrySpec`): sim-time
+    #: series sampled on a fixed cadence, plus optional bounded-memory
+    #: per-source attribution sketches on the listener. ``None`` (the
+    #: default) builds nothing — no sampler, no scheduled events, no
+    #: per-event cost.
+    telemetry: Optional[TelemetrySpec] = None
     # --- hardware --------------------------------------------------------
     client_cpus: Optional[List[CPUProfile]] = None
     attacker_cpus: Optional[List[CPUProfile]] = None
@@ -164,6 +171,12 @@ class ScenarioResult:
     obs: Optional[Observability] = None
     #: Event-loop profiler, present when ``config.profile`` was set.
     profiler: Optional[EngineProfiler] = None
+    #: Streaming-telemetry sampler, present when ``config.telemetry``
+    #: was set.
+    sampler: Optional[SimSampler] = None
+    #: Bounded-memory per-source attribution sketches, present when
+    #: ``config.telemetry`` asked for them.
+    attribution: Optional[SourceAttribution] = None
     #: The fault injector, present when the scenario ran with a
     #: non-empty :class:`~repro.faults.schedule.FaultSchedule`.
     fault_injector: Optional[object] = None
@@ -393,6 +406,17 @@ class Scenario:
         queues = QueueSampler(engine, server_app.listener,
                               config.queue_sample_interval)
 
+        # --- streaming telemetry (opt-in) ------------------------------
+        sampler: Optional[SimSampler] = None
+        attribution: Optional[SourceAttribution] = None
+        if config.telemetry is not None:
+            sampler = SimSampler(engine, obs, config.telemetry,
+                                 listener=server_app.listener)
+            if config.telemetry.attribution:
+                attribution = SourceAttribution.from_spec(
+                    config.telemetry, seed=config.seed)
+                server_app.listener.attribution = attribution
+
         return ScenarioResult(
             config=config, engine=engine, tracker=tracker,
             server_throughput=server_throughput,
@@ -400,7 +424,8 @@ class Scenario:
             cpu=cpu, queues=queues, server_app=server_app, botnet=botnet,
             clients=clients, hosts=hosts,
             server_established=server_established,
-            obs=obs, profiler=profiler)
+            obs=obs, profiler=profiler, sampler=sampler,
+            attribution=attribution)
 
     # ------------------------------------------------------------------
     def run(self) -> ScenarioResult:
@@ -431,6 +456,8 @@ class Scenario:
             client.start()
         result.cpu.start()
         result.queues.start()
+        if result.sampler is not None:
+            result.sampler.start()
         if result.botnet is not None:
             result.engine.schedule_at(
                 config.attack_start,
@@ -454,6 +481,8 @@ class Scenario:
             client.stop()
         result.cpu.stop()
         result.queues.stop()
+        if result.sampler is not None:
+            result.sampler.stop()
         if checker is not None:
             # Audit once more while timer state is still live — drain()
             # would discard the evidence a leaked TCB leaves behind.

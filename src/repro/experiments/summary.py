@@ -25,6 +25,7 @@ import numpy as np
 from repro.hosts.attacker import AttackStats
 from repro.metrics.connections import ConnectionRecord
 from repro.obs.hist import Histogram
+from repro.obs.timeseries import TimeSeries, series_payload
 from repro.metrics.series import BinnedSeries, GaugeSeries
 from repro.metrics.summary import Summary, describe
 from repro.metrics.throughput import HostThroughput
@@ -182,6 +183,15 @@ class ScenarioSummary:
     #: latency, puzzle solve time, accept-queue wait) — fixed-boundary
     #: and picklable, so the runner can merge them across workers.
     histograms: Dict[str, Histogram] = field(default_factory=dict)
+    #: Streaming-telemetry series (``config.telemetry``): bounded
+    #: ring-buffer rate/gauge/quantile curves sampled on an exact
+    #: sim-time cadence. Plain data; rates and gauges merge across
+    #: sweep workers.
+    timeseries: Dict[str, TimeSeries] = field(default_factory=dict)
+    #: Bounded-memory per-source attribution snapshot (heavy-hitter
+    #: tables + Count-Min error bound), present when the telemetry spec
+    #: asked for it.
+    attribution: Optional[Dict[str, object]] = None
     #: Fault-injection event counts (``repro.faults``), present when the
     #: run carried a non-empty :class:`FaultSchedule`.
     fault_stats: Optional[Dict[str, int]] = None
@@ -301,6 +311,12 @@ class ScenarioSummary:
             "histograms": {name: self.histograms[name].as_payload()
                            for name in sorted(self.histograms)},
         }
+        # Both blocks appear only when telemetry ran, so manifests from
+        # detached runs are byte-identical to pre-telemetry ones.
+        if self.timeseries:
+            payload["timeseries"] = series_payload(self.timeseries)
+        if self.attribution is not None:
+            payload["attribution"] = self.attribution
         if self.attack_stats is not None:
             payload["attack_stats"] = to_jsonable(self.attack_stats)
             payload["botnet_size"] = self.botnet_size
@@ -341,6 +357,12 @@ def summarize(result) -> ScenarioSummary:
         fault_stats = injector.snapshot()
     checker = getattr(result, "invariants", None)
     invariant_checks = checker.checks_run if checker is not None else 0
+    sampler = getattr(result, "sampler", None)
+    timeseries: Dict[str, TimeSeries] = \
+        sampler.as_dict() if sampler is not None else {}
+    source_attribution = getattr(result, "attribution", None)
+    attribution = (source_attribution.snapshot()
+                   if source_attribution is not None else None)
     return ScenarioSummary(
         config=result.config,
         engine_stats=result.engine.stats(),
@@ -357,6 +379,8 @@ def summarize(result) -> ScenarioSummary:
         botnet_size=botnet_size,
         profile=profile,
         histograms=histograms,
+        timeseries=timeseries,
+        attribution=attribution,
         fault_stats=fault_stats,
         invariant_checks=invariant_checks)
 

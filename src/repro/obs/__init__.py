@@ -46,6 +46,7 @@ from repro.obs.perf import (
     write_flamegraph,
 )
 from repro.obs.profile import EngineProfiler, callback_kind
+from repro.obs.sketch import CountMinSketch, SourceAttribution, SpaceSaving
 from repro.obs.spans import HandshakeSpan, SpanPhase, build_spans
 from repro.obs.trace import DEFAULT_CAPACITY, HandshakeTracer, TraceEvent
 
@@ -54,6 +55,7 @@ __all__ = [
     "CATALOGUE",
     "DROP_CAUSES",
     "ESTABLISHED_COUNTERS",
+    "CountMinSketch",
     "CounterRegistry",
     "CounterScope",
     "DEFAULT_CAPACITY",
@@ -63,11 +65,18 @@ __all__ = [
     "Histogram",
     "HistogramRegistry",
     "Observability",
+    "SeriesRegistry",
+    "SimSampler",
+    "SourceAttribution",
+    "SpaceSaving",
     "SpanPhase",
+    "TelemetrySpec",
+    "TimeSeries",
     "TraceEvent",
     "build_spans",
     "callback_kind",
     "callback_module",
+    "chrome_counter_events",
     "collapsed_stacks",
     "component_of",
     "drop_attribution",
@@ -75,6 +84,7 @@ __all__ = [
     "heap_churn",
     "hub_for",
     "make_profiler",
+    "series_payload",
     "write_flamegraph",
 ]
 
@@ -101,3 +111,16 @@ def hub_for(engine) -> Observability:
         hub = Observability()
         engine.obs = hub
     return hub
+
+
+# Imported last: repro.obs.timeseries pulls in repro.metrics, whose
+# modules import ``hub_for`` from this package — the name must already
+# be bound here when that import re-enters mid-initialisation.
+from repro.obs.timeseries import (  # noqa: E402
+    SeriesRegistry,
+    SimSampler,
+    TelemetrySpec,
+    TimeSeries,
+    chrome_counter_events,
+    series_payload,
+)

@@ -21,6 +21,12 @@ What is compared, and how:
   held to the counter tolerance (deterministic sim-time data). Wall-time
   families (``callback_wall``) are skipped — they legitimately differ
   between identical runs.
+* **telemetry series** (the ``timeseries`` block) — deterministic like
+  counters: sample-count or mass drift is a behaviour change.
+
+One-sided entries are never silently skipped: a metric, histogram, or
+series present only in the baseline is reported as lost coverage (a
+regression); one present only in the current run is reported as a note.
 """
 
 from __future__ import annotations
@@ -175,6 +181,20 @@ def _compare_perf(name: str, base: dict, current: dict,
     for key, direction in PERF_DIRECTIONS:
         b = _number(base_perf.get(key))
         c = _number(cur_perf.get(key))
+        if b is not None and c is None:
+            findings.append(Finding(
+                manifest=name, metric=f"perf.{key}",
+                baseline=b, current=None, severity="regression",
+                message="present in baseline but missing from current "
+                        "manifest (lost perf coverage)"))
+            continue
+        if b is None and c is not None:
+            findings.append(Finding(
+                manifest=name, metric=f"perf.{key}",
+                baseline=None, current=c, severity="note",
+                message="new perf metric (no baseline to compare "
+                        "against)"))
+            continue
         if b is None or c is None or b <= 0.0:
             continue
         worse = _relative(b, c) * direction
@@ -196,8 +216,22 @@ def _compare_histograms(name: str, prefix: str, base: dict, current: dict,
                         findings: List[Finding]) -> None:
     base_hists = base or {}
     cur_hists = current or {}
-    for hist_name in sorted(set(base_hists) & set(cur_hists)):
+    for hist_name in sorted(set(base_hists) | set(cur_hists)):
         if family(hist_name) in WALL_FAMILIES:
+            continue
+        if hist_name not in cur_hists:
+            findings.append(Finding(
+                manifest=name, metric=f"{prefix}.{hist_name}",
+                baseline=None, current=None, severity="regression",
+                message="histogram present in baseline but missing from "
+                        "current manifest (lost latency coverage)"))
+            continue
+        if hist_name not in base_hists:
+            findings.append(Finding(
+                manifest=name, metric=f"{prefix}.{hist_name}",
+                baseline=None, current=None, severity="note",
+                message="new histogram (no baseline to compare "
+                        "against)"))
             continue
         b_hist = base_hists[hist_name] or {}
         c_hist = cur_hists[hist_name] or {}
@@ -237,12 +271,64 @@ def _compare_histograms(name: str, prefix: str, base: dict, current: dict,
                             f"{-drift:.1%}"))
 
 
+def _compare_timeseries(name: str, base: dict, current: dict,
+                        tolerance: Tolerance,
+                        findings: List[Finding]) -> None:
+    """Telemetry series: one-sided coverage loss plus sample drift.
+
+    Series are sim-time driven and deterministic, so like counters any
+    change in sample count or total mass is a behaviour change, not
+    noise.
+    """
+    base_series = base.get("timeseries") or {}
+    cur_series = current.get("timeseries") or {}
+    for series_name in sorted(set(base_series) | set(cur_series)):
+        if series_name not in cur_series:
+            findings.append(Finding(
+                manifest=name, metric=f"timeseries.{series_name}",
+                baseline=None, current=None, severity="regression",
+                message="series present in baseline but missing from "
+                        "current manifest (lost telemetry coverage)"))
+            continue
+        if series_name not in base_series:
+            findings.append(Finding(
+                manifest=name, metric=f"timeseries.{series_name}",
+                baseline=None, current=None, severity="note",
+                message="new telemetry series (no baseline to compare "
+                        "against)"))
+            continue
+        b_samples = (base_series[series_name] or {}).get("samples") or []
+        c_samples = (cur_series[series_name] or {}).get("samples") or []
+        if len(b_samples) != len(c_samples):
+            findings.append(Finding(
+                manifest=name,
+                metric=f"timeseries.{series_name}.samples",
+                baseline=float(len(b_samples)),
+                current=float(len(c_samples)), severity="regression",
+                message=f"sample count {len(b_samples)} -> "
+                        f"{len(c_samples)} (deterministic data; "
+                        f"behaviour changed)"))
+            continue
+        b_mass = sum(float(v) for _t, v in b_samples)
+        c_mass = sum(float(v) for _t, v in c_samples)
+        if b_mass != c_mass and \
+                abs(_relative(b_mass, c_mass)) > tolerance.counters:
+            findings.append(Finding(
+                manifest=name,
+                metric=f"timeseries.{series_name}.mass",
+                baseline=b_mass, current=c_mass,
+                severity="regression",
+                message=f"series mass {b_mass:g} -> {c_mass:g}, beyond "
+                        f"counter tolerance {tolerance.counters:.1%}"))
+
+
 def compare_manifest(name: str, base: dict, current: dict,
                      tolerance: Tolerance) -> List[Finding]:
     """Every finding from comparing one manifest pair."""
     findings: List[Finding] = []
     _compare_counters(name, base, current, tolerance, findings)
     _compare_perf(name, base, current, tolerance, findings)
+    _compare_timeseries(name, base, current, tolerance, findings)
     _compare_histograms(name, "histograms",
                         base.get("histograms"),
                         current.get("histograms"), tolerance, findings)

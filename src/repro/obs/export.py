@@ -79,6 +79,25 @@ def hist_lines(hists: Union[HistogramRegistry, Dict[str, Histogram]]
         yield _dumps({"type": "hist", **table[name].as_payload()})
 
 
+def _series_map(series) -> Dict[str, object]:
+    from repro.obs.timeseries import SeriesRegistry
+
+    if isinstance(series, SeriesRegistry):
+        return series.as_dict()
+    return dict(series)
+
+
+def series_lines(series) -> Iterator[str]:
+    """One ``type: "series"`` line per telemetry series, name-sorted.
+
+    Accepts a :class:`~repro.obs.timeseries.SeriesRegistry` or a plain
+    name → :class:`~repro.obs.timeseries.TimeSeries` dict.
+    """
+    table = _series_map(series)
+    for name in sorted(table):
+        yield _dumps({"type": "series", **table[name].as_payload()})
+
+
 def counters_jsonl(registry: CounterRegistry) -> str:
     return "".join(line + "\n" for line in counter_lines(registry))
 
@@ -91,7 +110,7 @@ def write_jsonl(stream: TextIO, registry: Optional[CounterRegistry] = None,
                 tracer: Optional[HandshakeTracer] = None,
                 engine=None,
                 profiler: Optional[EngineProfiler] = None,
-                hists=None, spans=None) -> int:
+                hists=None, spans=None, series=None) -> int:
     """Write every provided source to *stream*; returns lines written."""
     from repro.obs.spans import span_lines
 
@@ -110,6 +129,10 @@ def write_jsonl(stream: TextIO, registry: Optional[CounterRegistry] = None,
             count += 1
     if hists is not None:
         for line in hist_lines(hists):
+            stream.write(line + "\n")
+            count += 1
+    if series is not None:
+        for line in series_lines(series):
             stream.write(line + "\n")
             count += 1
     if engine is not None:
@@ -153,10 +176,26 @@ def _summary_lines(lines, table: Dict[str, Histogram]) -> None:
                      f'{hist.count}')
 
 
+def _series_gauge_lines(lines, table) -> None:
+    """Append one gauge family with each series' latest sample."""
+    lines.append("# HELP repro_series_value latest streaming-telemetry "
+                 "sample per series (see repro.obs.timeseries)")
+    lines.append("# TYPE repro_series_value gauge")
+    for name in sorted(table):
+        series = table[name]
+        samples = series.samples()
+        if not samples:
+            continue
+        t, value = samples[-1]
+        label = _escape_label(name)
+        lines.append(f'repro_series_value{{name="{label}",'
+                     f'kind="{_escape_label(series.kind)}"}} {value}')
+
+
 def prometheus_text(registry: Optional[CounterRegistry] = None,
                     engine=None,
                     profiler: Optional[EngineProfiler] = None,
-                    hists=None) -> str:
+                    hists=None, series=None) -> str:
     """Render the registry (and optional engine/profiler/histograms) as
     exposition text. Counter HELP strings come from the catalogue."""
     lines = []
@@ -218,6 +257,10 @@ def prometheus_text(registry: Optional[CounterRegistry] = None,
         hist_table.setdefault(profiler.hist.name, profiler.hist)
     if hist_table:
         _summary_lines(lines, hist_table)
+    if series is not None:
+        table = _series_map(series)
+        if table:
+            _series_gauge_lines(lines, table)
     return "\n".join(lines) + "\n" if lines else ""
 
 

@@ -82,6 +82,12 @@ def scenario_payload(result) -> Dict[str, object]:
     hub = hub_for(engine)
     profiler = getattr(result, "profiler", None)
     payload = hub_payload(hub, engine=engine, profiler=profiler)
+    sampler = getattr(result, "sampler", None)
+    if sampler is not None and len(sampler.registry):
+        payload["timeseries"] = sampler.snapshot()
+    source = getattr(result, "attribution", None)
+    if source is not None:
+        payload["attribution"] = source.snapshot()
     stats = result.server_app.listener.stats
     payload["listener_stats"] = {
         field: getattr(stats, field)
@@ -121,6 +127,13 @@ def summary_payload(summary) -> Dict[str, object]:
     profile = getattr(summary, "profile", None)
     if profile is not None:
         payload["profile"] = profile
+    series = getattr(summary, "timeseries", None)
+    if series:
+        payload["timeseries"] = {name: series[name].as_payload()
+                                 for name in sorted(series)}
+    source = getattr(summary, "attribution", None)
+    if source is not None:
+        payload["attribution"] = source
     stats = summary.listener_stats
     payload["listener_stats"] = {
         field: getattr(stats, field)

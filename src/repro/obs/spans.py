@@ -137,13 +137,17 @@ def _json_safe(value: object) -> object:
     return str(value)
 
 
-def chrome_trace_events(spans: List[HandshakeSpan]
-                        ) -> List[Dict[str, object]]:
+def chrome_trace_events(spans: List[HandshakeSpan],
+                        series=None) -> List[Dict[str, object]]:
     """Spans as Chrome trace-event objects (``ph: "X"`` complete events).
 
     One thread per span (named after the flow), one top-level event per
     handshake plus one nested event per phase; ``ts``/``dur`` are
-    microseconds per the trace-event format.
+    microseconds per the trace-event format. With *series* (a name →
+    :class:`~repro.obs.timeseries.TimeSeries` dict or a
+    ``SeriesRegistry``), telemetry counter tracks (``ph: "C"``) are
+    appended so Perfetto draws the rate/gauge curves on the same
+    timeline as the handshake spans.
     """
     events: List[Dict[str, object]] = []
     for tid, span in enumerate(spans, start=1):
@@ -171,13 +175,20 @@ def chrome_trace_events(spans: List[HandshakeSpan]
                 "pid": 1, "tid": tid,
                 "ts": phase.start * 1e6, "dur": phase.duration * 1e6,
             })
+    if series is not None:
+        from repro.obs.timeseries import SeriesRegistry, \
+            chrome_counter_events
+
+        table = series.as_dict() \
+            if isinstance(series, SeriesRegistry) else dict(series)
+        events.extend(chrome_counter_events(table))
     return events
 
 
-def chrome_trace_json(spans: List[HandshakeSpan]) -> str:
+def chrome_trace_json(spans: List[HandshakeSpan], series=None) -> str:
     """The full Chrome trace JSON document (Perfetto-loadable)."""
     return json.dumps(
-        {"traceEvents": chrome_trace_events(spans),
+        {"traceEvents": chrome_trace_events(spans, series=series),
          "displayTimeUnit": "ms"},
         sort_keys=True)
 

@@ -40,6 +40,13 @@ from repro.runner.hashing import (
     config_fingerprint,
     stable_hash,
 )
+from repro.runner.monitor import (
+    DEFAULT_STATUS_PATH,
+    STATUS_VERSION,
+    StatusFile,
+    SweepMonitor,
+    render_status,
+)
 from repro.runner.runner import (
     CellStats,
     RetryPolicy,
@@ -53,13 +60,18 @@ __all__ = [
     "CACHE_COUNTERS",
     "CacheStats",
     "CellStats",
+    "DEFAULT_STATUS_PATH",
     "ResultCache",
     "RetryPolicy",
     "RunnerStats",
     "SCHEMA_VERSION",
+    "STATUS_VERSION",
+    "StatusFile",
     "SweepCheckpoint",
+    "SweepMonitor",
     "SweepReport",
     "SweepRunner",
+    "render_status",
     "cell_key",
     "checkpoint_path",
     "cells_to_jsonl",

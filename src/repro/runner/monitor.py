@@ -1,0 +1,298 @@
+"""Live sweep monitoring: atomic status files and progress lines.
+
+A multi-hour sweep is a black box between submission and completion.
+This module makes it observable without touching the determinism
+contract: the monitor only *reads* cell values and writes to two side
+channels — an atomic JSON status file (consumed by ``tcp-puzzles top``)
+and stderr progress lines — so the values, stats, and exported JSONL of
+a monitored sweep are byte-identical to an unmonitored one.
+
+* :class:`StatusFile` — write-temp-then-``os.replace`` JSON document, so
+  a concurrently polling reader never sees a torn file.
+* :class:`SweepMonitor` — the runner-side observer. The
+  :class:`~repro.runner.runner.SweepRunner` calls its hooks (``begin``,
+  ``cell_running``, ``cell_done``, ``heartbeat``, ``finish``); each hook
+  refreshes the status document and, unless quiet, emits one per-cell
+  progress line to the attached stream.
+* :func:`render_status` — the terminal view ``tcp-puzzles top`` redraws.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs.counters import DROP_CAUSES
+
+#: Bumped when the status document layout changes incompatibly.
+STATUS_VERSION = 1
+
+#: Where ``tcp-puzzles sweep --live`` writes (and ``tcp-puzzles top``
+#: reads) the status document unless ``--status-file`` overrides it.
+DEFAULT_STATUS_PATH = os.path.join("benchmarks", "output",
+                                   "sweep_status.json")
+
+
+class StatusFile:
+    """An atomically replaced JSON status document."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+
+    def write(self, payload: Dict[str, Any]) -> None:
+        """Serialize *payload* and atomically replace the file."""
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, self.path)
+
+    @staticmethod
+    def read(path: str) -> Optional[Dict[str, Any]]:
+        """Parse a status document; None when missing or torn."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+
+def _cell_digest(value: Any) -> Dict[str, Any]:
+    """Read-only distillation of one cell value for the status file."""
+    digest: Dict[str, Any] = {}
+    stats = getattr(value, "engine_stats", None)
+    if isinstance(stats, dict):
+        digest["sim_seconds"] = float(stats.get("sim_seconds", 0.0))
+        digest["events_processed"] = int(
+            stats.get("events_processed", 0))
+    counters = getattr(value, "counters", None)
+    if isinstance(counters, dict):
+        server = counters.get("server")
+        if isinstance(server, dict):
+            drops = {cause: server[cause] for cause in DROP_CAUSES
+                     if server.get(cause)}
+            if drops:
+                digest["drops"] = drops
+    completion = getattr(value, "client_completion_percent", None)
+    if callable(completion):
+        try:
+            percent = completion()
+        except Exception:
+            percent = None
+        if percent is not None and percent == percent:  # not NaN
+            digest["completion_percent"] = round(float(percent), 2)
+    return digest
+
+
+class SweepMonitor:
+    """Observes a sweep: status-file records plus stderr progress lines.
+
+    Parameters
+    ----------
+    status_path:
+        Where to write the JSON status document, or ``None`` for
+        progress lines only.
+    stream:
+        Progress-line destination (default ``sys.stderr``).
+    quiet:
+        Suppress progress lines (the status file still updates).
+    kind:
+        ``"sweep"`` or ``"run"`` — labels the document for ``top``.
+    interval:
+        Minimum wall seconds between heartbeat rewrites of the status
+        file; cell starts/completions always write immediately.
+    """
+
+    def __init__(self, status_path: Optional[str] = None,
+                 stream=None, quiet: bool = False, kind: str = "sweep",
+                 interval: float = 2.0) -> None:
+        self.status = StatusFile(status_path) if status_path else None
+        self.stream = stream if stream is not None else sys.stderr
+        self.quiet = quiet
+        self.kind = kind
+        self.interval = interval
+        self.jobs = 1
+        self._started = 0.0
+        self._last_write = 0.0
+        self._cells: List[Dict[str, Any]] = []
+        self._done = 0
+        self._cache_hits = 0
+        self._retries = 0
+        self._pool_restarts = 0
+        self._cell_timeouts = 0
+        self._state = "pending"
+
+    # ------------------------------------------------------------------
+    # Runner hooks
+    # ------------------------------------------------------------------
+    def begin(self, labels: List[str], jobs: int) -> None:
+        self.jobs = jobs
+        self._started = time.time()
+        self._state = "running"
+        self._cells = [
+            {"index": i, "label": label, "state": "pending"}
+            for i, label in enumerate(labels)
+        ]
+        self._write(force=True)
+        self._line(f"sweep: {len(labels)} cells at jobs={jobs}")
+
+    def cell_running(self, index: int) -> None:
+        cell = self._cells[index]
+        if cell["state"] == "pending":
+            cell["state"] = "running"
+            self._write()
+            self._line(f"[{self._done}/{len(self._cells)}] "
+                       f"{cell['label']}: running")
+
+    def cell_done(self, index: int, value: Any,
+                  wall_seconds: float = 0.0,
+                  cached: bool = False) -> None:
+        cell = self._cells[index]
+        cell.update(_cell_digest(value))
+        cell["state"] = "cached" if cached else "done"
+        cell["wall_seconds"] = round(float(wall_seconds), 6)
+        events = cell.get("events_processed", 0)
+        if wall_seconds > 0 and events:
+            cell["events_per_second"] = round(events / wall_seconds, 1)
+        self._done += 1
+        if cached:
+            self._cache_hits += 1
+        self._write(force=True)
+        detail = "cached" if cached else f"run {wall_seconds:.2f}s"
+        rate = cell.get("events_per_second")
+        if rate:
+            detail += f", {rate:,.0f} ev/s"
+        drops = cell.get("drops")
+        if drops:
+            detail += f", {sum(drops.values()):,d} drops"
+        self._line(f"[{self._done}/{len(self._cells)}] "
+                   f"{cell['label']}: {detail}")
+
+    def worker_event(self, retries: int = 0, pool_restarts: int = 0,
+                     cell_timeouts: int = 0) -> None:
+        """Record retry/crash accounting as it happens."""
+        self._retries += retries
+        self._pool_restarts += pool_restarts
+        self._cell_timeouts += cell_timeouts
+        self._write(force=True)
+
+    def heartbeat(self) -> None:
+        """Refresh the document timestamp; throttled by ``interval``."""
+        self._write()
+
+    def finish(self, stats=None) -> None:
+        self._state = "completed"
+        if stats is not None:
+            self._retries = stats.retries
+            self._pool_restarts = stats.pool_restarts
+            self._cell_timeouts = stats.cell_timeouts
+        self._write(force=True)
+        if stats is not None:
+            self._line(stats.render())
+
+    # ------------------------------------------------------------------
+    def _line(self, text: str) -> None:
+        if self.quiet:
+            return
+        print(text, file=self.stream, flush=True)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The current status document."""
+        now = time.time()
+        events = sum(cell.get("events_processed", 0)
+                     for cell in self._cells)
+        wall = max(now - self._started, 1e-9) if self._started else 0.0
+        drop_rates: Dict[str, int] = {}
+        for cell in self._cells:
+            for cause, count in (cell.get("drops") or {}).items():
+                drop_rates[cause] = drop_rates.get(cause, 0) + count
+        return {
+            "version": STATUS_VERSION,
+            "kind": self.kind,
+            "state": self._state,
+            "updated_unix": now,
+            "jobs": self.jobs,
+            "cells_total": len(self._cells),
+            "cells_done": self._done,
+            "cache_hits": self._cache_hits,
+            "wall_seconds": round(wall, 3),
+            "events_processed": events,
+            "events_per_second": (round(events / wall, 1)
+                                  if wall > 0 else 0.0),
+            "workers": {
+                "retries": self._retries,
+                "pool_restarts": self._pool_restarts,
+                "cell_timeouts": self._cell_timeouts,
+            },
+            "drop_totals": dict(sorted(drop_rates.items())),
+            "cells": list(self._cells),
+        }
+
+    def _write(self, force: bool = False) -> None:
+        if self.status is None:
+            return
+        now = time.time()
+        if not force and now - self._last_write < self.interval:
+            return
+        self._last_write = now
+        self.status.write(self.snapshot())
+
+
+# ----------------------------------------------------------------------
+# Rendering (the `tcp-puzzles top` view)
+# ----------------------------------------------------------------------
+_STATE_TAGS = {"pending": "....", "running": "RUN ", "done": "done",
+               "cached": "hit "}
+
+
+def render_status(payload: Dict[str, Any]) -> str:
+    """Terminal rendering of one status document."""
+    state = payload.get("state", "?")
+    kind = payload.get("kind", "sweep")
+    age = time.time() - float(payload.get("updated_unix", 0.0))
+    lines = [
+        f"tcp-puzzles {kind} — {state} "
+        f"(updated {max(age, 0.0):.1f}s ago, "
+        f"elapsed {payload.get('wall_seconds', 0.0):.1f}s)",
+        f"cells {payload.get('cells_done', 0)}"
+        f"/{payload.get('cells_total', 0)} done "
+        f"({payload.get('cache_hits', 0)} cached) · "
+        f"jobs {payload.get('jobs', 1)} · "
+        f"{payload.get('events_processed', 0):,d} events · "
+        f"{payload.get('events_per_second', 0.0):,.0f} ev/s",
+    ]
+    workers = payload.get("workers") or {}
+    if any(workers.values()):
+        lines.append(
+            f"workers: {workers.get('retries', 0)} retries · "
+            f"{workers.get('cell_timeouts', 0)} timeouts · "
+            f"{workers.get('pool_restarts', 0)} pool restarts")
+    drops = payload.get("drop_totals") or {}
+    if drops:
+        top = sorted(drops.items(), key=lambda item: (-item[1], item[0]))
+        lines.append("drops: " + " · ".join(
+            f"{cause} {count:,d}" for cause, count in top[:4]))
+    cells = payload.get("cells") or []
+    if cells:
+        lines.append("")
+        width = max(len(str(cell.get("label", ""))) for cell in cells)
+        for cell in cells:
+            tag = _STATE_TAGS.get(cell.get("state", ""), "?   ")
+            line = (f"  [{tag}] "
+                    f"{str(cell.get('label', '')):<{width}s}")
+            if "wall_seconds" in cell:
+                line += f"  {cell['wall_seconds']:>8.2f}s"
+            if "events_per_second" in cell:
+                line += f"  {cell['events_per_second']:>12,.0f} ev/s"
+            cell_drops = cell.get("drops")
+            if cell_drops:
+                line += f"  drops {sum(cell_drops.values()):,d}"
+            if "completion_percent" in cell:
+                line += f"  client {cell['completion_percent']:.1f}%"
+            lines.append(line)
+    return "\n".join(lines)

@@ -34,9 +34,11 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
 from repro.errors import ExperimentError
 from repro.obs.hist import HistogramRegistry
+from repro.obs.timeseries import SeriesRegistry
 from repro.runner.cache import ResultCache
 from repro.runner.checkpoint import SweepCheckpoint
 from repro.runner.hashing import cell_key
+from repro.runner.monitor import SweepMonitor
 
 #: Environment override for the default worker count.
 JOBS_ENV = "REPRO_JOBS"
@@ -151,6 +153,11 @@ class RunnerStats:
     #: order-independent, so parallel merges equal serial ones.
     histograms: HistogramRegistry = field(
         default_factory=HistogramRegistry)
+    #: Streaming-telemetry series merged across every cell value that
+    #: carries a ``timeseries`` mapping. Rates and gauges sum
+    #: sample-for-sample (aligned cadence timestamps); per-cell quantile
+    #: series stay in their summaries.
+    timeseries: SeriesRegistry = field(default_factory=SeriesRegistry)
 
     # ------------------------------------------------------------------
     @property
@@ -189,7 +196,7 @@ class RunnerStats:
 
     def as_payload(self) -> Dict[str, object]:
         """JSON-friendly block for the ``BENCH_*.json`` manifests."""
-        return {
+        payload: Dict[str, object] = {
             "jobs": self.jobs,
             "cells_total": self.cells_total,
             "cells_run": self.cells_run,
@@ -208,6 +215,11 @@ class RunnerStats:
             "histograms": self.histograms.snapshot(),
             "cells": [cell.as_payload() for cell in self.cells],
         }
+        # Only when telemetry ran — detached sweeps keep the exact
+        # pre-telemetry manifest layout (baseline compatibility).
+        if len(self.timeseries):
+            payload["timeseries"] = self.timeseries.snapshot()
+        return payload
 
     def render(self) -> str:
         """One human line for CLI output."""
@@ -290,18 +302,24 @@ class SweepRunner:
     checkpoint:
         A :class:`~repro.runner.checkpoint.SweepCheckpoint`; every
         committed cell is recorded so an interrupted sweep can resume.
+    monitor:
+        A :class:`~repro.runner.monitor.SweepMonitor` observing the
+        execution (status file + progress lines). Read-only over cell
+        values, so monitored output stays byte-identical.
     """
 
     def __init__(self, jobs: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
                  key_extra: Any = None,
                  retry: Optional[RetryPolicy] = None,
-                 checkpoint: Optional[SweepCheckpoint] = None) -> None:
+                 checkpoint: Optional[SweepCheckpoint] = None,
+                 monitor: Optional[SweepMonitor] = None) -> None:
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
         self.key_extra = key_extra
         self.retry = retry if retry is not None else RetryPolicy()
         self.checkpoint = checkpoint
+        self.monitor = monitor
 
     # ------------------------------------------------------------------
     def map(self, fn: Callable[[Any], Any], specs: Sequence[Any],
@@ -324,6 +342,9 @@ class SweepRunner:
         values: List[Any] = [None] * len(specs)
         cell_stats: List[Optional[CellStats]] = [None] * len(specs)
         started = perf_counter()
+        monitor = self.monitor
+        if monitor is not None:
+            monitor.begin(labels, self.jobs)
 
         keys = [cell_key(fn, spec, extra=self.key_extra) for spec in specs]
         if self.checkpoint is not None:
@@ -345,11 +366,19 @@ class SweepRunner:
                     events_processed=sim["events_processed"])
                 if self.checkpoint is not None:
                     self.checkpoint.record(key, i, labels[i])
+                if monitor is not None:
+                    monitor.cell_done(
+                        i, value,
+                        wall_seconds=float(
+                            cached_stats.get("wall_seconds", 0.0)),
+                        cached=True)
             else:
                 pending.append(i)
 
         if pending and self.jobs == 1:
             for i in pending:
+                if monitor is not None:
+                    monitor.cell_running(i)
                 value, run_stats = _execute_cell(fn, specs[i])
                 self._commit(values, cell_stats, stats, labels, keys, i,
                              value, run_stats)
@@ -367,6 +396,11 @@ class SweepRunner:
             hists = getattr(value, "histograms", None)
             if hists:
                 stats.histograms.merge(hists)
+            series = getattr(value, "timeseries", None)
+            if series:
+                stats.timeseries.merge(series)
+        if monitor is not None:
+            monitor.finish(stats)
         return SweepReport(values=values, stats=stats)
 
     # ------------------------------------------------------------------
@@ -385,6 +419,10 @@ class SweepRunner:
         # reruns the cell on resume rather than trusting a missing value.
         if self.checkpoint is not None:
             self.checkpoint.record(keys[index], index, labels[index])
+        if self.monitor is not None:
+            self.monitor.cell_done(
+                index, value,
+                wall_seconds=float(run_stats.get("wall_seconds", 0.0)))
 
     def _run_pool(self, fn, specs, labels, keys, pending, values,
                   cell_stats, stats) -> None:
@@ -412,6 +450,8 @@ class SweepRunner:
             retrying = [i for i in remaining if attempts[i] > 0]
             if retrying:
                 stats.retries += len(retrying)
+                if self.monitor is not None:
+                    self.monitor.worker_event(retries=len(retrying))
                 backoff = max(retry.delay(keys[i], attempts[i])
                               for i in retrying)
                 if backoff > 0:
@@ -442,11 +482,16 @@ class SweepRunner:
             #: cells.
             started: Dict[Any, float] = {}
             outstanding = set(futures)
+            monitor = self.monitor
             while outstanding:
                 now = perf_counter()
                 for future in outstanding:
                     if future not in started and future.running():
                         started[future] = now
+                        if monitor is not None:
+                            monitor.cell_running(futures[future])
+                if monitor is not None:
+                    monitor.heartbeat()
                 if retry.cell_timeout is None:
                     timeout = None
                 else:
@@ -476,10 +521,16 @@ class SweepRunner:
                         # stay committed, the rest retry.
                         stats.cell_timeouts += len(hung)
                         stats.pool_restarts += 1
+                        if monitor is not None:
+                            monitor.worker_event(
+                                pool_restarts=1,
+                                cell_timeouts=len(hung))
                         clean = False
                         return committed
         except BrokenProcessPool:
             stats.pool_restarts += 1
+            if self.monitor is not None:
+                self.monitor.worker_event(pool_restarts=1)
             clean = False
             return committed
         except BaseException:

@@ -84,6 +84,51 @@ class PeriodicProcess(_BaseProcess):
         return self.interval
 
 
+class AlignedPeriodicProcess(_BaseProcess):
+    """Fire ``action`` at the absolute sim times ``k * interval``.
+
+    Unlike :class:`PeriodicProcess`, every firing is scheduled at an
+    *absolute* multiple of the interval (one multiplication per tick),
+    never by accumulating floating-point deltas — so two processes with
+    the same interval fire at bit-identical timestamps no matter when
+    they started or how many ticks they have taken. The streaming
+    telemetry sampler depends on this: per-cell time series sampled on
+    the same cadence carry identical time columns, which is what lets a
+    sweep merge them sample-for-sample and keep parallel output
+    byte-identical to serial.
+    """
+
+    def __init__(self, engine: Engine, action: Callable[[], None],
+                 interval: float) -> None:
+        super().__init__(engine, action)
+        if interval <= 0:
+            raise SimulationError(
+                f"interval must be positive, got {interval!r}")
+        self.interval = interval
+        self._tick = 0
+
+    def start(self, delay: float = 0.0) -> None:
+        """Begin firing at the first multiple of the interval after
+        ``now + delay`` (strictly after — a start exactly on a multiple
+        fires at the next one)."""
+        if self._running:
+            raise SimulationError("process already started")
+        self._running = True
+        self._tick = int((self.engine.now + delay) / self.interval) + 1
+        self._event = self.engine.schedule_at(
+            self._tick * self.interval, self._fire)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self.fire_count += 1
+        self.action()
+        if self._running:
+            self._tick += 1
+            self._event = self.engine.schedule_at(
+                self._tick * self.interval, self._fire)
+
+
 class PoissonProcess(_BaseProcess):
     """Fire ``action`` with i.i.d. exponential(*rate*) inter-arrival times."""
 

@@ -124,6 +124,10 @@ class ListenSocket:
         # handshake tracepoints go to the engine-wide tracer (default off).
         self.mib = self.host.mib
         self._tracer = self.host.obs.tracer
+        #: Optional bounded-memory per-source attribution
+        #: (:class:`repro.obs.sketch.SourceAttribution`). None (the
+        #: default) keeps every emit site a single attribute test.
+        self.attribution = None
         self.listen_queue.mib = self.mib
         self.accept_queue.mib = self.mib
         if self.config.scheme is None:
@@ -214,6 +218,8 @@ class ListenSocket:
     def handle_syn(self, packet: Packet) -> None:
         self.stats.syns_received += 1
         self.mib.incr("SynsRecv")
+        if self.attribution is not None:
+            self.attribution.on_syn(packet.src_ip)
         # Tracer guard inlined on the flood-rate sites: when tracing is
         # off (the default) this skips building the flow tuple and the
         # _trace call frame for every SYN.
@@ -237,6 +243,8 @@ class ListenSocket:
         if self.listen_queue.full:
             self.stats.syn_drops_queue_full += 1
             self.mib.incr("ListenOverflows")
+            if self.attribution is not None:
+                self.attribution.on_drop(packet.src_ip, "ListenOverflows")
             self._trace("drop",
                         (packet.src_ip, packet.src_port, self.port),
                         reason="listen-overflow")
@@ -260,6 +268,8 @@ class ListenSocket:
         if not self.listen_queue.try_add(tcb):
             # The queue's own mib hook counted the ListenOverflow.
             self.stats.syn_drops_queue_full += 1
+            if self.attribution is not None:
+                self.attribution.on_drop(tcb.remote_ip, "ListenOverflows")
             self._trace("drop", tcb.flow, reason="listen-overflow")
             return
         self._send_plain_synack(tcb)
@@ -300,6 +310,8 @@ class ListenSocket:
             # The queue's mib hook counts HalfOpenExpired.
             self.listen_queue.expire(tcb.flow)
             self.stats.half_open_expired += 1
+            if self.attribution is not None:
+                self.attribution.on_drop(tcb.remote_ip, "HalfOpenExpired")
             self._trace("expire", tcb.flow, retrans=tcb.retransmits)
             return
         tcb.retransmits += 1
@@ -412,6 +424,9 @@ class ListenSocket:
                 # half-open is left stranded until its timer reaps it.
                 self.stats.acks_ignored_queue_full += 1
                 self.mib.incr("DeceptionAcksIgnored")
+                if self.attribution is not None:
+                    self.attribution.on_drop(packet.src_ip,
+                                             "DeceptionAcksIgnored")
                 self._trace("ignore", flow, reason="plain-ack-under-attack")
                 return True
             return self._complete_stock(tcb)
@@ -426,6 +441,8 @@ class ListenSocket:
                 return self._install(packet, EstablishPath.SYNCACHE,
                                      entry.mss, entry.wscale)
             self.mib.incr("SynCacheMisses")
+            if self.attribution is not None:
+                self.attribution.on_drop(packet.src_ip, "SynCacheMisses")
             self._trace("reject", flow, reason="syncache-miss")
             return False
 
@@ -439,6 +456,8 @@ class ListenSocket:
                 return self._complete_cookie(packet, state)
             self.stats.cookies_invalid += 1
             self.mib.incr("SynCookiesFailed")
+            if self.attribution is not None:
+                self.attribution.on_drop(packet.src_ip, "SynCookiesFailed")
             self._trace("reject", flow, reason="bad-cookie")
             return False
 
@@ -450,6 +469,8 @@ class ListenSocket:
             # payload, falls through here, and draws an RST (§5).
             self.stats.solutions_invalid += 1
             self.mib.incr("PlainAcksIgnored")
+            if self.attribution is not None:
+                self.attribution.on_drop(packet.src_ip, "PlainAcksIgnored")
             self._trace("ignore", flow, reason="plain-ack")
             return True
         return False
@@ -460,6 +481,8 @@ class ListenSocket:
             # timer keeps running and may later find room.
             self.stats.accept_drops_full += 1
             self.mib.incr("AcceptOverflows")
+            if self.attribution is not None:
+                self.attribution.on_drop(tcb.remote_ip, "AcceptOverflows")
             self._trace("ignore", tcb.flow, reason="accept-overflow")
             return True
         self.listen_queue.complete(tcb.flow)
@@ -473,6 +496,9 @@ class ListenSocket:
         if self.accept_queue.full:
             self.stats.acks_ignored_queue_full += 1
             self.mib.incr("DeceptionAcksIgnored")
+            if self.attribution is not None:
+                self.attribution.on_drop(packet.src_ip,
+                                         "DeceptionAcksIgnored")
             self._trace("ignore", flow, reason="accept-full-deception")
             return True
         solution = packet.options.solution
@@ -495,6 +521,10 @@ class ListenSocket:
                     != required.length_bytes):
                 self.stats.solutions_invalid += 1
                 self.mib.incr("PuzzlesRejected")
+                if self.attribution is not None:
+                    self.attribution.on_drop(packet.src_ip,
+                                             "PuzzlesRejected")
+                    self.attribution.on_puzzle_failure(packet.src_ip)
                 self._trace("reject", flow, reason="fairness-difficulty")
                 return True
             expected = solution.params
@@ -509,9 +539,13 @@ class ListenSocket:
             # rest are genuinely bad solutions.
             if result.status in (VerifyStatus.EXPIRED,
                                  VerifyStatus.FUTURE_TIMESTAMP):
-                self.mib.incr("ReplaysBlocked")
+                cause = "ReplaysBlocked"
             else:
-                self.mib.incr("PuzzlesRejected")
+                cause = "PuzzlesRejected"
+            self.mib.incr(cause)
+            if self.attribution is not None:
+                self.attribution.on_drop(packet.src_ip, cause)
+                self.attribution.on_puzzle_failure(packet.src_ip)
             self._trace("reject", flow, reason=result.status.value)
             return True  # silently dropped, no RST: stateless server
         self.mib.incr("PuzzlesVerified")
@@ -522,6 +556,8 @@ class ListenSocket:
         if self.accept_queue.full:
             self.stats.accept_drops_full += 1
             self.mib.incr("AcceptOverflows")
+            if self.attribution is not None:
+                self.attribution.on_drop(packet.src_ip, "AcceptOverflows")
             self._trace("ignore",
                         (packet.src_ip, packet.src_port, self.port),
                         reason="accept-overflow")
@@ -543,6 +579,8 @@ class ListenSocket:
         if not self.accept_queue.try_add(connection):
             # The queue's mib hook counted the AcceptOverflow.
             self.stats.accept_drops_full += 1
+            if self.attribution is not None:
+                self.attribution.on_drop(remote_ip, "AcceptOverflows")
             self._trace("ignore", flow, reason="accept-overflow")
             return True
         self.stack.register_server(connection)

@@ -116,6 +116,110 @@ class TestCompareManifest:
                    for f in findings)
 
 
+class TestOneSidedEntries:
+    """Entries present on only one side are reported, never silently
+    skipped: baseline-only is lost coverage (a regression), current-only
+    is a note."""
+
+    def test_histogram_missing_from_current_is_regression(self):
+        current = copy.deepcopy(_manifest())
+        del current["histograms"]["handshake_latency.client"]
+        findings = compare_manifest("smoke", _manifest(), current,
+                                    Tolerance())
+        (finding,) = [f for f in findings
+                      if f.metric ==
+                      "histograms.handshake_latency.client"]
+        assert finding.severity == "regression"
+        assert "lost" in finding.message
+
+    def test_histogram_only_in_current_is_note(self):
+        current = copy.deepcopy(_manifest())
+        extra = Histogram("puzzle_solve.client")
+        extra.record(0.05)
+        current["histograms"]["puzzle_solve.client"] = extra.as_payload()
+        findings = compare_manifest("smoke", _manifest(), current,
+                                    Tolerance())
+        (finding,) = [f for f in findings
+                      if f.metric == "histograms.puzzle_solve.client"]
+        assert finding.severity == "note"
+        assert "new histogram" in finding.message
+
+    def test_one_sided_wall_time_histogram_still_skipped(self):
+        current = copy.deepcopy(_manifest())
+        del current["histograms"]["callback_wall"]
+        assert compare_manifest("smoke", _manifest(), current,
+                                Tolerance()) == []
+
+    def test_perf_key_missing_from_current_is_regression(self):
+        current = copy.deepcopy(_manifest())
+        del current["perf"]["events_per_second"]
+        findings = compare_manifest("smoke", _manifest(), current,
+                                    Tolerance())
+        (finding,) = [f for f in findings
+                      if f.metric == "perf.events_per_second"]
+        assert finding.severity == "regression"
+
+    def test_perf_key_only_in_current_is_note(self):
+        base = _manifest()
+        del base["perf"]["sim_wall_ratio"]
+        findings = compare_manifest("smoke", base, _manifest(),
+                                    Tolerance())
+        (finding,) = [f for f in findings
+                      if f.metric == "perf.sim_wall_ratio"]
+        assert finding.severity == "note"
+
+
+def _series_manifest() -> dict:
+    body = _manifest()
+    body["timeseries"] = {
+        "rate.SynsRecv": {"name": "rate.SynsRecv", "kind": "rate",
+                          "cadence": 0.5, "capacity": 2048, "dropped": 0,
+                          "samples": [[0.5, 10.0], [1.0, 12.0]]},
+    }
+    return body
+
+
+class TestCompareTimeseries:
+    def test_identical_series_pass(self):
+        base = _series_manifest()
+        assert compare_manifest("smoke", base, copy.deepcopy(base),
+                                Tolerance()) == []
+
+    def test_series_missing_from_current_is_regression(self):
+        current = copy.deepcopy(_series_manifest())
+        del current["timeseries"]["rate.SynsRecv"]
+        findings = compare_manifest("smoke", _series_manifest(), current,
+                                    Tolerance())
+        (finding,) = [f for f in findings
+                      if f.metric == "timeseries.rate.SynsRecv"]
+        assert finding.severity == "regression"
+        assert "lost telemetry coverage" in finding.message
+
+    def test_series_only_in_current_is_note(self):
+        findings = compare_manifest("smoke", _manifest(),
+                                    _series_manifest(), Tolerance())
+        (finding,) = [f for f in findings
+                      if f.metric == "timeseries.rate.SynsRecv"]
+        assert finding.severity == "note"
+
+    def test_sample_count_drift_is_regression(self):
+        current = copy.deepcopy(_series_manifest())
+        current["timeseries"]["rate.SynsRecv"]["samples"].append(
+            [1.5, 9.0])
+        findings = compare_manifest("smoke", _series_manifest(), current,
+                                    Tolerance())
+        assert any(f.metric == "timeseries.rate.SynsRecv.samples" and
+                   f.severity == "regression" for f in findings)
+
+    def test_mass_drift_is_regression(self):
+        current = copy.deepcopy(_series_manifest())
+        current["timeseries"]["rate.SynsRecv"]["samples"][0][1] = 11.0
+        findings = compare_manifest("smoke", _series_manifest(), current,
+                                    Tolerance())
+        assert any(f.metric == "timeseries.rate.SynsRecv.mass" and
+                   f.severity == "regression" for f in findings)
+
+
 class TestCompareDirs:
     def test_self_compare_passes(self, tmp_path):
         _write(tmp_path / "base", "smoke", _manifest())

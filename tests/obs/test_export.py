@@ -3,12 +3,19 @@
 import io
 import json
 
-from repro.obs import CounterRegistry, EngineProfiler, HandshakeTracer
+from repro.obs import (
+    CounterRegistry,
+    EngineProfiler,
+    HandshakeTracer,
+    SeriesRegistry,
+)
 from repro.obs.export import (
+    _escape_label,
     catalogue_text,
     counters_jsonl,
     hist_lines,
     prometheus_text,
+    series_lines,
     trace_jsonl,
     write_jsonl,
 )
@@ -34,6 +41,15 @@ def _hists() -> HistogramRegistry:
     registry.record("handshake_latency.client", 0.010)
     registry.record("handshake_latency.client", 0.020)
     registry.record("accept_wait", 0.001)
+    return registry
+
+
+def _series() -> SeriesRegistry:
+    registry = SeriesRegistry()
+    rate = registry.series("rate.SynsRecv", "rate", 0.5)
+    rate.record(0.5, 10.0)
+    rate.record(1.0, 12.0)
+    registry.series("gauge.listen_depth", "gauge", 0.5).record(0.5, 3.0)
     return registry
 
 
@@ -124,6 +140,28 @@ class TestJsonl:
         assert types.count("hist") == 2
         assert types.count("span") == 1
 
+    def test_series_lines_are_name_sorted_payloads(self):
+        parsed = [json.loads(line) for line in series_lines(_series())]
+        assert [obj["name"] for obj in parsed] == [
+            "gauge.listen_depth", "rate.SynsRecv"]
+        rate = parsed[1]
+        assert rate["type"] == "series"
+        assert rate["kind"] == "rate"
+        assert rate["samples"] == [[0.5, 10.0], [1.0, 12.0]]
+
+    def test_series_lines_accept_plain_dict(self):
+        table = _series().as_dict()
+        assert [json.loads(line)["name"]
+                for line in series_lines(table)] == sorted(table)
+
+    def test_write_jsonl_includes_series(self):
+        stream = io.StringIO()
+        count = write_jsonl(stream, series=_series())
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == count == 2
+        assert all(json.loads(line)["type"] == "series"
+                   for line in lines)
+
 
 class TestPrometheus:
     def test_counter_families_with_labels(self):
@@ -174,12 +212,71 @@ class TestPrometheus:
         assert text.count("# TYPE repro_duration_seconds summary") == 1
         assert 'name="callback_wall"' in text
 
+    def test_series_gauge_family(self):
+        text = prometheus_text(series=_series())
+        assert "# TYPE repro_series_value gauge" in text
+        # The gauge carries each series' latest sample.
+        assert ('repro_series_value{name="rate.SynsRecv",kind="rate"} '
+                '12.0' in text)
+        assert ('repro_series_value{name="gauge.listen_depth",'
+                'kind="gauge"} 3.0' in text)
+
+    def test_empty_series_registry_renders_nothing(self):
+        assert prometheus_text(series=SeriesRegistry()) == ""
+
     def test_catalogue_text_lists_every_counter(self):
         from repro.obs import CATALOGUE
 
         text = catalogue_text()
         for name in CATALOGUE:
             assert name in text
+
+
+class TestEscapeLabel:
+    """Prometheus label escaping, across every exporter family that
+    interpolates a label value."""
+
+    def test_backslashes_escaped_before_quotes(self):
+        assert _escape_label('a\\b') == 'a\\\\b'
+        assert _escape_label('say "hi"') == 'say \\"hi\\"'
+        # A backslash-then-quote input must not double-escape.
+        assert _escape_label('\\"') == '\\\\\\"'
+
+    def test_newlines_become_literal_escapes(self):
+        assert _escape_label("line1\nline2") == "line1\\nline2"
+
+    def test_non_ascii_passes_through(self):
+        assert _escape_label("sïgnal-λ") == "sïgnal-λ"
+
+    def test_counter_family_escapes_host_and_counter(self):
+        registry = CounterRegistry()
+        registry.scope('host"a\n').incr("SynsRecv", 1)
+        text = prometheus_text(registry=registry)
+        assert 'host="host\\"a\\n"' in text
+        assert "\n" not in text.split('host\\"a\\n')[1].split("}")[0]
+
+    def test_summary_family_escapes_histogram_names(self):
+        from repro.obs.hist import Histogram
+
+        hist = Histogram('lat"ency\\x')
+        hist.record(0.01)
+        text = prometheus_text(hists={hist.name: hist})
+        # Quantile, _sum and _count lines all carry the escaped name.
+        assert text.count('name="lat\\"ency\\\\x"') >= 3
+
+    def test_profiler_family_escapes_kind(self):
+        profiler = EngineProfiler()
+        profiler._kinds['odd"kind\\x'] = [1, 0.001]
+        text = prometheus_text(profiler=profiler)
+        assert ('repro_engine_callback_calls_total'
+                '{kind="odd\\"kind\\\\x"} 1' in text)
+
+    def test_series_family_escapes_name(self):
+        registry = SeriesRegistry()
+        registry.series('rate."odd"\nname', "rate", 1.0).record(1.0, 5.0)
+        text = prometheus_text(series=registry)
+        assert 'name="rate.\\"odd\\"\\nname"' in text
+        assert text.count("\n") == len(text.splitlines())
 
 
 class TestManifest:

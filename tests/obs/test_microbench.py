@@ -164,14 +164,20 @@ class TestManifestGate:
         assert not report.passed
 
     def test_prefix_filter_ignores_other_manifests(self, tmp_path):
+        from repro.obs.benchcmp import Tolerance
+
         self._write(tmp_path / "base")
         self._write(tmp_path / "cur")
         # A non-micro manifest present on only one side must not count
-        # as lost coverage when comparing with the micro prefix.
+        # as lost coverage when comparing with the micro prefix. Only
+        # the filter is under test here, so the wall-noise bands are
+        # opened wide like the self-compare test above.
         (tmp_path / "base" / "BENCH_fig12_sweep.json").write_text(
             json.dumps({"name": "fig12_sweep",
                         "perf": {"wall_seconds": 1.0}}))
         report = compare_dirs(tmp_path / "base", tmp_path / "cur",
+                              Tolerance(counters=0.0, perf=100.0,
+                                        quantile=100.0),
                               prefix=MICRO_PREFIX)
         assert report.passed, report.render()
         assert "fig12_sweep" not in report.manifests

@@ -133,3 +133,31 @@ class TestZeroOverheadBranch:
         # 2 run-level calls + 2 per dispatched event.
         assert calls == 2 + 2 * 10
         assert profiler.events == 10
+
+    def test_detached_telemetry_adds_no_per_event_cost(self, monkeypatch):
+        """The streaming-telemetry extension of the gate: a scenario
+        with ``telemetry=None`` (the default) builds no sampler, hangs
+        no attribution sketches on the listener, and still makes exactly
+        the two run-level perf_counter calls — per-event cost stays
+        zero when telemetry is detached."""
+        import repro.sim.engine as engine_module
+        from repro.experiments.scenario import Scenario, ScenarioConfig
+
+        real = engine_module.perf_counter
+        calls = [0]
+
+        def counting():
+            calls[0] += 1
+            return real()
+
+        monkeypatch.setattr(engine_module, "perf_counter", counting)
+        config = ScenarioConfig(seed=3, time_scale=0.01, n_clients=2,
+                                n_attackers=2)
+        result = Scenario(config).run()
+        assert result.sampler is None
+        assert result.attribution is None
+        assert result.server_app.listener.attribution is None
+        assert result.engine.stats()["events_processed"] > 100
+        assert calls[0] == 2, (
+            f"{calls[0]} perf_counter calls with telemetry detached — "
+            f"the off path must not time anything per event")

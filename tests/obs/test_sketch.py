@@ -1,0 +1,196 @@
+"""Sketch tests: Space-Saving / Count-Min guarantees, bounded memory,
+and exact-vs-sketch agreement against a real flood scenario."""
+
+import json
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs import CountMinSketch, SpaceSaving, SourceAttribution
+from repro.obs.timeseries import TelemetrySpec
+
+
+def _zipf_stream(n_keys, n_updates, seed=7):
+    """A skewed key stream: low keys are heavy, tail keys are rare."""
+    rng = random.Random(seed)
+    return [min(int(rng.paretovariate(1.2)), n_keys) + 0x0A000000
+            for _ in range(n_updates)]
+
+
+class TestSpaceSaving:
+    def test_exact_while_under_capacity(self):
+        sketch = SpaceSaving(capacity=8)
+        truth = {}
+        for key in [1, 2, 1, 3, 1, 2]:
+            sketch.update(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            assert sketch.count(key) == count
+            assert sketch.error(key) == 0
+        assert sketch.evictions == 0
+        assert sketch.top() == [(1, 3, 0), (2, 2, 0), (3, 1, 0)]
+
+    def test_overestimates_within_tracked_error(self):
+        sketch = SpaceSaving(capacity=8)
+        stream = _zipf_stream(n_keys=200, n_updates=5000)
+        truth = {}
+        for key in stream:
+            sketch.update(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count, error in sketch.top():
+            true = truth[key]
+            assert true <= count <= true + error
+
+    def test_heavy_hitters_survive_eviction(self):
+        # One key carrying >N/capacity of the stream must be retained.
+        sketch = SpaceSaving(capacity=4)
+        for i in range(1000):
+            sketch.update(99)
+            sketch.update(i + 1000)  # churn of distinct tail keys
+        assert 99 in sketch
+        assert sketch.top(1)[0][0] == 99
+
+    def test_memory_bounded_independent_of_key_count(self):
+        sketch = SpaceSaving(capacity=16)
+        for key in range(100_000):
+            sketch.update(key)
+        assert len(sketch) == 16
+        assert sketch.total == 100_000
+        assert sketch.evictions == 100_000 - 16
+
+    def test_deterministic_across_runs(self):
+        stream = _zipf_stream(n_keys=500, n_updates=3000)
+
+        def digest():
+            sketch = SpaceSaving(capacity=8)
+            for key in stream:
+                sketch.update(key)
+            return json.dumps(sketch.as_payload(), sort_keys=True)
+
+        assert digest() == digest()
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(SimulationError):
+            SpaceSaving(0)
+
+
+class TestCountMinSketch:
+    def test_never_undercounts(self):
+        sketch = CountMinSketch(width=64, depth=4, seed=3)
+        stream = _zipf_stream(n_keys=300, n_updates=4000)
+        truth = {}
+        for key in stream:
+            sketch.update(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count
+
+    def test_error_bound_holds_in_aggregate(self):
+        sketch = CountMinSketch(width=256, depth=4, seed=3)
+        stream = _zipf_stream(n_keys=300, n_updates=4000)
+        truth = {}
+        for key in stream:
+            sketch.update(key)
+            truth[key] = truth.get(key, 0) + 1
+        bound = sketch.error_bound()
+        # The e/width × N bound holds per key with prob 1 - e^-depth
+        # (~98% at depth 4); allow the expected handful of misses.
+        misses = sum(1 for key, count in truth.items()
+                     if sketch.estimate(key) - count > bound)
+        assert misses <= max(1, len(truth) // 20)
+
+    def test_width_rounds_up_to_power_of_two(self):
+        assert CountMinSketch(width=100, depth=2).width == 128
+        assert CountMinSketch(width=128, depth=2).width == 128
+
+    def test_seeded_hashing_is_process_independent(self):
+        a = CountMinSketch(width=64, depth=4, seed=11)
+        b = CountMinSketch(width=64, depth=4, seed=11)
+        for key in range(500):
+            a.update(key)
+            b.update(key)
+        assert all(a.estimate(k) == b.estimate(k) for k in range(500))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(SimulationError):
+            CountMinSketch(width=0, depth=1)
+
+
+class TestSourceAttribution:
+    def test_prefix_masking_aggregates_sources(self):
+        attribution = SourceAttribution(prefix_bits=24)
+        a = 0x0A010005  # 10.1.0.5
+        b = 0x0A010006  # 10.1.0.6 — same /24
+        attribution.on_syn(a)
+        attribution.on_syn(b)
+        key = attribution.key_for(a)
+        assert key == attribution.key_for(b)
+        assert attribution.syns.count(key) == 2
+
+    def test_drops_by_cause_bounded_by_catalogue(self):
+        attribution = SourceAttribution(top_k=4)
+        for i in range(100):
+            attribution.on_drop(i, "ListenOverflows")
+            attribution.on_drop(i, "PuzzlesRejected")
+        assert sorted(attribution.drops_by_cause) == [
+            "ListenOverflows", "PuzzlesRejected"]
+        assert len(attribution.drops_by_cause["ListenOverflows"]) == 4
+
+    def test_snapshot_renders_dotted_quads(self):
+        attribution = SourceAttribution()
+        attribution.on_syn(0x0A010005)
+        snapshot = attribution.snapshot()
+        assert snapshot["syns"]["top"][0]["source"] == "10.1.0.5"
+        assert snapshot["syn_sketch"]["total"] == 1
+
+
+class TestScenarioAgreement:
+    """Exact/sketch agreement on a small config: every distinct source
+    fits in the top-K, so the summary must be *exact* and must agree
+    with the listener's own aggregate counters."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.scenario import Scenario, ScenarioConfig
+
+        config = ScenarioConfig(
+            seed=5, time_scale=0.02, n_clients=3, n_attackers=3,
+            attack_style="connect", attack_enabled=True,
+            telemetry=TelemetrySpec(attribution=True, top_k=16))
+        return Scenario(config).run()
+
+    def test_attribution_total_matches_syn_counter(self, result):
+        attribution = result.attribution
+        counters = result.obs.counters.scope("server")
+        assert attribution.syns.total == counters.get("SynsRecv")
+
+    def test_under_capacity_counts_are_exact(self, result):
+        attribution = result.attribution
+        # 6 distinct sources < 16 slots: no evictions, zero error.
+        assert attribution.syns.evictions == 0
+        top = attribution.syns.top()
+        assert 0 < len(top) <= 6
+        assert all(error == 0 for _key, _count, error in top)
+        # The Count-Min estimate never undercounts the exact count and
+        # stays within its documented bound.
+        bound = attribution.syn_sketch.error_bound()
+        for key, count, _error in top:
+            estimate = attribution.estimate_syns(key)
+            assert count <= estimate <= count + bound
+
+    def test_drop_attribution_never_exceeds_drop_counters(self, result):
+        counters = result.obs.counters.scope("server")
+        for cause, sketch in result.attribution.drops_by_cause.items():
+            assert sketch.total <= counters.get(cause)
+
+    def test_same_seed_snapshot_is_byte_identical(self, result):
+        from repro.experiments.scenario import Scenario, ScenarioConfig
+
+        config = ScenarioConfig(
+            seed=5, time_scale=0.02, n_clients=3, n_attackers=3,
+            attack_style="connect", attack_enabled=True,
+            telemetry=TelemetrySpec(attribution=True, top_k=16))
+        again = Scenario(config).run()
+        assert json.dumps(again.attribution.snapshot(), sort_keys=True) \
+            == json.dumps(result.attribution.snapshot(), sort_keys=True)

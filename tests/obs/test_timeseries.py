@@ -1,0 +1,207 @@
+"""Streaming telemetry tests: aligned sampling, bounded series, merge
+semantics, and the determinism contract (same seed → byte-identical
+series; detached → nothing scheduled, nothing recorded)."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs import SeriesRegistry, SimSampler, TelemetrySpec, TimeSeries
+from repro.obs import chrome_counter_events, hub_for, series_payload
+from repro.sim.engine import Engine
+from repro.sim.process import AlignedPeriodicProcess
+
+
+class TestAlignedPeriodicProcess:
+    def test_fires_at_exact_interval_multiples(self):
+        engine = Engine()
+        ticks = []
+        process = AlignedPeriodicProcess(
+            engine, lambda: ticks.append(engine.now), 0.5)
+        process.start()
+        engine.run(until=3.0)
+        assert ticks == [0.5, 1.0, 1.5, 2.0, 2.5, 3.0]
+
+    def test_mid_run_start_aligns_to_next_multiple(self):
+        engine = Engine()
+        ticks = []
+        process = AlignedPeriodicProcess(
+            engine, lambda: ticks.append(engine.now), 1.0)
+        engine.schedule(2.3, process.start)
+        engine.run(until=5.0)
+        assert ticks == [3.0, 4.0, 5.0]
+
+    def test_stop_cancels_future_fires(self):
+        engine = Engine()
+        ticks = []
+        process = AlignedPeriodicProcess(
+            engine, lambda: ticks.append(engine.now), 1.0)
+        process.start()
+        engine.schedule(2.5, process.stop)
+        engine.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(SimulationError):
+            AlignedPeriodicProcess(Engine(), lambda: None, 0.0)
+
+
+class TestTimeSeries:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(SimulationError):
+            TimeSeries("x", "sparkline", 0.5)
+
+    def test_ring_bounds_memory_and_counts_drops(self):
+        series = TimeSeries("x", "gauge", 1.0, capacity=4)
+        for i in range(10):
+            series.record(float(i), float(i * i))
+        assert len(series) == 4
+        assert series.dropped == 6
+        assert [t for t, _ in series.samples()] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_merge_sums_aligned_samples(self):
+        a = TimeSeries("rate.SynsRecv", "rate", 1.0)
+        b = TimeSeries("rate.SynsRecv", "rate", 1.0)
+        a.record(1.0, 10.0)
+        a.record(2.0, 20.0)
+        b.record(2.0, 5.0)
+        b.record(3.0, 7.0)
+        a.merge(b)
+        assert a.samples() == [(1.0, 10.0), (2.0, 25.0), (3.0, 7.0)]
+
+    def test_merge_rejects_mismatched_identity(self):
+        a = TimeSeries("x", "rate", 1.0)
+        with pytest.raises(SimulationError):
+            a.merge(TimeSeries("y", "rate", 1.0))
+        with pytest.raises(SimulationError):
+            a.merge(TimeSeries("x", "gauge", 1.0))
+
+    def test_quantile_kind_refuses_to_merge(self):
+        a = TimeSeries("quantile.accept_wait.p95", "quantile", 1.0)
+        b = TimeSeries("quantile.accept_wait.p95", "quantile", 1.0)
+        with pytest.raises(SimulationError):
+            a.merge(b)
+
+    def test_payload_round_trip(self):
+        series = TimeSeries("x", "rate", 0.5, capacity=8)
+        series.record(0.5, 2.0)
+        series.record(1.0, 4.0)
+        clone = TimeSeries.from_payload(series.as_payload())
+        assert clone.as_payload() == series.as_payload()
+
+    def test_copy_is_independent(self):
+        series = TimeSeries("x", "gauge", 1.0)
+        series.record(1.0, 1.0)
+        clone = series.copy()
+        clone.record(2.0, 2.0)
+        assert len(series) == 1 and len(clone) == 2
+
+
+class TestSeriesRegistry:
+    def test_series_is_get_or_create(self):
+        registry = SeriesRegistry()
+        a = registry.series("x", "rate", 1.0)
+        assert registry.series("x", "rate", 1.0) is a
+        assert len(registry) == 1 and "x" in registry
+
+    def test_merge_copies_and_skips_quantiles(self):
+        source = SeriesRegistry()
+        source.series("rate.x", "rate", 1.0).record(1.0, 3.0)
+        source.series("quantile.y.p95", "quantile", 1.0).record(1.0, 0.1)
+        merged = SeriesRegistry().merge(source)
+        assert merged.names() == ["rate.x"]
+        # Copied, never aliased: mutating the merge target must not
+        # touch the source cell's series.
+        merged.get("rate.x").record(2.0, 1.0)
+        assert len(source.get("rate.x")) == 1
+
+    def test_snapshot_is_name_sorted_payloads(self):
+        registry = SeriesRegistry()
+        registry.series("b", "gauge", 1.0).record(1.0, 1.0)
+        registry.series("a", "rate", 1.0).record(1.0, 2.0)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a", "b"]
+        assert snapshot["a"]["samples"] == [[1.0, 2.0]]
+
+
+class TestTelemetrySpec:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            TelemetrySpec(cadence=0.0)
+        with pytest.raises(SimulationError):
+            TelemetrySpec(capacity=0)
+        with pytest.raises(SimulationError):
+            TelemetrySpec(quantiles=("p97",))
+        with pytest.raises(SimulationError):
+            TelemetrySpec(top_k=0)
+        with pytest.raises(SimulationError):
+            TelemetrySpec(prefix_bits=33)
+
+    def test_pickles_and_fingerprints(self):
+        from repro.runner import stable_hash
+
+        spec = TelemetrySpec(cadence=0.25, attribution=True)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        # Hashable into cache keys, and sensitive to every field.
+        assert stable_hash(spec) == stable_hash(
+            TelemetrySpec(cadence=0.25, attribution=True))
+        assert stable_hash(spec) != stable_hash(TelemetrySpec())
+
+
+class TestSimSampler:
+    def _run(self, spec):
+        engine = Engine()
+        hub = hub_for(engine)
+        scope = hub.counters.scope("server")
+        # Ten SYNs per sim-second, so every 0.5 s cadence tick sees 5.
+        for i in range(1, 41):
+            engine.schedule(i * 0.1, scope.incr, "SynsRecv")
+        sampler = SimSampler(engine, hub, spec)
+        sampler.start()
+        engine.run(until=4.0)
+        sampler.stop()
+        return sampler
+
+    def test_rates_are_counter_deltas_over_cadence(self):
+        spec = TelemetrySpec(cadence=0.5, counters=("SynsRecv",),
+                             histograms=(), queues=False)
+        sampler = self._run(spec)
+        series = sampler.as_dict()["rate.SynsRecv"]
+        assert [t for t, _ in series.samples()] == [
+            0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0]
+        assert all(value == 10.0 for _, value in series.samples())
+        assert sampler.samples_taken == 8
+
+    def test_same_run_twice_is_byte_identical(self):
+        spec = TelemetrySpec(cadence=0.5, counters=("SynsRecv",),
+                             histograms=(), queues=False)
+        one = json.dumps(series_payload(self._run(spec).as_dict()),
+                         sort_keys=True)
+        two = json.dumps(series_payload(self._run(spec).as_dict()),
+                         sort_keys=True)
+        assert one == two
+
+
+class TestChromeCounterEvents:
+    def test_counter_event_layout(self):
+        series = TimeSeries("rate.SynsRecv", "rate", 0.5)
+        series.record(0.5, 12.0)
+        series.record(1.0, 8.0)
+        events = chrome_counter_events({series.name: series})
+        assert events == [
+            {"name": "rate.SynsRecv", "ph": "C", "ts": 0.5e6,
+             "pid": 1, "tid": 0, "args": {"value": 12.0}},
+            {"name": "rate.SynsRecv", "ph": "C", "ts": 1.0e6,
+             "pid": 1, "tid": 0, "args": {"value": 8.0}},
+        ]
+
+    def test_events_sort_by_time_then_name(self):
+        a = TimeSeries("a", "gauge", 1.0)
+        b = TimeSeries("b", "gauge", 1.0)
+        a.record(2.0, 1.0)
+        b.record(1.0, 1.0)
+        events = chrome_counter_events({"a": a, "b": b})
+        assert [(e["ts"], e["name"]) for e in events] == [
+            (1.0e6, "b"), (2.0e6, "a")]

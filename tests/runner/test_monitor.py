@@ -1,0 +1,238 @@
+"""Live monitor tests: atomic status files, runner hooks, rendering,
+and the contract that observing a sweep never changes its results."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from dataclasses import dataclass
+
+from repro.runner import (
+    STATUS_VERSION,
+    StatusFile,
+    SweepMonitor,
+    SweepRunner,
+    cells_to_jsonl,
+    render_status,
+)
+
+
+@dataclass(frozen=True)
+class Spec:
+    seed: int
+
+
+def seeded_cell(spec: Spec) -> dict:
+    state = spec.seed
+    values = []
+    for _ in range(8):
+        state = (state * 6364136223846793005 + 1442695040888963407) \
+            % (1 << 64)
+        values.append(state >> 33)
+    return {"seed": spec.seed, "values": values}
+
+
+class TestStatusFile:
+    def test_write_then_read_round_trips(self, tmp_path):
+        path = tmp_path / "deep" / "status.json"
+        StatusFile(str(path)).write({"state": "running", "cells_done": 3})
+        assert StatusFile.read(str(path)) == {"state": "running",
+                                              "cells_done": 3}
+
+    def test_write_replaces_atomically(self, tmp_path):
+        path = tmp_path / "status.json"
+        status = StatusFile(str(path))
+        status.write({"n": 1})
+        status.write({"n": 2})
+        assert StatusFile.read(str(path)) == {"n": 2}
+        # No leftover temp file from the replace dance.
+        assert os.listdir(tmp_path) == ["status.json"]
+
+    def test_read_missing_file_is_none(self, tmp_path):
+        assert StatusFile.read(str(tmp_path / "absent.json")) is None
+
+    def test_read_torn_file_is_none(self, tmp_path):
+        path = tmp_path / "torn.json"
+        path.write_text('{"state": "runn')
+        assert StatusFile.read(str(path)) is None
+
+
+class TestSweepMonitor:
+    def test_lifecycle_builds_status_document(self, tmp_path):
+        path = tmp_path / "status.json"
+        monitor = SweepMonitor(status_path=str(path), quiet=True)
+        monitor.begin(["a", "b"], jobs=2)
+        monitor.cell_running(0)
+        monitor.cell_done(0, {"x": 1}, wall_seconds=0.25)
+        monitor.cell_done(1, {"x": 2}, cached=True)
+        monitor.worker_event(retries=1)
+        monitor.finish()
+        payload = StatusFile.read(str(path))
+        assert payload["version"] == STATUS_VERSION
+        assert payload["state"] == "completed"
+        assert payload["cells_total"] == 2
+        assert payload["cells_done"] == 2
+        assert payload["cache_hits"] == 1
+        assert payload["workers"]["retries"] == 1
+        states = [cell["state"] for cell in payload["cells"]]
+        assert states == ["done", "cached"]
+
+    def test_cell_digest_reads_summary_shape(self, tmp_path):
+        class Value:
+            engine_stats = {"sim_seconds": 30.0,
+                            "events_processed": 5000}
+            counters = {"server": {"ListenOverflows": 7, "SynsRecv": 10}}
+
+            @staticmethod
+            def client_completion_percent():
+                return 92.5
+
+        path = tmp_path / "status.json"
+        monitor = SweepMonitor(status_path=str(path), quiet=True)
+        monitor.begin(["only"], jobs=1)
+        monitor.cell_done(0, Value(), wall_seconds=0.5)
+        cell = StatusFile.read(str(path))["cells"][0]
+        assert cell["events_processed"] == 5000
+        assert cell["events_per_second"] == 10000.0
+        assert cell["drops"] == {"ListenOverflows": 7}
+        assert cell["completion_percent"] == 92.5
+
+    def test_progress_lines_go_to_stream(self):
+        stream = io.StringIO()
+        monitor = SweepMonitor(stream=stream)
+        monitor.begin(["a"], jobs=1)
+        monitor.cell_running(0)
+        monitor.cell_done(0, {"x": 1}, wall_seconds=0.1)
+        text = stream.getvalue()
+        assert "sweep: 1 cells at jobs=1" in text
+        assert "[0/1] a: running" in text
+        assert "[1/1] a: run 0.10s" in text
+
+    def test_quiet_suppresses_lines_but_still_writes(self, tmp_path):
+        path = tmp_path / "status.json"
+        stream = io.StringIO()
+        monitor = SweepMonitor(status_path=str(path), stream=stream,
+                               quiet=True)
+        monitor.begin(["a"], jobs=1)
+        monitor.cell_done(0, {"x": 1})
+        assert stream.getvalue() == ""
+        assert StatusFile.read(str(path))["cells_done"] == 1
+
+    def test_no_status_path_means_no_file_io(self):
+        monitor = SweepMonitor(stream=io.StringIO())
+        monitor.begin(["a"], jobs=1)
+        monitor.cell_done(0, {"x": 1})
+        monitor.finish()
+        assert monitor.status is None
+
+
+class TestRenderStatus:
+    def test_render_shows_header_and_cells(self, tmp_path):
+        monitor = SweepMonitor(status_path=str(tmp_path / "s.json"),
+                               quiet=True)
+        monitor.begin(["fast-cell", "slow-cell"], jobs=4)
+        monitor.cell_done(0, {"x": 1}, wall_seconds=0.5)
+        text = render_status(monitor.snapshot())
+        assert "tcp-puzzles sweep — running" in text
+        assert "cells 1/2 done" in text
+        assert "jobs 4" in text
+        assert "[done] fast-cell" in text
+        assert "[....] slow-cell" in text
+
+    def test_render_handles_minimal_payload(self):
+        # A torn-then-reread or hand-written document must not crash.
+        text = render_status({"state": "running"})
+        assert "running" in text
+
+
+@dataclass(frozen=True)
+class SeriesSpec:
+    seed: int
+
+
+@dataclass(frozen=True)
+class SeriesValue:
+    """A toy cell value carrying telemetry series, like a
+    ScenarioSummary with telemetry enabled does."""
+
+    seed: int
+    timeseries: dict
+
+
+def series_cell(spec: SeriesSpec) -> SeriesValue:
+    from repro.obs import TimeSeries
+
+    rate = TimeSeries("rate.SynsRecv", "rate", 1.0)
+    rate.record(1.0, float(spec.seed))
+    rate.record(2.0, float(spec.seed * 2))
+    quantile = TimeSeries("quantile.accept_wait.p95", "quantile", 1.0)
+    quantile.record(1.0, 0.01 * spec.seed)
+    return SeriesValue(
+        seed=spec.seed,
+        timeseries={rate.name: rate, quantile.name: quantile})
+
+
+class TestRunnerSeriesMerge:
+    def test_cell_series_merge_into_runner_stats(self):
+        specs = [SeriesSpec(seed=s) for s in (1, 2, 3)]
+        report = SweepRunner(jobs=1).map(series_cell, specs)
+        merged = report.stats.timeseries
+        # Rates sum sample-for-sample across cells; quantiles stay
+        # per-cell (never merged).
+        assert merged.names() == ["rate.SynsRecv"]
+        assert merged.get("rate.SynsRecv").samples() == [
+            (1.0, 6.0), (2.0, 12.0)]
+        payload = report.stats.as_payload()
+        assert payload["timeseries"]["rate.SynsRecv"]["samples"] == [
+            [1.0, 6.0], [2.0, 12.0]]
+
+    def test_parallel_merge_matches_serial(self):
+        specs = [SeriesSpec(seed=s) for s in (1, 2, 3, 4)]
+        serial = SweepRunner(jobs=1).map(series_cell, specs)
+        parallel = SweepRunner(jobs=2).map(series_cell, specs)
+        assert parallel.stats.timeseries.snapshot() \
+            == serial.stats.timeseries.snapshot()
+
+    def test_series_free_cells_leave_payload_unchanged(self):
+        specs = [Spec(seed=s) for s in (1, 2)]
+        report = SweepRunner(jobs=1).map(seeded_cell, specs)
+        assert "timeseries" not in report.stats.as_payload()
+
+
+class TestMonitoredSweepsStayDeterministic:
+    def test_monitored_equals_unmonitored_byte_for_byte(self, tmp_path):
+        specs = [Spec(seed=s) for s in range(6)]
+        plain = SweepRunner(jobs=1).map(seeded_cell, specs)
+        monitor = SweepMonitor(status_path=str(tmp_path / "s.json"),
+                               stream=io.StringIO())
+        watched = SweepRunner(jobs=1, monitor=monitor).map(
+            seeded_cell, specs)
+        assert cells_to_jsonl(watched.values) \
+            == cells_to_jsonl(plain.values)
+
+    def test_parallel_monitored_equals_serial(self, tmp_path):
+        specs = [Spec(seed=s) for s in range(6)]
+        serial = SweepRunner(jobs=1).map(seeded_cell, specs)
+        monitor = SweepMonitor(status_path=str(tmp_path / "s.json"),
+                               stream=io.StringIO())
+        parallel = SweepRunner(jobs=2, monitor=monitor).map(
+            seeded_cell, specs)
+        assert cells_to_jsonl(parallel.values) \
+            == cells_to_jsonl(serial.values)
+        payload = StatusFile.read(str(tmp_path / "s.json"))
+        assert payload["state"] == "completed"
+        assert payload["cells_done"] == len(specs)
+
+    def test_status_json_is_parseable_mid_flight(self, tmp_path):
+        # Every hook write must leave a complete, parseable document.
+        path = tmp_path / "s.json"
+        monitor = SweepMonitor(status_path=str(path), quiet=True)
+        monitor.begin(["a", "b", "c"], jobs=1)
+        for i in range(3):
+            monitor.cell_running(i)
+            assert StatusFile.read(str(path)) is not None
+            monitor.cell_done(i, {"x": i})
+            payload = StatusFile.read(str(path))
+            assert payload["cells_done"] == i + 1
+            json.dumps(payload)  # fully JSON-serialisable

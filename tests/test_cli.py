@@ -100,6 +100,87 @@ class TestTraceCommand:
         assert capsys.readouterr().out == ""
 
 
+class TestTraceTelemetry:
+    def test_trace_telemetry_counter_tracks_in_chrome_export(
+            self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(["trace", "--duration", "4", "--clients", "1",
+                     "--attackers", "0", "--attack", "none",
+                     "--telemetry", "--format", "chrome",
+                     "--output", str(path)]) == 0
+        body = json.loads(path.read_text())
+        counters = [e for e in body["traceEvents"]
+                    if e.get("ph") == "C"]
+        assert counters
+        assert any(e["name"] == "rate.SynsRecv" for e in counters)
+        assert all("value" in e["args"] for e in counters)
+
+    def test_trace_telemetry_series_in_jsonl_and_stdout(
+            self, capsys, tmp_path):
+        jsonl = tmp_path / "trace.jsonl"
+        assert main(["trace", "--duration", "4", "--clients", "1",
+                     "--attackers", "0", "--attack", "none",
+                     "--telemetry", "--jsonl", str(jsonl)]) == 0
+        assert "telemetry:" in capsys.readouterr().out
+        assert jsonl.read_text().count('"type":"series"') > 0
+
+
+class TestTopCommand:
+    def test_top_parser_defaults(self):
+        args = build_parser().parse_args(["top"])
+        assert args.status_file is None
+        assert args.once is False
+        assert args.interval == 1.0
+
+    def test_top_once_without_status_file_fails(self, capsys, tmp_path):
+        missing = tmp_path / "absent.json"
+        assert main(["top", "--once",
+                     "--status-file", str(missing)]) == 1
+        assert "no status file" in capsys.readouterr().err
+
+    def test_top_once_renders_status(self, capsys, tmp_path):
+        from repro.runner import SweepMonitor
+
+        path = tmp_path / "status.json"
+        monitor = SweepMonitor(status_path=str(path), quiet=True)
+        monitor.begin(["cell-a", "cell-b"], jobs=2)
+        monitor.cell_done(0, {"x": 1}, wall_seconds=0.5)
+        assert main(["top", "--once", "--status-file", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "tcp-puzzles sweep — running" in out
+        assert "cells 1/2 done" in out
+        assert "[done] cell-a" in out
+        # --once renders plain: no ANSI clear-screen escapes.
+        assert "\x1b" not in out
+
+
+class TestSweepMonitorFlags:
+    def test_sweep_parser_gains_monitor_flags(self):
+        args = build_parser().parse_args(["sweep", "difficulty"])
+        assert args.quiet is False
+        assert args.live is False
+        assert args.status_file is None
+
+    def test_run_parser_gains_monitor_flags(self):
+        args = build_parser().parse_args(
+            ["run", "syn-flood", "--quiet", "--live"])
+        assert args.quiet is True
+        assert args.live is True
+
+    def test_make_monitor_resolves_paths(self):
+        from repro.cli import _make_monitor
+        from repro.runner import DEFAULT_STATUS_PATH
+
+        args = build_parser().parse_args(["sweep", "iot", "--live"])
+        monitor = _make_monitor(args)
+        assert monitor.status.path == DEFAULT_STATUS_PATH
+        args = build_parser().parse_args(
+            ["sweep", "iot", "--status-file", "x.json"])
+        assert _make_monitor(args).status.path == "x.json"
+        args = build_parser().parse_args(["sweep", "iot"])
+        assert _make_monitor(args).status is None
+
+
 class TestBenchCompareCommand:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["bench-compare", "a", "b"])
