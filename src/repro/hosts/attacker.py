@@ -17,6 +17,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.errors import SimulationError
 from repro.hosts.host import Host
 from repro.metrics.connections import ConnectionTracker
 from repro.net.addresses import SpoofingPool
@@ -67,36 +68,78 @@ class SynFlooder:
         self.config = config
         self.stats = AttackStats()
         self._pool = SpoofingPool(host.rng)
-        self._process = PeriodicProcess(host.engine, self._fire,
-                                        rate=config.rate)
+        # Self-scheduled firing loop instead of a PeriodicProcess: the
+        # wrapper's _fire frame is pure overhead at flood rates, and this
+        # bot's action needs none of the process bookkeeping. The
+        # schedule call order (action first, reschedule after) matches
+        # PeriodicProcess exactly, so event ids and times are unchanged.
+        if config.rate <= 0:
+            raise SimulationError(
+                f"rate must be positive, got {config.rate!r}")
+        self._interval = 1.0 / config.rate
+        self._running = False
+        self._event = None
+        # Flyweight SYN pipeline (repro.net.floodpath), resolved lazily
+        # on the first fire so the server can register after this bot is
+        # built. None = unresolved, False = unavailable (batched path
+        # off, or no listener at the target).
+        self._fast = None
 
     def start(self, delay: float = 0.0) -> None:
-        self._process.start(delay)
+        if self._running:
+            raise SimulationError("process already started")
+        self._running = True
+        self._event = self.host.engine.schedule(delay, self._fire)
 
     def stop(self) -> None:
-        self._process.stop()
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
 
     def _fire(self) -> None:
+        if not self._running:
+            return
         host = self.host
-        grb = host.rng.getrandbits
-        src_ip = self._pool.draw()
-        # Inlined random.randrange(1024, 65536): the rejection loop below
-        # consumes exactly the same getrandbits(16) draws as the stdlib's
-        # _randbelow(64512), so the RNG stream — and every downstream
-        # counter — is unchanged while skipping two Python frames per SYN.
+        rng = host.rng
+        grb = rng.getrandbits
+        # Inlined SpoofingPool.draw and random.randrange(1024, 65536):
+        # both rejection loops consume exactly the same getrandbits draws
+        # as the stdlib's _randbelow, so the RNG stream — and every
+        # downstream counter — is unchanged while skipping three Python
+        # frames per SYN.
+        pool = self._pool
+        span = pool._span
+        bits = pool._span_bits
+        value = grb(bits)
+        while value >= span:
+            value = grb(bits)
+        src_ip = pool._base + value
         port = grb(16)
         while port >= 64512:
             port = grb(16)
-        packet = Packet(
-            src_ip=src_ip,
-            dst_ip=self.config.server_ip,
-            src_port=1024 + port,
-            dst_port=self.config.server_port,
-            seq=grb(32),
-            flags=FLAG_SYN,
-            options=mss_options(DEFAULT_MSS))
-        host.send(packet)
-        self.stats.syns_sent += 1
+        seq = grb(32)
+        fast = self._fast
+        if fast is None:
+            fast = host.network.syn_fast_path(
+                host, self.config.server_ip, self.config.server_port)
+            fast = fast if fast is not None else False
+            self._fast = fast
+        if fast is not False and fast.send(src_ip, 1024 + port, seq):
+            self.stats.syns_sent += 1
+        else:
+            packet = Packet(
+                src_ip=src_ip,
+                dst_ip=self.config.server_ip,
+                src_port=1024 + port,
+                dst_port=self.config.server_port,
+                seq=seq,
+                flags=FLAG_SYN,
+                options=mss_options(DEFAULT_MSS))
+            host.send(packet)
+            self.stats.syns_sent += 1
+        if self._running:
+            self._event = host.engine.schedule(self._interval, self._fire)
 
 
 class ConnectionFlooder:

@@ -67,13 +67,26 @@ class CPUResource:
         """Account for synchronous work (e.g. server-side verification)."""
         if hashes < 0:
             raise SimulationError(f"hashes must be >= 0, got {hashes!r}")
-        self._consume_seconds(hashes / self.hash_rate)
+        # _consume_seconds inlined: this runs once per issued challenge
+        # and per verified solution, so the extra frame is measurable.
+        duration = hashes / self.hash_rate
+        start = self.busy_until
+        now = self.engine.now
+        if now > start:
+            start = now
+        self.busy_until = start + duration
+        self._credited += duration
 
     def consume_seconds(self, seconds: float) -> None:
         """Account for non-hash CPU work (e.g. request processing)."""
         if seconds < 0:
             raise SimulationError(f"seconds must be >= 0, got {seconds!r}")
-        self._consume_seconds(seconds)
+        start = self.busy_until
+        now = self.engine.now
+        if now > start:
+            start = now
+        self.busy_until = start + seconds
+        self._credited += seconds
 
     def _consume_seconds(self, duration: float) -> None:
         now = self.engine.now

@@ -1,0 +1,178 @@
+"""Fabric-fold acceleration: a whole path's ``Link.offer`` chain in one call.
+
+``Network.send`` folds every packet through the directed links of its
+(static) path. The per-link arithmetic is tiny — a droptail check, a
+serialization update, an optional loss draw — but at flood rates the
+Python frames around it dominate. A :class:`FabricPath` caches a path's
+link sequence once and exposes ``fold(now, size_bytes)``, which performs
+the entire chain:
+
+* :class:`PyFabricPath` is the pure-Python fold — exactly the historical
+  per-link ``link.offer`` loop, one frame instead of one per link. It is
+  the always-available fallback, so ``REPRO_ENGINE=py`` stays first-class.
+* The compiled core (``repro.sim._cengine.FabricPath``) performs the same
+  arithmetic in C, reading and writing each link's ``__dict__`` so the
+  Python ``Link`` objects remain the single source of truth (fault
+  injectors, ``reset_counters`` and direct ``offer`` calls all keep
+  working). Loss draws call the link's own ``rng.random()``, so the
+  Mersenne stream is consumed CPython-exactly. C doubles evaluated in the
+  same order as CPython floats are bit-identical, so drop decisions and
+  arrival times match to the last ulp.
+
+The compiled class is adopted only after :func:`_fabric_gate` — a
+randomized differential self-test against :class:`PyFabricPath` — passes,
+mirroring how :mod:`repro.sim.engine` gates its compiled engine.
+
+A C fold returns ``NotImplemented`` instead of touching any state when it
+cannot reproduce Python semantics exactly (a link-level fault hook is
+installed, or the size would raise): callers then re-fold through
+:func:`fold_links`, the per-link reference loop.
+
+``REPRO_FABRIC`` controls the whole batched flood fast path:
+
+* ``auto`` (default) — batched; compiled fold only if the engine's
+  compiled core was itself built and adopted (``REPRO_ENGINE`` not py);
+* ``py`` — batched, pure-Python fold, never builds C;
+* ``c`` — batched, compiled fold required (build or gate failure fatal);
+* ``packet`` / ``off`` — the historical per-packet path: pure-Python
+  folds and no flyweight SYN/reply fast paths (see
+  :mod:`repro.net.floodpath`). Used by the differential suite to prove
+  the batched path byte-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import List, Optional
+
+from repro.errors import SimulationError
+
+
+def fold_links(links, now: float, size_bytes: int) -> Optional[float]:
+    """Reference per-link fold: offer to each link in order.
+
+    Returns the far-end arrival time, or ``None`` once any link drops
+    (droptail, loss or fault) — the same contract as ``FabricPath.fold``.
+    """
+    arrival = now
+    for link in links:
+        offered = link.offer(arrival, size_bytes)
+        if offered is None:
+            return None
+        arrival = offered
+    return arrival
+
+
+class PyFabricPath:
+    """Pure-Python cached-path fold (the reference implementation)."""
+
+    __slots__ = ("links",)
+
+    def __init__(self, links) -> None:
+        self.links = tuple(links)
+
+    def fold(self, now: float, size_bytes: int) -> Optional[float]:
+        arrival = now
+        for link in self.links:
+            offered = link.offer(arrival, size_bytes)
+            if offered is None:
+                return None
+            arrival = offered
+        return arrival
+
+
+def _fabric_gate(cfabric_cls) -> bool:
+    """Adoption gate for a compiled fabric fold: randomized offer
+    streams over a mixed path (queueing, droptail, loss draws) must
+    leave bit-identical results and link state versus the Python
+    reference, and a faulted link must push the whole fold back to the
+    per-link path without touching any state."""
+    import random as _random
+
+    from repro.net.link import Link
+
+    def build(seed):
+        return [
+            Link(rate_bps=100e6, delay=5e-4, buffer_bytes=64 * 1024),
+            Link(rate_bps=1e9, delay=2e-4, loss_rate=0.05,
+                 rng=_random.Random(seed * 7 + 1)),
+            Link(rate_bps=10e6, delay=1e-3, buffer_bytes=16 * 1024),
+        ]
+
+    def state(links):
+        return [(lk._next_free, lk.packets_sent, lk.packets_dropped,
+                 lk.packets_lost, lk.bytes_sent, lk.packets_faulted)
+                for lk in links]
+
+    def drive(path_cls, seed):
+        links = build(seed)
+        path = path_cls(links)
+        rng = _random.Random(seed + 99)
+        out = []
+        now = 0.0
+        for _ in range(4000):
+            result = path.fold(now, rng.randint(60, 1514))
+            if result is NotImplemented:
+                return None
+            out.append(result)
+            now += rng.random() * 2e-4
+        return out, state(links)
+
+    try:
+        for seed in (1, 20260808):
+            if drive(cfabric_cls, seed) != drive(PyFabricPath, seed):
+                return False
+        # Fault pre-scan: any installed link fault must yield
+        # NotImplemented before any state mutation, so the caller's
+        # re-fold through the per-link path never double-counts.
+        links = build(3)
+        links[1].fault = object()
+        before = state(links)
+        path = cfabric_cls(links)
+        if path.fold(0.0, 100) is not NotImplemented:
+            return False
+        if path.fold(0.0, 0) is not NotImplemented:  # raise-in-Python case
+            return False
+        if state(links) != before:
+            return False
+        # Instance-level ``offer`` monkeypatches (fault-injection tests)
+        # must likewise escape to the interpreted path untouched.
+        links = build(3)
+        links[0].offer = lambda now, size: None
+        before = state(links)
+        path = cfabric_cls(links)
+        if path.fold(0.0, 100) is not NotImplemented:
+            return False
+        return state(links) == before
+    except Exception:
+        return False
+
+
+CFabricPath = None
+FabricPath = PyFabricPath
+_FABRIC_MODE = os.environ.get("REPRO_FABRIC", "auto").strip().lower()
+#: Whether the flyweight flood fast paths (repro.net.floodpath) engage.
+#: "packet"/"off" forces the historical per-packet pipeline end to end.
+BATCHED = _FABRIC_MODE not in ("packet", "off")
+if BATCHED and _FABRIC_MODE not in ("py", "python"):
+    # Reuse the extension module the engine already built; in auto mode
+    # never trigger a build the engine's own REPRO_ENGINE policy skipped.
+    import repro.sim.engine  # noqa: F401  (runs the engine's adoption tail)
+
+    _cmod = sys.modules.get("repro.sim._cengine")
+    if _cmod is None and _FABRIC_MODE == "c":
+        from repro.sim.accel import load_cengine as _load_cengine
+
+        _cmod = _load_cengine()
+    if _cmod is not None and hasattr(_cmod, "FabricPath"):
+        if _fabric_gate(_cmod.FabricPath):
+            CFabricPath = _cmod.FabricPath
+            FabricPath = _cmod.FabricPath  # type: ignore[misc]
+        elif _FABRIC_MODE == "c":
+            raise SimulationError(
+                "REPRO_FABRIC=c but the compiled fabric fold failed the "
+                "differential self-test against the Python reference")
+    elif _FABRIC_MODE == "c":
+        raise SimulationError(
+            "REPRO_FABRIC=c but the compiled core exports no FabricPath")

@@ -3,12 +3,17 @@
 ``Network`` owns the topology and the engine reference; hosts register with
 their address and receive callbacks. Sending folds the packet through every
 directed link on its path (see :mod:`repro.net.link` for why that is exact)
-and schedules one delivery event.
+and schedules one delivery event. Path folds go through cached
+:class:`~repro.net.fabric.FabricPath` objects — one object per (src, dst)
+pair — so the whole ``Link.offer`` chain is a single call (compiled when
+the accelerated core is adopted, a one-frame Python loop otherwise).
 
 Packets addressed to unregistered addresses — e.g. SYN-ACKs answering
 spoofed SYN floods — still consume link capacity on the path toward the
 destination's *presumed* attachment and are then blackholed, mirroring what
-spoofed-source replies do on a real network.
+spoofed-source replies do on a real network. A reply that the uplink's
+droptail queue rejects never reaches the backbone, so it counts as a
+``drop`` (and taps as one), not as blackholed.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Protocol
 
 from repro.errors import NetworkError
+from repro.net.fabric import BATCHED, FabricPath, fold_links
 from repro.net.packet import Packet
 from repro.net.topology import Topology
 from repro.sim.engine import Engine
@@ -50,8 +56,8 @@ class Network:
         # Hot-path caches over the (static-after-setup) topology — the
         # same assumption Topology's own path cache already makes. Keyed
         # by host *names* so they survive re-registration in tests.
-        self._paths: Dict[tuple, list] = {}
-        self._blackhole_paths: Dict[str, list] = {}
+        self._paths: Dict[tuple, FabricPath] = {}
+        self._blackhole_paths: Dict[str, FabricPath] = {}
         # Address-indexed throughput accounting (see add_throughput_tap).
         self._tx_taps: Dict[int, list] = {}
         self._rx_taps: Dict[int, list] = {}
@@ -107,6 +113,30 @@ class Network:
                 tap(now, packet, event)
 
     # ------------------------------------------------------------------
+    # Path caches
+    # ------------------------------------------------------------------
+    def _path_for(self, src_name: str, dst_name: str) -> FabricPath:
+        key = (src_name, dst_name)
+        path = self._paths.get(key)
+        if path is None:
+            path = FabricPath(self.topology.path_links(src_name, dst_name))
+            self._paths[key] = path
+        return path
+
+    def _blackhole_path_for(self, src_name: str) -> FabricPath:
+        path = self._blackhole_paths.get(src_name)
+        if path is None:
+            # Replies to spoofed sources consume the sender's uplink
+            # (the first hop toward the core), then vanish.
+            uplink = self.topology.path_links(src_name, "server")[:1] \
+                if src_name != "server" else \
+                self.topology.path_links(
+                    "server", self._any_other_host(src_name))[:1]
+            path = FabricPath(uplink)
+            self._blackhole_paths[src_name] = path
+        return path
+
+    # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
     def send(self, src: Attachable, packet: Packet) -> None:
@@ -133,21 +163,22 @@ class Network:
         size = packet.size_bytes
         dst_host = self._hosts_by_ip.get(packet.dst_ip)
         if dst_host is None:
-            # Replies to spoofed sources: consume the sender's uplink, then
-            # vanish in the backbone.
-            uplink = self._blackhole_paths.get(src.name)
-            if uplink is None:
-                uplink = self.topology.path_links(src.name, "server")[:1] \
-                    if src.name != "server" else \
-                    self.topology.path_links(
-                        "server", self._any_other_host(src.name))[:1]
-                self._blackhole_paths[src.name] = uplink
-            arrival = now
-            for link in uplink:
-                offered = link.offer(arrival, size)
-                if offered is None:
-                    break
-                arrival = offered
+            # Replies to spoofed sources: consume the sender's uplink,
+            # then vanish in the backbone.
+            path = self._blackhole_paths.get(src.name)
+            if path is None:
+                path = self._blackhole_path_for(src.name)
+            arrival = path.fold(now, size)
+            if arrival is NotImplemented:
+                arrival = fold_links(path.links, now, size)
+            if arrival is None:
+                # Droptailed on the uplink: the reply never reached the
+                # backbone to be blackholed — it is an ordinary drop.
+                self.packets_dropped += 1
+                if taps:
+                    for tap in taps:
+                        tap(now, packet, "drop")
+                return
             self.packets_blackholed += 1
             if taps:
                 for tap in taps:
@@ -157,18 +188,16 @@ class Network:
         key = (src.name, dst_host.name)
         path = self._paths.get(key)
         if path is None:
-            path = self.topology.path_links(*key)
-            self._paths[key] = path
-        arrival = now
-        for link in path:
-            offered = link.offer(arrival, size)
-            if offered is None:
-                self.packets_dropped += 1
-                if taps:
-                    for tap in taps:
-                        tap(now, packet, "drop")
-                return
-            arrival = offered
+            path = self._path_for(*key)
+        arrival = path.fold(now, size)
+        if arrival is NotImplemented:
+            arrival = fold_links(path.links, now, size)
+        if arrival is None:
+            self.packets_dropped += 1
+            if taps:
+                for tap in taps:
+                    tap(now, packet, "drop")
+            return
         self._schedule_at(arrival, self._deliver, dst_host, packet)
 
     def _any_other_host(self, not_this: str) -> str:
@@ -190,3 +219,33 @@ class Network:
             for on_rx in rx:
                 on_rx(now, packet)
         host.receive(packet)
+
+    # ------------------------------------------------------------------
+    # Flyweight fast paths (see repro.net.floodpath)
+    # ------------------------------------------------------------------
+    def syn_fast_path(self, src: Attachable, dst_ip: int, dst_port: int):
+        """A :class:`~repro.net.floodpath.SynFastPath` for bulk spoofed
+        SYNs from *src* to the listener at (dst_ip, dst_port), or None
+        when the batched path is disabled or the target is not (yet) a
+        registered host with a listener on that port."""
+        if not BATCHED:
+            return None
+        dst_host = self._hosts_by_ip.get(dst_ip)
+        if dst_host is None:
+            return None
+        stack = getattr(dst_host, "tcp", None)
+        if stack is None or stack.listener(dst_port) is None:
+            return None
+        from repro.net.floodpath import SynFastPath
+
+        return SynFastPath(self, src, dst_host, dst_port)
+
+    def reply_fast_path(self, host: Attachable):
+        """A :class:`~repro.net.floodpath.ReplyFastPath` for *host*'s
+        replies to unregistered (spoofed) addresses, or None when the
+        batched path is disabled."""
+        if not BATCHED:
+            return None
+        from repro.net.floodpath import ReplyFastPath
+
+        return ReplyFastPath(self, host)

@@ -41,6 +41,7 @@ from repro.obs.perf import (
     callback_module,
     collapsed_stacks,
     component_of,
+    component_of_frame,
     heap_churn,
     make_profiler,
     write_flamegraph,
@@ -79,6 +80,7 @@ __all__ = [
     "chrome_counter_events",
     "collapsed_stacks",
     "component_of",
+    "component_of_frame",
     "drop_attribution",
     "established_total",
     "heap_churn",

@@ -427,6 +427,56 @@ def _bench_hist_record(iterations: int) -> Dict[str, int]:
     }
 
 
+@register("fabric_fold",
+          "cached 3-link path fold (clean + lossy + droptail phases)",
+          default_iterations=100_000)
+def _bench_fabric_fold(iterations: int) -> Dict[str, int]:
+    from repro.net.fabric import FabricPath
+    from repro.net.link import Link
+
+    # The fig7 flood topology in miniature: an access link that can
+    # droptail, a fast clean backbone hop, and a slow egress. The lossy
+    # variant adds the loss-draw branch (per-packet rng.random()) the
+    # flood suites exercise under fault injection.
+    clean = FabricPath([
+        Link(rate_bps=100e6, delay=5e-4, buffer_bytes=64 * 1024),
+        Link(rate_bps=1e9, delay=2e-4),
+        Link(rate_bps=10e6, delay=1e-3, buffer_bytes=16 * 1024),
+    ])
+    lossy = FabricPath([
+        Link(rate_bps=100e6, delay=5e-4, buffer_bytes=64 * 1024),
+        Link(rate_bps=1e9, delay=2e-4, loss_rate=0.02,
+             rng=random.Random(20260807)),
+        Link(rate_bps=10e6, delay=1e-3, buffer_bytes=16 * 1024),
+    ])
+    sizes = random.Random(20260808)
+    delivered = dropped = 0
+    now = 0.0
+    clean_fold = clean.fold
+    lossy_fold = lossy.fold
+    for _ in range(iterations):
+        size = sizes.randint(60, 1514)
+        for fold in (clean_fold, lossy_fold):
+            arrival = fold(now, size)
+            if arrival is None:
+                dropped += 1
+            else:
+                delivered += 1
+        # Offered load deliberately exceeds the egress drain rate part
+        # of the time, so the droptail branch is a steady fraction of
+        # folds rather than a cold path.
+        now += 1.1e-3 if (delivered & 7) == 0 else 2.0e-4
+    links = list(clean.links) + list(lossy.links)
+    return {
+        "folds": 2 * iterations,
+        "delivered": delivered,
+        "dropped": dropped,
+        "lost": sum(lk.packets_lost for lk in links),
+        "droptailed": sum(lk.packets_dropped for lk in links),
+        "bytes_sent": sum(lk.bytes_sent for lk in links),
+    }
+
+
 def self_check(result: MicroResult) -> None:
     """Sanity bounds every freshly-run result must satisfy."""
     if result.best_wall <= 0.0 or not math.isfinite(result.best_wall):

@@ -61,6 +61,35 @@ def component_of(module: str) -> str:
     return "other"
 
 
+#: The compiled core's module, and its types that implement *another*
+#: layer's primitive. The extension lives under ``repro.sim`` (→
+#: ``engine``), but e.g. its fabric fold belongs beside the Python
+#: fabric it accelerates: without this, a batched flood profile banks
+#: the path-fold wall time against the engine and the ``net`` row
+#: silently shrinks when the C core is adopted.
+CENGINE_MODULE = "repro.sim._cengine"
+CENGINE_TYPE_COMPONENTS: Tuple[Tuple[str, str], ...] = (
+    ("FabricPath", "net"),
+)
+
+
+def component_of_frame(module: str, qualname: str) -> str:
+    """Component of a ``(module, qualname)`` profile frame.
+
+    Like :func:`component_of`, plus compiled-core awareness: frames
+    from ``repro.sim._cengine`` map by their type — ``Engine``/``Event``
+    dispatch machinery stays ``engine`` while ``FabricPath.fold`` rolls
+    up under ``net``, so component tables stay comparable across
+    ``REPRO_ENGINE``/``REPRO_FABRIC`` modes.
+    """
+    if module == CENGINE_MODULE:
+        head = qualname.split(".", 1)[0]
+        for type_name, component in CENGINE_TYPE_COMPONENTS:
+            if head == type_name:
+                return component
+    return component_of(module)
+
+
 def callback_module(callback: Callable) -> str:
     """The defining module of a callback, partials unwrapped.
 
@@ -102,7 +131,7 @@ class AttributionProfiler(EngineProfiler):
         super().__init__()
         # (module, qualname) -> [count, wall_seconds]
         self._frames: Dict[Tuple[str, str], List[float]] = {}
-        self._component_cache: Dict[str, str] = {}
+        self._component_cache: Dict[Tuple[str, str], str] = {}
         self.track_memory = track_memory
         self.track_gc = track_gc
         #: Filled by :meth:`finish` when ``track_memory`` was set.
@@ -172,18 +201,20 @@ class AttributionProfiler(EngineProfiler):
     # ------------------------------------------------------------------
     # Derived views
     # ------------------------------------------------------------------
-    def _component(self, module: str) -> str:
-        component = self._component_cache.get(module)
+    def _component(self, module: str, qualname: str) -> str:
+        key = (module, qualname)
+        component = self._component_cache.get(key)
         if component is None:
-            component = component_of(module)
-            self._component_cache[module] = component
+            component = component_of_frame(module, qualname)
+            self._component_cache[key] = component
         return component
 
     def component_rows(self) -> List[Tuple[str, int, float, float]]:
         """(component, count, wall_seconds, wall_fraction), wall-sorted."""
         rollup: Dict[str, List[float]] = {}
-        for (module, _kind), (count, wall) in self._frames.items():
-            entry = rollup.setdefault(self._component(module), [0, 0.0])
+        for (module, kind), (count, wall) in self._frames.items():
+            entry = rollup.setdefault(self._component(module, kind),
+                                      [0, 0.0])
             entry[0] += count
             entry[1] += wall
         total = self.wall_seconds or 1.0
@@ -194,7 +225,8 @@ class AttributionProfiler(EngineProfiler):
 
     def frame_rows(self) -> List[Tuple[str, str, str, int, float]]:
         """(component, module, qualname, count, wall), wall-sorted."""
-        rows = [(self._component(module), module, kind, int(count), wall)
+        rows = [(self._component(module, kind), module, kind, int(count),
+                 wall)
                 for (module, kind), (count, wall) in self._frames.items()]
         rows.sort(key=lambda row: (-row[4], row[0], row[1], row[2]))
         return rows

@@ -37,6 +37,8 @@ from typing import List, Optional, Sequence
 import random
 import struct
 
+from hashlib import sha256 as _hashlib_sha256
+
 from repro.crypto.hashcash import find_partial_preimage, verify_partial_preimage
 from repro.crypto.sha256 import HashCounter, sha256
 from repro.errors import PuzzleError
@@ -49,6 +51,9 @@ from repro.puzzles.secrets import SecretKey
 # identical to the spelled-out versions they replaced.
 _pack_binding = struct.Struct(">IIIHH").pack
 _pack_issued_ms = struct.Struct(">Q").pack
+#: issue_preimage's fused layout: the ">Q" timestamp immediately followed
+#: by the ">IIIHH" binding — byte-identical to the two packs concatenated.
+_pack_issue = struct.Struct(">QIIIHH").pack
 
 
 @dataclass(frozen=True)
@@ -267,6 +272,26 @@ class JuelsBrainardScheme:
                                  counter=counter)
         return Challenge(params=params, preimage=preimage,
                          issued_at_ms=issued_at_ms, binding=binding)
+
+    def issue_preimage(self, params: PuzzleParams, src_ip: int,
+                       dst_ip: int, src_port: int, dst_port: int,
+                       isn: int, now: float,
+                       counter: Optional[HashCounter] = None) -> bytes:
+        """The challenge-issue hash from struct-packed material, with no
+        FlowBinding/Challenge allocation — the hot path for responses
+        whose challenge block is never read (replies to spoofed floods
+        that the fabric blackholes). Hash input, counter accounting and
+        the returned pre-image are byte-identical to
+        ``make_challenge(...).preimage``."""
+        issued_at_ms = int(round(now * 1000.0)) & 0xFFFFFFFF
+        # One fused pack (">Q" timestamp ‖ ">IIIHH" binding) and a direct
+        # hashlib call: same material, same digest, same counter charge
+        # as preimage()/sha256(), minus three frames per challenge.
+        material = self.secret.current + _pack_issue(
+            issued_at_ms, isn, src_ip, dst_ip, src_port, dst_port)
+        if counter is not None:
+            counter.count += 1
+        return _hashlib_sha256(material).digest()[:params.length_bytes]
 
     # ------------------------------------------------------------------
     # Verification

@@ -1298,6 +1298,319 @@ static PyTypeObject Engine_Type = {
 };
 
 /* ------------------------------------------------------------------ */
+/* FabricPath                                                         */
+/* ------------------------------------------------------------------ */
+/* A cached network path: the per-link Link.offer arithmetic (droptail
+ * check, serialization update, optional loss draw, propagation) folded
+ * across the whole link sequence in one call. All mutable link state is
+ * read from and written back to each Link's instance __dict__ per fold,
+ * so the Python objects stay the single source of truth: fault
+ * injectors, reset_counters() and direct offer() calls interleave
+ * freely with folded traffic. Loss draws call the link's own
+ * rng.random(), consuming the Mersenne stream CPython-exactly, and the
+ * double arithmetic mirrors Link.offer's evaluation order so drop
+ * decisions and arrival times are bit-identical to the Python fold.
+ *
+ * fold() returns NotImplemented — before touching any state — whenever
+ * it cannot reproduce Python semantics exactly (a link-level fault hook
+ * is installed, or the offered size would make Python raise); callers
+ * then re-fold through the per-link reference loop. */
+
+static PyObject *s_next_free, *s_rate_bps, *s_delay, *s_buffer_bytes,
+    *s_loss_rate, *s_rng, *s_fault, *s_packets_sent, *s_packets_dropped,
+    *s_packets_lost, *s_bytes_sent, *s_random, *s_offer;
+
+typedef struct {
+    PyObject *link;          /* strong */
+    PyObject *dict;          /* strong; the link's instance __dict__ */
+} FabricSlot;
+
+typedef struct {
+    PyObject_HEAD
+    FabricSlot *slots;
+    Py_ssize_t n;
+    PyObject *links;         /* tuple of links, exposed as .links */
+} FabricPathObject;
+
+static int
+fabric_dict_double(PyObject *dict, PyObject *key, double *out)
+{
+    PyObject *value = PyDict_GetItemWithError(dict, key);
+    if (!value) {
+        if (!PyErr_Occurred())
+            PyErr_Format(PyExc_AttributeError,
+                         "link object missing attribute %U", key);
+        return -1;
+    }
+    *out = PyFloat_AsDouble(value);
+    if (*out == -1.0 && PyErr_Occurred())
+        return -1;
+    return 0;
+}
+
+static int
+fabric_dict_set_double(PyObject *dict, PyObject *key, double value)
+{
+    PyObject *obj = PyFloat_FromDouble(value);
+    if (!obj)
+        return -1;
+    int rc = PyDict_SetItem(dict, key, obj);
+    Py_DECREF(obj);
+    return rc;
+}
+
+static int
+fabric_dict_incr(PyObject *dict, PyObject *key, long long delta)
+{
+    PyObject *cur = PyDict_GetItemWithError(dict, key);
+    if (!cur) {
+        if (!PyErr_Occurred())
+            PyErr_Format(PyExc_AttributeError,
+                         "link object missing attribute %U", key);
+        return -1;
+    }
+    long long value = PyLong_AsLongLong(cur);
+    if (value == -1 && PyErr_Occurred())
+        return -1;
+    PyObject *next = PyLong_FromLongLong(value + delta);
+    if (!next)
+        return -1;
+    int rc = PyDict_SetItem(dict, key, next);
+    Py_DECREF(next);
+    return rc;
+}
+
+static int
+FabricPath_init(FabricPathObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"links", NULL};
+    PyObject *arg;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O", kwlist, &arg))
+        return -1;
+    PyObject *links = PySequence_Tuple(arg);
+    if (!links)
+        return -1;
+    Py_ssize_t n = PyTuple_GET_SIZE(links);
+    FabricSlot *slots = PyMem_Calloc(n ? (size_t)n : 1,
+                                     sizeof(FabricSlot));
+    if (!slots) {
+        Py_DECREF(links);
+        PyErr_NoMemory();
+        return -1;
+    }
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *link = PyTuple_GET_ITEM(links, i);
+        PyObject *dict = PyObject_GetAttrString(link, "__dict__");
+        if (dict && !PyDict_Check(dict)) {
+            Py_DECREF(dict);
+            dict = NULL;
+            PyErr_SetString(PyExc_TypeError,
+                            "link __dict__ is not a dict");
+        }
+        if (!dict) {
+            for (Py_ssize_t j = 0; j < i; j++) {
+                Py_CLEAR(slots[j].link);
+                Py_CLEAR(slots[j].dict);
+            }
+            PyMem_Free(slots);
+            Py_DECREF(links);
+            return -1;
+        }
+        Py_INCREF(link);
+        slots[i].link = link;
+        slots[i].dict = dict;
+    }
+    FabricSlot *old_slots = self->slots;
+    Py_ssize_t old_n = self->n;
+    PyObject *old_links = self->links;
+    self->slots = slots;
+    self->n = n;
+    self->links = links;
+    if (old_slots) {
+        for (Py_ssize_t j = 0; j < old_n; j++) {
+            Py_CLEAR(old_slots[j].link);
+            Py_CLEAR(old_slots[j].dict);
+        }
+        PyMem_Free(old_slots);
+    }
+    Py_XDECREF(old_links);
+    return 0;
+}
+
+static int
+FabricPath_traverse(FabricPathObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->links);
+    for (Py_ssize_t i = 0; i < self->n; i++) {
+        Py_VISIT(self->slots[i].link);
+        Py_VISIT(self->slots[i].dict);
+    }
+    return 0;
+}
+
+static int
+FabricPath_clear(FabricPathObject *self)
+{
+    Py_CLEAR(self->links);
+    if (self->slots) {
+        for (Py_ssize_t i = 0; i < self->n; i++) {
+            Py_CLEAR(self->slots[i].link);
+            Py_CLEAR(self->slots[i].dict);
+        }
+        PyMem_Free(self->slots);
+        self->slots = NULL;
+    }
+    self->n = 0;
+    return 0;
+}
+
+static void
+FabricPath_dealloc(FabricPathObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    FabricPath_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyObject *
+FabricPath_fold(FabricPathObject *self, PyObject *const *args,
+                Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "fold(now, size_bytes) takes exactly 2 arguments");
+        return NULL;
+    }
+    double now = PyFloat_AsDouble(args[0]);
+    if (now == -1.0 && PyErr_Occurred())
+        return NULL;
+    if (!PyLong_Check(args[1]))
+        Py_RETURN_NOTIMPLEMENTED;
+    long long size = PyLong_AsLongLong(args[1]);
+    if (size == -1 && PyErr_Occurred())
+        return NULL;
+    if (size <= 0)
+        Py_RETURN_NOTIMPLEMENTED;  /* the Python path raises NetworkError */
+    Py_ssize_t n = self->n;
+    /* Pre-scan: bail before touching any state, so the caller's
+     * per-link re-fold sees the links exactly as Python would have.
+     * Two escape hatches back to the interpreted path: an installed
+     * fault hook, and an instance-level ``offer`` override (tests
+     * monkeypatch individual links) — both live in the same dict. */
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *fault = PyDict_GetItemWithError(self->slots[i].dict,
+                                                  s_fault);
+        if (!fault) {
+            if (PyErr_Occurred())
+                return NULL;
+            Py_RETURN_NOTIMPLEMENTED;
+        }
+        if (fault != Py_None)
+            Py_RETURN_NOTIMPLEMENTED;
+        PyObject *override = PyDict_GetItemWithError(self->slots[i].dict,
+                                                     s_offer);
+        if (override)
+            Py_RETURN_NOTIMPLEMENTED;
+        if (PyErr_Occurred())
+            return NULL;
+    }
+    double arrival = now;
+    double dsize = (double)size;
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *dict = self->slots[i].dict;
+        double next_free, rate, buffer, loss;
+        if (fabric_dict_double(dict, s_next_free, &next_free) < 0
+            || fabric_dict_double(dict, s_rate_bps, &rate) < 0
+            || fabric_dict_double(dict, s_buffer_bytes, &buffer) < 0
+            || fabric_dict_double(dict, s_loss_rate, &loss) < 0)
+            return NULL;
+        double waiting = next_free - arrival;
+        if (waiting < 0.0)
+            waiting = 0.0;
+        if (waiting * rate / 8.0 + dsize > buffer) {
+            if (fabric_dict_incr(dict, s_packets_dropped, 1) < 0)
+                return NULL;
+            Py_RETURN_NONE;
+        }
+        double start = arrival > next_free ? arrival : next_free;
+        if (loss > 0.0) {
+            PyObject *rng = PyDict_GetItemWithError(dict, s_rng);
+            if (!rng) {
+                if (!PyErr_Occurred())
+                    PyErr_SetString(PyExc_AttributeError,
+                                    "link object missing attribute rng");
+                return NULL;
+            }
+            PyObject *draw_obj = PyObject_CallMethodNoArgs(rng, s_random);
+            if (!draw_obj)
+                return NULL;
+            double draw = PyFloat_AsDouble(draw_obj);
+            Py_DECREF(draw_obj);
+            if (draw == -1.0 && PyErr_Occurred())
+                return NULL;
+            if (draw < loss) {
+                /* The frame still occupies air time before being lost. */
+                if (fabric_dict_incr(dict, s_packets_lost, 1) < 0
+                    || fabric_dict_set_double(dict, s_next_free,
+                                              start + dsize * 8.0
+                                              / rate) < 0)
+                    return NULL;
+                Py_RETURN_NONE;
+            }
+        }
+        next_free = start + dsize * 8.0 / rate;
+        if (fabric_dict_set_double(dict, s_next_free, next_free) < 0
+            || fabric_dict_incr(dict, s_packets_sent, 1) < 0
+            || fabric_dict_incr(dict, s_bytes_sent, size) < 0)
+            return NULL;
+        double delay;
+        if (fabric_dict_double(dict, s_delay, &delay) < 0)
+            return NULL;
+        arrival = next_free + delay;
+    }
+    return PyFloat_FromDouble(arrival);
+}
+
+static PyObject *
+FabricPath_get_links(FabricPathObject *self, void *Py_UNUSED(closure))
+{
+    PyObject *links = self->links ? self->links : empty_tuple;
+    Py_INCREF(links);
+    return links;
+}
+
+static PyMethodDef FabricPath_methods[] = {
+    {"fold", (PyCFunction)(void (*)(void))FabricPath_fold, METH_FASTCALL,
+     "fold(now, size_bytes) -> float | None | NotImplemented\n"
+     "Offer a packet to every link on the path in order. Returns the\n"
+     "far-end arrival time, None once any link drops it, or\n"
+     "NotImplemented (before mutating anything) when only the per-link\n"
+     "Python fold can reproduce the exact semantics."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyGetSetDef FabricPath_getset[] = {
+    {"links", (getter)FabricPath_get_links, NULL,
+     "The cached link tuple this path folds across.", NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyTypeObject FabricPath_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._cengine.FabricPath",
+    .tp_basicsize = sizeof(FabricPathObject),
+    .tp_dealloc = (destructor)FabricPath_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Cached-path Link.offer fold (compiled core).",
+    .tp_traverse = (traverseproc)FabricPath_traverse,
+    .tp_clear = (inquiry)FabricPath_clear,
+    .tp_methods = FabricPath_methods,
+    .tp_getset = FabricPath_getset,
+    .tp_init = (initproc)FabricPath_init,
+    .tp_new = PyType_GenericNew,
+};
+
+/* ------------------------------------------------------------------ */
 /* Module                                                             */
 /* ------------------------------------------------------------------ */
 static struct PyModuleDef cengine_module = {
@@ -1320,13 +1633,31 @@ PyInit__cengine(void)
     empty_tuple = PyTuple_New(0);
     if (!empty_tuple)
         return NULL;
-    if (PyType_Ready(&Event_Type) < 0 || PyType_Ready(&Engine_Type) < 0)
+    struct { PyObject **slot; const char *name; } interned[] = {
+        {&s_next_free, "_next_free"}, {&s_rate_bps, "rate_bps"},
+        {&s_delay, "delay"}, {&s_buffer_bytes, "buffer_bytes"},
+        {&s_loss_rate, "loss_rate"}, {&s_rng, "rng"},
+        {&s_fault, "fault"}, {&s_packets_sent, "packets_sent"},
+        {&s_packets_dropped, "packets_dropped"},
+        {&s_packets_lost, "packets_lost"},
+        {&s_bytes_sent, "bytes_sent"}, {&s_random, "random"},
+        {&s_offer, "offer"},
+    };
+    for (size_t i = 0; i < sizeof(interned) / sizeof(interned[0]); i++) {
+        *interned[i].slot = PyUnicode_InternFromString(interned[i].name);
+        if (!*interned[i].slot)
+            return NULL;
+    }
+    if (PyType_Ready(&Event_Type) < 0 || PyType_Ready(&Engine_Type) < 0
+        || PyType_Ready(&FabricPath_Type) < 0)
         return NULL;
     PyObject *mod = PyModule_Create(&cengine_module);
     if (!mod)
         return NULL;
     if (PyModule_AddObjectRef(mod, "Engine", (PyObject *)&Engine_Type) < 0
         || PyModule_AddObjectRef(mod, "Event", (PyObject *)&Event_Type) < 0
+        || PyModule_AddObjectRef(mod, "FabricPath",
+                                 (PyObject *)&FabricPath_Type) < 0
         || PyModule_AddIntConstant(mod, "WHEEL_SLOTS", WHEEL_SLOTS) < 0
         || PyModule_AddIntConstant(mod, "COMPACT_MIN_HEAP",
                                    COMPACT_MIN_HEAP) < 0) {

@@ -83,6 +83,16 @@ class PeriodicProcess(_BaseProcess):
     def _next_interval(self) -> float:
         return self.interval
 
+    def _fire(self) -> None:
+        # Overrides the base to skip the _next_interval frame: at flood
+        # rates this fires hundreds of thousands of times per run.
+        if not self._running:
+            return
+        self.fire_count += 1
+        self.action()
+        if self._running:
+            self._event = self.engine.schedule(self.interval, self._fire)
+
 
 class AlignedPeriodicProcess(_BaseProcess):
     """Fire ``action`` at the absolute sim times ``k * interval``.

@@ -22,6 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional, TYPE_CHECKING
 
+from repro.errors import NetworkError
+from repro.net.floodpath import (MSS_SYNACK_SIZE, challenge_synack_size,
+                                 plain_synack_size)
 from repro.net.packet import (FLAG_SYNACK, Packet, TCPOptions,
                               mss_options)
 from repro.puzzles.juels import FlowBinding, JuelsBrainardScheme, \
@@ -119,10 +122,19 @@ class ListenSocket:
         self.config = config if config is not None else DefenseConfig()
         self.listen_queue = ListenQueue(self.config.backlog)
         self.accept_queue = AcceptQueue(self.config.accept_backlog)
+        # The queues' containers are created once and never swapped
+        # (resize mutates them in place), so the per-SYN fullness probes
+        # can be plain len() calls instead of property frames. ``backlog``
+        # is still read live — fault injectors retune it mid-run.
+        self._lq_table = self.listen_queue._table
+        self._aq_queue = self.accept_queue._queue
         self.stats = ListenerStats()
         # Observability: SNMP counters land in the host's MIB scope, and
         # handshake tracepoints go to the engine-wide tracer (default off).
         self.mib = self.host.mib
+        self._mib_incr = self.mib.incr  # bound once: hot on every SYN
+        self._mib_values = self.mib._values  # ...and the flood-rate
+        # counters skip even that frame with plain dict updates.
         self._tracer = self.host.obs.tracer
         #: Optional bounded-memory per-source attribution
         #: (:class:`repro.obs.sketch.SourceAttribution`). None (the
@@ -144,6 +156,14 @@ class ListenSocket:
                 and self.config.syncache_lifetime is not None):
             self._arm_syncache_reaper()
         self._attack_until = 0.0
+        # Flyweight reply pipeline for blackholed SYN-ACKs (see
+        # repro.net.floodpath); resolved lazily on first use. None =
+        # unresolved, False = unavailable (batched path off, or the host
+        # has no fabric to shortcut through).
+        self._fast_reply = None
+        # (params, on-wire size) of the last challenge SYN-ACK shape —
+        # fairness policies swap params per source, so key by identity.
+        self._challenge_size = None
         #: Called whenever a connection lands in the accept queue.
         self.on_acceptable: Optional[Callable[[], None]] = None
         #: Observability hook: (remote_ip, path) on every establishment —
@@ -216,38 +236,53 @@ class ListenSocket:
     # SYN handling
     # ------------------------------------------------------------------
     def handle_syn(self, packet: Packet) -> None:
-        self.stats.syns_received += 1
-        self.mib.incr("SynsRecv")
+        stats = self.stats
+        stats.syns_received += 1
+        values = self._mib_values
+        values["SynsRecv"] = values.get("SynsRecv", 0) + 1
         if self.attribution is not None:
             self.attribution.on_syn(packet.src_ip)
-        # Tracer guard inlined on the flood-rate sites: when tracing is
+        # Tracer guards inlined on the flood-rate sites: when tracing is
         # off (the default) this skips building the flow tuple and the
         # _trace call frame for every SYN.
         tracer = self._tracer
         if tracer.enabled:
             tracer.emit(self.host.engine.now, self.host.name, "syn-in",
                         (packet.src_ip, packet.src_port, self.port))
-        mode = self.config.mode
+        config = self.config
+        mode = config.mode
 
-        if mode is DefenseMode.PUZZLES and self.protection_active:
-            self._send_challenge(packet)
-            return
-        if mode is DefenseMode.SYNCOOKIES and self.listen_queue.full:
+        if mode is DefenseMode.PUZZLES:
+            # protection_active inlined (its property frame is measurable
+            # at flood rates), as are both queue-full probes: any
+            # currently full queue — or the always-challenge override —
+            # triggers a challenge, and every such observation refreshes
+            # the sticky attack window.
+            if (config.always_challenge
+                    or len(self._lq_table) >= self.listen_queue.backlog
+                    or len(self._aq_queue) >= self.accept_queue.backlog):
+                self._attack_until = (self.host.engine.now
+                                      + config.ack_discipline_hold)
+                self._send_challenge(packet)
+                return
+        elif (mode is DefenseMode.SYNCOOKIES
+                and len(self._lq_table) >= self.listen_queue.backlog):
             self._send_cookie_synack(packet)
             return
-        if mode is DefenseMode.SYNCACHE:
+        elif mode is DefenseMode.SYNCACHE:
             self._syncache_insert(packet)
             return
 
         # Stock path: allocate half-open state if the backlog allows.
-        if self.listen_queue.full:
-            self.stats.syn_drops_queue_full += 1
-            self.mib.incr("ListenOverflows")
+        if len(self._lq_table) >= self.listen_queue.backlog:
+            stats.syn_drops_queue_full += 1
+            values["ListenOverflows"] = values.get("ListenOverflows", 0) + 1
             if self.attribution is not None:
                 self.attribution.on_drop(packet.src_ip, "ListenOverflows")
-            self._trace("drop",
-                        (packet.src_ip, packet.src_port, self.port),
-                        reason="listen-overflow")
+            if tracer.enabled:
+                tracer.emit(self.host.engine.now, self.host.name, "drop",
+                            (packet.src_ip, packet.src_port, self.port),
+                            reason="listen-overflow")
             return
         self._stock_half_open(packet)
 
@@ -275,13 +310,40 @@ class ListenSocket:
         self._send_plain_synack(tcb)
         self._arm_synack_timer(tcb)
 
+    def _resolve_fast_reply(self):
+        """Resolve (once) the flyweight pipeline for blackholed replies.
+
+        Returns the :class:`~repro.net.floodpath.ReplyFastPath`, or
+        ``False`` when this host cannot use one (batched fast path
+        disabled, a bare test host without a fabric, or a host the
+        topology cannot route an uplink for)."""
+        network = getattr(self.host, "network", None)
+        fast = None
+        if network is not None:
+            try:
+                fast = network.reply_fast_path(self.host)
+            except NetworkError:
+                fast = None
+        fast = fast if fast is not None else False
+        self._fast_reply = fast
+        return fast
+
     def _send_plain_synack(self, tcb: HalfOpenTCB) -> None:
         self.stats.synacks_plain += 1
-        self.mib.incr("SynAcksSent")
+        self._mib_incr("SynAcksSent")
         tracer = self._tracer
         if tracer.enabled:
             tracer.emit(self.host.engine.now, self.host.name, "synack-out",
                         tcb.flow, retrans=tcb.retransmits)
+        fast = self._fast_reply
+        if fast is None:
+            fast = self._resolve_fast_reply()
+        if fast is not False and fast.sendable(tcb.remote_ip):
+            # Spoofed peer, no packet observers: the SYN-ACK is pure
+            # uplink bytes. Same counters and fold, no materialization.
+            fast.send(plain_synack_size(tcb.wscale), tcb.remote_ip,
+                      tcb.remote_port)
+            return
         options = TCPOptions(mss=DEFAULT_MSS, wscale=tcb.wscale)
         packet = Packet(src_ip=self.host.address, dst_ip=tcb.remote_ip,
                         src_port=self.port, dst_port=tcb.remote_port,
@@ -315,7 +377,7 @@ class ListenSocket:
             self._trace("expire", tcb.flow, retrans=tcb.retransmits)
             return
         tcb.retransmits += 1
-        self.mib.incr("SynAckRetrans")
+        self._mib_incr("SynAckRetrans")
         self._send_plain_synack(tcb)
         self._arm_synack_timer(tcb)
 
@@ -332,14 +394,47 @@ class ListenSocket:
         self._arm_syncache_reaper()
 
     def _send_challenge(self, packet: Packet) -> None:
-        scheme = self.config.scheme
+        config = self.config
+        scheme = config.scheme
+        params = config.puzzle_params
+        if config.fairness is not None:
+            params = config.fairness.difficulty_for(
+                packet.src_ip, self.host.engine.now)
+        fast = self._fast_reply
+        if fast is None:
+            fast = self._resolve_fast_reply()
+        if fast is not False and fast.sendable(packet.src_ip):
+            # Spoofed peer, no packet observers: the challenge block is
+            # never read, so issue it from struct-packed material (same
+            # hash and counter accounting, same ISN draw) and fold just
+            # the response's bytes through the uplink.
+            host = self.host
+            scheme.issue_preimage(
+                params, packet.src_ip, packet.dst_ip, packet.src_port,
+                packet.dst_port, packet.seq, host.now,
+                counter=host.hash_counter)
+            host.cpu.consume(1)
+            self.stats.synacks_challenge += 1
+            values = self._mib_values
+            values["PuzzlesIssued"] = values.get("PuzzlesIssued", 0) + 1
+            tracer = self._tracer
+            if tracer.enabled:
+                tracer.emit(host.engine.now, host.name,
+                            "challenge-out",
+                            (packet.src_ip, packet.src_port, self.port),
+                            k=params.k, m=params.m)
+            # stack.new_isn() inlined — the same single getrandbits(32)
+            # draw, minus two frames per challenge.
+            host.rng.getrandbits(32)
+            size = self._challenge_size
+            if size is None or size[0] is not params:
+                size = (params, challenge_synack_size(params))
+                self._challenge_size = size
+            fast.send(size[1], packet.src_ip, packet.src_port)
+            return
         binding = FlowBinding(src_ip=packet.src_ip, dst_ip=packet.dst_ip,
                               src_port=packet.src_port,
                               dst_port=packet.dst_port, isn=packet.seq)
-        params = self.config.puzzle_params
-        if self.config.fairness is not None:
-            params = self.config.fairness.difficulty_for(
-                packet.src_ip, self.host.engine.now)
         # Timestamp reads go through the host's wall-clock view (engine
         # time plus injected skew) — timers elsewhere stay monotonic.
         challenge = scheme.make_challenge(
@@ -347,7 +442,7 @@ class ListenSocket:
             counter=self.host.hash_counter)
         self.host.cpu.consume(1)  # g(p) = 1 hash of server CPU time
         self.stats.synacks_challenge += 1
-        self.mib.incr("PuzzlesIssued")
+        self._mib_incr("PuzzlesIssued")
         tracer = self._tracer
         if tracer.enabled:
             tracer.emit(self.host.engine.now, self.host.name,
@@ -366,11 +461,19 @@ class ListenSocket:
             self.host.now, packet.src_ip, packet.src_port,
             self.port, packet.seq, packet.options.mss or DEFAULT_MSS)
         self.stats.synacks_cookie += 1
-        self.mib.incr("SynCookiesSent")
+        self._mib_incr("SynCookiesSent")
         tracer = self._tracer
         if tracer.enabled:
             tracer.emit(self.host.engine.now, self.host.name, "cookie-out",
                         (packet.src_ip, packet.src_port, self.port))
+        fast = self._fast_reply
+        if fast is None:
+            fast = self._resolve_fast_reply()
+        if fast is not False and fast.sendable(packet.src_ip):
+            # The cookie is already minted (and its encoding cost paid);
+            # a spoofed peer will never echo it, so only bytes remain.
+            fast.send(MSS_SYNACK_SIZE, packet.src_ip, packet.src_port)
+            return
         # wscale is lost with cookies; the MSS-only shape is interned.
         options = mss_options(DEFAULT_MSS)
         response = Packet(src_ip=self.host.address, dst_ip=packet.src_ip,
@@ -423,7 +526,7 @@ class ListenSocket:
                 # Under attack, unverified completions are ignored; the
                 # half-open is left stranded until its timer reaps it.
                 self.stats.acks_ignored_queue_full += 1
-                self.mib.incr("DeceptionAcksIgnored")
+                self._mib_incr("DeceptionAcksIgnored")
                 if self.attribution is not None:
                     self.attribution.on_drop(packet.src_ip,
                                              "DeceptionAcksIgnored")
@@ -440,7 +543,7 @@ class ListenSocket:
             if entry is not None:
                 return self._install(packet, EstablishPath.SYNCACHE,
                                      entry.mss, entry.wscale)
-            self.mib.incr("SynCacheMisses")
+            self._mib_incr("SynCacheMisses")
             if self.attribution is not None:
                 self.attribution.on_drop(packet.src_ip, "SynCacheMisses")
             self._trace("reject", flow, reason="syncache-miss")
@@ -452,10 +555,10 @@ class ListenSocket:
                 packet.src_ip, packet.src_port, self.port,
                 (packet.seq - 1) & 0xFFFFFFFF)
             if state is not None:
-                self.mib.incr("SynCookiesRecv")
+                self._mib_incr("SynCookiesRecv")
                 return self._complete_cookie(packet, state)
             self.stats.cookies_invalid += 1
-            self.mib.incr("SynCookiesFailed")
+            self._mib_incr("SynCookiesFailed")
             if self.attribution is not None:
                 self.attribution.on_drop(packet.src_ip, "SynCookiesFailed")
             self._trace("reject", flow, reason="bad-cookie")
@@ -468,7 +571,7 @@ class ListenSocket:
             # host believes it connected; data it sends later carries a
             # payload, falls through here, and draws an RST (§5).
             self.stats.solutions_invalid += 1
-            self.mib.incr("PlainAcksIgnored")
+            self._mib_incr("PlainAcksIgnored")
             if self.attribution is not None:
                 self.attribution.on_drop(packet.src_ip, "PlainAcksIgnored")
             self._trace("ignore", flow, reason="plain-ack")
@@ -480,7 +583,7 @@ class ListenSocket:
             # Stock Linux: leave the connection half-open; the SYN-ACK
             # timer keeps running and may later find room.
             self.stats.accept_drops_full += 1
-            self.mib.incr("AcceptOverflows")
+            self._mib_incr("AcceptOverflows")
             if self.attribution is not None:
                 self.attribution.on_drop(tcb.remote_ip, "AcceptOverflows")
             self._trace("ignore", tcb.flow, reason="accept-overflow")
@@ -495,7 +598,7 @@ class ListenSocket:
         # §5: verify only when there is room; otherwise ignore the ACK.
         if self.accept_queue.full:
             self.stats.acks_ignored_queue_full += 1
-            self.mib.incr("DeceptionAcksIgnored")
+            self._mib_incr("DeceptionAcksIgnored")
             if self.attribution is not None:
                 self.attribution.on_drop(packet.src_ip,
                                          "DeceptionAcksIgnored")
@@ -520,7 +623,7 @@ class ListenSocket:
                     or solution.params.length_bytes
                     != required.length_bytes):
                 self.stats.solutions_invalid += 1
-                self.mib.incr("PuzzlesRejected")
+                self._mib_incr("PuzzlesRejected")
                 if self.attribution is not None:
                     self.attribution.on_drop(packet.src_ip,
                                              "PuzzlesRejected")
@@ -542,20 +645,20 @@ class ListenSocket:
                 cause = "ReplaysBlocked"
             else:
                 cause = "PuzzlesRejected"
-            self.mib.incr(cause)
+            self._mib_incr(cause)
             if self.attribution is not None:
                 self.attribution.on_drop(packet.src_ip, cause)
                 self.attribution.on_puzzle_failure(packet.src_ip)
             self._trace("reject", flow, reason=result.status.value)
             return True  # silently dropped, no RST: stateless server
-        self.mib.incr("PuzzlesVerified")
+        self._mib_incr("PuzzlesVerified")
         return self._install(packet, EstablishPath.PUZZLE,
                              solution.mss, solution.wscale)
 
     def _complete_cookie(self, packet: Packet, state) -> bool:
         if self.accept_queue.full:
             self.stats.accept_drops_full += 1
-            self.mib.incr("AcceptOverflows")
+            self._mib_incr("AcceptOverflows")
             if self.attribution is not None:
                 self.attribution.on_drop(packet.src_ip, "AcceptOverflows")
             self._trace("ignore",
@@ -586,16 +689,16 @@ class ListenSocket:
         self.stack.register_server(connection)
         if path is EstablishPath.NORMAL:
             self.stats.established_normal += 1
-            self.mib.incr("EstabNormal")
+            self._mib_incr("EstabNormal")
         elif path is EstablishPath.COOKIE:
             self.stats.established_cookie += 1
-            self.mib.incr("EstabCookie")
+            self._mib_incr("EstabCookie")
         elif path is EstablishPath.PUZZLE:
             self.stats.established_puzzle += 1
-            self.mib.incr("EstabPuzzle")
+            self._mib_incr("EstabPuzzle")
         else:
             self.stats.established_syncache += 1
-            self.mib.incr("EstabSynCache")
+            self._mib_incr("EstabSynCache")
         self._trace("accept", flow, path=path.value)
         if self.config.fairness is not None:
             self.config.fairness.record_established(

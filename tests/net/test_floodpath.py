@@ -1,0 +1,141 @@
+"""Lockstep pins for the flyweight flood fast paths.
+
+The fast paths in :mod:`repro.net.floodpath` precompute on-wire sizes
+and hash pre-images instead of building packets and dataclasses. These
+tests pin every precomputed shape to the real object it stands in for,
+so a change to the packet model, the challenge codec or the puzzle
+scheme that forgets the fast path fails here instead of as a byte
+mismatch deep inside the differential suite.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.sha256 import HashCounter
+from repro.net.fabric import CFabricPath, PyFabricPath, fold_links
+from repro.net.floodpath import (MSS_SYNACK_SIZE, challenge_synack_size,
+                                 plain_synack_size)
+from repro.net.link import Link
+from repro.net.packet import FLAG_SYNACK, Packet, TCPOptions, mss_options
+from repro.puzzles.juels import FlowBinding, JuelsBrainardScheme
+from repro.puzzles.params import PuzzleParams
+from repro.tcp.constants import DEFAULT_MSS
+
+
+def _synack(options) -> Packet:
+    return Packet(src_ip=0x0A000001, dst_ip=0xAC100001, src_port=80,
+                  dst_port=40000, seq=7, ack=8, flags=FLAG_SYNACK,
+                  options=options)
+
+
+class TestSizePins:
+    def test_cookie_synack_size_matches_interned_packet(self):
+        packet = _synack(mss_options(DEFAULT_MSS))
+        assert MSS_SYNACK_SIZE == packet.size_bytes
+
+    @pytest.mark.parametrize("wscale", [None, 0, 7, 14])
+    def test_plain_synack_size_matches_packet(self, wscale):
+        packet = _synack(TCPOptions(mss=DEFAULT_MSS, wscale=wscale))
+        assert plain_synack_size(wscale) == packet.size_bytes
+
+    @pytest.mark.parametrize("params", [
+        PuzzleParams(k=1, m=8),
+        PuzzleParams(k=2, m=17),
+        PuzzleParams(k=3, m=12, length_bytes=5),   # odd → padded block
+        PuzzleParams(k=1, m=20, length_bytes=16),
+    ])
+    def test_challenge_synack_size_matches_packet(self, params):
+        scheme = JuelsBrainardScheme()
+        binding = FlowBinding(src_ip=0xAC100001, dst_ip=0x0A000001,
+                              src_port=40000, dst_port=80, isn=99)
+        challenge = scheme.make_challenge(params, binding, 1.25)
+        packet = _synack(TCPOptions(mss=DEFAULT_MSS, challenge=challenge))
+        assert challenge_synack_size(params) == packet.size_bytes
+
+
+class TestIssuePreimagePin:
+    @pytest.mark.parametrize("params", [
+        PuzzleParams(k=1, m=8),
+        PuzzleParams(k=2, m=17),
+        PuzzleParams(k=1, m=10, length_bytes=16),
+    ])
+    @pytest.mark.parametrize("now", [0.0, 1.2345, 4294967.4])
+    def test_matches_make_challenge(self, params, now):
+        scheme = JuelsBrainardScheme()
+        binding = FlowBinding(src_ip=0xAC10BEEF, dst_ip=0x0A000001,
+                              src_port=41234, dst_port=80,
+                              isn=0xDEADBEEF)
+        challenge = scheme.make_challenge(params, binding, now)
+        fused = scheme.issue_preimage(
+            params, binding.src_ip, binding.dst_ip, binding.src_port,
+            binding.dst_port, binding.isn, now)
+        assert fused == challenge.preimage
+
+    def test_charges_counter_identically(self):
+        scheme = JuelsBrainardScheme()
+        params = PuzzleParams(k=1, m=8)
+        binding = FlowBinding(src_ip=1, dst_ip=2, src_port=3, dst_port=4,
+                              isn=5)
+        reference = HashCounter("ref")
+        fused = HashCounter("fused")
+        scheme.make_challenge(params, binding, 1.0, counter=reference)
+        scheme.issue_preimage(params, 1, 2, 3, 4, 5, 1.0, counter=fused)
+        assert fused.count == reference.count == 1
+
+
+def _mixed_links(seed):
+    return [
+        Link(rate_bps=100e6, delay=5e-4, buffer_bytes=64 * 1024),
+        Link(rate_bps=1e9, delay=2e-4, loss_rate=0.05,
+             rng=random.Random(seed * 7 + 1)),
+        Link(rate_bps=10e6, delay=1e-3, buffer_bytes=16 * 1024),
+    ]
+
+
+def _link_state(links):
+    return [(lk._next_free, lk.packets_sent, lk.packets_dropped,
+             lk.packets_lost, lk.bytes_sent, lk.packets_faulted)
+            for lk in links]
+
+
+class TestCompiledFabricEquivalence:
+    """Beyond the import-time gate: the adopted C fold must keep
+    matching the Python reference on fresh random streams."""
+
+    @pytest.mark.skipif(CFabricPath is None,
+                        reason="compiled fabric fold not adopted")
+    @pytest.mark.parametrize("seed", [3, 1717, 987654])
+    def test_fold_streams_bit_identical(self, seed):
+        results = []
+        for path_cls in (PyFabricPath, CFabricPath):
+            links = _mixed_links(seed)
+            path = path_cls(links)
+            rng = random.Random(seed + 42)
+            out = []
+            now = 0.0
+            for _ in range(3000):
+                out.append(path.fold(now, rng.randint(60, 1514)))
+                now += rng.random() * 2e-4
+            results.append((out, _link_state(links)))
+        assert results[0] == results[1]
+
+    @pytest.mark.skipif(CFabricPath is None,
+                        reason="compiled fabric fold not adopted")
+    def test_escape_hatches_leave_state_untouched(self):
+        # Fault hook installed → NotImplemented, no mutation.
+        links = _mixed_links(5)
+        links[1].fault = object()
+        before = _link_state(links)
+        path = CFabricPath(links)
+        assert path.fold(0.0, 100) is NotImplemented
+        assert _link_state(links) == before
+        # Instance-level offer monkeypatch → NotImplemented, and the
+        # per-link re-fold honours the patched offer.
+        links = _mixed_links(6)
+        links[0].offer = lambda now, size: None
+        before = _link_state(links)
+        path = CFabricPath(links)
+        assert path.fold(0.0, 100) is NotImplemented
+        assert _link_state(links) == before
+        assert fold_links(links, 0.0, 100) is None

@@ -103,6 +103,32 @@ class TestNetwork:
         assert network.packets_blackholed == 1
         assert server.received == []
 
+    def test_droptailed_reply_counts_as_drop_not_blackhole(self):
+        """A reply that droptails on its own uplink never reached the
+        backbone to be blackholed — it is an ordinary drop. A burst of
+        replies to a spoofed source must therefore split exactly into
+        blackholed (made it onto the wire) and dropped (queue overflow),
+        with the taps seeing the matching events."""
+        engine, network, server, clients = _fabric()
+        events = []
+        network.add_tap(lambda now, packet, event: events.append(event))
+        # 1 Gbps uplink: a same-instant burst of 10 MB cannot all fit in
+        # the uplink buffer, so the tail droptails before the backbone.
+        for _ in range(1000):
+            packet = Packet(src_ip=server.address, dst_ip=0xAC100001,
+                            src_port=80, dst_port=1000,
+                            flags=TCPFlags.SYN | TCPFlags.ACK,
+                            payload_bytes=10_000)
+            network.send(server, packet)
+        engine.run()
+        assert network.packets_dropped > 0
+        assert network.packets_blackholed > 0
+        assert (network.packets_dropped + network.packets_blackholed
+                == 1000)
+        assert network.packets_delivered == 0
+        assert events.count("blackhole") == network.packets_blackholed
+        assert events.count("drop") == network.packets_dropped
+
     def test_spoofed_source_still_delivers_to_target(self):
         """Spoofing the *source* must not affect forward delivery."""
         engine, network, server, clients = _fabric()

@@ -10,6 +10,7 @@ from repro.obs.perf import (
     callback_module,
     collapsed_stacks,
     component_of,
+    component_of_frame,
     heap_churn,
     make_profiler,
     profile_payload,
@@ -40,6 +41,21 @@ class TestComponentMapping:
     ])
     def test_component_of(self, module, component):
         assert component_of(module) == component
+
+    @pytest.mark.parametrize("module,qualname,component", [
+        # Compiled-core frames map by type: dispatch machinery is
+        # engine, the fabric fold rolls up beside the Python fabric.
+        ("repro.sim._cengine", "FabricPath.fold", "net"),
+        ("repro.sim._cengine", "FabricPath", "net"),
+        ("repro.sim._cengine", "Engine.run", "engine"),
+        ("repro.sim._cengine", "Event.cancel", "engine"),
+        # Everything else defers to the module-prefix mapping.
+        ("repro.net.network", "Network.send", "net"),
+        ("repro.tcp.listener", "Listener.handle_syn", "tcp"),
+        ("builtins", "print", "other"),
+    ])
+    def test_component_of_frame(self, module, qualname, component):
+        assert component_of_frame(module, qualname) == component
 
     def test_callback_module_unwraps_partials(self):
         def f():
@@ -97,6 +113,34 @@ class TestAttributionProfiler:
         components = profiler.components_payload()
         assert "engine" in components
         assert components["engine"]["count"] == 1
+
+    def test_compiled_fold_frames_roll_up_under_net(self):
+        # Stand-ins for the C core's frames: what matters is the
+        # (module, qualname) pair the profiler keys on.
+        profiler = AttributionProfiler()
+
+        def fold():
+            pass
+        fold.__module__ = "repro.sim._cengine"
+        fold.__qualname__ = "FabricPath.fold"
+
+        def dispatch():
+            pass
+        dispatch.__module__ = "repro.sim._cengine"
+        dispatch.__qualname__ = "Engine.run"
+
+        profiler.record(fold, 0.25)
+        profiler.record(fold, 0.25)
+        profiler.record(dispatch, 0.5)
+        components = profiler.components_payload()
+        assert components["net"]["count"] == 2
+        assert components["net"]["wall_seconds"] == pytest.approx(0.5)
+        assert components["engine"]["count"] == 1
+        # The flamegraph rows carry the same attribution.
+        rows = {(comp, kind) for comp, _mod, kind, _n, _w
+                in profiler.frame_rows()}
+        assert ("net", "FabricPath.fold") in rows
+        assert ("engine", "Engine.run") in rows
 
     def test_render_components_table(self):
         engine, profiler = self._profiled_engine()

@@ -268,3 +268,59 @@ def test_full_scenario_counters_identical_across_cores(label):
         assert proc.returncode == 0, proc.stderr
         outputs[mode] = json.loads(proc.stdout)
     assert outputs["py"] == outputs["c"]
+
+
+_SUITE_PROBE = r"""
+import hashlib, sys
+from repro.experiments.exp2_floods import run_syn_flood_suite_report
+from repro.experiments.scenario import ScenarioConfig
+from repro.runner import SweepRunner
+from repro.runner.export import cells_to_jsonl
+
+jobs = int(sys.argv[1])
+suite, stats = run_syn_flood_suite_report(
+    ScenarioConfig(time_scale=0.02), SweepRunner(jobs=jobs))
+jsonl = cells_to_jsonl(list(suite.values()))
+print(stats.jobs, hashlib.sha256(jsonl.encode()).hexdigest())
+"""
+
+_FIG7_LABELS = ("nodefense", "cookies", "challenges-m8", "challenges-m17")
+
+
+def _run_probe(script, arg, env_extra):
+    env = dict(os.environ, **env_extra)
+    proc = subprocess.run(
+        [sys.executable, "-c", script, arg],
+        capture_output=True, text=True, env=env, timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+@pytest.mark.parametrize("label", _FIG7_LABELS)
+def test_fig7_cells_identical_across_fabric_and_engine(label):
+    """The batched flood fast path must be invisible in the output:
+    every fig7 cell's counters, engine accounting, connection outcomes
+    and export JSONL are byte-identical between the per-packet pipeline
+    (``REPRO_FABRIC=packet``) and the batched one, on either engine."""
+    engines = ["py"] if CEngine is None else ["py", "c"]
+    outputs = {}
+    for engine in engines:
+        for fabric in ("packet", "auto"):
+            out = _run_probe(_SCENARIO_PROBE, label,
+                             {"REPRO_ENGINE": engine,
+                              "REPRO_FABRIC": fabric})
+            outputs[(engine, fabric)] = json.loads(out)
+    reference = outputs[(engines[0], "packet")]
+    for key, output in outputs.items():
+        assert output == reference, f"{key} diverged from reference"
+
+
+def test_fig7_suite_identical_serial_vs_parallel():
+    """The full fig7 suite's export JSONL is byte-identical whether the
+    sweep runs serially in-process or across worker processes, with the
+    batched fast path active in both."""
+    serial = _run_probe(_SUITE_PROBE, "1", {"REPRO_FABRIC": "auto"})
+    parallel = _run_probe(_SUITE_PROBE, "2", {"REPRO_FABRIC": "auto"})
+    assert serial.split()[0] == "1"
+    assert parallel.split()[0] == "2"
+    assert serial.split()[1] == parallel.split()[1]
