@@ -24,7 +24,13 @@
 #   7. a chaos smoke: a small fault matrix with the runtime invariant
 #      checker attached must pass, and a deliberately corrupted queue
 #      accounting must make the checker raise (the negative control);
-#   8. a streaming-telemetry smoke: two same-seed scenarios with the
+#   8. a sustained-overload smoke: the graceful-degradation ladder under
+#      a 10x-capacity SYN flood, one cell per syncache overflow policy,
+#      each gated on bounded memory, bounded benign p99, and full
+#      watchdog recovery; the overload series land in
+#      benchmarks/output/overload/ for the CI artifact upload, and a
+#      ladder-disabled manifest must stay free of overload blocks;
+#   9. a streaming-telemetry smoke: two same-seed scenarios with the
 #      sim-time sampler attached must produce byte-identical series
 #      snapshots, a tiny `sweep --live` must leave a parseable status
 #      file in benchmarks/output/ (the CI artifact), and `top --once`
@@ -44,12 +50,12 @@ python -m pytest -x -q "$@"
 echo "== observability smoke run =="
 out=$(python -m repro.cli trace --duration 4 --clients 1 --attackers 0 \
       --attack none --flows 1)
-echo "$out" | head -n 12
-echo "$out" | grep -q "SYN segments arriving" || {
+head -n 12 <<<"$out"
+grep -q "SYN segments arriving" <<<"$out" || {
     echo "smoke run: SynsRecv counter missing from the MIB dump" >&2
     exit 1
 }
-echo "$out" | grep -q "server handshakes:" || {
+grep -q "server handshakes:" <<<"$out" || {
     echo "smoke run: drop-attribution summary missing" >&2
     exit 1
 }
@@ -123,7 +129,7 @@ fi
 # Attribution profiler + flamegraph smoke on a tiny flood.
 perf_out=$(python -m repro.cli perf profile --time-scale 0.01 \
     --clients 2 --attackers 1 --flame "$smokedir/flame.txt")
-echo "$perf_out" | grep -q "per-component attribution:" || {
+grep -q "per-component attribution:" <<<"$perf_out" || {
     echo "perf smoke: component attribution table missing" >&2
     exit 1
 }
@@ -170,7 +176,7 @@ chaos_out=$(python -m repro.cli chaos --time-scale 0.01 --clients 2 \
       --attackers 1 --faults loss-burst corruption \
       --output benchmarks/output)
 echo "$chaos_out" | tail -n 4
-echo "$chaos_out" | grep -q "zero violations" || {
+grep -q "zero violations" <<<"$chaos_out" || {
     echo "chaos smoke: invariant summary line missing" >&2
     exit 1
 }
@@ -197,6 +203,48 @@ except InvariantViolation as exc:
     print(f"negative control: caught {exc.invariant!r} as expected")
 else:
     sys.exit("chaos smoke: checker missed seeded queue corruption")
+PYEOF
+
+echo "== sustained-overload smoke =="
+# The full ladder — budgeted sharded syncache, syncookie fallback,
+# admission control, watchdog — against a flood ~10x the cache budget.
+# The command itself exits non-zero if any cell fails its verdict
+# (bounded memory, bounded benign p99, OVERLOAD reached and walked back
+# to NORMAL, every establishment MIB-attributed to cache or fallback).
+python -m repro.cli chaos --overload --time-scale 0.05 --clients 2 \
+      --attackers 2 --output benchmarks/output/overload || {
+    echo "overload smoke: sustained-overload matrix failed" >&2
+    exit 1
+}
+# Assert the manifest records what the gate claims: memory bounded,
+# recovery complete, and a non-empty repro_overload_state series per cell.
+python - <<'PYEOF'
+import json, sys
+
+body = json.loads(
+    open("benchmarks/output/overload/BENCH_chaos.json").read())
+verdicts = body["overload_verdicts"]
+for label, verdict in sorted(verdicts.items()):
+    if not verdict["checks"]["memory_bounded"]:
+        sys.exit(f"overload smoke: {label} exceeded its memory budget")
+    if not verdict["checks"]["recovered_to_normal"]:
+        sys.exit(f"overload smoke: {label} did not recover to NORMAL")
+for label, block in sorted(body["overload"].items()):
+    if not block["series"]["samples"]:
+        sys.exit(f"overload smoke: {label} uploaded an empty "
+                 "repro_overload_state series")
+print(f"overload smoke: {len(verdicts)} cells bounded and recovered")
+PYEOF
+# Ladder-disabled runs must not grow an overload block — the manifest
+# written by the bench-compare smoke above ran without config.overload.
+python - <<'PYEOF'
+import json, sys
+
+body = json.loads(open("benchmarks/output/BENCH_smoke.json").read())
+if "overload" in body:
+    sys.exit("overload smoke: ladder-disabled manifest grew an "
+             "overload block — detached runs are no longer identical")
+print("overload smoke: ladder-disabled manifest clean")
 PYEOF
 
 echo "== streaming telemetry smoke =="
@@ -239,12 +287,12 @@ python -m repro.cli sweep iot --time-scale 0.01 --replicates 2 \
     > /dev/null
 top_out=$(python -m repro.cli top --once \
     --status-file benchmarks/output/sweep_status.json)
-echo "$top_out" | head -n 3
-echo "$top_out" | grep -q "tcp-puzzles sweep" || {
+head -n 3 <<<"$top_out"
+grep -q "tcp-puzzles sweep" <<<"$top_out" || {
     echo "telemetry smoke: top --once did not render the sweep header" >&2
     exit 1
 }
-echo "$top_out" | grep -q "cells 2/2 done" || {
+grep -q "cells 2/2 done" <<<"$top_out" || {
     echo "telemetry smoke: top --once shows an unfinished sweep" >&2
     exit 1
 }

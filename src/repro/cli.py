@@ -341,11 +341,111 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import (render_overload_report,
+                                    render_resilience, resilience_report,
+                                    run_chaos_summary,
+                                    sustained_overload_verdict)
+    from repro.faults.invariants import InvariantViolation
+
+    build = _build_chaos_matrix(args)
+    if build is None:
+        return 2
+    labels, specs, fingerprints = build
+
+    # Each row maps through the runner on its own, so one failing cell
+    # is marked FAILED and the rest of the matrix still runs — the exit
+    # code, not a truncated report, carries the failure.
+    runner = _make_runner(args)
+    values = []
+    failures = {}
+    stats = None
+    for label, spec in zip(labels, specs):
+        try:
+            report = runner.map(run_chaos_summary, [spec],
+                                labels=[label])
+        except InvariantViolation as violation:
+            print(f"cell {label!r} FAILED — INVARIANT VIOLATION\n"
+                  f"{violation}", file=sys.stderr)
+            failures[label] = str(violation)
+            values.append(None)
+            continue
+        except Exception as error:
+            print(f"cell {label!r} FAILED — "
+                  f"{type(error).__name__}: {error}", file=sys.stderr)
+            failures[label] = f"{type(error).__name__}: {error}"
+            values.append(None)
+            continue
+        values.append(report.values[0])
+        if stats is None:
+            stats = report.stats
+        else:
+            stats.absorb(report.stats)
+
+    ran = [(label, summary) for label, summary
+           in zip(labels, values) if summary is not None]
+    mode = "sustained-overload" if args.overload else "fault"
+    print(f"chaos matrix ({mode}): {len(labels)} cells, "
+          f"defense={'syncache' if args.overload else args.defense}, "
+          f"attack={'syn' if args.overload else args.attack}, "
+          f"seed={args.seed}")
+
+    verdicts = {}
+    if args.overload:
+        verdicts = {label: sustained_overload_verdict(summary)
+                    for label, summary in ran}
+        if ran:
+            print(render_overload_report(
+                [label for label, _ in ran], list(verdicts.values())))
+        rows = []
+    else:
+        rows = resilience_report([label for label, _ in ran],
+                                 [summary for _, summary in ran])
+        if rows:
+            print(render_resilience(rows))
+
+    checks = sum(summary.invariant_checks for _, summary in ran)
+    print(f"\ninvariants: {checks} checker ticks across the matrix, "
+          f"zero violations in completed cells")
+    for label in failures:
+        print(f"cell {label!r}: FAILED", file=sys.stderr)
+    if stats is not None:
+        print(f"runner: {stats.render()}")
+
+    if args.output:
+        import pathlib
+
+        from repro.obs.manifest import runner_payload, write_manifest
+
+        payload = {
+            "schedule_fingerprints": fingerprints,
+            "resilience": rows,
+            "failed": sorted(failures),
+        }
+        if args.overload:
+            payload["overload_verdicts"] = verdicts
+            payload["overload"] = {label: summary.overload
+                                   for label, summary in ran}
+        if stats is not None:
+            payload["runner"] = runner_payload(stats)
+        path = write_manifest(
+            pathlib.Path(args.output) / "BENCH_chaos.json", payload)
+        print(f"wrote {path}")
+
+    failed_verdicts = [label for label, verdict in verdicts.items()
+                       if not verdict["ok"]]
+    for label in failed_verdicts:
+        print(f"cell {label!r}: verdict FAIL", file=sys.stderr)
+    return 1 if failures or failed_verdicts else 0
+
+
+def _build_chaos_matrix(args: argparse.Namespace):
+    """Labels, specs, and schedule fingerprints for the chaos command.
+
+    Returns ``None`` (after printing to stderr) on a bad fault subset.
+    """
     from repro.experiments.scenario import ScenarioConfig
     from repro.faults.chaos import (ChaosSpec, default_fault_matrix,
-                                    render_resilience, resilience_report,
-                                    run_chaos_summary)
-    from repro.faults.invariants import InvariantViolation
+                                    overload_matrix)
     from repro.tcp.constants import DefenseMode
 
     config = ScenarioConfig(
@@ -357,54 +457,35 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         attack_enabled=(args.attack != "none"),
         defense=DefenseMode(args.defense),
         always_challenge=args.always_challenge)
-    matrix = default_fault_matrix(config)
+
+    if args.overload:
+        matrix = overload_matrix(
+            config, invariant_interval=args.invariant_interval)
+        labels = list(matrix)
+        specs = [matrix[label] for label in labels]
+        fingerprints = {label: matrix[label].schedule.fingerprint()
+                        for label in labels}
+        return labels, specs, fingerprints
+
+    schedules = default_fault_matrix(config)
     if args.faults:
-        unknown = [name for name in args.faults if name not in matrix]
+        unknown = [name for name in args.faults if name not in schedules]
         if unknown:
             print(f"unknown fault class(es): {', '.join(unknown)} "
-                  f"(choose from {', '.join(matrix)})", file=sys.stderr)
-            return 2
+                  f"(choose from {', '.join(schedules)})",
+                  file=sys.stderr)
+            return None
         # The baseline always runs — degradation is measured against it.
-        matrix = {label: schedule for label, schedule in matrix.items()
-                  if label == "baseline" or label in args.faults}
-    labels = list(matrix)
-    specs = [ChaosSpec(config, matrix[label],
+        schedules = {label: schedule
+                     for label, schedule in schedules.items()
+                     if label == "baseline" or label in args.faults}
+    labels = list(schedules)
+    specs = [ChaosSpec(config, schedules[label],
                        invariant_interval=args.invariant_interval)
              for label in labels]
-
-    runner = _make_runner(args)
-    try:
-        report = runner.map(run_chaos_summary, specs, labels=labels)
-    except InvariantViolation as violation:
-        print(f"INVARIANT VIOLATION\n{violation}", file=sys.stderr)
-        return 1
-
-    rows = resilience_report(labels, report.values)
-    print(f"chaos matrix: {len(labels)} cells, defense={args.defense}, "
-          f"attack={args.attack}, seed={args.seed}")
-    print(render_resilience(rows))
-    checks = sum(row["invariant_checks"] for row in rows)
-    print(f"\ninvariants: {checks} checker ticks across the matrix, "
-          f"zero violations")
-    print(f"runner: {report.stats.render()}")
-
-    if args.output:
-        import pathlib
-
-        from repro.obs.manifest import runner_payload, write_manifest
-
-        path = write_manifest(
-            pathlib.Path(args.output) / "BENCH_chaos.json",
-            {
-                "schedule_fingerprints": {
-                    label: matrix[label].fingerprint()
-                    for label in labels
-                },
-                "resilience": rows,
-                "runner": runner_payload(report.stats),
-            })
-        print(f"wrote {path}")
-    return 0
+    fingerprints = {label: schedules[label].fingerprint()
+                    for label in labels}
+    return labels, specs, fingerprints
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
@@ -760,6 +841,13 @@ def build_parser() -> argparse.ArgumentParser:
                        "--no-always-challenge for opportunistic mode)")
     chaos.add_argument("--no-always-challenge", action="store_false",
                        dest="always_challenge")
+    chaos.add_argument("--overload", action="store_true",
+                       help="run the sustained-overload matrix instead: "
+                       "a 10x-capacity SYN flood against the full "
+                       "graceful-degradation ladder, one cell per "
+                       "syncache overflow policy, with pass/fail "
+                       "verdicts (bounded memory, bounded benign p99, "
+                       "full watchdog recovery)")
     chaos.add_argument("--output", "-o", metavar="DIR", default=None,
                        help="also write a BENCH_chaos.json manifest "
                        "under DIR")

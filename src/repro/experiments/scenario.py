@@ -43,6 +43,9 @@ from repro.sim.rng import RngStreams
 from repro.tcp.constants import DefenseMode
 from repro.tcp.fairness import FairnessConfig, FairQueuingPolicy
 from repro.tcp.listener import DefenseConfig
+from repro.tcp.overload import (AdmissionControl, OverloadConfig,
+                                OverloadWatchdog)
+from repro.tcp.syncache import SynCache
 
 
 @dataclass
@@ -114,6 +117,12 @@ class ScenarioConfig:
     #: default) builds nothing — no sampler, no scheduled events, no
     #: per-event cost.
     telemetry: Optional[TelemetrySpec] = None
+    #: Graceful-degradation ladder (:class:`~repro.tcp.overload.
+    #: OverloadConfig`): sharded/budgeted syncache construction, the
+    #: syncookie-fallback watermarks, admission control, and the overload
+    #: watchdog. ``None`` (the default) builds none of it — runs are
+    #: byte-identical to a ladder-less build.
+    overload: Optional[OverloadConfig] = None
     # --- hardware --------------------------------------------------------
     client_cpus: Optional[List[CPUProfile]] = None
     attacker_cpus: Optional[List[CPUProfile]] = None
@@ -182,6 +191,8 @@ class ScenarioResult:
     fault_injector: Optional[object] = None
     #: The runtime invariant checker, when one was attached.
     invariants: Optional[object] = None
+    #: The overload watchdog, present when ``config.overload`` was set.
+    watchdog: Optional[OverloadWatchdog] = None
 
     # ------------------------------------------------------------------
     # Convenience summaries used across experiments
@@ -318,6 +329,20 @@ class Scenario:
             always_challenge=config.always_challenge,
             fairness=(FairQueuingPolicy(config.fairness)
                       if config.fairness is not None else None))
+        if config.overload is not None:
+            ov = config.overload
+            if config.defense is DefenseMode.SYNCACHE:
+                defense.syncache = SynCache(
+                    bucket_count=ov.syncache_buckets,
+                    bucket_limit=ov.syncache_bucket_limit,
+                    shard_count=ov.syncache_shards,
+                    policy=ov.syncache_policy,
+                    rng=streams.get("syncache"),
+                    memory_budget=ov.syncache_memory_budget,
+                    lifetime=ov.syncache_lifetime)
+                defense.syncache_lifetime = ov.syncache_lifetime
+                defense.syncache_high_watermark = ov.high_watermark
+                defense.syncache_low_watermark = ov.low_watermark
         server_config = ServerConfig(
             service_rate=config.service_rate,
             workers=config.workers,
@@ -417,6 +442,15 @@ class Scenario:
                     config.telemetry, seed=config.seed)
                 server_app.listener.attribution = attribution
 
+        # --- graceful-degradation ladder (opt-in) ----------------------
+        watchdog: Optional[OverloadWatchdog] = None
+        if config.overload is not None:
+            if config.overload.syn_rate_limit is not None:
+                server_app.listener.admission = AdmissionControl(
+                    config.overload)
+            watchdog = OverloadWatchdog(server_app.listener,
+                                        config.overload)
+
         return ScenarioResult(
             config=config, engine=engine, tracker=tracker,
             server_throughput=server_throughput,
@@ -425,7 +459,7 @@ class Scenario:
             clients=clients, hosts=hosts,
             server_established=server_established,
             obs=obs, profiler=profiler, sampler=sampler,
-            attribution=attribution)
+            attribution=attribution, watchdog=watchdog)
 
     # ------------------------------------------------------------------
     def run(self) -> ScenarioResult:
@@ -458,6 +492,8 @@ class Scenario:
         result.queues.start()
         if result.sampler is not None:
             result.sampler.start()
+        if result.watchdog is not None:
+            result.watchdog.start()
         if result.botnet is not None:
             result.engine.schedule_at(
                 config.attack_start,
@@ -483,6 +519,8 @@ class Scenario:
         result.queues.stop()
         if result.sampler is not None:
             result.sampler.stop()
+        if result.watchdog is not None:
+            result.watchdog.stop()
         if checker is not None:
             # Audit once more while timer state is still live — drain()
             # would discard the evidence a leaked TCB leaves behind.

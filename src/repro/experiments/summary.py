@@ -197,6 +197,11 @@ class ScenarioSummary:
     fault_stats: Optional[Dict[str, int]] = None
     #: Ticks the runtime invariant checker completed (0 = not attached).
     invariant_checks: int = 0
+    #: Overload-watchdog snapshot (state, transitions, time in state,
+    #: peak occupancy, ``repro_overload_state`` series, admission
+    #: counters), present only when ``config.overload`` attached one —
+    #: detached manifests stay byte-identical, like the telemetry block.
+    overload: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     # ScenarioResult API parity
@@ -324,6 +329,8 @@ class ScenarioSummary:
             payload["fault_stats"] = dict(sorted(self.fault_stats.items()))
         if self.invariant_checks:
             payload["invariant_checks"] = self.invariant_checks
+        if self.overload is not None:
+            payload["overload"] = to_jsonable(self.overload)
         return payload
 
 
@@ -363,6 +370,8 @@ def summarize(result) -> ScenarioSummary:
     source_attribution = getattr(result, "attribution", None)
     attribution = (source_attribution.snapshot()
                    if source_attribution is not None else None)
+    watchdog = getattr(result, "watchdog", None)
+    overload = watchdog.snapshot() if watchdog is not None else None
     return ScenarioSummary(
         config=result.config,
         engine_stats=result.engine.stats(),
@@ -382,7 +391,8 @@ def summarize(result) -> ScenarioSummary:
         timeseries=timeseries,
         attribution=attribution,
         fault_stats=fault_stats,
-        invariant_checks=invariant_checks)
+        invariant_checks=invariant_checks,
+        overload=overload)
 
 
 def run_scenario_summary(config) -> ScenarioSummary:

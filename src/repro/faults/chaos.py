@@ -86,6 +86,137 @@ def default_fault_matrix(config) -> "OrderedDict[str, FaultSchedule]":
     return matrix
 
 
+#: Eviction policy exercised by each sustained-overload row.
+OVERLOAD_POLICIES = OrderedDict((
+    ("overload-oldest", "oldest-per-bucket"),
+    ("overload-random", "random-evict"),
+    ("overload-reject", "reject-new"),
+))
+
+
+def overload_matrix(config, invariant_interval: float = 0.25,
+                    ) -> "OrderedDict[str, ChaosSpec]":
+    """Sustained-overload cells: one 10x-capacity SYN flood per policy.
+
+    Every row runs the full graceful-degradation ladder — a small
+    memory-budgeted sharded syncache (256-entry budget against a
+    multi-thousand-SYN/s spoofed flood), syncookie fallback above the
+    high watermark, admission control, and the overload watchdog — with
+    an empty fault schedule: the *flood itself* is the fault. The row
+    label selects the overflow policy under test.
+    """
+    from dataclasses import replace
+
+    from repro.tcp.constants import DefenseMode
+    from repro.tcp.overload import OverloadConfig
+    from repro.tcp.syncache import ENTRY_BYTES
+
+    matrix: "OrderedDict[str, ChaosSpec]" = OrderedDict()
+    for label, policy in OVERLOAD_POLICIES.items():
+        overload = OverloadConfig(
+            syncache_buckets=64,
+            syncache_bucket_limit=8,
+            syncache_policy=policy,
+            syncache_memory_budget=256 * ENTRY_BYTES,
+            syncache_lifetime=0.5,
+            high_watermark=0.85,
+            low_watermark=0.60,
+            # Generous global bucket (never throttles the benign load);
+            # the per-prefix tiers clamp sources the SpaceSaving sketch
+            # flags as heavy.
+            syn_rate_limit=10_000.0,
+            syn_burst=256.0,
+            heavy_hitter_slots=16,
+            heavy_hitter_rate=100.0,
+            heavy_hitter_min=256,
+            prefix_bits=16,
+            watchdog_interval=0.25,
+            # The cookie fallback caps occupancy at the high watermark
+            # (0.85), so the OVERLOAD threshold must sit below it or the
+            # watchdog plateaus in PRESSURE forever.
+            pressure_occupancy=0.50,
+            overload_occupancy=0.80,
+            recovery_hold=1.0,
+        )
+        cell = replace(config, defense=DefenseMode.SYNCACHE,
+                       attack_style="syn", attack_enabled=True,
+                       overload=overload)
+        matrix[label] = ChaosSpec(cell, FaultSchedule(),
+                                  invariant_interval=invariant_interval)
+    return matrix
+
+
+def sustained_overload_verdict(summary,
+                               latency_bound_s: float = 5.0,
+                               ) -> Dict[str, object]:
+    """Pass/fail checks for one sustained-overload row.
+
+    A row passes when the watchdog actually visited OVERLOAD and walked
+    back to NORMAL, the memory budget held at peak, the benign p99
+    handshake latency stayed bounded, and every established connection
+    is MIB-attributed to exactly one serving path (syncache or the
+    cookie fallback — never the stock or puzzle paths, which a SYNCACHE
+    defense must not take).
+    """
+    snapshot = summary.overload or {}
+    transitions = snapshot.get("transitions", {})
+    reached = any(key.endswith("->OVERLOAD") for key in transitions)
+    recovered = snapshot.get("state") == "NORMAL"
+    syncache = snapshot.get("syncache") or {}
+    budget = syncache.get("memory_budget")
+    peak_bytes = snapshot.get("peak_occupancy_bytes", 0)
+    memory_bounded = budget is None or peak_bytes <= budget
+    hist = summary.histograms.get(LATENCY_HIST)
+    p99 = hist.quantile(0.99) if hist is not None and hist.count else None
+    latency_bounded = p99 is not None and p99 <= latency_bound_s
+    mib = summary.counters.get("server", {})
+    estab_cache = mib.get("EstabSynCache", 0)
+    estab_cookie = mib.get("EstabCookie", 0)
+    stray = mib.get("EstabNormal", 0) + mib.get("EstabPuzzle", 0)
+    attributed = (stray == 0
+                  and estab_cache + estab_cookie
+                  == summary.listener_stats.established_total())
+    checks = {
+        "reached_overload": reached,
+        "recovered_to_normal": recovered,
+        "memory_bounded": memory_bounded,
+        "latency_bounded": latency_bounded,
+        "paths_attributed": attributed,
+    }
+    return {
+        "ok": all(checks.values()),
+        "checks": checks,
+        "peak_occupancy_bytes": peak_bytes,
+        "memory_budget": budget,
+        "latency_p99_s": p99,
+        "estab_syncache": estab_cache,
+        "estab_cookie_fallback": estab_cookie,
+        "cookie_fallbacks": snapshot.get("cookie_fallbacks", 0),
+        "rejected": syncache.get("rejected", 0),
+        "transitions": dict(transitions),
+    }
+
+
+def render_overload_report(labels: Sequence[str],
+                           verdicts: Sequence[Dict[str, object]]) -> str:
+    """Monospace sustained-overload verdict table."""
+    from repro.experiments.report import render_table
+
+    headers = ("cell", "verdict", "peak bytes", "budget", "p99 s",
+               "estab cache", "estab cookie", "rejected")
+    rows = []
+    for label, verdict in zip(labels, verdicts):
+        failed = [name for name, ok in verdict["checks"].items()
+                  if not ok]
+        status = "PASS" if verdict["ok"] else "FAIL:" + ",".join(failed)
+        rows.append((label, status, verdict["peak_occupancy_bytes"],
+                     verdict["memory_budget"], verdict["latency_p99_s"],
+                     verdict["estab_syncache"],
+                     verdict["estab_cookie_fallback"],
+                     verdict["rejected"]))
+    return render_table(headers, rows)
+
+
 # ----------------------------------------------------------------------
 def _latency_p95_ms(summary) -> float:
     hist = summary.histograms.get(LATENCY_HIST)

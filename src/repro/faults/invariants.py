@@ -217,6 +217,10 @@ class InvariantChecker:
              stats.syn_drops_queue_full),
             ("AcceptOverflows", mib["AcceptOverflows"],
              stats.accept_drops_full),
+            ("AdmissionDrops", mib["AdmissionDrops"],
+             stats.syns_rejected_admission),
+            ("SynCacheCookieFallback", mib["SynCacheCookieFallback"],
+             stats.synacks_cookie_fallback),
         )
         for name, mib_value, stat_value in pairs:
             if mib_value != stat_value:
@@ -230,9 +234,16 @@ class InvariantChecker:
         if cache is None:
             return None
         live = len(cache)
+        recount = cache.occupancy_recount()
+        if live != recount:
+            return (f"syncache incremental occupancy {live} != bucket "
+                    f"recount {recount} — the O(1) len drifted")
         if live > cache.capacity:
             return (f"syncache holds {live} records, capacity is "
                     f"{cache.capacity}")
+        if live > cache.max_entries:
+            return (f"syncache holds {live} records, memory budget "
+                    f"allows {cache.max_entries}")
         accounted = (cache.completions + cache.evictions + cache.expired
                      + live)
         if cache.insertions != accounted:

@@ -59,6 +59,14 @@ CATALOGUE: Dict[str, str] = {
     "SynCacheHits": "completing ACKs that found their cache record",
     "SynCacheMisses": "completing ACKs whose cache record was gone",
     "SynCacheExpired": "cache records reaped by timeout expiry",
+    "SynCacheRejects":
+        "SYNs refused by the reject-new overflow policy (no record made)",
+    # -- graceful-degradation ladder ------------------------------------
+    "SynCacheCookieFallback":
+        "SYNs answered with a stateless cookie because syncache occupancy "
+        "crossed the high watermark",
+    "AdmissionDrops":
+        "SYNs dropped by the listener's token-bucket admission control",
     # -- fault injection ------------------------------------------------
     "MemoryPressureReclaims":
         "queue/cache entries reclaimed by injected memory pressure",
@@ -94,6 +102,8 @@ DROP_CAUSES: Tuple[str, ...] = (
     "SynCookiesFailed",
     "SynCacheEvictions",
     "SynCacheMisses",
+    "SynCacheRejects",
+    "AdmissionDrops",
 )
 
 #: Per-path establishment counters (sum = accepted handshakes).

@@ -134,6 +134,9 @@ def summary_payload(summary) -> Dict[str, object]:
     source = getattr(summary, "attribution", None)
     if source is not None:
         payload["attribution"] = source
+    overload = getattr(summary, "overload", None)
+    if overload is not None:
+        payload["overload"] = overload
     stats = summary.listener_stats
     payload["listener_stats"] = {
         field: getattr(stats, field)

@@ -358,6 +358,12 @@ def _bench_syncache_churn(iterations: int) -> Dict[str, int]:
         # ... and the reaper sweeps periodically.
         if (i & 0x3FF) == 0x3FF:
             cache.expire_older_than((i - 2048) * 1e-4)
+    # The O(1) occupancy counter must agree with a full bucket walk —
+    # churn is exactly the workload that would expose drift.
+    if len(cache) != cache.occupancy_recount():
+        raise AssertionError(
+            f"syncache occupancy drifted: len()={len(cache)} but "
+            f"recount={cache.occupancy_recount()}")
     return {
         "insertions": cache.insertions,
         "completions": completed,

@@ -87,6 +87,14 @@ class SpaceSaving:
         """Maximum overestimation of *key*'s reported count."""
         return self._errors.get(key, 0)
 
+    def heavy_keys(self, min_count: int,
+                   k: Optional[int] = None) -> List[int]:
+        """Keys whose reported count is at least *min_count*, largest
+        first (deterministic tie order) — how admission control picks
+        the prefixes worth a tier of their own."""
+        return [key for key, count, _ in self.top(k)
+                if count >= min_count]
+
     def top(self, k: Optional[int] = None
             ) -> List[Tuple[int, int, int]]:
         """``(key, count, error)`` triples, largest count first.

@@ -341,6 +341,15 @@ class SimSampler:
             if syncache is not None:
                 self._series("gauge.syncache_fill", "gauge").record(
                     now, float(len(syncache)))
+                if syncache.memory_budget is not None:
+                    # Budgeted caches chart occupancy in bytes against
+                    # the budget; unbudgeted runs stay byte-identical.
+                    self._series("gauge.syncache_bytes", "gauge").record(
+                        now, float(syncache.occupancy_bytes))
+            watchdog = getattr(listener, "watchdog", None)
+            if watchdog is not None:
+                self._series("gauge.overload_state", "gauge").record(
+                    now, float(watchdog.state.value))
         if spec.histograms:
             hists = self.hub.hist
             for hist_name in spec.histograms:

@@ -41,6 +41,7 @@ EVENTS = (
     "ignore",          # completion silently ignored (deception path)
     "drop",            # SYN dropped (detail: reason)
     "expire",          # half-open reaped after retry exhaustion
+    "overload-state",  # watchdog transition (detail: src, dst, occupancy)
 )
 
 

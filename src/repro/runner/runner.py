@@ -28,7 +28,7 @@ import hashlib
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from time import perf_counter, sleep
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
@@ -106,6 +106,44 @@ class RetryPolicy:
         return raw * (0.75 + 0.5 * fraction)
 
 
+def _merge_overload_payload(acc: Dict[str, object],
+                            block: Dict[str, object]) -> None:
+    """Fold an overload block into aggregate watchdog accounting.
+
+    Accepts either one cell's watchdog snapshot (recognised by its
+    ``state`` key) or an already-aggregated block from another
+    :class:`RunnerStats`. Only sums and maxima, so the fold is
+    order-independent — parallel sweeps aggregate identically to serial
+    ones. Per-cell detail (state series, admission tables) stays in the
+    cell summaries; this block is the sweep-level roll-up.
+    """
+    if "state" in block:
+        block = {
+            "cells": 1,
+            "ticks": int(block.get("ticks", 0)),
+            "cookie_fallbacks": int(block.get("cookie_fallbacks", 0)),
+            "transitions": dict(block.get("transitions") or {}),
+            "time_in_state": dict(block.get("time_in_state") or {}),
+            "peak_occupancy": float(block.get("peak_occupancy", 0.0)),
+            "peak_occupancy_bytes": int(
+                block.get("peak_occupancy_bytes", 0)),
+            "final_states": {str(block["state"]): 1},
+        }
+    acc["cells"] = acc.get("cells", 0) + block["cells"]
+    acc["ticks"] = acc.get("ticks", 0) + block["ticks"]
+    acc["cookie_fallbacks"] = (acc.get("cookie_fallbacks", 0)
+                               + block["cookie_fallbacks"])
+    for table in ("transitions", "time_in_state", "final_states"):
+        mine = acc.setdefault(table, {})
+        for key, value in block[table].items():
+            mine[key] = mine.get(key, 0) + value
+    acc["peak_occupancy"] = max(acc.get("peak_occupancy", 0.0),
+                                block["peak_occupancy"])
+    acc["peak_occupancy_bytes"] = max(
+        acc.get("peak_occupancy_bytes", 0),
+        block["peak_occupancy_bytes"])
+
+
 @dataclass(frozen=True)
 class CellStats:
     """What one sweep cell cost."""
@@ -158,6 +196,11 @@ class RunnerStats:
     #: sample-for-sample (aligned cadence timestamps); per-cell quantile
     #: series stay in their summaries.
     timeseries: SeriesRegistry = field(default_factory=SeriesRegistry)
+    #: Overload-watchdog accounting merged across every cell value that
+    #: carries an ``overload`` block (sums and maxima only, so parallel
+    #: merges equal serial ones). Empty — and absent from payloads —
+    #: when no cell attached a watchdog.
+    overload: Dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -219,7 +262,41 @@ class RunnerStats:
         # pre-telemetry manifest layout (baseline compatibility).
         if len(self.timeseries):
             payload["timeseries"] = self.timeseries.snapshot()
+        # Same discipline for the degradation ladder: the block exists
+        # only when some cell actually attached a watchdog.
+        if self.overload:
+            payload["overload"] = {
+                key: (dict(sorted(value.items()))
+                      if isinstance(value, dict) else value)
+                for key, value in sorted(self.overload.items())
+            }
         return payload
+
+    def absorb(self, other: "RunnerStats") -> "RunnerStats":
+        """Fold another sweep's accounting into this one.
+
+        Lets a caller that runs a matrix as several single-cell sweeps
+        (e.g. the chaos CLI isolating per-row failures) report one
+        aggregate identical to a single ``map`` over the same cells.
+        Wall clocks add; per-cell records concatenate; histograms,
+        series and overload blocks merge order-independently.
+        """
+        self.cells_total += other.cells_total
+        self.cells_run += other.cells_run
+        self.cache_hits += other.cache_hits
+        self.retries += other.retries
+        self.cell_timeouts += other.cell_timeouts
+        self.pool_restarts += other.pool_restarts
+        self.resumed_cells += other.resumed_cells
+        self.wall_seconds += other.wall_seconds
+        offset = len(self.cells)
+        for cell in other.cells:
+            self.cells.append(replace(cell, index=offset + cell.index))
+        self.histograms.merge(other.histograms)
+        self.timeseries.merge(other.timeseries)
+        if other.overload:
+            _merge_overload_payload(self.overload, other.overload)
+        return self
 
     def render(self) -> str:
         """One human line for CLI output."""
@@ -399,6 +476,9 @@ class SweepRunner:
             series = getattr(value, "timeseries", None)
             if series:
                 stats.timeseries.merge(series)
+            overload = getattr(value, "overload", None)
+            if overload:
+                _merge_overload_payload(stats.overload, overload)
         if monitor is not None:
             monitor.finish(stats)
         return SweepReport(values=values, stats=stats)

@@ -56,6 +56,16 @@ class AdaptiveConfig:
             raise ExperimentError("need 0 < low_water < high_water")
 
 
+def escalated_params(params, bump: int, ceiling: int):
+    """The (k, m) an overload escalation retunes to: ``m`` raised by
+    *bump* and clamped at *ceiling* (the same wire/usability cap as
+    :attr:`AdaptiveConfig.m_ceiling`). Shared by the closed-loop
+    controller's emergency path and the overload watchdog, so both
+    escalate through identical sysctl values.
+    """
+    return params.k, min(params.m + bump, ceiling)
+
+
 class AdaptiveDifficultyController:
     """Retunes a listener's ``m`` from its own observed counters."""
 

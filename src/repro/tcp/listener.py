@@ -43,7 +43,7 @@ from repro.tcp.connection import ServerConnection
 from repro.tcp.fairness import FairQueuingPolicy
 from repro.tcp.queues import AcceptQueue, ListenQueue
 from repro.tcp.syncache import CacheEntry, SynCache
-from repro.tcp.syncookies import SynCookieCodec
+from repro.tcp.syncookies import fallback_codec
 from repro.tcp.tcb import EstablishPath, HalfOpenTCB
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -85,6 +85,15 @@ class DefenseConfig:
     #: the chaos harness sets it so the "cache entries always expire"
     #: invariant is enforceable.
     syncache_lifetime: Optional[float] = None
+    #: Syncache occupancy fraction at which the listener stops inserting
+    #: and serves stateless cookies instead (the FreeBSD-style overload
+    #: fallback). ``None`` (the default) disables the fallback rung
+    #: entirely — the cache churns exactly as the paper describes.
+    syncache_high_watermark: Optional[float] = None
+    #: Occupancy fraction below which cache service re-arms. The gap to
+    #: the high watermark is the hysteresis band that keeps the listener
+    #: from flapping between cache and cookie service every few SYNs.
+    syncache_low_watermark: float = 0.60
 
 
 @dataclass
@@ -95,6 +104,11 @@ class ListenerStats:
     synacks_plain: int = 0           # SYN-ACK without challenge/cookie
     synacks_challenge: int = 0       # SYN-ACK carrying a challenge
     synacks_cookie: int = 0
+    #: Cookies served *because* the syncache crossed its high watermark
+    #: (counted in addition to synacks_cookie, which covers all cookies).
+    synacks_cookie_fallback: int = 0
+    #: SYNs refused by the token-bucket admission control rung.
+    syns_rejected_admission: int = 0
     syn_drops_queue_full: int = 0    # nodefense: SYN dropped, queue full
     established_normal: int = 0
     established_cookie: int = 0
@@ -140,12 +154,21 @@ class ListenSocket:
         #: (:class:`repro.obs.sketch.SourceAttribution`). None (the
         #: default) keeps every emit site a single attribute test.
         self.attribution = None
+        #: Optional graceful-degradation rungs (:mod:`repro.tcp.overload`):
+        #: the front-door SYN rate limiter and the state-machine watchdog.
+        #: Both default to None so every emit site stays one attribute
+        #: test and detached runs are byte-identical.
+        self.admission = None
+        self.watchdog = None
+        # Syncookie-fallback hysteresis latch: set when syncache occupancy
+        # crosses the high watermark, cleared below the low watermark.
+        self._fallback_engaged = False
         self.listen_queue.mib = self.mib
         self.accept_queue.mib = self.mib
         if self.config.scheme is None:
             self.config.scheme = JuelsBrainardScheme()
-        self._cookie_codec = SynCookieCodec(
-            secret=self.config.scheme.secret.current + b"/cookies")
+        self._cookie_codec = fallback_codec(
+            self.config.scheme.secret.current)
         if (self.config.mode is DefenseMode.SYNCACHE
                 and self.config.syncache is None):
             self.config.syncache = SynCache()
@@ -249,6 +272,19 @@ class ListenSocket:
         if tracer.enabled:
             tracer.emit(self.host.engine.now, self.host.name, "syn-in",
                         (packet.src_ip, packet.src_port, self.port))
+        if self.admission is not None and not self.admission.admit(
+                packet.src_ip, self.host.engine.now):
+            # Degradation-ladder front door: over-rate SYNs are shed
+            # before any state, hash, or reply is spent on them.
+            stats.syns_rejected_admission += 1
+            values["AdmissionDrops"] = values.get("AdmissionDrops", 0) + 1
+            if self.attribution is not None:
+                self.attribution.on_drop(packet.src_ip, "AdmissionDrops")
+            if tracer.enabled:
+                tracer.emit(self.host.engine.now, self.host.name, "drop",
+                            (packet.src_ip, packet.src_port, self.port),
+                            reason="admission")
+            return
         config = self.config
         mode = config.mode
 
@@ -382,16 +418,24 @@ class ListenSocket:
         self._arm_synack_timer(tcb)
 
     def _arm_syncache_reaper(self) -> None:
-        # Sweep at a quarter of the lifetime: entries overstay by at most
-        # one sweep interval, which the invariant checker's bound allows.
-        interval = self.config.syncache_lifetime / 4.0
+        # Rotating shard sweep: each timer-wheel tick reaps one shard,
+        # and every shard is visited once per quarter lifetime — so
+        # entries overstay by at most lifetime/4 (within the invariant
+        # checker's bound) while each tick touches only buckets/shards
+        # buckets instead of stalling on the whole table.
+        cache = self.config.syncache
+        interval = self.config.syncache_lifetime / (4.0 * cache.shard_count)
+        self._reap_shard = 0
         self._syncache_reaper = self.host.engine.schedule(
-            interval, self._syncache_reap)
+            interval, self._syncache_reap, interval)
 
-    def _syncache_reap(self) -> None:
+    def _syncache_reap(self, interval: float) -> None:
+        cache = self.config.syncache
         cutoff = self.host.engine.now - self.config.syncache_lifetime
-        self.config.syncache.expire_older_than(cutoff)
-        self._arm_syncache_reaper()
+        cache.expire_shard_older_than(self._reap_shard, cutoff)
+        self._reap_shard = (self._reap_shard + 1) % cache.shard_count
+        self._syncache_reaper = self.host.engine.schedule(
+            interval, self._syncache_reap, interval)
 
     def _send_challenge(self, packet: Packet) -> None:
         config = self.config
@@ -483,14 +527,38 @@ class ListenSocket:
         self.host.send(response)
 
     def _syncache_insert(self, packet: Packet) -> None:
-        cache = self.config.syncache
+        config = self.config
+        cache = config.syncache
+        if config.syncache_high_watermark is not None:
+            # FreeBSD-style overload fallback with hysteresis: above the
+            # high watermark the listener stops inserting and serves
+            # stateless cookies; cache service re-arms only once
+            # occupancy has drained below the low watermark.
+            occupancy = cache.occupancy_fraction
+            if self._fallback_engaged:
+                if occupancy <= config.syncache_low_watermark:
+                    self._fallback_engaged = False
+            elif occupancy >= config.syncache_high_watermark:
+                self._fallback_engaged = True
+            if self._fallback_engaged:
+                self.stats.synacks_cookie_fallback += 1
+                self._mib_incr("SynCacheCookieFallback")
+                self._send_cookie_synack(packet)
+                return
         entry = CacheEntry(
             flow=(packet.src_ip, packet.src_port, self.port),
             remote_isn=packet.seq, local_isn=self.stack.new_isn(),
             mss=packet.options.mss or DEFAULT_MSS,
             wscale=packet.options.wscale,
             created_at=self.host.engine.now)
-        cache.insert(entry)
+        if not cache.insert(entry):
+            # reject-new policy: no record, no SYN-ACK — the client
+            # retries into (hopefully) a less loaded cache. The cache's
+            # own rejected counter / SynCacheRejects MIB carry the tally.
+            if self.attribution is not None:
+                self.attribution.on_drop(packet.src_ip, "SynCacheRejects")
+            self._trace("drop", entry.flow, reason="syncache-reject")
+            return
         tcb = HalfOpenTCB(
             remote_ip=packet.src_ip, remote_port=packet.src_port,
             local_port=self.port, remote_isn=packet.seq,
@@ -543,6 +611,17 @@ class ListenSocket:
             if entry is not None:
                 return self._install(packet, EstablishPath.SYNCACHE,
                                      entry.mss, entry.wscale)
+            if self.config.syncache_high_watermark is not None:
+                # Fallback rung armed: this ACK may answer a cookie the
+                # overloaded cache served instead of a record. Validate
+                # statelessly before declaring a miss.
+                state = self._cookie_codec.decode(
+                    self.host.now, (packet.ack - 1) & 0xFFFFFFFF,
+                    packet.src_ip, packet.src_port, self.port,
+                    (packet.seq - 1) & 0xFFFFFFFF)
+                if state is not None:
+                    self._mib_incr("SynCookiesRecv")
+                    return self._complete_cookie(packet, state)
             self._mib_incr("SynCacheMisses")
             if self.attribution is not None:
                 self.attribution.on_drop(packet.src_ip, "SynCacheMisses")

@@ -51,6 +51,14 @@ class CookieState:
     wscale: Optional[int]  # always None: cookies cannot carry wscale
 
 
+def fallback_codec(scheme_secret: bytes) -> "SynCookieCodec":
+    """The codec a listener mints for cookie service off its puzzle
+    secret — both the SYNCOOKIES mode and the syncache overload
+    fallback derive it the same way, so a connection established
+    through either rung validates against the same cookies."""
+    return SynCookieCodec(secret=scheme_secret + b"/cookies")
+
+
 class SynCookieCodec:
     """Encode/decode SYN cookies for one listening socket."""
 

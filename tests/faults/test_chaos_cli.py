@@ -1,0 +1,88 @@
+"""`tcp-puzzles chaos` failure isolation: one bad row must not take the
+matrix down silently — the row is marked FAILED, the remaining rows
+still run, and the command exits non-zero."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.faults.chaos as chaos_mod
+from repro.cli import main
+from repro.faults.invariants import InvariantViolation
+
+_FAST = ["--time-scale", "0.005", "--clients", "1", "--attackers", "1",
+         "--faults", "loss-burst", "clock-skew"]
+
+
+def _failing_on(label_schedules, real_fn, boom):
+    """A run_chaos_summary stand-in that raises for one schedule."""
+    def fake(spec):
+        if spec.schedule in label_schedules:
+            raise boom
+        return real_fn(spec)
+    return fake
+
+
+def _schedule_for(label, args=None):
+    from repro.experiments.scenario import ScenarioConfig
+    from repro.faults.chaos import default_fault_matrix
+
+    config = ScenarioConfig(time_scale=0.005, n_clients=1,
+                            n_attackers=1)
+    return default_fault_matrix(config)[label]
+
+
+class TestRowFailureIsolation:
+    def test_mid_matrix_error_exits_nonzero(self, monkeypatch, capsys):
+        real = chaos_mod.run_chaos_summary
+        bad = _schedule_for("loss-burst")
+        monkeypatch.setattr(
+            chaos_mod, "run_chaos_summary",
+            _failing_on({bad}, real, RuntimeError("cell exploded")))
+        code = main(["chaos", *_FAST])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "cell 'loss-burst' FAILED" in captured.err
+        assert "cell exploded" in captured.err
+        # The rows after the failure still ran and were reported.
+        assert "clock-skew" in captured.out
+
+    def test_invariant_violation_marks_row_failed(self, monkeypatch,
+                                                  capsys):
+        real = chaos_mod.run_chaos_summary
+        bad = _schedule_for("clock-skew")
+        boom = InvariantViolation("listen-occupancy", "seeded",
+                                  host="server", sim_time=1.0)
+        monkeypatch.setattr(chaos_mod, "run_chaos_summary",
+                            _failing_on({bad}, real, boom))
+        code = main(["chaos", *_FAST])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "INVARIANT VIOLATION" in captured.err
+        assert "cell 'clock-skew' FAILED" in captured.err
+        assert "loss-burst" in captured.out     # earlier row completed
+
+    def test_failed_rows_recorded_in_manifest(self, monkeypatch,
+                                              tmp_path, capsys):
+        real = chaos_mod.run_chaos_summary
+        bad = _schedule_for("loss-burst")
+        monkeypatch.setattr(
+            chaos_mod, "run_chaos_summary",
+            _failing_on({bad}, real, RuntimeError("cell exploded")))
+        code = main(["chaos", *_FAST, "--output", str(tmp_path)])
+        capsys.readouterr()
+        assert code == 1
+        body = json.loads((tmp_path / "BENCH_chaos.json").read_text())
+        assert body["failed"] == ["loss-burst"]
+        reported = {row["fault"] for row in body["resilience"]}
+        assert "clock-skew" in reported
+        assert "loss-burst" not in reported
+
+    def test_clean_matrix_exits_zero(self, capsys):
+        code = main(["chaos", *_FAST])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "FAILED" not in captured.err
+        assert "zero violations" in captured.out

@@ -115,7 +115,7 @@ class TestSeededCorruption:
         listener = _listen(mini_net, mode=DefenseMode.SYNCACHE)
         checker = InvariantChecker(listener)
         checker.check_now()  # balanced while idle
-        listener.config.syncache.insertions += 1
+        listener.config.syncache.shards[0].insertions += 1
         with pytest.raises(InvariantViolation) as info:
             checker.check_now()
         assert info.value.invariant == "syncache-accounting"

@@ -1,0 +1,188 @@
+"""Sweep-level overload aggregation: parallel ≡ serial, detached ≡ absent."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import pytest
+
+from repro.runner import SweepRunner
+from repro.runner.runner import RunnerStats, _merge_overload_payload
+
+
+def _snapshot(ticks=4, fallbacks=2, state="NORMAL", peak=0.5,
+              peak_bytes=320, transitions=None):
+    return {
+        "state": state,
+        "ticks": ticks,
+        "transitions": transitions or {"NORMAL->PRESSURE": 1,
+                                       "PRESSURE->NORMAL": 1},
+        "time_in_state": {"NORMAL": 0.75, "PRESSURE": 0.25},
+        "peak_occupancy": peak,
+        "peak_occupancy_bytes": peak_bytes,
+        "cookie_fallbacks": fallbacks,
+        "series": {"samples": []},
+    }
+
+
+@dataclass(frozen=True)
+class Spec:
+    seed: int
+
+
+@dataclass(frozen=True)
+class OverloadValue:
+    seed: int
+    overload: Optional[Dict[str, object]] = None
+    histograms: Dict = field(default_factory=dict)
+
+
+def overload_cell(spec: Spec) -> OverloadValue:
+    """Deterministic toy cell carrying a watchdog snapshot."""
+    return OverloadValue(seed=spec.seed, overload=_snapshot(
+        ticks=spec.seed, fallbacks=spec.seed * 2,
+        state="NORMAL" if spec.seed % 2 else "OVERLOAD",
+        peak=0.1 * spec.seed, peak_bytes=64 * spec.seed))
+
+
+def detached_cell(spec: Spec) -> OverloadValue:
+    """A ladder-less cell: no overload block at all."""
+    return OverloadValue(seed=spec.seed)
+
+
+class TestMergeHelper:
+    def test_snapshot_normalizes_then_sums(self):
+        acc: Dict[str, object] = {}
+        _merge_overload_payload(acc, _snapshot(ticks=4, fallbacks=2))
+        _merge_overload_payload(acc, _snapshot(ticks=6, fallbacks=1,
+                                               state="OVERLOAD",
+                                               peak=0.9,
+                                               peak_bytes=640))
+        assert acc["cells"] == 2
+        assert acc["ticks"] == 10
+        assert acc["cookie_fallbacks"] == 3
+        assert acc["final_states"] == {"NORMAL": 1, "OVERLOAD": 1}
+        assert acc["peak_occupancy"] == 0.9
+        assert acc["peak_occupancy_bytes"] == 640
+        assert acc["transitions"] == {"NORMAL->PRESSURE": 2,
+                                      "PRESSURE->NORMAL": 2}
+
+    def test_fold_is_order_independent(self):
+        snapshots = [_snapshot(ticks=i, fallbacks=i, peak=0.1 * i)
+                     for i in range(1, 6)]
+        forward: Dict[str, object] = {}
+        backward: Dict[str, object] = {}
+        for snap in snapshots:
+            _merge_overload_payload(forward, snap)
+        for snap in reversed(snapshots):
+            _merge_overload_payload(backward, snap)
+        assert forward == backward
+
+    def test_aggregate_into_aggregate(self):
+        """absorb() feeds an already-aggregated block back in."""
+        left: Dict[str, object] = {}
+        right: Dict[str, object] = {}
+        _merge_overload_payload(left, _snapshot(ticks=4))
+        _merge_overload_payload(right, _snapshot(ticks=6))
+        _merge_overload_payload(right, _snapshot(ticks=2))
+        _merge_overload_payload(left, right)      # no "state" key
+        assert left["cells"] == 3
+        assert left["ticks"] == 12
+
+
+class TestRunnerAggregation:
+    def _payload(self, jobs):
+        specs = [Spec(seed=s) for s in (1, 2, 3, 4)]
+        report = SweepRunner(jobs=jobs).map(overload_cell, specs)
+        return report.stats.overload, json.dumps(
+            report.stats.as_payload()["overload"], sort_keys=True)
+
+    def test_parallel_equals_serial(self):
+        serial, serial_json = self._payload(jobs=1)
+        parallel, parallel_json = self._payload(jobs=2)
+        assert serial == parallel
+        assert serial_json == parallel_json
+        assert serial["cells"] == 4
+
+    def test_absorb_matches_single_map(self):
+        specs = [Spec(seed=s) for s in (1, 2, 3, 4)]
+        whole = SweepRunner().map(overload_cell, specs).stats
+        first = SweepRunner().map(overload_cell, specs[:2]).stats
+        second = SweepRunner().map(overload_cell, specs[2:]).stats
+        first.absorb(second)
+        assert first.overload == whole.overload
+        assert first.cells_total == whole.cells_total
+        assert [c.label for c in first.cells] == \
+            ["cell0", "cell1", "cell0", "cell1"]
+        assert [c.index for c in first.cells] == [0, 1, 2, 3]
+
+    def test_detached_cells_leave_no_block(self):
+        specs = [Spec(seed=s) for s in (1, 2)]
+        report = SweepRunner().map(detached_cell, specs)
+        assert report.stats.overload == {}
+        assert "overload" not in report.stats.as_payload()
+
+
+@pytest.mark.slow
+class TestRealScenarioAggregation:
+    def _matrix(self):
+        from repro.experiments.scenario import ScenarioConfig
+        from repro.faults.chaos import overload_matrix
+
+        config = ScenarioConfig(time_scale=0.02, n_clients=1,
+                                n_attackers=2)
+        matrix = overload_matrix(config)
+        labels = list(matrix)[:2]
+        return labels, [matrix[label] for label in labels]
+
+    def test_parallel_equals_serial_on_real_cells(self):
+        from repro.faults.chaos import run_chaos_summary
+
+        labels, specs = self._matrix()
+        serial = SweepRunner(jobs=1).map(run_chaos_summary, specs,
+                                         labels=labels)
+        parallel = SweepRunner(jobs=2).map(run_chaos_summary, specs,
+                                           labels=labels)
+        assert serial.stats.overload == parallel.stats.overload
+        for left, right in zip(serial.values, parallel.values):
+            assert left.overload == right.overload
+        assert serial.stats.overload["cells"] == 2
+
+
+@pytest.mark.slow
+class TestSummaryBlock:
+    """ScenarioSummary carries `overload` only when a watchdog attached."""
+
+    def test_detached_summary_has_no_block(self):
+        from repro.experiments.scenario import ScenarioConfig
+        from repro.experiments.summary import run_scenario_summary
+        from repro.obs.manifest import summary_payload
+        from repro.tcp.constants import DefenseMode
+
+        summary = run_scenario_summary(ScenarioConfig(
+            time_scale=0.005, n_clients=1, n_attackers=1,
+            attack_style="syn", defense=DefenseMode.SYNCACHE))
+        assert summary.overload is None
+        assert "overload" not in summary.as_payload()
+        assert "overload" not in summary_payload(summary)
+
+    def test_attached_summary_carries_snapshot(self):
+        from repro.experiments.scenario import ScenarioConfig
+        from repro.experiments.summary import run_scenario_summary
+        from repro.obs.manifest import summary_payload
+        from repro.tcp.constants import DefenseMode
+        from repro.tcp.overload import OverloadConfig
+
+        summary = run_scenario_summary(ScenarioConfig(
+            time_scale=0.005, n_clients=1, n_attackers=1,
+            attack_style="syn", defense=DefenseMode.SYNCACHE,
+            overload=OverloadConfig(syn_rate_limit=500.0)))
+        block = summary.as_payload()["overload"]
+        assert block["state"] in {"NORMAL", "PRESSURE", "OVERLOAD",
+                                  "RECOVERY"}
+        assert block["ticks"] > 0
+        assert block["syncache"]["policy"] == "oldest-per-bucket"
+        assert block["admission"]["allowed"] >= 0
+        assert summary_payload(summary)["overload"] == block

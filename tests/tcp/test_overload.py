@@ -1,0 +1,287 @@
+"""The graceful-degradation ladder: admission control + overload watchdog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.tcp.constants import DefenseMode
+from repro.tcp.listener import DefenseConfig
+from repro.tcp.overload import (AdmissionControl, OverloadConfig,
+                                OverloadState, OverloadWatchdog,
+                                TokenBucket)
+from repro.tcp.syncache import CacheEntry, SynCache
+
+
+def _entry(ip=1, port=1000, created=0.0):
+    return CacheEntry(flow=(ip, port, 80), remote_isn=1, local_isn=2,
+                      mss=1460, wscale=7, created_at=created)
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        bucket = TokenBucket(rate=10.0, burst=3.0)
+        assert [bucket.allow(0.0) for _ in range(4)] == \
+            [True, True, True, False]
+
+    def test_refills_with_time(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0)
+        assert bucket.allow(0.0) and bucket.allow(0.0)
+        assert not bucket.allow(0.0)
+        assert bucket.allow(0.1)           # one token accrued
+        assert not bucket.allow(0.1)
+
+    def test_refill_clamps_to_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2.0)
+        assert [bucket.allow(100.0) for _ in range(3)] == \
+            [True, True, False]
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            TokenBucket(rate=0.0, burst=2.0)
+        with pytest.raises(SimulationError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestAdmissionControl:
+    def _control(self, **overrides):
+        defaults = dict(syn_rate_limit=100.0, syn_burst=4.0,
+                        heavy_hitter_rate=10.0, heavy_hitter_min=5,
+                        heavy_hitter_slots=4)
+        defaults.update(overrides)
+        return AdmissionControl(OverloadConfig(**defaults))
+
+    def test_requires_rate_limit(self):
+        with pytest.raises(SimulationError):
+            AdmissionControl(OverloadConfig(syn_rate_limit=None))
+
+    def test_global_bucket_limits_burst(self):
+        control = self._control(heavy_hitter_rate=None)
+        verdicts = [control.admit(i, 0.0) for i in range(6)]
+        assert verdicts == [True] * 4 + [False] * 2
+        assert control.allowed == 4 and control.dropped == 2
+
+    def test_heavy_hitter_gets_its_own_tier(self):
+        control = self._control(syn_rate_limit=10_000.0, syn_burst=4.0)
+        # One source hammers until promoted; its tier bucket (burst 4)
+        # then drops it while a light source still sails through.
+        drops_before = control.tier_drops
+        for _ in range(20):
+            control.admit(0x0A000001, 0.0)
+        assert control.tier_drops > drops_before
+        # A beat later the global bucket has refilled but the heavy
+        # hitter's tier (10/s) has not: light admitted, heavy dropped.
+        assert control.admit(0x0B000001, 0.01)
+        assert not control.admit(0x0A000001, 0.01)
+
+    def test_prefix_masking_aggregates_sources(self):
+        control = self._control(prefix_bits=24, syn_rate_limit=10_000.0)
+        for i in range(20):
+            control.admit(0x0A000000 + (i % 8), 0.0)   # one /24
+        assert len(control._tiers) == 1
+
+    def test_tier_prune_is_bounded(self):
+        control = self._control(syn_rate_limit=10_000.0,
+                                heavy_hitter_slots=2, heavy_hitter_min=1)
+        for i in range(64):
+            control.admit(i << 16, float(i))
+        assert len(control._tiers) <= 2 * 2 + 1
+
+    def test_snapshot_shape(self):
+        control = self._control()
+        control.admit(1, 0.0)
+        snapshot = control.snapshot()
+        assert snapshot["allowed"] == 1
+        assert set(snapshot) == {"allowed", "dropped", "tier_drops",
+                                 "tiers", "sources"}
+
+
+class TestOverloadConfigValidation:
+    def test_watermark_ordering(self):
+        with pytest.raises(SimulationError):
+            OverloadConfig(high_watermark=0.5, low_watermark=0.6)
+        with pytest.raises(SimulationError):
+            OverloadConfig(high_watermark=1.5)
+
+    def test_occupancy_thresholds(self):
+        with pytest.raises(SimulationError):
+            OverloadConfig(pressure_occupancy=0.9,
+                           overload_occupancy=0.5)
+
+    def test_interval_and_rates(self):
+        with pytest.raises(SimulationError):
+            OverloadConfig(watchdog_interval=0.0)
+        with pytest.raises(SimulationError):
+            OverloadConfig(syn_rate_limit=-1.0)
+
+
+def _syncache_listener(mini_net, cache, **kwargs):
+    return mini_net.server.tcp.listen(
+        80, DefenseConfig(mode=DefenseMode.SYNCACHE, syncache=cache,
+                          **kwargs))
+
+
+class TestOverloadWatchdog:
+    def _watchdog(self, mini_net, cache, **overrides):
+        defaults = dict(watchdog_interval=0.25, pressure_occupancy=0.5,
+                        overload_occupancy=0.8, recovery_hold=0.5,
+                        cpu_saturation=2.0)  # occupancy-only signals
+        defaults.update(overrides)
+        listener = _syncache_listener(mini_net, cache)
+        watchdog = OverloadWatchdog(listener, OverloadConfig(**defaults))
+        watchdog.start()
+        return listener, watchdog
+
+    def test_flood_walks_the_ladder_and_recovers(self, mini_net):
+        cache = SynCache(bucket_count=4, bucket_limit=4)
+        listener, watchdog = self._watchdog(mini_net, cache)
+        for i in range(64):                # fill every bucket to its limit
+            cache.insert(_entry(ip=i))
+        mini_net.run(until=1.0)
+        assert watchdog.state is OverloadState.OVERLOAD
+        cache.expire_older_than(cutoff=1.0)  # flood ends, cache drains
+        mini_net.run(until=3.0)
+        assert watchdog.state is OverloadState.NORMAL
+        reached = set(watchdog.transitions)
+        assert "NORMAL->OVERLOAD" in reached
+        assert "OVERLOAD->RECOVERY" in reached
+        assert "RECOVERY->NORMAL" in reached
+        assert watchdog.peak_occupancy == 1.0
+        assert watchdog.ticks >= 8
+
+    def test_pressure_without_overload(self, mini_net):
+        cache = SynCache(bucket_count=4, bucket_limit=4)
+        listener, watchdog = self._watchdog(mini_net, cache)
+        for i in range(10):                # occupancy 0.625: warm only
+            cache.insert(_entry(ip=i))
+        mini_net.run(until=1.0)
+        assert watchdog.state is OverloadState.PRESSURE
+        assert "NORMAL->OVERLOAD" not in watchdog.transitions
+
+    def test_gauge_series_records_every_tick(self, mini_net):
+        cache = SynCache(bucket_count=4, bucket_limit=4)
+        listener, watchdog = self._watchdog(mini_net, cache)
+        mini_net.run(until=1.0)
+        samples = list(watchdog.series.samples())
+        assert len(samples) == watchdog.ticks
+        assert all(value == float(OverloadState.NORMAL.value)
+                   for _, value in samples)
+
+    def test_snapshot_shape_and_time_accounting(self, mini_net):
+        cache = SynCache(bucket_count=4, bucket_limit=4)
+        listener, watchdog = self._watchdog(mini_net, cache)
+        for i in range(64):
+            cache.insert(_entry(ip=i))
+        mini_net.run(until=1.0)
+        watchdog.stop()
+        snapshot = watchdog.snapshot()
+        assert snapshot["state"] == "OVERLOAD"
+        assert snapshot["syncache"]["policy"] == "oldest-per-bucket"
+        assert snapshot["peak_occupancy_bytes"] == cache.occupancy_bytes
+        total = sum(snapshot["time_in_state"].values())
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_escalates_puzzle_difficulty_on_overload(self, mini_net):
+        listener = mini_net.server.tcp.listen(
+            80, DefenseConfig(mode=DefenseMode.PUZZLES))
+        config = OverloadConfig(escalate_m=4, escalate_ceiling=22,
+                                cpu_saturation=2.0)
+        watchdog = OverloadWatchdog(listener, config)
+        base_m = listener.config.puzzle_params.m
+        watchdog._transition(OverloadState.OVERLOAD, 1.0, 0.0)
+        assert listener.config.puzzle_params.m == base_m + 4
+        watchdog._transition(OverloadState.NORMAL, 0.0, 0.0)
+        assert listener.config.puzzle_params.m == base_m
+
+    def test_escalation_respects_ceiling(self, mini_net):
+        listener = mini_net.server.tcp.listen(
+            80, DefenseConfig(mode=DefenseMode.PUZZLES))
+        config = OverloadConfig(escalate_m=40, escalate_ceiling=20,
+                                cpu_saturation=2.0)
+        watchdog = OverloadWatchdog(listener, config)
+        watchdog._transition(OverloadState.OVERLOAD, 1.0, 0.0)
+        assert listener.config.puzzle_params.m == 20
+
+
+class TestCookieFallback:
+    def _flood_syn(self, mini_net, ip, port=999):
+        from repro.net.packet import Packet, TCPFlags, TCPOptions
+
+        packet = Packet(src_ip=ip, dst_ip=mini_net.server.address,
+                        src_port=port, dst_port=80, seq=1,
+                        flags=TCPFlags.SYN, options=TCPOptions(mss=1460))
+        mini_net.network.send(mini_net.client, packet)
+
+    def test_engages_above_high_watermark(self, mini_net):
+        cache = SynCache(bucket_count=4, bucket_limit=4)
+        listener = _syncache_listener(mini_net, cache,
+                                      syncache_high_watermark=0.5,
+                                      syncache_low_watermark=0.25)
+        for i in range(12):                # occupancy past the high mark
+            cache.insert(_entry(ip=i))
+        resident = len(cache)
+        assert resident / cache.max_entries > 0.5
+        self._flood_syn(mini_net, ip=0xAC100001)
+        mini_net.run(until=0.5)
+        assert listener.stats.synacks_cookie_fallback == 1
+        assert listener.mib["SynCacheCookieFallback"] == 1
+        assert len(cache) == resident      # nothing was inserted
+
+    def test_disengages_below_low_watermark(self, mini_net):
+        cache = SynCache(bucket_count=4, bucket_limit=4)
+        listener = _syncache_listener(mini_net, cache,
+                                      syncache_high_watermark=0.5,
+                                      syncache_low_watermark=0.25)
+        for i in range(12):
+            cache.insert(_entry(ip=i))
+        self._flood_syn(mini_net, ip=0xAC100001)
+        mini_net.run(until=0.5)
+        assert listener._fallback_engaged
+        cache.expire_older_than(cutoff=1.0)   # drain below low mark
+        self._flood_syn(mini_net, ip=0xAC100002, port=1001)
+        mini_net.run(until=1.0)
+        assert not listener._fallback_engaged
+        assert listener.stats.synacks_cookie_fallback == 1
+        assert len(cache) == 1             # normal insert resumed
+
+    def test_hysteresis_band_stays_engaged(self, mini_net):
+        """Between low and high the latch keeps its last position."""
+        cache = SynCache(bucket_count=4, bucket_limit=4)
+        listener = _syncache_listener(mini_net, cache,
+                                      syncache_high_watermark=0.5,
+                                      syncache_low_watermark=0.25)
+        for i in range(12):
+            cache.insert(_entry(ip=i))
+        self._flood_syn(mini_net, ip=0xAC100001)
+        mini_net.run(until=0.5)
+        for i in range(6):                 # drain into the band (0.375)
+            cache.complete((i, 1000, 80))
+        self._flood_syn(mini_net, ip=0xAC100002, port=1001)
+        mini_net.run(until=1.0)
+        assert listener.stats.synacks_cookie_fallback == 2
+
+    def test_full_handshake_establishes_via_cookie(self, mini_net):
+        cache = SynCache(bucket_count=4, bucket_limit=4)
+        listener = _syncache_listener(mini_net, cache,
+                                      syncache_high_watermark=0.5,
+                                      syncache_low_watermark=0.25)
+        for i in range(12):
+            cache.insert(_entry(ip=i))
+        conn = mini_net.client.tcp.connect(mini_net.server.address, 80)
+        mini_net.run(until=2.0)
+        assert conn.connect_time is not None
+        assert listener.mib["EstabCookie"] == 1
+        assert listener.mib["EstabSynCache"] == 0
+        assert listener.stats.synacks_cookie_fallback == 1
+
+    def test_admission_gate_drops_before_defense(self, mini_net):
+        cache = SynCache(bucket_count=4, bucket_limit=4)
+        listener = _syncache_listener(mini_net, cache)
+        listener.admission = AdmissionControl(
+            OverloadConfig(syn_rate_limit=1.0, syn_burst=1.0))
+        self._flood_syn(mini_net, ip=0xAC100001)
+        self._flood_syn(mini_net, ip=0xAC100002, port=1001)
+        mini_net.run(until=0.5)
+        assert listener.stats.syns_rejected_admission == 1
+        assert listener.mib["AdmissionDrops"] == 1
+        assert len(cache) == 1
